@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every bench regenerates one table or figure of the paper: it computes the
+series, prints it (visible with ``pytest -s``), and writes it to
+``benchmarks/results/<name>.txt`` so the reproduction record survives the
+run. ``EXPERIMENTS.md`` summarizes these outputs against the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_table(headers: list[str], rows: list[list], widths: list[int] | None = None) -> str:
+    """Fixed-width text table."""
+    if widths is None:
+        widths = [
+            max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) + 2
+            for i, h in enumerate(headers)
+        ]
+    out = ["".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    out.append("".join("-" * w for w in widths))
+    for r in rows:
+        out.append("".join(_fmt(c).rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)

@@ -1,0 +1,58 @@
+"""Ablation: damping kernel choice (Jackson / Lorentz / Dirichlet).
+
+Quantifies why KPM-DOS uses the Jackson kernel: without damping
+(Dirichlet) the truncated Chebyshev series Gibbs-oscillates and the DOS
+goes negative; Jackson guarantees positivity at an energy resolution
+~pi/M; Lorentz trades some positivity for causal broadening.
+"""
+
+import numpy as np
+import pytest
+
+from _support import emit, format_table
+from repro.core.reconstruct import integrate_density, reconstruct_dos
+from repro.core.solver import KPMSolver
+from repro.physics import build_topological_insulator
+
+KERNELS = ("jackson", "lorentz", "dirichlet")
+
+
+def test_damping_ablation(benchmark):
+    h, _ = build_topological_insulator(10, 10, 4)
+    lam = np.linalg.eigvalsh(h.to_dense())
+
+    solver = KPMSolver(h, n_moments=256, n_vectors=32, seed=5)
+    mu = solver.moments()
+
+    def build():
+        rows = []
+        for kernel in KERNELS:
+            e, rho = reconstruct_dos(mu, solver.scale, n_points=1024,
+                                     kernel=kernel)
+            total = integrate_density(e, rho)
+            neg = float(-rho.min()) / float(rho.max())
+            # eigencount accuracy in a fixed window
+            est = integrate_density(e, rho, -1.0, 1.0)
+            exact = int(((lam >= -1) & (lam <= 1)).sum())
+            rows.append([kernel, total, neg, est, exact])
+        return rows
+
+    rows = benchmark(build)
+    text = format_table(
+        ["kernel", "DOS integral", "max negative/peak",
+         "count [-1,1]", "exact count"],
+        rows,
+    )
+    text += (
+        "\n\nJackson: strictly positive, accurate counting (the paper's"
+        "\nchoice). Dirichlet: Gibbs oscillations drive the DOS negative."
+    )
+    emit("ablation_damping", text)
+
+    by = {r[0]: r for r in rows}
+    n = h.n_rows
+    for kernel in KERNELS:
+        assert by[kernel][1] == pytest.approx(n, rel=0.05)
+    assert by["jackson"][2] < 1e-6  # non-negative
+    assert by["dirichlet"][2] > 1e-3  # visible Gibbs undershoot
+    assert by["jackson"][3] == pytest.approx(by["jackson"][4], abs=0.08 * n)

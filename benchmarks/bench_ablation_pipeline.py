@@ -1,0 +1,85 @@
+"""Paper outlook: pipelined GPU-CPU-MPI communication, quantified.
+
+"A promising optimization is to establish a pipeline for this
+GPU-CPU-MPI communication, i.e., download parts of the communication
+buffer to the host and transfer previous chunks via the network at the
+same time." (paper Section VII)
+
+The network model supports this (``pcie_overlap=True``): PCIe staging of
+a halo buffer overlaps with its network transfer instead of serializing.
+This bench quantifies the gain across the weak-scaling series — largest
+where communication is the biggest fraction, i.e. the Square case at
+scale.
+"""
+
+import pytest
+
+from _support import emit, format_table
+from repro.dist.network import NetworkModel
+from repro.dist.scaling_model import ClusterModel
+
+NODES = [4, 64, 1024]
+
+
+def test_pipeline_gain(benchmark):
+    serial = ClusterModel(r=32)
+    piped = ClusterModel(r=32, network=NetworkModel(pcie_overlap=True))
+
+    def build():
+        rows = []
+        for case in ("square", "bar"):
+            for res_s, res_p in zip(
+                serial.weak_scaling(case, NODES, m=2000),
+                piped.weak_scaling(case, NODES, m=2000),
+            ):
+                gain = res_p["tflops"] / res_s["tflops"] - 1.0
+                rows.append(
+                    [case, int(res_s["nodes"]), res_s["tflops"],
+                     res_p["tflops"], f"{gain:+.1%}"]
+                )
+        return rows
+
+    rows = benchmark(build)
+    text = format_table(
+        ["case", "nodes", "Tflop/s (serial PCIe)",
+         "Tflop/s (pipelined)", "gain"],
+        rows,
+    )
+    text += (
+        "\n\nPipelining the PCIe staging recovers part of the halo cost;"
+        "\nthe gain is largest for the communication-heavy Square case."
+    )
+    emit("ablation_pipeline", text)
+
+    sq = [r for r in rows if r[0] == "square" and r[1] > 1]
+    for r in sq:
+        assert r[3] >= r[2]  # pipelining never loses
+    # a measurable (not dramatic) gain at scale — a few percent
+    gain_1024 = sq[-1][3] / sq[-1][2] - 1
+    assert 0.005 <= gain_1024 <= 0.2
+
+
+def test_pipeline_at_iteration_level(benchmark):
+    """Direct per-iteration view of the halo-time reduction."""
+    serial = ClusterModel(r=32)
+    piped = ClusterModel(r=32, network=NetworkModel(pcie_overlap=True))
+
+    def build():
+        dom = (6400, 6400, 40)
+        it_s = serial.iteration_times(dom, 1024)
+        it_p = piped.iteration_times(dom, 1024)
+        return it_s, it_p
+
+    it_s, it_p = benchmark(build)
+    emit(
+        "ablation_pipeline_iteration",
+        format_table(
+            ["component", "serial (ms)", "pipelined (ms)"],
+            [
+                [k, it_s[k] * 1e3, it_p[k] * 1e3]
+                for k in ("compute", "halo", "reduce", "total")
+            ],
+        ),
+    )
+    assert it_p["halo"] < it_s["halo"]
+    assert it_p["compute"] == it_s["compute"]

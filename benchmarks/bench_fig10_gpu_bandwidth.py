@@ -1,0 +1,64 @@
+"""Paper Fig. 10: achieved K20m bandwidths per memory level and kernel.
+
+Three panels, one per kernel variant:
+
+(a) simple SpMMV, (b) augmented SpMMV without on-the-fly dot products,
+(c) fully augmented SpMMV.
+
+Expected shapes (paper Section V-B): at R = 1 all kernels are DRAM-bound
+at ~150 GB/s with L2/TEX "not much higher"; with growing R the DRAM
+bandwidth decreases while L2 (and TEX) rise and saturate — the
+bottleneck moves into the cache hierarchy; panel (c) shows all levels at
+a significantly lower level because the in-kernel reductions make it
+latency-bound.
+"""
+
+import pytest
+
+from _support import emit, format_table
+from repro.perf.arch import K20M
+from repro.perf.roofline import gpu_level_bandwidths
+
+R_SWEEP = (1, 8, 16, 32, 64)
+KERNELS = {
+    "a_simple_spmmv": "spmmv",
+    "b_aug_no_dots": "aug_spmmv_nodot",
+    "c_fully_augmented": "aug_spmmv",
+}
+
+
+def test_fig10(benchmark):
+    def build():
+        out = {}
+        for label, kernel in KERNELS.items():
+            out[label] = [
+                [r] + [gpu_level_bandwidths(K20M, kernel, r)[k]
+                       for k in ("dram", "l2", "tex")]
+                for r in R_SWEEP
+            ]
+        return out
+
+    panels = benchmark(build)
+    parts = []
+    for label, rows in panels.items():
+        parts.append(f"\npanel ({label}):")
+        parts.append(
+            format_table(["R", "DRAM GB/s", "L2 GB/s", "TEX GB/s"], rows)
+        )
+    text = "\n".join(parts)
+    text += (
+        "\n\nPaper Fig. 10: (a)/(b) start DRAM-bound at 150 GB/s, become"
+        "\nL2-bound at large R; (c) sits at a much lower level (latency)."
+    )
+    emit("fig10_gpu_bandwidth", text)
+
+    a = {r[0]: r for r in panels["a_simple_spmmv"]}
+    c = {r[0]: r for r in panels["c_fully_augmented"]}
+    # (a): DRAM-bound at R=1, L2 saturates at large R, DRAM decreases
+    assert a[1][1] == pytest.approx(K20M.bandwidth_gbs, rel=0.02)
+    assert a[64][2] == pytest.approx(K20M.llc_bandwidth_gbs, rel=0.02)
+    assert a[64][1] < a[1][1]
+    # (c): everything significantly lower
+    for r in R_SWEEP:
+        assert c[r][2] < 0.5 * K20M.llc_bandwidth_gbs
+        assert c[r][1] <= a[r][1]

@@ -1,0 +1,59 @@
+"""Paper Fig. 11: node-level performance per optimization stage.
+
+Regenerates the nine bars of Fig. 11 — {SNB, K20X, SNB+K20X} for each
+optimization stage — plus the heterogeneous parallel efficiency printed
+above the bars, from the calibrated device models. Verifies the
+Section VI-B headline claims:
+
+* more than 10x from the naive CPU-only code to the fully optimized
+  heterogeneous version,
+* ~2.3x on the GPU from algorithmic optimization alone,
+* ~36% more from adding the CPU to the GPU,
+* 85-90% heterogeneous parallel efficiency.
+"""
+
+import pytest
+
+from _support import emit, format_table
+from repro.perf.arch import PIZ_DAINT_NODE
+from repro.perf.roofline import node_performance
+
+STAGES = [("naive", "Naive"), ("aug_spmv", "Opt. stage 1"),
+          ("aug_spmmv", "Opt. stage 2")]
+
+
+def test_fig11(benchmark):
+    def build():
+        return {
+            stage: node_performance(PIZ_DAINT_NODE, stage, r=32)
+            for stage, _ in STAGES
+        }
+
+    perf = benchmark(build)
+    rows = [
+        [label, perf[stage]["cpu"], perf[stage]["gpu"],
+         perf[stage]["heterogeneous"],
+         f"{perf[stage]['parallel_efficiency']:.0%}"]
+        for stage, label in STAGES
+    ]
+    text = format_table(
+        ["stage", "SNB (Gflop/s)", "K20X (Gflop/s)",
+         "SNB+K20X (Gflop/s)", "par.eff."],
+        rows,
+    )
+    s0, s2 = perf["naive"], perf["aug_spmmv"]
+    text += (
+        f"\n\nnaive CPU -> optimized heterogeneous: "
+        f"{s2['heterogeneous'] / s0['cpu']:.1f}x   (paper: >10x)"
+        f"\nnaive GPU -> optimized GPU:          "
+        f"{s2['gpu'] / s0['gpu']:.2f}x   (paper: 2.3x)"
+        f"\noptimized GPU -> + CPU:              "
+        f"+{(s2['heterogeneous'] / s2['gpu'] - 1) * 100:.0f}%   (paper: +36%)"
+    )
+    emit("fig11_node_level", text)
+
+    assert s2["heterogeneous"] / s0["cpu"] > 10.0
+    assert 1.9 <= s2["gpu"] / s0["gpu"] <= 2.7
+    assert 1.2 <= s2["heterogeneous"] / s2["gpu"] <= 1.5
+    for stage, _ in STAGES:
+        assert 0.80 <= perf[stage]["parallel_efficiency"] <= 0.92

@@ -1,0 +1,99 @@
+"""Paper Fig. 12: weak and strong scaling up to 1024 Piz Daint nodes.
+
+Weak scaling for the "Square" and "Bar" domain families (base
+400 x 100 x 40 per node), plus strong scaling at the problem size of
+each curve's first point. Verifies:
+
+* >100 Tflop/s on 1024 nodes for the Square case (~10% of aggregate
+  CPU+GPU peak),
+* the efficiency drop of the Square case when the y extent starts
+  growing (1 -> 4 nodes), flat thereafter,
+* near-ideal Bar weak scaling,
+* monotonically decaying strong-scaling efficiency.
+"""
+
+import pytest
+
+from _support import emit, format_table
+from repro.dist.scaling_model import ClusterModel
+from repro.perf.arch import PIZ_DAINT_NODE
+
+NODES = [1, 4, 16, 64, 256, 1024]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ClusterModel(r=32)
+
+
+def test_fig12_weak(benchmark, model):
+    def build():
+        return {
+            case: model.weak_scaling(case, NODES, m=2000)
+            for case in ("square", "bar")
+        }
+
+    series = benchmark(build)
+    parts = []
+    for case, rows in series.items():
+        parts.append(f"\nweak scaling — {case}:")
+        parts.append(
+            format_table(
+                ["nodes", "domain", "Tflop/s", "efficiency"],
+                [
+                    [int(r["nodes"]), str(r["domain"]), r["tflops"],
+                     f"{r['efficiency']:.1%}"]
+                    for r in rows
+                ],
+            )
+        )
+    tf_1024 = series["square"][-1]["tflops"]
+    peak = 1024 * PIZ_DAINT_NODE.aggregate_peak_gflops / 1000.0
+    parts.append(
+        f"\n1024-node Square: {tf_1024:.1f} Tflop/s = "
+        f"{tf_1024 / peak:.1%} of aggregate peak "
+        "(paper: >100 Tflop/s, ~10% of peak)"
+    )
+    emit("fig12_weak_scaling", "\n".join(parts))
+
+    assert tf_1024 > 100.0
+    assert 0.06 <= tf_1024 / peak <= 0.12
+    sq = series["square"]
+    assert sq[1]["efficiency"] < 0.97  # the 1 -> 4 node drop
+    for s, b in zip(sq[1:], series["bar"][1:]):
+        assert b["efficiency"] >= s["efficiency"]
+
+
+def test_fig12_strong(benchmark, model):
+    def build():
+        return {
+            "square@4": model.strong_scaling((400, 400, 40), [4, 16, 64, 256]),
+            "square@64": model.strong_scaling(
+                (1600, 1600, 40), [64, 256, 1024]
+            ),
+            "bar@4": model.strong_scaling(
+                (1600, 100, 40), [4, 16, 64], case="bar"
+            ),
+        }
+
+    series = benchmark(build)
+    parts = []
+    for label, rows in series.items():
+        parts.append(f"\nstrong scaling — {label}:")
+        parts.append(
+            format_table(
+                ["nodes", "Tflop/s", "speedup", "efficiency"],
+                [
+                    [int(r["nodes"]), r["tflops"], r["speedup"],
+                     f"{r['efficiency']:.1%}"]
+                    for r in rows
+                ],
+            )
+        )
+    emit("fig12_strong_scaling", "\n".join(parts))
+
+    for rows in series.values():
+        effs = [r["efficiency"] for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+        sps = [r["speedup"] for r in rows]
+        assert all(b > a for a, b in zip(sps, sps[1:]))

@@ -1,0 +1,79 @@
+"""Paper outlook: model-driven performance engineering for Xeon Phi.
+
+"Although the Intel Xeon Phi coprocessor is already supported in our
+software, we still have to carry out detailed model-driven performance
+engineering for this architecture and the KPM application."
+(paper Section VII)
+
+This bench performs that engineering with the same apparatus used for
+IVB/SNB: code balance, Omega, memory and LLC rooflines per optimization
+stage and block width. The headline prediction: KNC's machine balance
+(~0.15 B/F) is even lower than the GPUs', so the blocked kernel is
+*mandatory* there — the R = 1 augmented kernel leaves >70% of the
+achievable performance on the table.
+"""
+
+import pytest
+
+from _support import emit, format_table
+from repro.perf.arch import KNC, SNB
+from repro.perf.balance import bmin
+from repro.perf.roofline import cpu_kernel_performance, custom_roofline
+
+
+def test_knc_stage_sweep(benchmark):
+    def build():
+        rows = []
+        for stage, r in (("naive", 1), ("aug_spmv", 1),
+                         ("aug_spmmv", 8), ("aug_spmmv", 32)):
+            rows.append(
+                [f"{stage} (R={r})",
+                 cpu_kernel_performance(KNC, stage, r),
+                 cpu_kernel_performance(SNB, stage, r)]
+            )
+        return rows
+
+    rows = benchmark(build)
+    text = format_table(
+        ["kernel", "KNC (Gflop/s)", "SNB (Gflop/s)"], rows
+    )
+    text += (
+        f"\n\nKNC machine balance: {KNC.machine_balance:.3f} B/F "
+        f"(SNB: {SNB.machine_balance:.3f})"
+        f"\nB_min(1) = {bmin(1):.2f} -> even stage 1 is deeply memory-"
+        "\nbound on KNC; only the blocked kernel approaches the device's"
+        "\npotential — the same conclusion the paper reaches for the GPUs."
+    )
+    emit("outlook_knc", text)
+
+    by = {r[0]: r for r in rows}
+    # blocked essential: stage2(32) much faster than stage1 on KNC
+    assert by["aug_spmmv (R=32)"][1] > 1.8 * by["aug_spmv (R=1)"][1]
+    # the many weak cores pay off (vs SNB) once the kernel is blocked
+    assert by["aug_spmmv (R=32)"][1] > 1.5 * by["aug_spmmv (R=32)"][2]
+    # monotone stage ordering holds on KNC too
+    vals = [by[k][1] for k in
+            ("naive (R=1)", "aug_spmv (R=1)", "aug_spmmv (R=8)")]
+    assert vals[0] < vals[1] < vals[2]
+
+
+def test_knc_custom_roofline(benchmark):
+    def build():
+        return {
+            r: custom_roofline(KNC, r) for r in (1, 4, 16, 64)
+        }
+
+    data = benchmark(build)
+    rows = [
+        [r, d["p_mem"], d["p_llc"], d["p_star"]]
+        for r, d in sorted(data.items())
+    ]
+    emit(
+        "outlook_knc_roofline",
+        format_table(["R", "P*_MEM", "P*_LLC", "P*"], rows),
+    )
+    # the memory->cache bound migration happens on KNC too
+    assert data[1]["p_star"] == data[1]["p_mem"]
+    assert data[64]["p_star"] == pytest.approx(
+        min(data[64]["p_mem"], data[64]["p_llc"])
+    )

@@ -1,0 +1,98 @@
+"""Paper Table I and Eqs. (5)-(7): byte/flop accounting, regenerated.
+
+Prints Table I (min bytes and flops per call and for the whole solver),
+the code-balance cascade of Eq. (4), and the B_min(R) values of
+Eqs. (5)-(7) — each verified against the instrumented kernels at runtime.
+"""
+
+import pytest
+
+from _support import emit, format_table
+from repro.core.moments import compute_eta
+from repro.core.scaling import SpectralScale
+from repro.core.stochastic import make_block_vector
+from repro.perf.balance import (
+    bmin,
+    bmin_limit,
+    kpm_flops,
+    kpm_min_traffic,
+    naive_balance,
+    table1_calls,
+    table1_flops,
+    table1_min_bytes,
+)
+from repro.physics import build_topological_insulator
+from repro.util.counters import PerfCounters
+
+
+def test_table1(benchmark):
+    h, _ = build_topological_insulator(6, 6, 4, pbc=(True, True, True))
+    n, nnz = h.n_rows, h.nnz
+    r, m = 4, 32
+
+    def build_table():
+        rows = []
+        for f in ("spmv", "axpy", "scal", "nrm2", "dot"):
+            rows.append(
+                [
+                    f + "()",
+                    int(table1_calls(f, r, m)),
+                    int(table1_min_bytes(f, n, nnz)),
+                    int(table1_flops(f, n, nnz)),
+                ]
+            )
+        rows.append(
+            [
+                "KPM",
+                1,
+                int(kpm_min_traffic(n, nnz, r, m, "naive")),
+                int(kpm_flops(n, nnz, r, m)),
+            ]
+        )
+        return rows
+
+    rows = benchmark(build_table)
+    text = format_table(
+        ["Funct.", "# Calls", "Min. Bytes/Call", "Flops/Call"], rows
+    )
+    text += f"\n\n(N = {n}, N_nz = {nnz}, R = {r}, M = {m})"
+
+    # runtime verification: the naive engine charges exactly the KPM row
+    scale = SpectralScale.from_bounds(-8, 8)
+    c = PerfCounters()
+    compute_eta(h, scale, m, make_block_vector(n, r, seed=0), "naive",
+                counters=c)
+    per_iter_bytes = kpm_min_traffic(n, nnz, r, 2, "naive")
+    iters = m // 2 - 1
+    init = r * (nnz * 20 + 2 * n * 16)
+    assert c.bytes_total == iters * per_iter_bytes + init
+    text += "\nRuntime check: instrumented naive engine charges match. OK"
+    emit("table1_balance", text)
+
+
+def test_eq4_to_eq7(benchmark):
+    def build():
+        n, nnz, r, m = 1_000_000, 13_000_000, 32, 2000
+        cascade = [
+            ["naive (Fig. 3)", kpm_min_traffic(n, nnz, r, m, "naive") / 1e12,
+             naive_balance()],
+            ["aug_spmv (Fig. 4)", kpm_min_traffic(n, nnz, r, m, "aug_spmv") / 1e12,
+             bmin(1)],
+            ["aug_spmmv (Fig. 5)", kpm_min_traffic(n, nnz, r, m, "aug_spmmv") / 1e12,
+             bmin(r)],
+        ]
+        return cascade
+
+    cascade = benchmark(build)
+    text = format_table(
+        ["version", "V_KPM (TB)", "B_min (bytes/flop)"], cascade
+    )
+    text += (
+        f"\n\nEq. (6): B_min(1)   = {bmin(1):.3f}   (paper: 2.23)"
+        f"\nEq. (7): B_min(inf) = {bmin_limit():.3f}   (paper: 0.35)"
+        f"\nB_min(R) sweep: "
+        + ", ".join(f"R={r}: {bmin(r):.3f}" for r in (1, 2, 4, 8, 16, 32, 64))
+    )
+    assert bmin(1) == pytest.approx(2.23, abs=0.01)
+    assert bmin_limit() == pytest.approx(0.35, abs=0.01)
+    emit("eq5_7_code_balance", text)

@@ -1,0 +1,61 @@
+"""Paper Table III: resources to solve the largest system (R=32, M=2000).
+
+Three solver variants on the 6400 x 6400 x 40 system (6.55e9 matrix
+rows):
+
+* ``aug_spmv()``   — throughput mode (R independent width-1 runs),
+  at the paper's 288 nodes,
+* ``aug_spmmv()*`` — blocked with a global reduction every iteration,
+  at 1024 nodes,
+* ``aug_spmmv()``  — blocked, one reduction at the end, at 1024 nodes.
+
+Paper values: 14.9 / 107 / 116 Tflop/s and 164 / 81 / 75 node-hours.
+Headline claim: throughput mode is "more than a factor of two more
+expensive"; avoiding per-iteration reductions buys ~8%.
+"""
+
+import pytest
+
+from _support import emit, format_table
+from repro.dist.scaling_model import ClusterModel
+
+LARGEST = (6400, 6400, 40)
+PAPER = {
+    "aug_spmv": (14.9, 288, 164),
+    "aug_spmmv*": (107.0, 1024, 81),
+    "aug_spmmv": (116.0, 1024, 75),
+}
+
+
+def test_table3(benchmark):
+    model = ClusterModel(r=32)
+
+    def build():
+        rows = []
+        for variant, (p_tf, nodes, p_nh) in PAPER.items():
+            tf = model.solve_tflops(LARGEST, nodes, 2000, variant=variant)
+            nh = model.node_hours(LARGEST, nodes, 2000, variant=variant)
+            rows.append([variant, nodes, tf, p_tf, nh, p_nh])
+        return rows
+
+    rows = benchmark(build)
+    text = format_table(
+        ["version", "nodes", "Tflop/s (model)", "Tflop/s (paper)",
+         "node-h (model)", "node-h (paper)"],
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    ratio = by["aug_spmv"][4] / by["aug_spmmv"][4]
+    overhead = by["aug_spmmv*"][4] / by["aug_spmmv"][4] - 1
+    text += (
+        f"\n\nthroughput / blocked node-hours: {ratio:.2f}x "
+        f"(paper: 164/75 = 2.19x)"
+        f"\nper-iteration reductions overhead: {overhead:.1%} (paper: ~8%)"
+    )
+    emit("table3_resources", text)
+
+    assert ratio > 1.9
+    assert 0.02 <= overhead <= 0.15
+    for variant, (p_tf, _, p_nh) in PAPER.items():
+        assert by[variant][2] == pytest.approx(p_tf, rel=0.25)
+        assert by[variant][4] == pytest.approx(p_nh, rel=0.25)

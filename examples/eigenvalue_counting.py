@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Eigenvalue counting for projection eigensolvers (paper Refs. [8], [22]).
+
+One of the KPM-DOS applications the paper highlights: estimating the
+number of eigenvalues in a target interval to size the search space of a
+projection-based eigensolver (FEAST-style). This script compares the KPM
+estimate against exact dense diagonalization across several intervals.
+
+Run:  python examples/eigenvalue_counting.py [--nx 8]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import KPMSolver, build_topological_insulator
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=8,
+                    help="lattice extent (kept small: dense diag reference)")
+    ap.add_argument("--nz", type=int, default=4)
+    ap.add_argument("--moments", type=int, default=512)
+    ap.add_argument("--vectors", type=int, default=32)
+    ap.add_argument("--seed", type=int, default=7)
+    args = ap.parse_args()
+
+    h, _ = build_topological_insulator(args.nx, args.nx, args.nz)
+    print(f"N = {h.n_rows:,} (dense reference feasible at this size)")
+
+    lam = np.linalg.eigvalsh(h.to_dense())
+    solver = KPMSolver(
+        h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed
+    )
+
+    intervals = [(-1.0, 1.0), (-0.5, 0.5), (1.0, 3.0), (-6.0, 0.0)]
+    print(f"\n{'interval':>16s} {'exact':>8s} {'KPM':>10s} {'rel.err':>9s}")
+    for lo, hi in intervals:
+        exact = int(((lam >= lo) & (lam <= hi)).sum())
+        est = solver.eigencount(lo, hi)
+        rel = abs(est - exact) / max(exact, 1)
+        print(f"  [{lo:+5.1f},{hi:+5.1f}] {exact:>8d} {est:>10.1f} {rel:>8.1%}")
+
+    print("\nA projection eigensolver would allocate ~1.2x the KPM "
+          "estimate as its subspace dimension.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""KPM-assisted subspace extraction: eigencount + polynomial filter.
+
+The workflow the paper's Refs. [8], [22] target: use KPM-DOS to predict
+how many eigenvalues sit in a window, then build a FEAST-style filtered
+random subspace of (slightly more than) that size and Rayleigh-Ritz it.
+Both stages run on the same blocked KPM kernels.
+
+Run:  python examples/spectral_filter.py [--nx 6 --nz 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import KPMSolver, build_topological_insulator
+from repro.core.filters import filtered_subspace
+from repro.core.scaling import lanczos_scale
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=6)
+    ap.add_argument("--nz", type=int, default=3)
+    ap.add_argument("--elo", type=float, default=-1.2)
+    ap.add_argument("--ehi", type=float, default=1.2)
+    ap.add_argument("--order", type=int, default=2048)
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args()
+
+    h, _ = build_topological_insulator(args.nx, args.nx, args.nz)
+    n = h.n_rows
+    print(f"N = {n} (dense reference feasible at this size)")
+
+    # stage 1: KPM eigencount sizes the subspace
+    solver = KPMSolver(h, n_moments=512, n_vectors=32, seed=args.seed)
+    count = solver.eigencount(args.elo, args.ehi)
+    subspace = int(np.ceil(1.3 * count)) + 4
+    print(f"KPM eigencount in [{args.elo}, {args.ehi}]: {count:.1f} "
+          f"-> subspace size {subspace}")
+
+    # stage 2: polynomial filter + Rayleigh-Ritz
+    scale = lanczos_scale(h, seed=args.seed)
+    q = filtered_subspace(
+        h, scale, args.elo, args.ehi, subspace, order=args.order,
+        seed=args.seed,
+    )
+    h_small = np.conj(q.T) @ (h.to_dense() @ q)
+    ritz = np.linalg.eigvalsh(h_small).real
+
+    lam = np.linalg.eigvalsh(h.to_dense())
+    exact = lam[(lam >= args.elo) & (lam <= args.ehi)]
+    inside = ritz[(ritz >= args.elo) & (ritz <= args.ehi)]
+    print(f"\nexact eigenvalues in window: {exact.size}")
+    print(f"Ritz values in window:       {inside.size}")
+
+    print(f"\n{'exact':>12} {'ritz':>12} {'abs.err':>10}")
+    matched = 0
+    for e in exact:
+        j = int(np.argmin(np.abs(inside - e))) if inside.size else -1
+        err = abs(inside[j] - e) if j >= 0 else float("inf")
+        flag = "" if err < 5e-2 else "  <- unresolved"
+        if err < 5e-2:
+            matched += 1
+        print(f"{e:>12.6f} {inside[j] if j >= 0 else float('nan'):>12.6f} "
+              f"{err:>10.2e}{flag}")
+    print(f"\nrecovered {matched}/{exact.size} window eigenvalues from a "
+          "single filtering round (more rounds / higher order refine the"
+          " rest).")
+
+
+if __name__ == "__main__":
+    main()

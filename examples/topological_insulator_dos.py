@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Paper Fig. 1: DOS of a topological insulator with a dot superlattice.
+
+Reproduces the Fig. 1 workflow at adjustable scale: the paper computes
+the DOS of a 1600 x 1600 x 40 sample (N ~ 4e8, the 64-node weak-scaling
+member); here the default is a laptop-sized sample with the same physics
+(periodic x/y, open z, quantum-dot superlattice on the surface). Two
+outputs mirror the paper's two panels: the full spectral range and the
+zoom into the low-energy window around E = 0 where the dot-induced
+states live.
+
+Run:  python examples/topological_insulator_dos.py [--nx 40 --nz 10]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import KPMSolver, build_topological_insulator
+from repro.core.reconstruct import integrate_density
+from repro.physics.potentials import dot_superlattice_potential
+
+
+def sketch(energies, rho, width=60, height=8, label=""):
+    peak = rho.max() if rho.size else 1.0
+    bins = np.linspace(energies[0], energies[-1], width + 1)
+    centers = 0.5 * (bins[1:] + bins[:-1])
+    binned = np.interp(centers, energies, rho)
+    print(f"\n  {label}  (peak {peak:.3g})")
+    for level in range(height, 0, -1):
+        row = "".join("#" if r >= peak * level / height else " " for r in binned)
+        print(f"  |{row}|")
+    print(f"  {energies[0]:+.3f}" + " " * (width - 12) + f"{energies[-1]:+.3f}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=40, help="x = y extent")
+    ap.add_argument("--nz", type=int, default=10)
+    ap.add_argument("--moments", type=int, default=1024)
+    ap.add_argument("--vectors", type=int, default=8)
+    ap.add_argument("--vdot", type=float, default=0.153,
+                    help="dot potential (paper Fig. 2 value)")
+    ap.add_argument("--spacing", type=int, default=20,
+                    help="dot superlattice period (paper: 100)")
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    lat_shape = (args.nx, args.nx, args.nz)
+    print(f"Building TI Hamiltonian on {lat_shape} "
+          f"(paper Fig. 1 uses 1600 x 1600 x 40)...")
+    h, model = build_topological_insulator(*lat_shape)
+    pot = dot_superlattice_potential(
+        model.lattice, v_dot=args.vdot, spacing=args.spacing
+    )
+    h = model.build(pot)
+    print(f"  N = {h.n_rows:,}, nnz = {h.nnz:,} ({h.nnzr:.2f}/row), "
+          f"{int((pot != 0).sum()):,} dot sites")
+
+    solver = KPMSolver(
+        h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed,
+        engine="aug_spmmv",
+    )
+    dos = solver.dos()
+    n_total = integrate_density(dos.energies, dos.rho)
+    print(f"  DOS integral = {n_total:,.0f} / N = {h.n_rows:,}")
+
+    # Panel 1: full range (paper's left panel, E in [-4, 4] roughly)
+    sketch(dos.energies, dos.rho / h.n_rows, label="DOS, full spectral range")
+
+    # Panel 2: zoom around E = 0 (paper's right panel, |E| < 0.15)
+    zoom = np.linspace(-0.15, 0.15, 301)
+    _, rho_zoom = __import__("repro.core.reconstruct", fromlist=["reconstruct_dos"]) \
+        .reconstruct_dos(dos.moments, dos.scale, energies=zoom)
+    sketch(zoom, rho_zoom / h.n_rows, label="DOS, zoom |E| < 0.15")
+
+    print("\nNote: absolute peak positions depend on the (scaled-down) "
+          "domain; the qualitative features of paper Fig. 1 — the broad "
+          "band profile and the structured low-energy region — are "
+          "reproduced at any size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(legacy setuptools develop-mode path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Performance Engineering of the Kernel Polynomial "
+        "Method on Large-Scale CPU-GPU Systems' (IPDPS 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,58 @@
+"""repro — reproduction of *Performance Engineering of the Kernel
+Polynomial Method on Large-Scale CPU-GPU Systems* (Kreutzer, Hager,
+Wellein, Pieper, Alvermann, Fehske — IPDPS 2015, DOI
+10.1109/IPDPS.2015.76).
+
+Quick tour
+----------
+
+>>> from repro import build_topological_insulator, KPMSolver
+>>> H, model = build_topological_insulator(16, 16, 8)
+>>> solver = KPMSolver(H, n_moments=256, n_vectors=8, seed=0)
+>>> dos = solver.dos()
+>>> float(dos.rho.max()) > 0
+True
+
+Subpackages
+-----------
+
+``repro.sparse``   CRS and SELL-C-sigma formats; naive, augmented-SpMV
+                   (stage 1) and augmented-SpMMV (stage 2) kernels.
+``repro.physics``  the 3D topological-insulator Hamiltonian (Eq. (1)),
+                   quantum-dot superlattice potentials, graphene model.
+``repro.core``     the KPM-DOS pipeline: scaling, moments, damping,
+                   reconstruction, stochastic estimators, solver facade.
+``repro.perf``     Table II architectures, Table I/Eqs. (4)-(7) balance
+                   accounting, rooflines (Eqs. (9)-(11)), traffic models,
+                   cache simulator (Omega, Eq. (8)).
+``repro.hw``       functional Kepler-GPU simulator executing the Fig. 6
+                   kernel with transaction counting.
+``repro.dist``     simulated-MPI distributed KPM, weighted heterogeneous
+                   partitioning, halo exchange, network model, and the
+                   cluster scaling model (Fig. 12, Table III).
+"""
+
+from repro.core.solver import KPMSolver, DOSResult, LDOSResult
+from repro.core.moments import MomentEngine
+from repro.physics.hamiltonian import (
+    TopologicalInsulatorModel,
+    build_topological_insulator,
+)
+from repro.physics.lattice import Lattice3D
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.sell import SellMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KPMSolver",
+    "DOSResult",
+    "LDOSResult",
+    "MomentEngine",
+    "TopologicalInsulatorModel",
+    "build_topological_insulator",
+    "Lattice3D",
+    "CSRMatrix",
+    "SellMatrix",
+    "__version__",
+]

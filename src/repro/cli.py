@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``dos``     compute and print the DOS of a TI sample (or a .mtx file),
+``info``    structural analysis of the TI matrix or a .mtx file,
+``report``  the full model-driven performance report,
+``scaling`` weak-scaling prediction table for the Piz Daint model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_matrix_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nx", type=int, default=16)
+    p.add_argument("--ny", type=int, default=0, help="default: same as --nx")
+    p.add_argument("--nz", type=int, default=8)
+    p.add_argument("--mtx", type=str, default=None,
+                   help="read the matrix from a MatrixMarket file instead")
+
+
+def _load_matrix(args):
+    from repro.physics import build_topological_insulator
+    from repro.sparse.io import read_matrix_market
+
+    if args.mtx:
+        return read_matrix_market(args.mtx)
+    ny = args.ny or args.nx
+    h, _ = build_topological_insulator(args.nx, ny, args.nz)
+    return h
+
+
+def cmd_dos(args) -> int:
+    from repro.core.reconstruct import integrate_density
+    from repro.core.solver import KPMSolver
+
+    h = _load_matrix(args)
+    print(f"matrix: {h.n_rows:,} rows, {h.nnz:,} nnz ({h.nnzr:.2f}/row)")
+    solver = KPMSolver(
+        h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed,
+        engine=args.engine,
+    )
+    dos = solver.dos()
+    total = integrate_density(dos.energies, dos.rho)
+    print(f"DOS integral: {total:,.1f} (N = {h.n_rows:,})")
+    step = max(len(dos.energies) // args.points, 1)
+    print(f"{'E':>12} {'rho(E)':>14}")
+    for e, r in zip(dos.energies[::step], dos.rho[::step]):
+        print(f"{e:>12.4f} {r:>14.5g}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.sparse.stats import analyze, row_length_histogram, stencil_reuse_rows
+
+    h = _load_matrix(args)
+    stats = analyze(h)
+    print(f"shape:         {stats.n_rows} x {stats.n_cols}")
+    print(f"nnz:           {stats.nnz:,} "
+          f"({stats.nnzr_mean:.2f}/row, min {stats.nnzr_min}, "
+          f"max {stats.nnzr_max})")
+    print(f"bandwidth:     {stats.bandwidth}")
+    print(f"diagonals:     {len(stats.diagonals)} carrying "
+          f"{stats.diagonal_coverage:.1%} of nnz")
+    print(f"corner wraps:  {stats.has_corner_entries} "
+          "(periodic boundary diagonals)")
+    print(f"stencil-like:  {stats.is_stencil_like}")
+    print(f"reuse window:  {stencil_reuse_rows(h):.0f} rows")
+    hist = row_length_histogram(h)
+    print("row lengths:   "
+          + ", ".join(f"{l}:{c}" for l, c in sorted(hist.items())))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.perf.report import full_report
+
+    print(
+        full_report(
+            nx=args.nx, ny=args.ny or args.nx, nz=args.nz, r=args.vectors,
+            m=args.moments, nodes=args.nodes,
+        )
+    )
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from repro.dist.scaling_model import ClusterModel
+
+    cm = ClusterModel(r=args.vectors)
+    nodes = [int(n) for n in args.nodes_list.split(",")]
+    print(f"{'nodes':>7} {'case':>8} {'domain':>20} "
+          f"{'Tflop/s':>9} {'eff':>7}")
+    for case in ("square", "bar"):
+        try:
+            rows = cm.weak_scaling(case, nodes, m=args.moments)
+        except ValueError as exc:
+            print(f"  ({case}: {exc})", file=sys.stderr)
+            continue
+        for row in rows:
+            print(
+                f"{int(row['nodes']):>7} {case:>8} "
+                f"{str(row['domain']):>20} {row['tflops']:>9.2f} "
+                f"{row['efficiency']:>7.1%}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KPM performance-engineering reproduction (IPDPS'15)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dos", help="compute a density of states")
+    _add_matrix_args(p)
+    p.add_argument("--moments", type=int, default=512)
+    p.add_argument("--vectors", type=int, default=8)
+    p.add_argument("--points", type=int, default=24,
+                   help="rows of the printed table")
+    p.add_argument("--engine", default="aug_spmmv",
+                   choices=["naive", "aug_spmv", "aug_spmmv"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_dos)
+
+    p = sub.add_parser("info", help="analyze matrix structure")
+    _add_matrix_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("report", help="model-driven performance report")
+    _add_matrix_args(p)
+    p.add_argument("--moments", type=int, default=2000)
+    p.add_argument("--vectors", type=int, default=32)
+    p.add_argument("--nodes", type=int, default=64)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("scaling", help="cluster weak-scaling prediction")
+    p.add_argument("--nodes-list", default="1,4,16,64,256,1024")
+    p.add_argument("--moments", type=int, default=2000)
+    p.add_argument("--vectors", type=int, default=32)
+    p.set_defaults(fn=cmd_scaling)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""The paper's primary contribution: the KPM-DOS solver pipeline.
+
+Layers (bottom-up):
+
+* :mod:`repro.core.scaling` — spectral interval estimation (Gershgorin /
+  Lanczos) and the linear map H~ = a (H - b 1) into [-1, 1].
+* :mod:`repro.core.moments` — the three moment engines corresponding to
+  the paper's optimization stages (Figs. 3, 4, 5).
+* :mod:`repro.core.damping` — Jackson / Lorentz / Dirichlet kernel
+  coefficients g_m.
+* :mod:`repro.core.reconstruct` — Chebyshev series -> rho(E), local DOS,
+  spectral function A(k, E).
+* :mod:`repro.core.stochastic` — random block vectors and trace
+  estimation statistics.
+* :mod:`repro.core.solver` — the user-facing :class:`KPMSolver`.
+"""
+
+from repro.core.scaling import SpectralScale, gershgorin_scale, lanczos_bounds, lanczos_scale
+from repro.core.damping import jackson_kernel, lorentz_kernel, dirichlet_kernel, get_kernel
+from repro.core.moments import (
+    MomentEngine,
+    compute_eta,
+    eta_to_moments,
+    compute_dos_moments,
+)
+from repro.core.stochastic import make_block_vector, trace_from_moments
+from repro.core.reconstruct import (
+    reconstruct_chebyshev,
+    reconstruct_dos,
+    chebyshev_grid,
+)
+from repro.core.solver import KPMSolver, DOSResult, LDOSResult, SpectralFunctionResult
+from repro.core.adaptive import (
+    adaptive_trace_moments,
+    moments_for_resolution,
+    resolution_for_moments,
+)
+from repro.core.greens import greens_function, greens_function_energy, dos_from_greens
+from repro.core.evolution import evolve, autocorrelation, chebyshev_expansion_order
+from repro.core.filters import apply_filter, filtered_subspace, window_coefficients
+from repro.core.checkpoint import KpmCheckpoint, checkpointed_eta
+
+__all__ = [
+    "SpectralScale",
+    "gershgorin_scale",
+    "lanczos_bounds",
+    "lanczos_scale",
+    "jackson_kernel",
+    "lorentz_kernel",
+    "dirichlet_kernel",
+    "get_kernel",
+    "MomentEngine",
+    "compute_eta",
+    "eta_to_moments",
+    "compute_dos_moments",
+    "make_block_vector",
+    "trace_from_moments",
+    "reconstruct_chebyshev",
+    "reconstruct_dos",
+    "chebyshev_grid",
+    "KPMSolver",
+    "DOSResult",
+    "LDOSResult",
+    "SpectralFunctionResult",
+    "adaptive_trace_moments",
+    "moments_for_resolution",
+    "resolution_for_moments",
+    "greens_function",
+    "greens_function_energy",
+    "dos_from_greens",
+    "evolve",
+    "autocorrelation",
+    "chebyshev_expansion_order",
+    "apply_filter",
+    "filtered_subspace",
+    "window_coefficients",
+    "KpmCheckpoint",
+    "checkpointed_eta",
+]

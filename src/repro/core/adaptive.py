@@ -1,0 +1,113 @@
+"""Adaptive stochastic trace estimation and resolution planning.
+
+Production concerns around the KPM loop that the paper's production code
+(GHOST/the KPM application) handles outside the kernels:
+
+* choosing M for a target energy resolution (Jackson width ~ pi/M in the
+  Chebyshev variable),
+* growing the number of stochastic vectors R until the trace moments
+  reach a target relative accuracy, in blocks sized for the stage-2
+  kernel (i.e. keeping the SpMMV width large).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.moments import compute_eta, eta_to_moments
+from repro.core.scaling import SpectralScale
+from repro.core.stochastic import make_block_vector
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.sell import SellMatrix
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+
+def moments_for_resolution(scale: SpectralScale, delta_e: float) -> int:
+    """Moments M needed so the Jackson kernel resolves ``delta_e``.
+
+    The Jackson-broadened delta has width ~ pi/M in x in [-1, 1];
+    converting with dx = a dE gives M ~ pi / (a * delta_e), rounded up
+    to the next even integer (the recurrence produces moment pairs).
+    """
+    check_positive("delta_e", delta_e)
+    m = int(np.ceil(np.pi / (scale.a * delta_e)))
+    return m + (m % 2)
+
+
+def resolution_for_moments(scale: SpectralScale, n_moments: int) -> float:
+    """Inverse of :func:`moments_for_resolution`: energy width at M."""
+    check_positive("n_moments", n_moments)
+    return np.pi / (scale.a * n_moments)
+
+
+@dataclass
+class AdaptiveTraceResult:
+    """Outcome of the adaptive trace estimation."""
+
+    moments: np.ndarray  # (M,) averaged trace moments
+    stderr: np.ndarray  # (M,) standard error of the mean
+    n_vectors: int
+    converged: bool
+    batches: int
+
+    def relative_error(self) -> float:
+        """Max standard error relative to mu_0 (= N) over all moments."""
+        return float(np.max(self.stderr) / abs(self.moments[0]))
+
+
+def adaptive_trace_moments(
+    H: CSRMatrix | SellMatrix,
+    scale: SpectralScale,
+    n_moments: int,
+    *,
+    rel_tol: float = 1e-3,
+    batch: int = 16,
+    max_vectors: int = 512,
+    kind: str = "phase",
+    seed: int | None = None,
+    engine: str = "aug_spmmv",
+    counters: PerfCounters = NULL_COUNTERS,
+) -> AdaptiveTraceResult:
+    """Grow R in blocked batches until the trace moments converge.
+
+    Each batch runs the stage-2 blocked kernel at width ``batch`` (so
+    the amortization of the matrix stream is preserved — running the
+    adaptive loop one vector at a time would be the paper's
+    "throughput mode" anti-pattern). Convergence: the standard error of
+    every moment drops below ``rel_tol * |mu_0|``.
+    """
+    check_positive("batch", batch)
+    check_positive("max_vectors", max_vectors)
+    if rel_tol <= 0:
+        raise ValueError(f"rel_tol must be positive, got {rel_tol}")
+    rng = make_rng(seed)
+    all_mu: list[np.ndarray] = []
+    n_done = 0
+    batches = 0
+    while n_done < max_vectors:
+        width = min(batch, max_vectors - n_done)
+        block = make_block_vector(H.n_rows, width, kind, rng)
+        eta = compute_eta(H, scale, n_moments, block, engine, counters)
+        all_mu.append(eta_to_moments(eta).real)
+        n_done += width
+        batches += 1
+        mu = np.concatenate(all_mu, axis=0)
+        mean = mu.mean(axis=0)
+        if n_done >= 2:
+            stderr = mu.std(axis=0, ddof=1) / np.sqrt(n_done)
+            if np.max(stderr) <= rel_tol * abs(mean[0]):
+                return AdaptiveTraceResult(
+                    mean, stderr, n_done, True, batches
+                )
+    mu = np.concatenate(all_mu, axis=0)
+    mean = mu.mean(axis=0)
+    stderr = (
+        mu.std(axis=0, ddof=1) / np.sqrt(n_done)
+        if n_done >= 2
+        else np.zeros_like(mean)
+    )
+    return AdaptiveTraceResult(mean, stderr, n_done, False, batches)

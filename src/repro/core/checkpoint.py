@@ -1,0 +1,134 @@
+"""Checkpoint/restart for long KPM moment computations.
+
+The paper's production runs burn hundreds of node-hours (Table III);
+any real deployment checkpoints the Chebyshev recurrence. The state is
+tiny relative to the computation: the two current block vectors, the eta
+scalars accumulated so far, and the loop position — saved as a
+compressed ``.npz``. Restarting is bit-exact: the recurrence is
+deterministic given (v, w).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.scaling import SpectralScale
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.fused import aug_spmmv_step
+from repro.sparse.sell import SellMatrix
+from repro.sparse.spmv import spmmv
+from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.errors import FormatError
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class KpmCheckpoint:
+    """Complete state of an interrupted stage-2 moment computation."""
+
+    v: np.ndarray  # nu_m block
+    w: np.ndarray  # nu_{m+1} block (post-update storage)
+    eta: np.ndarray  # (R, M) with entries [0 : 2*next_m) filled
+    next_m: int  # next inner-iteration index
+    n_moments: int
+    a: float
+    b: float
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            Path(path),
+            version=_FORMAT_VERSION,
+            v=self.v, w=self.w, eta=self.eta,
+            next_m=self.next_m, n_moments=self.n_moments,
+            a=self.a, b=self.b,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "KpmCheckpoint":
+        with np.load(Path(path)) as data:
+            if int(data["version"]) != _FORMAT_VERSION:
+                raise FormatError(
+                    f"checkpoint version {int(data['version'])} not supported"
+                )
+            return cls(
+                v=data["v"], w=data["w"], eta=data["eta"],
+                next_m=int(data["next_m"]),
+                n_moments=int(data["n_moments"]),
+                a=float(data["a"]), b=float(data["b"]),
+            )
+
+
+def checkpointed_eta(
+    H: CSRMatrix | SellMatrix,
+    scale: SpectralScale,
+    n_moments: int,
+    start_block: np.ndarray,
+    *,
+    checkpoint_every: int = 0,
+    checkpoint_path: str | Path | None = None,
+    resume_from: KpmCheckpoint | str | Path | None = None,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> np.ndarray:
+    """Stage-2 eta computation with optional checkpoint/restart.
+
+    Identical results to :func:`repro.core.moments.compute_eta` with the
+    ``aug_spmmv`` engine (asserted by the tests). With
+    ``checkpoint_every = k > 0`` the state is saved to
+    ``checkpoint_path`` after every k inner iterations; pass
+    ``resume_from`` (a checkpoint object or path) to continue an
+    interrupted run — ``start_block`` is then ignored.
+    """
+    if n_moments % 2 or n_moments < 2:
+        raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
+    if checkpoint_every and checkpoint_path is None:
+        raise ValueError("checkpoint_every requires checkpoint_path")
+    a, b = scale.a, scale.b
+
+    if resume_from is not None:
+        ck = (
+            resume_from
+            if isinstance(resume_from, KpmCheckpoint)
+            else KpmCheckpoint.load(resume_from)
+        )
+        if ck.n_moments != n_moments:
+            raise FormatError(
+                f"checkpoint was taken for M={ck.n_moments}, "
+                f"requested M={n_moments}"
+            )
+        if not (np.isclose(ck.a, a) and np.isclose(ck.b, b)):
+            raise FormatError("checkpoint spectral map mismatch")
+        v = ck.v.astype(DTYPE, copy=True)
+        w = ck.w.astype(DTYPE, copy=True)
+        eta = ck.eta.astype(DTYPE, copy=True)
+        first_m = ck.next_m
+    else:
+        v = start_block.astype(DTYPE, copy=True)
+        w = spmmv(H, v, counters=counters)
+        w -= b * v
+        w *= a
+        r = v.shape[1]
+        eta = np.empty((r, n_moments), dtype=DTYPE)
+        eta[:, 0] = np.einsum("nr,nr->r", np.conj(v), v)
+        eta[:, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+        first_m = 1
+
+    scratch = np.empty_like(v)
+    for m in range(first_m, n_moments // 2):
+        v, w = w, v
+        ee, eo = aug_spmmv_step(H, v, w, a, b, scratch=scratch,
+                                counters=counters)
+        eta[:, 2 * m] = ee
+        eta[:, 2 * m + 1] = eo
+        if checkpoint_every and (m - first_m + 1) % checkpoint_every == 0:
+            # after the step: w holds nu_{m+1}, v holds nu_m; the next
+            # iteration's swap expects exactly (v, w) in these roles
+            KpmCheckpoint(
+                v=v, w=w, eta=eta, next_m=m + 1,
+                n_moments=n_moments, a=a, b=b,
+            ).save(checkpoint_path)
+    return eta

@@ -1,0 +1,185 @@
+"""Chebyshev moment computation — the paper's three optimization stages.
+
+All engines compute the same mathematical object: for each stochastic
+start vector |v_r> the sequence
+
+    eta_0 = <nu_0|nu_0>,  eta_1 = <nu_1|nu_0>,
+    eta_2m = <nu_m|nu_m>,  eta_2m+1 = <nu_{m+1}|nu_m>,   m = 1 .. M/2-1,
+
+where |nu_m> = T_m(H~)|nu_0> via the two-term recurrence Eq. (3). The
+doubling identities 2 T_m^2 = T_0 + T_2m and 2 T_m T_{m+1} = T_1 + T_{2m+1}
+then yield the full set of M Chebyshev moments from M/2 matrix
+applications (:func:`eta_to_moments`).
+
+The engines differ only in *implementation* — exactly the paper's point:
+
+* ``NAIVE``     — paper Fig. 3: spmv + axpy + scal + axpy + nrm2 + dot.
+* ``AUG_SPMV``  — paper Fig. 4 (stage 1): one fused kernel per iteration.
+* ``AUG_SPMMV`` — paper Fig. 5 (stage 2): all R vectors blocked, one
+  matrix traversal per iteration.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.scaling import SpectralScale
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.fused import aug_spmv_step, aug_spmmv_step, naive_kpm_step
+from repro.sparse.sell import SellMatrix
+from repro.sparse.spmv import spmv, spmmv
+from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.validation import check_block_vector, check_positive
+
+
+class MomentEngine(str, Enum):
+    """Which implementation computes the moments (identical results)."""
+
+    NAIVE = "naive"
+    AUG_SPMV = "aug_spmv"
+    AUG_SPMMV = "aug_spmmv"
+
+
+def _check_moments(n_moments: int) -> None:
+    check_positive("n_moments", n_moments)
+    if n_moments % 2 != 0 or n_moments < 2:
+        raise ValueError(
+            f"n_moments must be an even integer >= 2 (the recurrence yields "
+            f"two moments per iteration), got {n_moments}"
+        )
+
+
+def _eta_single(
+    H: CSRMatrix | SellMatrix,
+    scale: SpectralScale,
+    n_moments: int,
+    start: np.ndarray,
+    step_fn,
+    counters: PerfCounters,
+) -> np.ndarray:
+    """Shared single-vector driver for the NAIVE and AUG_SPMV engines."""
+    a, b = scale.a, scale.b
+    n = H.n_rows
+    eta = np.empty(n_moments, dtype=DTYPE)
+    v = start.astype(DTYPE, copy=True)  # nu_0
+    scratch = np.empty(n, dtype=DTYPE)
+    # nu_1 = a (H nu_0 - b nu_0)
+    w = spmv(H, v, counters=counters)
+    w -= b * v
+    w *= a
+    eta[0] = np.vdot(v, v).real
+    eta[1] = np.vdot(w, v)
+    for m in range(1, n_moments // 2):
+        v, w = w, v  # v = nu_m, w = nu_{m-1}
+        eta_even, eta_odd = step_fn(H, v, w, a, b, scratch=scratch, counters=counters)
+        eta[2 * m] = eta_even
+        eta[2 * m + 1] = eta_odd
+    return eta
+
+
+def compute_eta(
+    H: CSRMatrix | SellMatrix,
+    scale: SpectralScale,
+    n_moments: int,
+    start_block: np.ndarray,
+    engine: MomentEngine | str = MomentEngine.AUG_SPMMV,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> np.ndarray:
+    """Compute the raw scalar products eta for every start vector.
+
+    Parameters
+    ----------
+    H:
+        The (unscaled) sparse Hermitian operator.
+    scale:
+        Spectral map; the kernels apply ``H~ = a (H - b 1)`` on the fly —
+        the rescaled matrix is never materialized (paper Figs. 4, 5).
+    n_moments:
+        Number of moments M (even); M/2 matrix applications per vector.
+    start_block:
+        (N, R) C-contiguous block of start vectors.
+    engine:
+        Which optimization stage to execute.
+
+    Returns
+    -------
+    eta:
+        Complex array (R, M); ``eta[r, 2m]`` is real (stored complex).
+    """
+    _check_moments(n_moments)
+    engine = MomentEngine(engine)
+    n = H.n_rows
+    start_block = check_block_vector("start_block", start_block, n)
+    r = start_block.shape[1]
+    eta = np.empty((r, n_moments), dtype=DTYPE)
+
+    if engine is MomentEngine.NAIVE:
+        for i in range(r):
+            eta[i] = _eta_single(
+                H, scale, n_moments, start_block[:, i], naive_kpm_step, counters
+            )
+        return eta
+    if engine is MomentEngine.AUG_SPMV:
+        for i in range(r):
+            eta[i] = _eta_single(
+                H, scale, n_moments, start_block[:, i], aug_spmv_step, counters
+            )
+        return eta
+
+    # --- stage 2: blocked ---------------------------------------------
+    a, b = scale.a, scale.b
+    V = start_block.astype(DTYPE, copy=True)  # nu_0 block (private copy)
+    W = spmmv(H, V, counters=counters)  # nu_1 block
+    W -= b * V
+    W *= a
+    eta[:, 0] = np.einsum("nr,nr->r", np.conj(V), V).real
+    eta[:, 1] = np.einsum("nr,nr->r", np.conj(W), V)
+    scratch = np.empty_like(V)
+    for m in range(1, n_moments // 2):
+        V, W = W, V
+        eta_even, eta_odd = aug_spmmv_step(
+            H, V, W, a, b, scratch=scratch, counters=counters
+        )
+        eta[:, 2 * m] = eta_even
+        eta[:, 2 * m + 1] = eta_odd
+    return eta
+
+
+def eta_to_moments(eta: np.ndarray) -> np.ndarray:
+    """Convert raw scalar products into Chebyshev moments.
+
+    mu_0 = eta_0, mu_1 = eta_1,
+    mu_2m   = 2 eta_2m   - mu_0,
+    mu_2m+1 = 2 eta_2m+1 - mu_1        (m >= 1).
+
+    Works on a single (M,) sequence or a stacked (R, M) array.
+    """
+    eta = np.asarray(eta)
+    mu = 2.0 * eta
+    mu[..., 0] = eta[..., 0]
+    mu[..., 1] = eta[..., 1]
+    mu[..., 2::2] -= eta[..., 0:1]
+    mu[..., 3::2] -= eta[..., 1:2]
+    return mu
+
+
+def compute_dos_moments(
+    H: CSRMatrix | SellMatrix,
+    scale: SpectralScale,
+    n_moments: int,
+    start_block: np.ndarray,
+    engine: MomentEngine | str = MomentEngine.AUG_SPMMV,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> np.ndarray:
+    """Stochastic-trace DOS moments mu_m ~= tr[T_m(H~)].
+
+    Averages the per-vector moments over the R start vectors:
+    tr[A] ~= (1/R) sum_r <v_r|A|v_r> for iid random vectors with
+    E[v v^H] = Identity (paper Section II). Returns a real (M,) array.
+    """
+    eta = compute_eta(H, scale, n_moments, start_block, engine, counters)
+    mu = eta_to_moments(eta)
+    return mu.mean(axis=0).real

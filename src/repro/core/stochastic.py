@@ -1,0 +1,171 @@
+"""Stochastic estimators: random block vectors, trace statistics, LDOS.
+
+KPM approximates traces by averaging over R random vectors,
+``tr[A] ~= (1/R) sum_r <v_r|A|v_r>`` (paper Section II). This module
+provides the vector ensembles, error estimates for the trace, and the
+stochastic *diagonal* estimator used for site-resolved LDOS maps
+(paper Fig. 2, left panel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scaling import SpectralScale
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.sell import SellMatrix
+from repro.sparse.spmv import spmmv
+from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.errors import ShapeError
+from repro.util.rng import (
+    gaussian_vector,
+    make_rng,
+    rademacher_vector,
+    random_phase_vector,
+)
+from repro.util.validation import check_positive
+
+_ENSEMBLES = {
+    "phase": random_phase_vector,
+    "rademacher": rademacher_vector,
+    "gaussian": gaussian_vector,
+}
+
+
+def make_block_vector(
+    n: int,
+    r: int,
+    kind: str = "phase",
+    seed: int | None | np.random.Generator = None,
+) -> np.ndarray:
+    """Draw an (n, R) C-contiguous block of random start vectors.
+
+    ``kind`` selects the ensemble: ``'phase'`` (random complex phases —
+    the KPM standard, E[v v^H] = Identity with minimal variance),
+    ``'rademacher'`` (+/-1), or ``'gaussian'``.
+    """
+    check_positive("n", n)
+    check_positive("r", r)
+    try:
+        draw = _ENSEMBLES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown ensemble {kind!r}; choose from {sorted(_ENSEMBLES)}"
+        ) from None
+    rng = make_rng(seed)
+    block = np.empty((n, r), dtype=DTYPE)
+    for i in range(r):
+        block[:, i] = draw(rng, n)
+    return block
+
+
+def unit_block_vector(n: int, sites: np.ndarray) -> np.ndarray:
+    """Block of Cartesian unit vectors e_i for the given row indices.
+
+    Used for *exact* (non-stochastic) LDOS on small systems and in tests
+    as the reference for the stochastic diagonal estimator.
+    """
+    sites = np.asarray(sites, dtype=np.int64)
+    if sites.ndim != 1:
+        raise ShapeError(f"sites must be 1-D, got shape {sites.shape}")
+    if sites.size and (sites.min() < 0 or sites.max() >= n):
+        raise ValueError("site index out of range")
+    block = np.zeros((n, sites.size), dtype=DTYPE)
+    block[sites, np.arange(sites.size)] = 1.0
+    return block
+
+
+def trace_from_moments(mu_per_vector: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mean and standard error of the stochastic trace over R vectors.
+
+    Parameters
+    ----------
+    mu_per_vector:
+        (R, M) per-vector moment estimates.
+
+    Returns
+    -------
+    (mean, stderr):
+        Both (M,); ``stderr`` is the standard error of the mean
+        (zero when R == 1, where no error estimate is possible).
+    """
+    mu = np.asarray(mu_per_vector)
+    if mu.ndim != 2:
+        raise ShapeError(f"expected (R, M) moments, got shape {mu.shape}")
+    r = mu.shape[0]
+    mean = mu.mean(axis=0)
+    if r < 2:
+        return mean, np.zeros_like(mean, dtype=float)
+    stderr = mu.std(axis=0, ddof=1) / np.sqrt(r)
+    return mean, stderr
+
+
+def ldos_moments(
+    H: CSRMatrix | SellMatrix,
+    scale: SpectralScale,
+    n_moments: int,
+    start_block: np.ndarray,
+    rows: np.ndarray,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> np.ndarray:
+    """Stochastic diagonal (LDOS) moments for selected matrix rows.
+
+    Estimates ``mu_m[i] = <i|T_m(H~)|i>`` via the diagonal estimator
+    ``E_r[ conj(v_r[i]) * (T_m(H~) v_r)[i] ]``, valid for ensembles with
+    independent zero-mean entries (phase/rademacher/gaussian). Unlike the
+    trace computation, all M moments need their own |nu_m>, so this runs
+    M - 1 (not M/2) blocked matrix applications — the doubling trick only
+    exists for the *global* scalar products.
+
+    With ``start_block`` = unit vectors on ``rows`` (R == len(rows)), the
+    same loop returns the *exact* LDOS instead (used in tests).
+
+    Returns real (len(rows), M).
+    """
+    if n_moments < 2:
+        raise ValueError(f"n_moments must be >= 2, got {n_moments}")
+    rows = np.asarray(rows, dtype=np.int64)
+    n = H.n_rows
+    r = start_block.shape[1]
+    a, b = scale.a, scale.b
+
+    exact = _is_unit_block(start_block, rows)
+    out = np.zeros((rows.size, n_moments))
+
+    v_prev = start_block.astype(DTYPE, copy=True)  # nu_0
+    v_cur = spmmv(H, v_prev, counters=counters)  # nu_1
+    v_cur -= b * v_prev
+    v_cur *= a
+
+    conj0 = np.conj(v_prev[rows, :])
+
+    def accumulate(m: int, v_m: np.ndarray) -> None:
+        prod = conj0 * v_m[rows, :]
+        if exact:
+            out[:, m] = prod[np.arange(rows.size), np.arange(rows.size)].real
+        else:
+            out[:, m] = prod.mean(axis=1).real
+
+    accumulate(0, v_prev)
+    accumulate(1, v_cur)
+    scratch = np.empty_like(v_prev)
+    two_a = 2.0 * a
+    for m in range(2, n_moments):
+        # nu_{m} = 2 a (H - b) nu_{m-1} - nu_{m-2}, in v_prev's storage
+        spmmv(H, v_cur, out=scratch, counters=counters)
+        v_prev *= -1.0
+        v_prev += two_a * scratch
+        v_prev -= (two_a * b) * v_cur
+        v_prev, v_cur = v_cur, v_prev
+        accumulate(m, v_cur)
+    return out
+
+
+def _is_unit_block(block: np.ndarray, rows: np.ndarray) -> bool:
+    """Detect the exact-LDOS case: block == unit vectors on ``rows``."""
+    if block.shape[1] != rows.size:
+        return False
+    if not np.allclose(block[rows, np.arange(rows.size)], 1.0):
+        return False
+    return np.count_nonzero(block) == rows.size

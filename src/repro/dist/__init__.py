@@ -1,0 +1,55 @@
+"""Distributed-execution substrate: simulated MPI over partitioned KPM.
+
+The paper parallelizes KPM data-parallel across heterogeneous devices:
+one MPI process per CPU/GPU, contiguous matrix-row blocks sized by device
+weights, halo exchanges for the SpMMV input vectors, and a single global
+reduction of the dot products at the very end (Section VI-A).
+
+Without an MPI runtime we *simulate* the SPMD program: all ranks live in
+one process (:class:`~repro.dist.comm.SimWorld`), communication is an
+explicit buffer copy that is logged message-by-message, and the KPM
+driver (:mod:`repro.dist.kpm_parallel`) runs the ranks' local kernels in
+sequence. Results are bit-compatible with the serial solver; the message
+log feeds the interconnect cost model (:mod:`repro.dist.network`) and the
+cluster scaling model (:mod:`repro.dist.scaling_model`) that regenerate
+paper Fig. 12 and Table III.
+"""
+
+from repro.dist.comm import SimWorld, MessageLog, MessageRecord
+from repro.dist.partition import RowPartition, weights_from_performance
+from repro.dist.halo import CommPattern, DistributedMatrix, partition_matrix
+from repro.dist.kpm_parallel import distributed_eta, distributed_dos_moments
+from repro.dist.network import NetworkModel, CRAY_ARIES
+from repro.dist.autotune import autotune_weights, throughput_timer, AutotuneResult
+from repro.dist.overlap import split_for_overlap, two_phase_spmmv, OverlapSplit
+from repro.dist.scaling_model import (
+    ClusterModel,
+    WeakScalingCase,
+    square_weak_scaling_domains,
+    bar_weak_scaling_domains,
+)
+
+__all__ = [
+    "SimWorld",
+    "MessageLog",
+    "MessageRecord",
+    "RowPartition",
+    "weights_from_performance",
+    "CommPattern",
+    "DistributedMatrix",
+    "partition_matrix",
+    "distributed_eta",
+    "distributed_dos_moments",
+    "NetworkModel",
+    "CRAY_ARIES",
+    "ClusterModel",
+    "WeakScalingCase",
+    "square_weak_scaling_domains",
+    "bar_weak_scaling_domains",
+    "autotune_weights",
+    "throughput_timer",
+    "AutotuneResult",
+    "split_for_overlap",
+    "two_phase_spmmv",
+    "OverlapSplit",
+]

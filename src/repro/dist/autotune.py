@@ -1,0 +1,119 @@
+"""Automatic heterogeneous weight determination (paper outlook, realized).
+
+"A future step could be to determine the process weights for
+heterogeneous execution automatically and take this burden away from the
+user." (paper Section VII)
+
+This module implements that step: starting from any weights (uniform by
+default), it runs short measurement rounds of the blocked kernel on each
+rank, observes the per-rank time per row, and rebalances so that all
+ranks are predicted to finish together. The fixed point of the update
+
+    w_p  <-  (rows_p / t_p) / sum_q (rows_q / t_q)
+
+is the throughput-proportional weighting; convergence is typically 2-3
+rounds. The rank "times" come from a supplied timing callback — in the
+simulated environment that is the device performance model, in a real
+deployment it would be a wall-clock probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.dist.partition import RowPartition
+from repro.util.errors import PartitionError
+from repro.util.validation import check_positive
+
+#: Timing callback signature: (rank, n_local_rows) -> seconds.
+TimerFn = Callable[[int, int], float]
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of the weight auto-tuner."""
+
+    weights: list[float]
+    partition: RowPartition
+    rounds: int
+    converged: bool
+    history: list[list[float]] = field(default_factory=list)
+
+    def imbalance(self, times: list[float]) -> float:
+        """max(t) / mean(t) for a set of measured round times."""
+        t = np.asarray(times, dtype=float)
+        return float(t.max() / t.mean())
+
+
+def throughput_timer(gflops_per_rank: list[float], flops_per_row: float) -> TimerFn:
+    """Timing callback backed by per-rank Gflop/s (model or measured)."""
+    rates = np.asarray(gflops_per_rank, dtype=float)
+    if np.any(rates <= 0):
+        raise PartitionError("rank performance must be positive")
+
+    def timer(rank: int, n_rows: int) -> float:
+        return n_rows * flops_per_row / (rates[rank] * 1e9)
+
+    return timer
+
+
+def autotune_weights(
+    n_rows: int,
+    n_ranks: int,
+    timer: TimerFn,
+    *,
+    align: int = 4,
+    initial_weights: list[float] | None = None,
+    max_rounds: int = 8,
+    tolerance: float = 0.02,
+    damping: float = 1.0,
+) -> AutotuneResult:
+    """Iteratively balance rank weights until times agree within
+    ``tolerance`` (relative spread of per-rank round times).
+
+    ``damping`` < 1 underrelaxes the update, useful when the timing
+    callback is noisy (real measurements).
+    """
+    check_positive("n_rows", n_rows)
+    check_positive("n_ranks", n_ranks)
+    check_positive("max_rounds", max_rounds)
+    if not 0 < damping <= 1:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    weights = (
+        np.full(n_ranks, 1.0 / n_ranks)
+        if initial_weights is None
+        else np.asarray(initial_weights, dtype=float)
+    )
+    if weights.shape != (n_ranks,) or np.any(weights < 0) or weights.sum() <= 0:
+        raise PartitionError(f"invalid initial weights {initial_weights!r}")
+    weights = weights / weights.sum()
+
+    history: list[list[float]] = []
+    part = RowPartition.from_weights(n_rows, weights.tolist(), align=align)
+    for rounds in range(1, max_rounds + 1):
+        counts = part.counts().astype(float)
+        times = np.array(
+            [timer(p, int(counts[p])) for p in range(n_ranks)], dtype=float
+        )
+        history.append(weights.tolist())
+        spread = (times.max() - times.min()) / max(times.mean(), 1e-300)
+        if spread <= tolerance:
+            return AutotuneResult(
+                weights.tolist(), part, rounds, True, history
+            )
+        # observed throughput of each rank (rows per second); ranks that
+        # got zero rows are probed with one alignment block so they can
+        # re-enter the distribution
+        probe = np.maximum(counts, align)
+        probe_times = np.array(
+            [max(timer(p, int(probe[p])), 1e-300) for p in range(n_ranks)]
+        )
+        thru = probe / probe_times
+        target = thru / thru.sum()
+        weights = (1.0 - damping) * weights + damping * target
+        weights /= weights.sum()
+        part = RowPartition.from_weights(n_rows, weights.tolist(), align=align)
+    return AutotuneResult(weights.tolist(), part, max_rounds, False, history)

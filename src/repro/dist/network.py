@@ -1,0 +1,151 @@
+"""Interconnect cost model: Cray Aries-class network plus PCIe staging.
+
+Prices the communication of the distributed KPM solver:
+
+* point-to-point halo messages with the usual latency/bandwidth
+  (alpha-beta) model,
+* PCI Express staging for GPU ranks — on the paper's systems every halo
+  buffer of a GPU process is assembled on the device, downloaded through
+  pinned host memory, and only then handed to MPI (Section VI-A; the
+  paper's outlook proposes pipelining this, which we expose as an option),
+* allreduce collectives via recursive doubling, with a synchronization
+  penalty term: a global reduction in every iteration forces all ranks to
+  line up, exposing load imbalance (this is what makes the per-iteration
+  reduction variant of paper Table III ~8% slower, far beyond the pure
+  wire time of a few-kilobyte message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import BYTES_PER_GB
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta network plus PCIe staging parameters."""
+
+    latency_s: float = 1.5e-6
+    bandwidth_gbs: float = 8.5
+    pcie_bandwidth_gbs: float = 6.0
+    pcie_latency_s: float = 1.0e-5
+    #: Effective per-stage latency of a large-scale allreduce, including
+    #: software overhead (well above the wire latency).
+    allreduce_stage_latency_s: float = 2.0e-5
+    #: Fraction of the per-iteration compute time exposed as idle waiting
+    #: when a global synchronization point (allreduce) occurs each
+    #: iteration — load-imbalance / OS-noise amplification.
+    sync_imbalance_fraction: float = 0.06
+    #: Whether PCIe staging overlaps with network transfer (the pipelining
+    #: optimization from the paper's outlook; False reproduces the paper).
+    pcie_overlap: bool = False
+
+    # ------------------------------------------------------------------
+    def ptp_time(self, nbytes: float) -> float:
+        """One point-to-point message."""
+        if nbytes < 0:
+            raise ValueError(f"message size must be >= 0, got {nbytes}")
+        return self.latency_s + nbytes / (self.bandwidth_gbs * BYTES_PER_GB)
+
+    def pcie_time(self, nbytes: float) -> float:
+        """One host<->device staging transfer."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be >= 0, got {nbytes}")
+        return self.pcie_latency_s + nbytes / (
+            self.pcie_bandwidth_gbs * BYTES_PER_GB
+        )
+
+    def halo_time(
+        self,
+        face_bytes: list[float],
+        *,
+        gpu_fraction: float = 0.0,
+    ) -> float:
+        """Per-iteration halo-exchange time for one node.
+
+        ``face_bytes`` lists the message sizes this node exchanges (one
+        entry per neighbor face); sends/receives of distinct faces are
+        assumed serialized (no overlap, matching the paper's
+        non-pipelined implementation). ``gpu_fraction`` of every buffer
+        additionally crosses PCIe twice (device -> host before sending,
+        host -> device after receiving).
+        """
+        t = 0.0
+        for nbytes in face_bytes:
+            t += self.ptp_time(nbytes)
+            if gpu_fraction > 0.0:
+                staging = 2.0 * self.pcie_time(nbytes * gpu_fraction)
+                t = max(t, staging) if self.pcie_overlap else t + staging
+        return t
+
+    def allreduce_time(
+        self, nbytes: float, n_ranks: int, *, compute_time: float = 0.0
+    ) -> float:
+        """Recursive-doubling allreduce over ``n_ranks`` processes.
+
+        ``compute_time`` is the per-iteration compute span; when supplied,
+        the synchronization-imbalance penalty is added (use it for the
+        per-iteration-reduction variant; the one-off final reduction
+        should pass 0).
+        """
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks == 1:
+            return 0.0
+        stages = int(np.ceil(np.log2(n_ranks)))
+        wire = stages * (
+            self.allreduce_stage_latency_s
+            + nbytes / (self.bandwidth_gbs * BYTES_PER_GB)
+        )
+        return wire + self.sync_imbalance_fraction * compute_time
+
+
+    def price_log(
+        self,
+        log,
+        devices: list[str] | None = None,
+        *,
+        n_ranks: int | None = None,
+    ) -> dict[str, float]:
+        """Price a :class:`~repro.dist.comm.MessageLog` after the fact.
+
+        Connects the *functional* distributed runs (which record every
+        transfer) to the cost model: each point-to-point message costs
+        ``ptp_time``; messages with a GPU endpoint additionally pay PCIe
+        staging on that side. Per-rank serialization is respected by
+        attributing each message to its source and taking the maximum
+        over ranks ("the slowest rank gates the iteration").
+
+        Returns ``{"per_rank_max": ..., "sum": ..., "messages": ...}``
+        in seconds/counts.
+        """
+        import numpy as np
+
+        if n_ranks is None:
+            n_ranks = (
+                max((max(r.src, r.dst) for r in log.records), default=-1) + 1
+            )
+        per_rank = np.zeros(max(n_ranks, 1))
+        total = 0.0
+        for rec in log.records:
+            t = self.ptp_time(rec.nbytes)
+            for end in (rec.src, rec.dst):
+                if devices is not None and 0 <= end < len(devices) \
+                        and devices[end] == "gpu":
+                    staging = self.pcie_time(rec.nbytes)
+                    t = max(t, staging) if self.pcie_overlap else t + staging
+            if 0 <= rec.src < per_rank.size:
+                per_rank[rec.src] += t
+            total += t
+        return {
+            "per_rank_max": float(per_rank.max()) if per_rank.size else 0.0,
+            "sum": total,
+            "messages": float(log.n_messages),
+        }
+
+
+#: The Piz Daint interconnect (Cray XC30 "Aries" dragonfly).
+CRAY_ARIES = NetworkModel()

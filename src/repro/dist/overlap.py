@@ -1,0 +1,137 @@
+"""Communication-computation overlap: interior/boundary row splitting.
+
+The classic halo-hiding technique (and the natural companion of the
+paper's pipelining outlook): rows whose matrix entries reference only
+local columns — the *interior* — can be multiplied while the halo
+exchange is in flight; only the *boundary* rows must wait for remote
+data. This module computes the split for a partitioned matrix, provides
+a two-phase local SpMMV that exploits it, and models the hidden time.
+
+The functional result is identical to the plain local product (tested);
+the benefit appears in the time model: per iteration, the exposed
+communication shrinks from ``t_halo`` to ``max(0, t_halo - t_interior)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.halo import RankBlock
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmv import spmmv
+from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+
+
+@dataclass
+class OverlapSplit:
+    """Interior/boundary row split of one rank's local matrix.
+
+    ``interior`` and ``boundary`` are local row indices; ``interior_matrix``
+    contains only the interior rows (all columns < n_local), while
+    ``boundary_matrix`` has the boundary rows with the full local+halo
+    column range.
+    """
+
+    interior: np.ndarray
+    boundary: np.ndarray
+    interior_matrix: CSRMatrix
+    boundary_matrix: CSRMatrix
+    n_local: int
+
+    @property
+    def interior_fraction(self) -> float:
+        total = self.interior.size + self.boundary.size
+        return self.interior.size / total if total else 1.0
+
+
+def split_for_overlap(block: RankBlock) -> OverlapSplit:
+    """Split a rank's rows into halo-independent and halo-dependent."""
+    mat = block.matrix
+    n_local = block.n_local
+    rows = np.repeat(np.arange(mat.n_rows), mat.nnz_per_row)
+    touches_halo = np.zeros(mat.n_rows, dtype=bool)
+    np.logical_or.at(
+        touches_halo, rows, mat.indices.astype(np.int64) >= n_local
+    )
+    interior = np.nonzero(~touches_halo)[0]
+    boundary = np.nonzero(touches_halo)[0]
+
+    def extract(row_set: np.ndarray, n_cols: int) -> CSRMatrix:
+        if row_set.size == 0:
+            return CSRMatrix(
+                np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=DTYPE), (0, n_cols),
+            )
+        parts_idx = []
+        parts_val = []
+        indptr = np.zeros(row_set.size + 1, dtype=np.int64)
+        for k, r in enumerate(row_set.tolist()):
+            lo, hi = mat.indptr[r], mat.indptr[r + 1]
+            parts_idx.append(mat.indices[lo:hi])
+            parts_val.append(mat.data[lo:hi])
+            indptr[k + 1] = indptr[k] + (hi - lo)
+        return CSRMatrix(
+            indptr,
+            np.concatenate(parts_idx) if parts_idx else np.empty(0, np.int32),
+            np.concatenate(parts_val) if parts_val else np.empty(0, DTYPE),
+            (row_set.size, n_cols),
+        )
+
+    return OverlapSplit(
+        interior=interior,
+        boundary=boundary,
+        interior_matrix=extract(interior, n_local),
+        boundary_matrix=extract(boundary, mat.n_cols),
+        n_local=n_local,
+    )
+
+
+def two_phase_spmmv(
+    split: OverlapSplit,
+    v_local: np.ndarray,
+    halo: np.ndarray,
+    out: np.ndarray | None = None,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> np.ndarray:
+    """Local SpMMV in two phases: interior (pre-halo) then boundary.
+
+    In a real asynchronous implementation phase 1 runs while the halo
+    exchange progresses; here the phases run back to back but the result
+    is identical to the single-phase product (tested), and the split
+    sizes feed :func:`exposed_communication_time`.
+    """
+    r = v_local.shape[1]
+    if out is None:
+        out = np.empty((split.n_local, r), dtype=DTYPE)
+    if split.interior.size:
+        out[split.interior] = spmmv(
+            split.interior_matrix, np.ascontiguousarray(v_local),
+            counters=counters,
+        )
+    if split.boundary.size:
+        x = np.ascontiguousarray(np.vstack([v_local, halo]))
+        out[split.boundary] = spmmv(
+            split.boundary_matrix, x, counters=counters
+        )
+    return out
+
+
+def exposed_communication_time(
+    t_halo: float, t_compute: float, interior_fraction: float
+) -> float:
+    """Per-iteration communication left exposed after overlap.
+
+    The interior share of the compute hides the exchange; only the
+    remainder is visible:
+    ``max(0, t_halo - interior_fraction * t_compute)``.
+    """
+    if not 0.0 <= interior_fraction <= 1.0:
+        raise ValueError(
+            f"interior_fraction must be in [0, 1], got {interior_fraction}"
+        )
+    if t_halo < 0 or t_compute < 0:
+        raise ValueError("times must be non-negative")
+    return max(0.0, t_halo - interior_fraction * t_compute)

@@ -1,0 +1,338 @@
+"""Cluster-scale performance model: paper Fig. 12 and Table III.
+
+Combines the node-level performance model (:mod:`repro.perf.roofline`),
+the domain-decomposition halo volumes of the TI application, and the
+interconnect model (:mod:`repro.dist.network`) into end-to-end
+predictions for:
+
+* **weak scaling** of the "Square" and "Bar" test cases up to 1024
+  Piz Daint nodes (Fig. 12) — base domain 400 x 100 x 40 per node,
+* **strong scaling** at fixed problem size (Fig. 12's strong curves),
+* **Table III** — node-hours to solve the largest system (R = 32,
+  M = 2000) with the three solver variants: throughput-mode
+  ``aug_spmv()``, per-iteration-reduction ``aug_spmmv()*``, and the
+  optimal ``aug_spmmv()``.
+
+Domain-decomposition conventions: nodes form a ``px x py`` process grid
+over the (periodic) x and y axes; each node owns an
+``(nx/px) x (ny/py) x nz`` slab and exchanges one stencil layer (4
+orbitals deep) per face and iteration. A single node has no network
+faces — its intra-node CPU/GPU traffic is already inside the node-level
+heterogeneous efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.dist.network import CRAY_ARIES, NetworkModel
+from repro.perf.arch import PIZ_DAINT_NODE, NodeConfig
+from repro.perf.balance import KPM_FLOPS_PER_ROW, kpm_flops
+from repro.perf.roofline import node_performance
+from repro.util.constants import F_ADD, F_MUL, S_D
+from repro.util.validation import check_positive
+
+#: Orbitals per lattice site (matrix rows per site) of the TI application.
+ORBITALS = 4
+
+
+class WeakScalingCase(str, Enum):
+    """The two weak-scaling domain families of paper Fig. 12."""
+
+    SQUARE = "square"
+    BAR = "bar"
+
+
+def square_weak_scaling_domains(node_counts) -> list[tuple[int, int, int]]:
+    """The 'Square' family: 400x100x40 on 1 node; y grows to 400 at 4
+    nodes ("in order to have a quadratic tile"); thereafter the node
+    count quadruples while x and y double. The 1024-node member is the
+    6400 x 6400 x 40 system with 6.55e9 matrix rows — the paper's
+    "matrix with over 6.5e9 rows"."""
+    out = []
+    for n in node_counts:
+        if n == 1:
+            out.append((400, 100, 40))
+            continue
+        k = int(round(np.log(n) / np.log(4)))
+        if 4**k != n:
+            raise ValueError(
+                f"'Square' weak scaling is defined on powers of 4, got {n}"
+            )
+        out.append((400 * 2 ** (k - 1), 400 * 2 ** (k - 1), 40))
+    return out
+
+
+def bar_weak_scaling_domains(node_counts) -> list[tuple[int, int, int]]:
+    """The 'Bar' family: fixed Ny = 100, Nz = 40, Nx grows by 400/node."""
+    return [(400 * int(n), 100, 40) for n in node_counts]
+
+
+def process_grid(case: WeakScalingCase, n_nodes: int) -> tuple[int, int]:
+    """Node grid over the (x, y) axes: near-square for 'Square', 1-D in x
+    for 'Bar' (matching how the domains grow)."""
+    if case is WeakScalingCase.BAR:
+        return n_nodes, 1
+    px = int(np.sqrt(n_nodes))
+    while n_nodes % px != 0:
+        px -= 1
+    return px, n_nodes // px
+
+
+@dataclass
+class ClusterModel:
+    """End-to-end performance model for a homogeneous cluster of nodes.
+
+    Setting ``network=NetworkModel(pcie_overlap=True)`` models the
+    paper's proposed future optimization: "establish a pipeline for this
+    GPU-CPU-MPI communication, i.e., download parts of the communication
+    buffer to the host and transfer previous chunks via the network at
+    the same time" (Section VII). The ablation bench quantifies the gain.
+    """
+
+    node: NodeConfig = PIZ_DAINT_NODE
+    network: NetworkModel = CRAY_ARIES
+    r: int = 32
+    nnzr: float = 13.0
+    heterogeneous_efficiency: float = 0.875
+    #: Hide halo communication behind the interior-row computation
+    #: (:mod:`repro.dist.overlap`); the exposed time becomes
+    #: max(0, t_halo - interior_fraction * t_compute).
+    comm_overlap: bool = False
+
+    # ------------------------------------------------------------------
+    def node_gflops(self, stage: str, r: int | None = None) -> float:
+        """Heterogeneous per-node Gflop/s for a solver stage."""
+        r = self.r if r is None else r
+        return node_performance(
+            self.node, stage, r,
+            heterogeneous_efficiency=self.heterogeneous_efficiency,
+        )["heterogeneous"]
+
+    def gpu_row_fraction(self, stage: str = "aug_spmmv", r: int | None = None) -> float:
+        """Share of a node's rows owned by its GPU rank(s) (weight guess)."""
+        r = self.r if r is None else r
+        perf = node_performance(
+            self.node, stage, r,
+            heterogeneous_efficiency=self.heterogeneous_efficiency,
+        )
+        total = perf["cpu"] + perf["gpu"]
+        return perf["gpu"] / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def halo_rows_per_node(
+        self, domain: tuple[int, int, int], grid: tuple[int, int]
+    ) -> list[int]:
+        """Matrix rows exchanged per face and iteration (one node's view).
+
+        The stencil couples nearest-neighbor sites, so each face is one
+        site layer deep: an x-face moves ``ORBITALS * ny_local * nz``
+        rows. Periodic x/y means px > 1 (py > 1) always produces both
+        faces; px == 1 wraps onto the node itself (no network message).
+        """
+        nx, ny, nz = domain
+        px, py = grid
+        # ceil-division local extents: when the grid does not divide the
+        # domain exactly, the widest slab bounds the halo (and compute).
+        nx_loc = -(-nx // px)
+        ny_loc = -(-ny // py)
+        faces: list[int] = []
+        if px > 1:
+            faces += [ORBITALS * ny_loc * nz] * 2
+        if py > 1:
+            faces += [ORBITALS * nx_loc * nz] * 2
+        return faces
+
+    def iteration_times(
+        self,
+        domain: tuple[int, int, int],
+        n_nodes: int,
+        *,
+        stage: str = "aug_spmmv",
+        r: int | None = None,
+        reduction: str = "end",
+        grid: tuple[int, int] | None = None,
+        case: WeakScalingCase = WeakScalingCase.SQUARE,
+    ) -> dict[str, float]:
+        """Per-inner-iteration time components for one node (seconds)."""
+        check_positive("n_nodes", n_nodes)
+        r = self.r if r is None else r
+        nx, ny, nz = domain
+        n_rows = ORBITALS * nx * ny * nz
+        if grid is None:
+            grid = process_grid(case, n_nodes)
+        if grid[0] * grid[1] != n_nodes:
+            raise ValueError(f"grid {grid} does not match {n_nodes} nodes")
+        rows_per_node = n_rows / n_nodes
+        flops_per_iter = rows_per_node * r * (
+            self.nnzr * (F_ADD + F_MUL) + KPM_FLOPS_PER_ROW
+        )
+        t_comp = flops_per_iter / (self.node_gflops(stage, r) * 1.0e9)
+        face_bytes = [
+            rows * r * S_D for rows in self.halo_rows_per_node(domain, grid)
+        ]
+        t_halo = self.network.halo_time(
+            face_bytes, gpu_fraction=self.gpu_row_fraction(stage, r)
+        )
+        if self.comm_overlap:
+            from repro.dist.overlap import exposed_communication_time
+
+            # interior fraction of an (nx/px) x (ny/py) x nz slab: all
+            # sites except the one-deep layers along each cut face
+            px, py = grid
+            nx_loc = -(-nx // px)
+            ny_loc = -(-ny // py)
+            frac_boundary = 0.0
+            if px > 1:
+                frac_boundary += min(2.0 / nx_loc, 1.0)
+            if py > 1:
+                frac_boundary += min(2.0 / ny_loc, 1.0)
+            interior = max(0.0, 1.0 - frac_boundary)
+            t_halo = exposed_communication_time(t_halo, t_comp, interior)
+        t_reduce = 0.0
+        if reduction == "every":
+            t_reduce = self.network.allreduce_time(
+                2 * r * S_D, n_nodes, compute_time=t_comp + t_halo
+            )
+        elif reduction != "end":
+            raise ValueError(f"reduction must be 'end' or 'every', got {reduction!r}")
+        return {
+            "compute": t_comp,
+            "halo": t_halo,
+            "reduce": t_reduce,
+            "total": t_comp + t_halo + t_reduce,
+        }
+
+    # ------------------------------------------------------------------
+    def solve_time(
+        self,
+        domain: tuple[int, int, int],
+        n_nodes: int,
+        m: int,
+        *,
+        variant: str = "aug_spmmv",
+        r: int | None = None,
+        grid: tuple[int, int] | None = None,
+        case: WeakScalingCase = WeakScalingCase.SQUARE,
+    ) -> float:
+        """Wall-clock seconds for a full KPM solve (R vectors, M moments).
+
+        ``variant``:
+
+        * ``'aug_spmmv'``   — blocked, one final reduction (optimal),
+        * ``'aug_spmmv*'``  — blocked, global reduction every iteration,
+        * ``'aug_spmv'``    — throughput mode: R independent width-1 runs.
+        """
+        check_positive("m", m)
+        r = self.r if r is None else r
+        if variant == "aug_spmv":
+            it = self.iteration_times(
+                domain, n_nodes, stage="aug_spmv", r=1,
+                reduction="end", grid=grid, case=case,
+            )
+            t = r * (m / 2) * it["total"]
+        elif variant in ("aug_spmmv", "aug_spmmv*"):
+            reduction = "every" if variant.endswith("*") else "end"
+            it = self.iteration_times(
+                domain, n_nodes, stage="aug_spmmv", r=r,
+                reduction=reduction, grid=grid, case=case,
+            )
+            t = (m / 2) * it["total"]
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+        t += self.network.allreduce_time(2 * r * m * S_D, n_nodes)
+        return t
+
+    def solve_tflops(
+        self,
+        domain: tuple[int, int, int],
+        n_nodes: int,
+        m: int,
+        *,
+        variant: str = "aug_spmmv",
+        r: int | None = None,
+        grid: tuple[int, int] | None = None,
+        case: WeakScalingCase = WeakScalingCase.SQUARE,
+    ) -> float:
+        """Sustained Tflop/s over a full solve."""
+        r = self.r if r is None else r
+        nx, ny, nz = domain
+        n_rows = ORBITALS * nx * ny * nz
+        flops = kpm_flops(n_rows, int(self.nnzr * n_rows), r, m)
+        t = self.solve_time(
+            domain, n_nodes, m, variant=variant, r=r, grid=grid, case=case
+        )
+        return flops / t / 1.0e12
+
+    def node_hours(
+        self,
+        domain: tuple[int, int, int],
+        n_nodes: int,
+        m: int,
+        *,
+        variant: str = "aug_spmmv",
+        r: int | None = None,
+    ) -> float:
+        """Compute-resource cost of a full solve (paper Table III)."""
+        t = self.solve_time(domain, n_nodes, m, variant=variant, r=r)
+        return t * n_nodes / 3600.0
+
+    # ------------------------------------------------------------------
+    def weak_scaling(
+        self,
+        case: WeakScalingCase | str,
+        node_counts,
+        m: int = 2000,
+        r: int | None = None,
+    ) -> list[dict[str, float]]:
+        """Weak-scaling series (paper Fig. 12): Tflop/s vs node count."""
+        case = WeakScalingCase(case)
+        domains = (
+            square_weak_scaling_domains(node_counts)
+            if case is WeakScalingCase.SQUARE
+            else bar_weak_scaling_domains(node_counts)
+        )
+        out = []
+        base = None
+        for n, domain in zip(node_counts, domains):
+            tf = self.solve_tflops(domain, n, m, r=r, case=case)
+            if base is None:
+                base = tf
+            out.append(
+                {
+                    "nodes": float(n),
+                    "domain": domain,
+                    "tflops": tf,
+                    "efficiency": tf / (base * n / node_counts[0]),
+                }
+            )
+        return out
+
+    def strong_scaling(
+        self,
+        domain: tuple[int, int, int],
+        node_counts,
+        m: int = 2000,
+        r: int | None = None,
+        case: WeakScalingCase | str = WeakScalingCase.SQUARE,
+    ) -> list[dict[str, float]]:
+        """Strong-scaling series at fixed problem size (paper Fig. 12)."""
+        case = WeakScalingCase(case)
+        out = []
+        base = None
+        for n in node_counts:
+            tf = self.solve_tflops(domain, int(n), m, r=r, case=case)
+            if base is None:
+                base = (tf, n)
+            out.append(
+                {
+                    "nodes": float(n),
+                    "tflops": tf,
+                    "speedup": tf / base[0],
+                    "efficiency": (tf / base[0]) / (n / base[1]),
+                }
+            )
+        return out

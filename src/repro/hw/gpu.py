@@ -1,0 +1,293 @@
+"""Functional Kepler-GPU device model with transaction counting.
+
+:class:`KeplerGpu` executes the paper's Fig. 6 kernel faithfully at the
+warp level:
+
+1. **SpMMV phase** — warps are arranged along block-vector rows: a warp
+   of 32 threads covers ``32/R`` consecutive matrix rows x R block
+   columns. Vector gathers are coalesced per row (R contiguous values);
+   matrix entries are broadcast to the R lanes of their row through the
+   read-only (texture) cache.
+2. **Warp re-indexing** — lanes are logically transposed so the values
+   belonging to one block column become contiguous ("no data actually
+   gets transposed but merely the indexing changes", Section IV-C-2).
+3. **Dot products** — each lane forms its local products, then
+   ``log2``-step shuffle reductions produce per-warp partials; a
+   deterministic block/global reduction (the CUB stand-in) finishes.
+
+Per-memory-level transactions are counted during execution: texture
+(matrix broadcasts), L2 (index stream, vector gathers and streams), and
+DRAM (misses of an LRU model of the small Kepler L2). These counts
+validate the analytic traffic model of :mod:`repro.perf.traffic` at
+small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.warp import reduction_steps, warp_reduce_sum
+from repro.perf.arch import Architecture, K20M
+from repro.perf.cachesim import LRUCache
+from repro.sparse.csr import CSRMatrix
+from repro.util.constants import BYTES_PER_GB, DTYPE, F_ADD, F_MUL, S_D, S_I
+from repro.util.errors import SimulationError
+from repro.util.validation import check_block_vector
+
+
+@dataclass(frozen=True)
+class GpuLaunchConfig:
+    """Kernel launch geometry.
+
+    ``block_dim`` is the paper's maximum (and chosen) 1024 threads;
+    ``warp_size`` is 32 on all modern NVIDIA GPUs. The block width R must
+    divide the warp size (the implementation is "optimized towards
+    relatively large vector blocks", Section IV-C).
+    """
+
+    block_dim: int = 1024
+    warp_size: int = 32
+    #: L2 transaction segment size in bytes.
+    l2_segment: int = 32
+    #: Texture transaction size in bytes.
+    tex_segment: int = 32
+    #: L2 cache line size used by the DRAM-side LRU model.
+    l2_line: int = 128
+
+    def __post_init__(self) -> None:
+        if self.block_dim % self.warp_size != 0:
+            raise ValueError("block_dim must be a multiple of warp_size")
+        if self.warp_size < 1:
+            raise ValueError("warp_size must be >= 1")
+
+
+@dataclass
+class GpuRunStats:
+    """Counters accumulated over one kernel execution."""
+
+    warps: int = 0
+    blocks: int = 0
+    k_steps: int = 0
+    active_lane_steps: int = 0
+    predicated_lane_steps: int = 0
+    shuffle_ops: int = 0
+    flops: int = 0
+    tex_transactions: int = 0
+    tex_bytes: int = 0
+    l2_transactions: int = 0
+    l2_bytes: int = 0
+    dram_bytes: int = 0
+
+    def sm_efficiency(self) -> float:
+        """Fraction of lane-steps doing useful work (1 - divergence loss)."""
+        total = self.active_lane_steps + self.predicated_lane_steps
+        return self.active_lane_steps / total if total else 1.0
+
+    def estimate_time(self, arch: Architecture) -> float:
+        """Crude runtime estimate from the counted volumes (seconds)."""
+        t_dram = self.dram_bytes / (arch.bandwidth_gbs * BYTES_PER_GB)
+        t_l2 = self.l2_bytes / (arch.llc_bandwidth_gbs * BYTES_PER_GB)
+        t_tex = self.tex_bytes / (max(arch.tex_bandwidth_gbs, 1e-9) * BYTES_PER_GB)
+        t_flop = self.flops / (arch.peak_gflops * 1.0e9)
+        return max(t_dram, t_l2, t_tex, t_flop)
+
+
+class KeplerGpu:
+    """Functional SIMT device executing the paper's GPU kernels.
+
+    Parameters
+    ----------
+    arch:
+        Architecture record (defaults to the K20m of the node-level
+        study); only the L2 capacity feeds the DRAM model.
+    config:
+        Launch configuration.
+    """
+
+    def __init__(
+        self,
+        arch: Architecture = K20M,
+        config: GpuLaunchConfig = GpuLaunchConfig(),
+    ) -> None:
+        if arch.kind != "gpu":
+            raise ValueError(f"{arch.name} is not a GPU")
+        self.arch = arch
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _layout(self, n: int, r: int) -> tuple[int, int, int]:
+        ws = self.config.warp_size
+        if r < 1 or ws % r != 0:
+            raise SimulationError(
+                f"block width R={r} must divide the warp size {ws}"
+            )
+        rows_per_warp = ws // r
+        n_warps = -(-n // rows_per_warp)
+        warps_per_block = self.config.block_dim // ws
+        n_blocks = -(-n_warps // warps_per_block)
+        return rows_per_warp, n_warps, n_blocks
+
+    # ------------------------------------------------------------------
+    def run_aug_spmmv(
+        self,
+        A: CSRMatrix,
+        V: np.ndarray,
+        W: np.ndarray,
+        a: float,
+        b: float,
+        *,
+        with_dots: bool = True,
+        fused_update: bool = True,
+    ) -> tuple[np.ndarray | None, np.ndarray | None, GpuRunStats]:
+        """Execute one augmented-SpMMV iteration on the simulated device.
+
+        Overwrites ``W`` with ``2 a (A - b 1) V - W`` (or with ``A V``
+        when ``fused_update`` is False — the plain SpMMV kernel of paper
+        Fig. 10(a)) and returns ``(eta_even, eta_odd, stats)``;
+        the etas are None when ``with_dots`` is False (Fig. 10(b)).
+        """
+        n = A.n_rows
+        V = check_block_vector("V", V, n)
+        W = check_block_vector("W", W, n, V.shape[1])
+        r = V.shape[1]
+        cfg = self.config
+        rows_per_warp, n_warps, n_blocks = self._layout(n, r)
+        ws = cfg.warp_size
+
+        stats = GpuRunStats(warps=n_warps, blocks=n_blocks)
+        l2_model = LRUCache(self.arch.llc_bytes, cfg.l2_line)
+
+        # ---- lane geometry, vectorized over all warps ------------------
+        lanes = np.arange(n_warps * ws)
+        lane_in_warp = lanes % ws
+        warp_id = lanes // ws
+        row = warp_id * rows_per_warp + lane_in_warp // r
+        col = lane_in_warp % r
+        lane_active = row < n
+        row_safe = np.minimum(row, n - 1)
+
+        row_len = np.zeros(n_warps * rows_per_warp, dtype=np.int64)
+        row_len[: n] = A.nnz_per_row
+        # per-lane row length (0 for padding rows)
+        lane_row_len = np.where(lane_active, row_len[np.minimum(
+            row, n_warps * rows_per_warp - 1)], 0)
+        row_start = np.zeros_like(row_safe)
+        row_start[lane_active] = A.indptr[row_safe[lane_active]]
+
+        # one representative lane per (warp, row): the col==0 lane
+        row_lane_mask = col == 0
+
+        acc = np.zeros(n_warps * ws, dtype=DTYPE)
+        lmax = int(lane_row_len.max()) if lane_row_len.size else 0
+
+        base_v = (A.nnz * (S_D + S_I) + cfg.l2_line - 1) // cfg.l2_line * cfg.l2_line
+        base_w = base_v + n * r * S_D
+
+        gather_seg = max(1, (r * S_D) // cfg.l2_segment)
+
+        for k in range(lmax):
+            step_active = lane_active & (k < lane_row_len)
+            n_active = int(step_active.sum())
+            if n_active == 0:
+                break
+            stats.k_steps += 1
+            stats.active_lane_steps += n_active
+            # predication only costs cycles in warps that are scheduled at
+            # all (i.e. have at least one active lane at this step)
+            per_warp = step_active.reshape(n_warps, ws)
+            scheduled = per_warp.any(axis=1)
+            stats.predicated_lane_steps += int(
+                (~per_warp & scheduled[:, None]).sum()
+            )
+            ptr = row_start + k
+            cidx = np.zeros_like(ptr)
+            val = np.zeros(n_warps * ws, dtype=DTYPE)
+            sel = step_active
+            cidx[sel] = A.indices[ptr[sel]]
+            val[sel] = A.data[ptr[sel]]
+            x = np.zeros(n_warps * ws, dtype=DTYPE)
+            x[sel] = V[cidx[sel], col[sel]]
+            acc += val * x
+            stats.flops += n_active * (F_ADD + F_MUL)
+
+            # --- transaction accounting per active row ------------------
+            row_repr = sel & row_lane_mask
+            n_rows_active = int(row_repr.sum())
+            # matrix value broadcast via the texture cache: every active
+            # lane issues a read request for its row's element; the cache
+            # serves all R lanes of a row from one line, but the *request*
+            # volume — what nvprof's texture-throughput counter reports,
+            # and what the paper observes to "scale linearly with R" —
+            # counts each lane.
+            stats.tex_transactions += n_active
+            stats.tex_bytes += n_active * S_D
+            # index load through L2: one segment per active row
+            stats.l2_transactions += n_rows_active
+            stats.l2_bytes += n_rows_active * cfg.l2_segment
+            # coalesced vector gather: ceil(R*S_d / segment) per row
+            stats.l2_transactions += n_rows_active * gather_seg
+            stats.l2_bytes += n_active * S_D
+            # DRAM side: matrix stream is compulsory; gathers through LRU
+            stats.dram_bytes += n_rows_active * (S_D + S_I)
+            addr = base_v + cidx[row_repr] * (r * S_D)
+            before = l2_model.misses
+            l2_model.access_bytes(addr, r * S_D)
+            stats.dram_bytes += (l2_model.misses - before) * cfg.l2_line
+
+        # ---- fused update and streaming accesses ----------------------
+        sel = lane_active
+        v_own = np.zeros(n_warps * ws, dtype=DTYPE)
+        v_own[sel] = V[row_safe[sel], col[sel]]
+        w_own = np.zeros(n_warps * ws, dtype=DTYPE)
+        w_own[sel] = W[row_safe[sel], col[sel]]
+        if fused_update:
+            w_new = 2.0 * a * (acc - b * v_own) - w_own
+            stats.flops += int(sel.sum()) * (3 * F_ADD + 3 * F_MUL + F_MUL)
+            streams = 3  # read V row, read W row, write W row
+        else:
+            w_new = acc
+            streams = 2  # read V rows (gathered already) + write Y row
+        W[row_safe[sel], col[sel]] = w_new[sel]
+
+        n_rows_total = n
+        stream_trans = n_rows_total * gather_seg * streams
+        stats.l2_transactions += stream_trans
+        stats.l2_bytes += n_rows_total * r * S_D * streams
+        row_addrs = np.arange(n, dtype=np.int64) * (r * S_D)
+        for base in ([base_v, base_w, base_w] if streams == 3 else [base_v, base_w]):
+            before = l2_model.misses
+            l2_model.access_bytes(base + row_addrs, r * S_D)
+            stats.dram_bytes += (l2_model.misses - before) * cfg.l2_line
+
+        if not with_dots:
+            return None, None, stats
+
+        # ---- on-the-fly dot products -----------------------------------
+        p_even = np.where(sel, np.conj(v_own) * v_own, 0.0)
+        p_odd = np.where(sel, np.conj(w_new) * v_own, 0.0)
+        stats.flops += int(sel.sum()) * 2 * (F_ADD + F_MUL)
+
+        # warp re-indexing: transpose (rows_per_warp, R) -> (R, rows_per_warp)
+        def warp_transpose(p: np.ndarray) -> np.ndarray:
+            return (
+                p.reshape(n_warps, rows_per_warp, r)
+                .transpose(0, 2, 1)
+                .reshape(n_warps, r, rows_per_warp)
+            )
+
+        eta_even = np.zeros(r, dtype=DTYPE)
+        eta_odd = np.zeros(r, dtype=DTYPE)
+        for p, eta in ((p_even, eta_even), (p_odd, eta_odd)):
+            groups = warp_transpose(p)  # (n_warps, r, rows_per_warp)
+            reduced = warp_reduce_sum(groups, rows_per_warp)
+            stats.shuffle_ops += n_warps * ws * reduction_steps(rows_per_warp)
+            warp_partials = reduced[..., 0]  # lane 0 of each column group
+            # block-level then global reduction (CUB stand-in), in order
+            wpb = cfg.block_dim // ws
+            for blk in range(n_blocks):
+                lo, hi = blk * wpb, min((blk + 1) * wpb, n_warps)
+                eta += warp_partials[lo:hi].sum(axis=0)
+        stats.flops += 2 * n_warps * r * reduction_steps(max(rows_per_warp, 2))
+        return eta_even.real.copy(), eta_odd, stats

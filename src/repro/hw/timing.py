@@ -1,0 +1,82 @@
+"""GPU timing model: turn counted transactions into predicted runtime.
+
+Bridges the functional simulator (:mod:`repro.hw.gpu`, which counts what
+happened) and the architecture model (:mod:`repro.perf.arch`, which says
+how fast each resource is). The kernel time is the slowest of
+
+* DRAM transfer time,
+* L2 transfer time,
+* texture-cache transfer time,
+* in-core execution time, derated by SIMT predication losses
+  (``GpuRunStats.sm_efficiency``) and occupancy, and
+* a latency floor for the shuffle-reduction chain when on-the-fly dot
+  products are enabled (paper Fig. 10(c): latency-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.gpu import GpuRunStats
+from repro.perf.arch import Architecture
+from repro.util.constants import BYTES_PER_GB
+
+
+@dataclass(frozen=True)
+class GpuTimingModel:
+    """Tunable latency/occupancy parameters of the timing estimate."""
+
+    #: Cycles of latency per shuffle instruction that cannot be hidden
+    #: when the reduction chain serializes a warp.
+    shuffle_latency_cycles: float = 10.0
+    #: Fraction of peak issue rate reachable at full occupancy.
+    issue_efficiency: float = 0.85
+    #: Active warps required per SMX to hide memory latency fully;
+    #: fewer warps scale the memory times up.
+    warps_to_hide_latency: int = 16
+
+    def occupancy_factor(self, stats: GpuRunStats, arch: Architecture) -> float:
+        """< 1 when too few warps run per SMX to hide latency."""
+        if stats.warps <= 0:
+            return 1.0
+        warps_per_smx = stats.warps / arch.cores
+        return min(1.0, warps_per_smx / self.warps_to_hide_latency)
+
+    def estimate(self, stats: GpuRunStats, arch: Architecture) -> dict[str, float]:
+        """Per-component and total predicted times in seconds."""
+        if arch.kind != "gpu":
+            raise ValueError(f"{arch.name} is not a GPU")
+        hide = max(self.occupancy_factor(stats, arch), 1e-3)
+        t_dram = stats.dram_bytes / (arch.bandwidth_gbs * BYTES_PER_GB) / hide
+        t_l2 = stats.l2_bytes / (arch.llc_bandwidth_gbs * BYTES_PER_GB) / hide
+        t_tex = stats.tex_bytes / (
+            max(arch.tex_bandwidth_gbs, 1e-9) * BYTES_PER_GB
+        ) / hide
+        flop_rate = arch.peak_gflops * 1e9 * self.issue_efficiency
+        # predication: issued lane-steps include the inactive ones
+        issued = stats.active_lane_steps + stats.predicated_lane_steps
+        work = stats.flops / max(stats.sm_efficiency(), 1e-3) \
+            if issued else stats.flops
+        t_core = work / flop_rate
+        clock_hz = arch.clock_mhz * 1e6
+        t_shuffle = (
+            stats.shuffle_ops
+            * self.shuffle_latency_cycles
+            / (arch.cores * clock_hz)
+            / hide
+        )
+        total = max(t_dram, t_l2, t_tex, t_core) + t_shuffle
+        return {
+            "dram": t_dram,
+            "l2": t_l2,
+            "tex": t_tex,
+            "core": t_core,
+            "shuffle": t_shuffle,
+            "total": total,
+            "occupancy": hide,
+        }
+
+    def gflops(self, stats: GpuRunStats, arch: Architecture) -> float:
+        """Predicted sustained Gflop/s of the counted kernel run."""
+        t = self.estimate(stats, arch)["total"]
+        return stats.flops / t / 1e9 if t > 0 else 0.0

@@ -1,0 +1,70 @@
+"""Warp-level primitives: shuffle and tree reductions (Kepler semantics).
+
+Kepler introduced shuffle instructions that exchange register values
+between the lanes of a warp without shared memory (paper Section IV-C-2:
+"this architecture implements shuffle instructions, which enable sharing
+values between threads in a warp"). The dot-product reduction uses
+``log2(warpSize)`` successive ``shfl_down`` steps (Section IV-C-3).
+
+All functions are vectorized over an arbitrary batch of warps: the input
+arrays have shape ``(..., width)`` where the last axis holds the lanes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_width(width: int) -> None:
+    if width < 1 or (width & (width - 1)) != 0:
+        raise ValueError(f"shuffle width must be a power of two, got {width}")
+
+
+def shfl_down(values: np.ndarray, delta: int, width: int | None = None) -> np.ndarray:
+    """CUDA ``__shfl_down_sync`` semantics on the last axis.
+
+    Lane ``i`` receives the value of lane ``i + delta`` if that lane is
+    inside the same ``width``-sized sub-group, otherwise it keeps its own
+    value (exactly CUDA's out-of-range behavior).
+    """
+    values = np.asarray(values)
+    lanes = values.shape[-1]
+    width = lanes if width is None else width
+    _check_width(width)
+    if lanes % width != 0:
+        raise ValueError(
+            f"lane count {lanes} must be a multiple of width {width}"
+        )
+    if not 0 <= delta:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    idx = np.arange(lanes)
+    src = idx + delta
+    same_group = (src // width) == (idx // width)
+    src = np.where(same_group & (src < lanes), src, idx)
+    return values[..., src]
+
+
+def warp_reduce_sum(values: np.ndarray, width: int | None = None) -> np.ndarray:
+    """Binary-tree sum over each ``width`` lane group via shfl_down.
+
+    After ``log2(width)`` shuffle steps the first lane of each group holds
+    the group sum (CUDA reduction idiom; the other lanes hold partial
+    sums). Returns the full lane array — callers read lane 0 of each
+    group, mirroring "the full reduction result ... can then be obtained
+    from the first thread" (paper Section IV-C-3).
+    """
+    values = np.asarray(values)
+    width = values.shape[-1] if width is None else width
+    _check_width(width)
+    out = values
+    delta = width // 2
+    while delta >= 1:
+        out = out + shfl_down(out, delta, width)
+        delta //= 2
+    return out
+
+
+def reduction_steps(width: int) -> int:
+    """Number of shuffle steps for a width-wide reduction: log2(width)."""
+    _check_width(width)
+    return int(width).bit_length() - 1

@@ -1,0 +1,85 @@
+"""Performance-model substrate: architectures, balance, rooflines, caches.
+
+Implements the paper's entire modelling apparatus:
+
+* :mod:`repro.perf.arch` — the benchmark systems of paper Table II.
+* :mod:`repro.perf.balance` — the byte/flop accounting of paper Table I
+  and the code-balance formulas Eqs. (4)-(7).
+* :mod:`repro.perf.roofline` — the roofline model Eq. (9), the
+  LLC-refined custom roofline Eq. (11), and the GPU timing model behind
+  Figs. 10-11.
+* :mod:`repro.perf.traffic` — analytic per-memory-level traffic models
+  (DRAM / L2 / texture cache) for all kernel variants (Figs. 9-10).
+* :mod:`repro.perf.cachesim` — an LRU cache simulator measuring the
+  actual transfer volume V_meas, hence Omega = V_meas / V_KPM (Eq. (8)).
+"""
+
+from repro.perf.arch import (
+    Architecture,
+    IVB,
+    SNB,
+    K20M,
+    K20X,
+    NodeConfig,
+    EMMY_NODE,
+    PIZ_DAINT_NODE,
+    ARCHITECTURES,
+)
+from repro.perf.balance import (
+    TrafficFlops,
+    table1_min_bytes,
+    table1_flops,
+    kpm_min_traffic,
+    kpm_flops,
+    bmin,
+    bmin_limit,
+    KPM_FLOPS_PER_ROW,
+)
+from repro.perf.roofline import (
+    roofline,
+    memory_bound_performance,
+    llc_code_balance,
+    custom_roofline,
+    cpu_kernel_performance,
+    gpu_kernel_performance,
+    node_performance,
+)
+from repro.perf.traffic import gpu_level_traffic, omega_parametric
+from repro.perf.cachesim import LRUCache, simulate_kpm_omega, kpm_access_stream
+from repro.perf.energy import EnergyModel, variant_energy_table
+from repro.perf.report import full_report
+
+__all__ = [
+    "Architecture",
+    "IVB",
+    "SNB",
+    "K20M",
+    "K20X",
+    "NodeConfig",
+    "EMMY_NODE",
+    "PIZ_DAINT_NODE",
+    "ARCHITECTURES",
+    "TrafficFlops",
+    "table1_min_bytes",
+    "table1_flops",
+    "kpm_min_traffic",
+    "kpm_flops",
+    "bmin",
+    "bmin_limit",
+    "KPM_FLOPS_PER_ROW",
+    "roofline",
+    "memory_bound_performance",
+    "llc_code_balance",
+    "custom_roofline",
+    "cpu_kernel_performance",
+    "gpu_kernel_performance",
+    "node_performance",
+    "gpu_level_traffic",
+    "omega_parametric",
+    "LRUCache",
+    "simulate_kpm_omega",
+    "kpm_access_stream",
+    "EnergyModel",
+    "variant_energy_table",
+    "full_report",
+]

@@ -1,0 +1,181 @@
+"""Architecture models — paper Table II plus calibrated cache parameters.
+
+The four devices of the paper:
+
+===========  ======  =====  ======  ====  =====  =======
+device       clock   SIMD   cores/  b     LLC    P_peak
+             (MHz)   bytes  SMX     GB/s  MiB    Gflop/s
+===========  ======  =====  ======  ====  =====  =======
+IVB          2200    32     10      50    25     176
+SNB          2600    32     8       48    20     166.4
+K20m         706     512    13      150   1.25   1174
+K20X         732     512    14      170   1.5    1311
+===========  ======  =====  ======  ====  =====  =======
+
+(IVB = Intel Xeon E5-2660 v2, fixed clock; SNB = Intel Xeon E5-2670,
+turbo; K20m ECC off; K20X ECC on. For the GPUs, "cores" is the SMX count
+and LLC is the L2 cache.)
+
+Fields beyond Table II (cache-level bandwidths, in-core efficiency,
+latency penalty of in-kernel reductions) are *calibrated* against the
+paper's measured Figs. 7, 8, 10, 11 — they are inputs to the reproduction
+in the same way the measured attainable bandwidth b is an input to the
+paper's own roofline model. Calibration rationale is given per field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """One compute device (CPU socket or GPU card).
+
+    Attributes mirror paper Table II; see module docstring for the
+    provenance of the calibrated extras.
+    """
+
+    name: str
+    kind: str  # "cpu" | "gpu"
+    clock_mhz: float
+    simd_bytes: int
+    cores: int  # physical cores (CPU) or SMX units (GPU)
+    bandwidth_gbs: float  # attainable main-memory bandwidth b
+    llc_mib: float
+    peak_gflops: float
+
+    # -- calibrated, non-Table-II fields --------------------------------
+    #: LLC (L3 on CPU, L2 on GPU) attainable bandwidth in GB/s. CPU values
+    #: chosen so the custom roofline Eq. (11) saturates near the measured
+    #: ~65 Gflop/s of paper Fig. 8 (IVB); GPU values so the L2 curves of
+    #: paper Fig. 10 saturate in the 550-650 GB/s band.
+    llc_bandwidth_gbs: float = 0.0
+    #: Texture/read-only cache bandwidth (GPU only); Fig. 10 TEX curves
+    #: saturate around 800 GB/s.
+    tex_bandwidth_gbs: float = 0.0
+    #: Fraction of per-core peak reachable by the fused complex kernel
+    #: when it is core-bound (CPU; Fig. 7 shows ~7 Gflop/s per IVB core).
+    incore_efficiency: float = 0.4
+    #: Throughput multiplier (< 1) when the on-the-fly dot products make
+    #: the GPU kernel latency-bound (paper Fig. 10(c): "all measured
+    #: bandwidths are at a significantly lower level").
+    dot_latency_efficiency: float = 0.55
+    #: Throughput multiplier (<= 1) for the *naive* algorithm's chain of
+    #: separate BLAS-1 kernels: per-kernel launch/synchronization overhead
+    #: and the separate reduction kernels keep the naive code below its
+    #: bandwidth ceiling (calibrated against paper Fig. 11's naive bars).
+    blas1_efficiency: float = 1.0
+    #: Threads per warp (GPU).
+    warp_size: int = 32
+
+    @property
+    def peak_per_core_gflops(self) -> float:
+        """Peak of one core (CPU) or one SMX (GPU)."""
+        return self.peak_gflops / self.cores
+
+    @property
+    def machine_balance(self) -> float:
+        """Machine balance b / P_peak in bytes/flop."""
+        return self.bandwidth_gbs / self.peak_gflops
+
+    @property
+    def llc_bytes(self) -> int:
+        return int(self.llc_mib * 1024 * 1024)
+
+
+#: Intel Xeon E5-2660 v2 "Ivy Bridge", 10 cores, fixed 2.2 GHz.
+IVB = Architecture(
+    name="IVB", kind="cpu", clock_mhz=2200, simd_bytes=32, cores=10,
+    bandwidth_gbs=50.0, llc_mib=25.0, peak_gflops=176.0,
+    llc_bandwidth_gbs=120.0, incore_efficiency=0.40, blas1_efficiency=0.85,
+)
+
+#: Intel Xeon E5-2670 "Sandy Bridge", 8 cores, turbo (Piz Daint host CPU).
+SNB = Architecture(
+    name="SNB", kind="cpu", clock_mhz=2600, simd_bytes=32, cores=8,
+    bandwidth_gbs=48.0, llc_mib=20.0, peak_gflops=166.4,
+    llc_bandwidth_gbs=110.0, incore_efficiency=0.40, blas1_efficiency=0.85,
+)
+
+#: NVIDIA Tesla K20m (Kepler GK110), ECC disabled (Emmy GPUs).
+K20M = Architecture(
+    name="K20m", kind="gpu", clock_mhz=706, simd_bytes=512, cores=13,
+    bandwidth_gbs=150.0, llc_mib=1.25, peak_gflops=1174.0,
+    llc_bandwidth_gbs=550.0, tex_bandwidth_gbs=850.0,
+    dot_latency_efficiency=0.26, blas1_efficiency=0.74,
+)
+
+#: NVIDIA Tesla K20X (Kepler GK110), ECC enabled (Piz Daint GPUs).
+K20X = Architecture(
+    name="K20X", kind="gpu", clock_mhz=732, simd_bytes=512, cores=14,
+    bandwidth_gbs=170.0, llc_mib=1.5, peak_gflops=1311.0,
+    llc_bandwidth_gbs=600.0, tex_bandwidth_gbs=900.0,
+    dot_latency_efficiency=0.26, blas1_efficiency=0.74,
+)
+
+#: Intel Xeon Phi 5110P "Knights Corner" — the paper's outlook device
+#: ("Although the Intel Xeon Phi coprocessor is already supported in our
+#: software, we still have to carry out detailed model-driven performance
+#: engineering for this architecture", Section VII). Not part of Table II;
+#: parameters from the product specification and published STREAM numbers
+#: (60 cores at 1053 MHz, 512-bit SIMD, ~150 GB/s attainable, 30 MiB of
+#: distributed L2 acting as the LLC, 1011 Gflop/s DP peak). The in-core
+#: efficiency is lower than on the big cores: the fused complex kernel
+#: needs gather support and masking that KNC handles poorly.
+KNC = Architecture(
+    name="KNC", kind="cpu", clock_mhz=1053, simd_bytes=64, cores=60,
+    bandwidth_gbs=150.0, llc_mib=30.0, peak_gflops=1011.0,
+    llc_bandwidth_gbs=300.0, incore_efficiency=0.12, blas1_efficiency=0.8,
+)
+
+#: Registry by name.
+ARCHITECTURES: dict[str, Architecture] = {
+    a.name: a for a in (IVB, SNB, K20M, K20X, KNC)
+}
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """A heterogeneous compute node: CPU sockets plus GPU cards.
+
+    ``gpu_management_cores`` CPU cores per GPU are "sacrificed" to host
+    code and kernel launches (paper Section VI-A: one core per GPU), so
+    they do not contribute to the CPU kernel performance.
+    """
+
+    name: str
+    cpus: tuple[Architecture, ...]
+    gpus: tuple[Architecture, ...]
+    gpu_management_cores: int = 1
+    #: PCI Express bandwidth for host<->device staging of halo buffers.
+    pcie_bandwidth_gbs: float = 6.0
+    pcie_latency_us: float = 10.0
+
+    @property
+    def aggregate_peak_gflops(self) -> float:
+        return sum(a.peak_gflops for a in self.cpus) + sum(
+            a.peak_gflops for a in self.gpus
+        )
+
+    @property
+    def devices(self) -> tuple[Architecture, ...]:
+        return self.cpus + self.gpus
+
+    def cpu_compute_cores(self, cpu: Architecture) -> int:
+        """Cores of ``cpu`` left for compute after GPU management.
+
+        GPU-management cores are distributed one per GPU across the CPU
+        sockets round-robin (each socket of Emmy manages its own GPU;
+        the single Piz Daint socket manages the single GPU).
+        """
+        gpus_per_socket = len(self.gpus) / max(len(self.cpus), 1)
+        sacrificed = int(round(gpus_per_socket * self.gpu_management_cores))
+        return max(cpu.cores - sacrificed, 1)
+
+
+#: Emmy cluster node (RRZE): 2 x IVB + 2 x K20m.
+EMMY_NODE = NodeConfig(name="Emmy", cpus=(IVB, IVB), gpus=(K20M, K20M))
+
+#: Piz Daint (CSCS) Cray XC30 node: 1 x SNB + 1 x K20X.
+PIZ_DAINT_NODE = NodeConfig(name="PizDaint", cpus=(SNB,), gpus=(K20X,))

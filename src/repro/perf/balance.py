@@ -1,0 +1,189 @@
+"""Byte/flop accounting: paper Table I and code balance Eqs. (4)-(7).
+
+Everything is parameterized exactly as in the paper:
+
+* ``N``      — matrix dimension,
+* ``N_nz``   — number of nonzeros,
+* ``R``      — number of stochastic vectors / block width,
+* ``M``      — number of Chebyshev moments (M/2 inner iterations),
+* ``S_d``    — bytes per data element (16 for complex double),
+* ``S_i``    — bytes per index element (4),
+* ``F_a``    — flops per addition (2 complex),
+* ``F_m``    — flops per multiplication (6 complex).
+
+The same formulas are charged at runtime by the instrumented kernels in
+:mod:`repro.sparse`, so the test suite can verify Table I against actual
+kernel executions entry by entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.constants import F_ADD, F_MUL, S_D, S_I
+
+#: Flops per matrix row and inner iteration beyond the SpMV:
+#: the paper's 7 F_a / 2 + 9 F_m / 2 (= 34 for complex arithmetic).
+KPM_FLOPS_PER_ROW = 7 * F_ADD // 2 + 9 * F_MUL // 2
+
+
+@dataclass(frozen=True)
+class TrafficFlops:
+    """A (bytes, flops) pair with convenience arithmetic."""
+
+    bytes: float
+    flops: float
+
+    @property
+    def balance(self) -> float:
+        """Code balance in bytes/flop (inf when flops == 0)."""
+        return self.bytes / self.flops if self.flops else float("inf")
+
+    def __add__(self, other: "TrafficFlops") -> "TrafficFlops":
+        return TrafficFlops(self.bytes + other.bytes, self.flops + other.flops)
+
+    def __mul__(self, k: float) -> "TrafficFlops":
+        return TrafficFlops(self.bytes * k, self.flops * k)
+
+    __rmul__ = __mul__
+
+
+def table1_min_bytes(
+    func: str, n: int, nnz: int, s_d: int = S_D, s_i: int = S_I
+) -> float:
+    """Minimum bytes per call of each paper Fig. 3 function (Table I)."""
+    per_call = {
+        "spmv": nnz * (s_d + s_i) + 2 * n * s_d,
+        "axpy": 3 * n * s_d,
+        "scal": 2 * n * s_d,
+        "nrm2": n * s_d,
+        "dot": 2 * n * s_d,
+    }
+    try:
+        return float(per_call[func])
+    except KeyError:
+        raise ValueError(
+            f"unknown function {func!r}; Table I covers {sorted(per_call)}"
+        ) from None
+
+
+def table1_flops(
+    func: str, n: int, nnz: int, f_a: int = F_ADD, f_m: int = F_MUL
+) -> float:
+    """Flops per call of each paper Fig. 3 function (Table I)."""
+    per_call = {
+        "spmv": nnz * (f_a + f_m),
+        "axpy": n * (f_a + f_m),
+        "scal": n * f_m,
+        "nrm2": n * (f_a / 2 + f_m / 2),
+        "dot": n * (f_a + f_m),
+    }
+    try:
+        return float(per_call[func])
+    except KeyError:
+        raise ValueError(
+            f"unknown function {func!r}; Table I covers {sorted(per_call)}"
+        ) from None
+
+
+def table1_calls(func: str, r: int, m: int) -> float:
+    """Number of calls per full naive KPM solve (Table I, '# Calls')."""
+    per_solver = {
+        "spmv": r * m / 2,
+        "axpy": r * m,
+        "scal": r * m / 2,
+        "nrm2": r * m / 2,
+        "dot": r * m / 2,
+    }
+    try:
+        return per_solver[func]
+    except KeyError:
+        raise ValueError(
+            f"unknown function {func!r}; Table I covers {sorted(per_solver)}"
+        ) from None
+
+
+def kpm_min_traffic(
+    n: int,
+    nnz: int,
+    r: int,
+    m: int,
+    stage: str = "aug_spmmv",
+    s_d: int = S_D,
+    s_i: int = S_I,
+) -> float:
+    """Total minimum solver traffic V_KPM in bytes — paper Eq. (4).
+
+    =============  =================================================
+    stage          V_KPM
+    =============  =================================================
+    ``naive``      R M/2 [N_nz (S_d + S_i) + 13 S_d N]
+    ``aug_spmv``   R M/2 [N_nz (S_d + S_i) + 3 S_d N]
+    ``aug_spmmv``    M/2 [N_nz (S_d + S_i) + 3 R S_d N]
+    =============  =================================================
+    """
+    matrix = nnz * (s_d + s_i)
+    if stage == "naive":
+        return r * m / 2 * (matrix + 13 * s_d * n)
+    if stage == "aug_spmv":
+        return r * m / 2 * (matrix + 3 * s_d * n)
+    if stage == "aug_spmmv":
+        return m / 2 * (matrix + 3 * r * s_d * n)
+    raise ValueError(
+        f"stage must be 'naive', 'aug_spmv' or 'aug_spmmv', got {stage!r}"
+    )
+
+
+def kpm_flops(
+    n: int, nnz: int, r: int, m: int, f_a: int = F_ADD, f_m: int = F_MUL
+) -> float:
+    """Total solver flops — Table I 'KPM' row (independent of the stage:
+    the optimizations only move bytes, never flops; paper Section III)."""
+    return r * m / 2 * (nnz * (f_a + f_m) + n * (7 * f_a / 2 + 9 * f_m / 2))
+
+
+def bmin(
+    r: int,
+    nnzr: float = 13.0,
+    s_d: int = S_D,
+    s_i: int = S_I,
+    f_a: int = F_ADD,
+    f_m: int = F_MUL,
+) -> float:
+    """Minimum code balance of the blocked solver — paper Eq. (5).
+
+    B_min(R) = [N_nzr / R (S_d + S_i) + 3 S_d]
+               / [N_nzr (F_a + F_m) + 7 F_a/2 + 9 F_m/2]
+
+    With the paper's parameters this is (260/R + 48) / 138 bytes/flop:
+    ~2.23 at R = 1 (Eq. (6)) and -> ~0.35 for R -> inf (Eq. (7)).
+    """
+    if r < 1:
+        raise ValueError(f"block width R must be >= 1, got {r}")
+    num = nnzr / r * (s_d + s_i) + 3 * s_d
+    den = nnzr * (f_a + f_m) + (7 * f_a / 2 + 9 * f_m / 2)
+    return num / den
+
+
+def bmin_limit(
+    nnzr: float = 13.0,
+    s_d: int = S_D,
+    f_a: int = F_ADD,
+    f_m: int = F_MUL,
+) -> float:
+    """R -> infinity limit of the code balance — paper Eq. (7) (~0.35)."""
+    den = nnzr * (f_a + f_m) + (7 * f_a / 2 + 9 * f_m / 2)
+    return 3 * s_d / den
+
+
+def naive_balance(
+    nnzr: float = 13.0,
+    s_d: int = S_D,
+    s_i: int = S_I,
+    f_a: int = F_ADD,
+    f_m: int = F_MUL,
+) -> float:
+    """Code balance of the naive algorithm (13 vector transfers/iter)."""
+    num = nnzr * (s_d + s_i) + 13 * s_d
+    den = nnzr * (f_a + f_m) + (7 * f_a / 2 + 9 * f_m / 2)
+    return num / den

@@ -1,0 +1,107 @@
+"""Energy-to-solution model.
+
+The paper's introduction motivates heterogeneous execution with
+"performance and energy efficiency", and its Ref. [15] (Anzt et al.)
+reports energy results for blocked SpMMV on GPUs. This module adds the
+corresponding first-order model: device power draw (TDP-based, with an
+idle fraction while a device waits), integrated over the modeled solve
+time — enough to rank the solver variants by energy, which is the
+decision the node-hours of Table III already imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.arch import Architecture, NodeConfig, PIZ_DAINT_NODE
+from repro.util.validation import check_positive
+
+#: Thermal design power in watts (vendor specifications).
+DEVICE_TDP_W: dict[str, float] = {
+    "IVB": 95.0,
+    "SNB": 115.0,
+    "K20m": 225.0,
+    "K20X": 235.0,
+    "KNC": 225.0,
+}
+
+#: Share of TDP a device burns while idling in a busy node.
+IDLE_FRACTION = 0.35
+
+#: Non-device node overhead (memory, NIC, blades) in watts.
+NODE_OVERHEAD_W = 100.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Node-level power/energy accounting."""
+
+    node: NodeConfig = PIZ_DAINT_NODE
+    idle_fraction: float = IDLE_FRACTION
+    overhead_w: float = NODE_OVERHEAD_W
+
+    def device_power(self, arch: Architecture, active: bool = True) -> float:
+        """Power draw of one device in watts."""
+        try:
+            tdp = DEVICE_TDP_W[arch.name]
+        except KeyError:
+            raise ValueError(f"no TDP on record for {arch.name!r}") from None
+        return tdp if active else self.idle_fraction * tdp
+
+    def node_power(
+        self, *, cpus_active: bool = True, gpus_active: bool = True
+    ) -> float:
+        """Node power for a given activity pattern, in watts."""
+        p = self.overhead_w
+        p += sum(self.device_power(c, cpus_active) for c in self.node.cpus)
+        p += sum(self.device_power(g, gpus_active) for g in self.node.gpus)
+        return p
+
+    def energy_to_solution_kwh(
+        self,
+        solve_seconds: float,
+        n_nodes: int,
+        *,
+        cpus_active: bool = True,
+        gpus_active: bool = True,
+    ) -> float:
+        """Total cluster energy for one solve, in kWh."""
+        check_positive("n_nodes", n_nodes)
+        if solve_seconds < 0:
+            raise ValueError(f"solve time must be >= 0, got {solve_seconds}")
+        watts = self.node_power(
+            cpus_active=cpus_active, gpus_active=gpus_active
+        )
+        return watts * n_nodes * solve_seconds / 3.6e6
+
+
+def variant_energy_table(
+    domain: tuple[int, int, int] = (6400, 6400, 40),
+    m: int = 2000,
+    r: int = 32,
+) -> list[dict]:
+    """Energy comparison of the Table III solver variants.
+
+    Throughput mode (stage 1) keeps every device powered for >2x the
+    time, so its energy penalty mirrors — and slightly exceeds — its
+    node-hour penalty. Returns one dict per variant.
+    """
+    from repro.dist.scaling_model import ClusterModel
+
+    cm = ClusterModel(r=r)
+    em = EnergyModel(node=cm.node)
+    rows = []
+    for variant, nodes in (
+        ("aug_spmv", 288), ("aug_spmmv*", 1024), ("aug_spmmv", 1024)
+    ):
+        t = cm.solve_time(domain, nodes, m, variant=variant)
+        rows.append(
+            {
+                "variant": variant,
+                "nodes": nodes,
+                "seconds": t,
+                "node_hours": t * nodes / 3600.0,
+                "energy_kwh": em.energy_to_solution_kwh(t, nodes),
+            }
+        )
+    return rows

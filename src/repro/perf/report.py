@@ -1,0 +1,141 @@
+"""Performance-report generation: the paper's analysis as one text blob.
+
+``full_report(...)`` strings together the model pipeline for a given
+problem configuration — Table-I accounting, code balances, per-device
+rooflines, node prediction, cluster prediction — the way a performance
+engineer would write it up. Used by the CLI (``python -m repro report``)
+and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.perf.arch import ARCHITECTURES, PIZ_DAINT_NODE, NodeConfig
+from repro.perf.balance import bmin, bmin_limit, kpm_flops, kpm_min_traffic, naive_balance
+from repro.perf.roofline import (
+    cpu_kernel_performance,
+    custom_roofline,
+    gpu_kernel_performance,
+    node_performance,
+)
+from repro.util.validation import check_positive
+
+
+def architecture_table() -> str:
+    """Paper Table II as text."""
+    out = StringIO()
+    out.write(
+        f"{'device':>8} {'kind':>5} {'clock':>7} {'cores':>6} "
+        f"{'b GB/s':>7} {'LLC MiB':>8} {'peak GF/s':>10}\n"
+    )
+    for arch in ARCHITECTURES.values():
+        out.write(
+            f"{arch.name:>8} {arch.kind:>5} {arch.clock_mhz:>7.0f} "
+            f"{arch.cores:>6} {arch.bandwidth_gbs:>7.1f} "
+            f"{arch.llc_mib:>8.2f} {arch.peak_gflops:>10.1f}\n"
+        )
+    return out.getvalue()
+
+
+def balance_section(n: int, nnzr: float, r: int, m: int) -> str:
+    """Eq. (4)-(7) accounting for the given configuration."""
+    nnz = int(nnzr * n)
+    out = StringIO()
+    out.write(f"problem: N = {n:,}, N_nz = {nnz:,} ({nnzr:.1f}/row), "
+              f"R = {r}, M = {m}\n")
+    out.write(f"total flops:           {kpm_flops(n, nnz, r, m):.3e}\n")
+    for stage in ("naive", "aug_spmv", "aug_spmmv"):
+        v = kpm_min_traffic(n, nnz, r, m, stage)
+        out.write(f"V_KPM[{stage:>9}]:    {v:.3e} bytes\n")
+    out.write(
+        f"code balance: naive {naive_balance(nnzr):.3f}, "
+        f"stage1 {bmin(1, nnzr):.3f}, stage2(R={r}) {bmin(r, nnzr):.3f}, "
+        f"limit {bmin_limit(nnzr):.3f} bytes/flop\n"
+    )
+    return out.getvalue()
+
+
+def device_section(r: int, nnzr: float) -> str:
+    """Per-device roofline predictions for all three stages."""
+    out = StringIO()
+    out.write(f"{'device':>8} {'naive':>8} {'stage1':>8} "
+              f"{'stage2(R)':>10} {'P*_LLC':>8}\n")
+    for arch in ARCHITECTURES.values():
+        if arch.kind == "cpu":
+            vals = [
+                cpu_kernel_performance(arch, s, r)
+                for s in ("naive", "aug_spmv", "aug_spmmv")
+            ]
+            p_llc = custom_roofline(arch, r)["p_llc"]
+        else:
+            vals = [
+                gpu_kernel_performance(arch, s, r)
+                for s in ("naive", "aug_spmv", "aug_spmmv")
+            ]
+            p_llc = float("nan")
+        out.write(
+            f"{arch.name:>8} {vals[0]:>8.1f} {vals[1]:>8.1f} "
+            f"{vals[2]:>10.1f} {p_llc:>8.1f}\n"
+        )
+    return out.getvalue()
+
+
+def node_section(node: NodeConfig, r: int) -> str:
+    """Fig. 11-style node summary."""
+    out = StringIO()
+    out.write(f"node: {node.name} "
+              f"({len(node.cpus)} CPU + {len(node.gpus)} GPU)\n")
+    for stage in ("naive", "aug_spmv", "aug_spmmv"):
+        d = node_performance(node, stage, r)
+        out.write(
+            f"  {stage:>10}: cpu {d['cpu']:7.1f}  gpu {d['gpu']:7.1f}  "
+            f"hetero {d['heterogeneous']:7.1f} Gflop/s "
+            f"(eff {d['parallel_efficiency']:.0%})\n"
+        )
+    return out.getvalue()
+
+
+def cluster_section(domain: tuple[int, int, int], nodes: int, m: int, r: int) -> str:
+    """Fig. 12 / Table III-style cluster prediction."""
+    # local import: repro.dist depends on repro.perf, not vice versa
+    from repro.dist.scaling_model import ClusterModel
+
+    cm = ClusterModel(r=r)
+    out = StringIO()
+    out.write(f"cluster: {nodes} x {cm.node.name} nodes, "
+              f"domain {domain}, M = {m}\n")
+    for variant in ("aug_spmv", "aug_spmmv*", "aug_spmmv"):
+        tf = cm.solve_tflops(domain, nodes, m, variant=variant)
+        nh = cm.node_hours(domain, nodes, m, variant=variant)
+        out.write(f"  {variant:>11}: {tf:8.2f} Tflop/s, "
+                  f"{nh:8.1f} node-hours\n")
+    return out.getvalue()
+
+
+def full_report(
+    *,
+    nx: int = 100,
+    ny: int = 100,
+    nz: int = 40,
+    r: int = 32,
+    m: int = 2000,
+    nodes: int = 64,
+    node: NodeConfig = PIZ_DAINT_NODE,
+) -> str:
+    """The complete model-driven performance analysis as text."""
+    check_positive("nodes", nodes)
+    n = 4 * nx * ny * nz
+    sections = [
+        ("ARCHITECTURES (paper Table II)", architecture_table()),
+        ("ACCOUNTING (paper Table I, Eqs. (4)-(7))",
+         balance_section(n, 13.0, r, m)),
+        ("DEVICE ROOFLINES (paper Figs. 7, 8, 10)", device_section(r, 13.0)),
+        ("NODE LEVEL (paper Fig. 11)", node_section(node, r)),
+        ("CLUSTER (paper Fig. 12, Table III)",
+         cluster_section((nx, ny, nz), nodes, m, r)),
+    ]
+    out = StringIO()
+    for title, body in sections:
+        out.write(f"\n== {title} ==\n{body}")
+    return out.getvalue()

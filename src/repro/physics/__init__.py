@@ -1,0 +1,38 @@
+"""Application substrate: quantum lattice models producing sparse matrices.
+
+The paper's benchmark application is the 3D topological-insulator
+Hamiltonian of Eq. (1) — a complex Hermitian matrix of dimension
+``N = 4 Nx Ny Nz`` with about 13 nonzeros per row, periodic in x and y,
+open in z, optionally decorated with a quantum-dot superlattice potential.
+This subpackage builds that matrix from scratch, plus a graphene
+quantum-dot model (the paper's Refs. [20], [21]) as a second workload.
+"""
+
+from repro.physics.dirac import GAMMA, gamma_matrices, check_clifford
+from repro.physics.lattice import Lattice3D
+from repro.physics.potentials import (
+    zero_potential,
+    dot_superlattice_potential,
+    disorder_potential,
+    single_dot_potential,
+)
+from repro.physics.hamiltonian import (
+    TopologicalInsulatorModel,
+    build_topological_insulator,
+)
+from repro.physics.graphene import GrapheneModel, build_graphene_dot_lattice
+
+__all__ = [
+    "GAMMA",
+    "gamma_matrices",
+    "check_clifford",
+    "Lattice3D",
+    "zero_potential",
+    "dot_superlattice_potential",
+    "disorder_potential",
+    "single_dot_potential",
+    "TopologicalInsulatorModel",
+    "build_topological_insulator",
+    "GrapheneModel",
+    "build_graphene_dot_lattice",
+]

@@ -1,0 +1,50 @@
+"""Sparse-matrix substrate: storage formats and computational kernels.
+
+This subpackage implements, from scratch, everything the paper's KPM solver
+needs from a sparse linear-algebra library:
+
+* :mod:`repro.sparse.csr` — the CRS/CSR format (paper Section IV-A notes
+  CRS ≙ SELL-1 and is the format of choice for SpMMV).
+* :mod:`repro.sparse.sell` — SELL-C-σ (Kreutzer et al., SIAM J. Sci.
+  Comput. 36(5), 2014), the unified CPU/GPU format, with chunk height C,
+  sorting scope σ, and padding efficiency β.
+* :mod:`repro.sparse.blas1` — the BLAS level-1 calls of the naive
+  algorithm (paper Fig. 3) with byte/flop accounting per paper Table I.
+* :mod:`repro.sparse.spmv` — sparse matrix–(multiple-)vector products.
+* :mod:`repro.sparse.fused` — the paper's contribution at kernel level:
+  the augmented SpMV (optimization stage 1, Fig. 4) and augmented SpMMV
+  (optimization stage 2, Fig. 5) with on-the-fly shift/scale/dot fusion.
+"""
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.sell import SellMatrix
+from repro.sparse.blas1 import axpy, scal, dot, nrm2_sq
+from repro.sparse.spmv import spmv, spmmv
+from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.stats import analyze, stencil_reuse_rows, row_length_histogram
+from repro.sparse.fused import (
+    naive_kpm_step,
+    aug_spmv_step,
+    aug_spmmv_step,
+    aug_spmmv_nodot_step,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "SellMatrix",
+    "axpy",
+    "scal",
+    "dot",
+    "nrm2_sq",
+    "spmv",
+    "spmmv",
+    "naive_kpm_step",
+    "aug_spmv_step",
+    "aug_spmmv_step",
+    "aug_spmmv_nodot_step",
+    "read_matrix_market",
+    "write_matrix_market",
+    "analyze",
+    "stencil_reuse_rows",
+    "row_length_histogram",
+]

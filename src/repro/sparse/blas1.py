@@ -1,0 +1,76 @@
+"""BLAS level-1 kernels of the naive KPM algorithm (paper Fig. 3).
+
+Each function charges the *minimum* data traffic and flop count of paper
+Table I to an optional :class:`~repro.util.counters.PerfCounters`:
+
+=========  =====================  ==========================
+function   min. bytes per call     flops per call
+=========  =====================  ==========================
+axpy       3 N S_d                N (F_a + F_m)
+scal       2 N S_d                N F_m
+nrm2       N S_d                  N (F_a/2 + F_m/2)
+dot        2 N S_d                N (F_a + F_m)
+=========  =====================  ==========================
+
+These are the building blocks the optimized kernels in
+:mod:`repro.sparse.fused` make redundant: running the naive algorithm
+through these functions transfers the 13 N S_d vector bytes per inner
+iteration that optimization stage 1 cuts to 3 N S_d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import F_ADD, F_MUL, S_D
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+
+
+def axpy(
+    y: np.ndarray,
+    alpha: complex,
+    x: np.ndarray,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> np.ndarray:
+    """In-place ``y += alpha * x``; returns ``y``."""
+    n = y.shape[0]
+    y += alpha * x
+    counters.charge(
+        "axpy", loads=2 * n * S_D, stores=n * S_D, flops=n * (F_ADD + F_MUL)
+    )
+    return y
+
+
+def scal(
+    alpha: complex,
+    x: np.ndarray,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> np.ndarray:
+    """In-place ``x *= alpha``; returns ``x``."""
+    n = x.shape[0]
+    x *= alpha
+    counters.charge("scal", loads=n * S_D, stores=n * S_D, flops=n * F_MUL)
+    return x
+
+
+def dot(
+    x: np.ndarray,
+    y: np.ndarray,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> complex:
+    """Conjugated inner product ``<x|y> = sum(conj(x) * y)``."""
+    n = x.shape[0]
+    counters.charge("dot", loads=2 * n * S_D, flops=n * (F_ADD + F_MUL))
+    return complex(np.vdot(x, y))
+
+
+def nrm2_sq(
+    x: np.ndarray,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> float:
+    """Squared 2-norm ``<x|x>`` (the paper's eta_2m = <v|v>)."""
+    n = x.shape[0]
+    counters.charge(
+        "nrm2", loads=n * S_D, flops=n * (F_ADD // 2 + F_MUL // 2)
+    )
+    return float(np.vdot(x, x).real)

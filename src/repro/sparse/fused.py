@@ -1,0 +1,214 @@
+"""The paper's kernel-level contribution: augmented (fused) SpMV/SpMMV.
+
+Three inner-iteration kernels, one per optimization stage:
+
+* :func:`naive_kpm_step` — paper Fig. 3: one SpMV plus five BLAS-1 calls,
+  13 N S_d of vector traffic per iteration (Table I).
+* :func:`aug_spmv_step` — paper Fig. 4, optimization stage 1: shift,
+  scale, recombination, and both scalar products fused into one kernel;
+  vector traffic down to 3 N S_d.
+* :func:`aug_spmmv_step` — paper Fig. 5, optimization stage 2: the
+  augmented SpMMV over a row-major block vector of width R; the matrix is
+  streamed once per iteration instead of once per (iteration, vector).
+
+All kernels compute, in the storage of ``w``/``W``,
+
+    w_new = 2 a (H - b 1) v - w                                (Eq. (3))
+
+and return the two KPM scalar products of the iteration,
+
+    eta_even = <v|v>,     eta_odd = <w_new|v>.
+
+The caller swaps the roles of ``v`` and ``w`` afterwards (the paper's
+"swap" is likewise just a pointer exchange).
+
+In NumPy, "fusion" cannot reach single-pass machine code, but it still
+eliminates whole array traversals and temporaries relative to the naive
+BLAS-1 chain, so the stage-1/stage-2 speedups are genuinely measurable
+here (see ``benchmarks/bench_kernels_measured.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.blas1 import axpy, dot, nrm2_sq, scal
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.sell import SellMatrix
+from repro.sparse.spmv import spmv, spmmv
+from repro.util.constants import DTYPE, F_ADD, F_MUL, S_D, S_I
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.validation import check_block_vector, check_vector
+
+#: Per-row flops of one full KPM inner iteration beyond the SpMV part:
+#: the paper's 7 F_a/2 + 9 F_m/2 (Table I, "KPM" row).
+_ROW_FLOPS = 7 * F_ADD // 2 + 9 * F_MUL // 2
+
+
+def _slots(A) -> int:
+    """Streamed matrix slots: nnz for CSR, padded slots for SELL."""
+    return A.stored_slots if isinstance(A, SellMatrix) else A.nnz
+
+
+def naive_kpm_step(
+    A: CSRMatrix | SellMatrix,
+    v: np.ndarray,
+    w: np.ndarray,
+    a: float,
+    b: float,
+    scratch: np.ndarray | None = None,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> tuple[float, complex]:
+    """One inner iteration of the *naive* algorithm (paper Fig. 3).
+
+    Every operation is a separate library call with its own pass over the
+    vectors::
+
+        u <- H v            (spmv)
+        u <- u - b v        (axpy)
+        w <- -w             (scal)
+        w <- w + 2a u       (axpy)
+        eta_even <- <v|v>   (nrm2)
+        eta_odd  <- <w|v>   (dot)
+    """
+    n = A.n_rows
+    v = check_vector("v", v, n)
+    w = check_vector("w", w, n)
+    u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
+    spmv(A, v, out=u, counters=counters)
+    axpy(u, -b, v, counters=counters)
+    scal(-1.0, w, counters=counters)
+    axpy(w, 2.0 * a, u, counters=counters)
+    eta_even = nrm2_sq(v, counters=counters)
+    eta_odd = dot(w, v, counters=counters)
+    return eta_even, eta_odd
+
+
+def aug_spmv_step(
+    A: CSRMatrix | SellMatrix,
+    v: np.ndarray,
+    w: np.ndarray,
+    a: float,
+    b: float,
+    scratch: np.ndarray | None = None,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> tuple[float, complex]:
+    """Optimization stage 1 (paper Fig. 4): the augmented SpMV.
+
+    Shift, scale, recombination and both dot products are charged as a
+    single kernel touching each of v and w once:
+    ``N_nz (S_d+S_i) + 3 N S_d`` bytes per call.
+    """
+    n = A.n_rows
+    v = check_vector("v", v, n)
+    w = check_vector("w", w, n)
+    u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
+    spmv(A, v, out=u, counters=NULL_COUNTERS)
+    two_a = 2.0 * a
+    w *= -1.0
+    w += two_a * u
+    w -= (two_a * b) * v
+    eta_even = float(np.vdot(v, v).real)
+    eta_odd = complex(np.vdot(w, v))
+    slots = _slots(A)
+    counters.charge(
+        "aug_spmv",
+        loads=slots * (S_D + S_I) + 2 * n * S_D,
+        stores=n * S_D,
+        flops=slots * (F_ADD + F_MUL) + n * _ROW_FLOPS,
+    )
+    return eta_even, eta_odd
+
+
+def aug_spmmv_step(
+    A: CSRMatrix | SellMatrix,
+    V: np.ndarray,
+    W: np.ndarray,
+    a: float,
+    b: float,
+    scratch: np.ndarray | None = None,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Optimization stage 2 (paper Fig. 5): the augmented SpMMV.
+
+    ``V`` and ``W`` are row-major (interleaved) block vectors of shape
+    (N, R). Returns the per-column scalar products
+    ``eta_even[R] = colwise <V|V>`` and ``eta_odd[R] = colwise <W_new|V>``.
+
+    Charged traffic: ``N_nz (S_d+S_i) + 3 R N S_d`` bytes per call —
+    Eq. (4)'s final line divided by the M/2 iterations.
+    """
+    n = A.n_rows
+    V = check_block_vector("V", V, n)
+    W = check_block_vector("W", W, n, V.shape[1])
+    r = V.shape[1]
+    U = scratch if scratch is not None else np.empty((n, r), dtype=DTYPE)
+    spmmv(A, V, out=U, counters=NULL_COUNTERS)
+    two_a = 2.0 * a
+    W *= -1.0
+    W += two_a * U
+    W -= (two_a * b) * V
+    eta_even = np.einsum("nr,nr->r", np.conj(V), V).real.copy()
+    eta_odd = np.einsum("nr,nr->r", np.conj(W), V)
+    slots = _slots(A)
+    counters.charge(
+        "aug_spmmv",
+        loads=slots * (S_D + S_I) + 2 * r * n * S_D,
+        stores=r * n * S_D,
+        flops=r * (slots * (F_ADD + F_MUL) + n * _ROW_FLOPS),
+    )
+    return eta_even, eta_odd
+
+
+def aug_spmmv_nodot_step(
+    A: CSRMatrix | SellMatrix,
+    V: np.ndarray,
+    W: np.ndarray,
+    a: float,
+    b: float,
+    scratch: np.ndarray | None = None,
+    counters: PerfCounters = NULL_COUNTERS,
+) -> None:
+    """Augmented SpMMV *without* on-the-fly dot products.
+
+    This is kernel (b) of the paper's GPU bottleneck study (Fig. 10): the
+    recurrence update is fused but the scalar products are left to separate
+    (and separately charged) reduction kernels. Used by the performance
+    benches to isolate the cost of the in-kernel reductions.
+    """
+    n = A.n_rows
+    V = check_block_vector("V", V, n)
+    W = check_block_vector("W", W, n, V.shape[1])
+    r = V.shape[1]
+    U = scratch if scratch is not None else np.empty((n, r), dtype=DTYPE)
+    spmmv(A, V, out=U, counters=NULL_COUNTERS)
+    two_a = 2.0 * a
+    W *= -1.0
+    W += two_a * U
+    W -= (two_a * b) * V
+    slots = _slots(A)
+    counters.charge(
+        "aug_spmmv_nodot",
+        loads=slots * (S_D + S_I) + 2 * r * n * S_D,
+        stores=r * n * S_D,
+        flops=r
+        * (
+            slots * (F_ADD + F_MUL)
+            + n * (3 * F_ADD + 3 * F_MUL + F_MUL)  # update only, no dots
+        ),
+    )
+
+
+def block_dots(
+    V: np.ndarray, W: np.ndarray, counters: PerfCounters = NULL_COUNTERS
+) -> tuple[np.ndarray, np.ndarray]:
+    """Separate column-wise <V|V> and <W|V> for the no-dot kernel variant."""
+    n, r = V.shape
+    eta_even = np.einsum("nr,nr->r", np.conj(V), V).real.copy()
+    eta_odd = np.einsum("nr,nr->r", np.conj(W), V)
+    counters.charge(
+        "block_dots",
+        loads=3 * n * r * S_D,
+        flops=r * n * (F_ADD + F_MUL + F_ADD // 2 + F_MUL // 2),
+    )
+    return eta_even, eta_odd

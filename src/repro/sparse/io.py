@@ -1,0 +1,121 @@
+"""Matrix import/export: MatrixMarket coordinate format.
+
+Downstream users of the original GHOST library feed matrices from disk;
+this module provides the same capability with the standard MatrixMarket
+(.mtx) exchange format — enough to round-trip every matrix this package
+produces (complex/real general/hermitian/symmetric, coordinate layout).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import FormatError
+
+_FIELDS = {"real", "complex", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "hermitian", "skew-symmetric"}
+
+
+def write_matrix_market(
+    A: CSRMatrix,
+    path: str | Path,
+    *,
+    symmetry: str = "general",
+    comment: str = "",
+) -> None:
+    """Write ``A`` in MatrixMarket coordinate format.
+
+    ``symmetry='hermitian'`` stores only the lower triangle (including
+    the diagonal) and is only valid for Hermitian matrices — the usual
+    compact form for the TI Hamiltonian.
+    """
+    if symmetry not in ("general", "hermitian", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+    rows = np.repeat(np.arange(A.n_rows), A.nnz_per_row)
+    cols = A.indices.astype(np.int64)
+    vals = A.data
+    if symmetry in ("hermitian", "symmetric"):
+        if A.n_rows != A.n_cols:
+            raise FormatError(f"{symmetry} output requires a square matrix")
+        keep = rows >= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    is_complex = bool(np.abs(vals.imag).max()) if vals.size else False
+    field = "complex" if is_complex else "real"
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} {symmetry}\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{A.n_rows} {A.n_cols} {rows.size}\n")
+        if is_complex:
+            for r, c, v in zip(rows.tolist(), cols.tolist(), vals):
+                fh.write(f"{r + 1} {c + 1} {v.real:.17g} {v.imag:.17g}\n")
+        else:
+            for r, c, v in zip(rows.tolist(), cols.tolist(), vals.real):
+                fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+
+
+def read_matrix_market(path: str | Path) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`CSRMatrix`.
+
+    Symmetric/Hermitian/skew-symmetric storage is expanded to the full
+    matrix; ``pattern`` entries become 1.0.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline()
+        parts = header.strip().split()
+        if (
+            len(parts) != 5
+            or parts[0] != "%%MatrixMarket"
+            or parts[1].lower() != "matrix"
+            or parts[2].lower() != "coordinate"
+        ):
+            raise FormatError(f"not a MatrixMarket coordinate file: {header!r}")
+        field = parts[3].lower()
+        symmetry = parts[4].lower()
+        if field not in _FIELDS:
+            raise FormatError(f"unknown field {field!r}")
+        if symmetry not in _SYMMETRIES:
+            raise FormatError(f"unknown symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%") or not line.strip():
+            line = fh.readline()
+        try:
+            n_rows, n_cols, nnz = (int(t) for t in line.split())
+        except ValueError:
+            raise FormatError(f"bad size line: {line!r}") from None
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.complex128)
+        for i in range(nnz):
+            toks = fh.readline().split()
+            if len(toks) < 2:
+                raise FormatError(f"truncated file at entry {i}")
+            rows[i] = int(toks[0]) - 1
+            cols[i] = int(toks[1]) - 1
+            if field == "pattern":
+                vals[i] = 1.0
+            elif field == "complex":
+                vals[i] = float(toks[2]) + 1j * float(toks[3])
+            else:
+                vals[i] = float(toks[2])
+
+    if symmetry != "general":
+        off = rows != cols
+        mr, mc, mv = cols[off], rows[off], vals[off]
+        if symmetry == "hermitian":
+            mv = np.conj(mv)
+        elif symmetry == "skew-symmetric":
+            mv = -mv
+        rows = np.concatenate([rows, mr])
+        cols = np.concatenate([cols, mc])
+        vals = np.concatenate([vals, mv])
+    return CSRMatrix.from_coo(rows, cols, vals, (n_rows, n_cols),
+                              sum_duplicates=False)

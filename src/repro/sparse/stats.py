@@ -1,0 +1,109 @@
+"""Sparsity-structure analysis.
+
+The paper characterizes the TI matrix structurally: "the presence of
+several sub-diagonals", "periodic boundary conditions in the x and y
+directions lead to outlying diagonals in the matrix corners", "the
+matrix is a stencil but not a band matrix". These diagnostics make those
+statements checkable on any matrix, and they feed the cache-pressure
+model (stencil reuse span) in :mod:`repro.perf.traffic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class MatrixStats:
+    """Structural summary of a sparse matrix."""
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    nnzr_mean: float
+    nnzr_min: int
+    nnzr_max: int
+    bandwidth: int
+    #: offsets (col - row) that carry at least ``diag_threshold`` of the
+    #: rows, sorted by descending population — the matrix "diagonals".
+    diagonals: list[int] = field(default_factory=list)
+    #: fraction of nnz on the listed diagonals
+    diagonal_coverage: float = 0.0
+    #: True when *partial* diagonals are present — diagonals populated on
+    #: well under the full row count, the signature of periodic-boundary
+    #: wrap-around terms ("outlying diagonals in the matrix corners",
+    #: paper Sec. I-B): a wrap along an axis of extent L populates only
+    #: N/L rows of its diagonal.
+    has_corner_entries: bool = False
+
+    @property
+    def is_stencil_like(self) -> bool:
+        """Most entries on a handful of diagonals, but not a band matrix
+        (corner wrap entries present) — the paper's description."""
+        return self.diagonal_coverage > 0.9 and len(self.diagonals) < 64
+
+
+def analyze(A: CSRMatrix, diag_threshold: float = 0.05) -> MatrixStats:
+    """Compute structural statistics of ``A``.
+
+    ``diag_threshold``: minimum fraction of rows a (col-row) offset must
+    populate to count as a diagonal.
+    """
+    rows = np.repeat(np.arange(A.n_rows), A.nnz_per_row)
+    offsets = A.indices.astype(np.int64) - rows
+    per_row = A.nnz_per_row
+    if A.nnz:
+        uniq, counts = np.unique(offsets, return_counts=True)
+        order = np.argsort(-counts)
+        keep = counts[order] >= diag_threshold * A.n_rows
+        diagonals = uniq[order][keep].tolist()
+        kept_counts = counts[order][keep]
+        coverage = float(kept_counts.sum() / A.nnz)
+        bandwidth = int(np.abs(offsets).max())
+        # wrap diagonals are populated on only ~N/L rows, far below the
+        # dominant (full) diagonals
+        corner = bool(
+            kept_counts.size
+            and np.any(kept_counts <= 0.6 * kept_counts.max())
+        )
+    else:
+        diagonals, coverage, bandwidth, corner = [], 0.0, 0, False
+    return MatrixStats(
+        n_rows=A.n_rows,
+        n_cols=A.n_cols,
+        nnz=A.nnz,
+        nnzr_mean=A.nnzr,
+        nnzr_min=int(per_row.min()) if A.n_rows else 0,
+        nnzr_max=int(per_row.max()) if A.n_rows else 0,
+        bandwidth=bandwidth,
+        diagonals=diagonals,
+        diagonal_coverage=coverage,
+        has_corner_entries=corner,
+    )
+
+
+def stencil_reuse_rows(A: CSRMatrix, quantile: float = 0.98) -> float:
+    """Row span over which input-vector entries are reused.
+
+    For a stencil matrix, row i gathers x entries within
+    ``[i - span, i + span]``; the reuse window that must stay cached for
+    Omega ~ 1 is ``2 * span`` rows. Returns the ``quantile`` of |col-row|
+    (robust to the few periodic wrap entries), times 2. This is the
+    ``stencil_rows`` parameter of
+    :func:`repro.perf.traffic.omega_parametric`.
+    """
+    if A.nnz == 0:
+        return 0.0
+    rows = np.repeat(np.arange(A.n_rows), A.nnz_per_row)
+    offsets = np.abs(A.indices.astype(np.int64) - rows)
+    return 2.0 * float(np.quantile(offsets, quantile))
+
+
+def row_length_histogram(A: CSRMatrix) -> dict[int, int]:
+    """Histogram {row length: count} — the SELL padding driver."""
+    lengths, counts = np.unique(A.nnz_per_row, return_counts=True)
+    return {int(l): int(c) for l, c in zip(lengths, counts)}

@@ -1,0 +1,54 @@
+"""Datatype and flop-cost constants used throughout the paper's analysis.
+
+The paper (Section III) parameterizes all traffic/flop accounting by
+
+* ``S_d`` — size in bytes of one matrix/vector data element,
+* ``S_i`` — size in bytes of one matrix index element,
+* ``F_a`` — flops per (complex) addition,
+* ``F_m`` — flops per (complex) multiplication.
+
+For the topological-insulator application the matrix and vectors are complex
+double precision, hence ``S_d = 16``; kernels index with 4-byte integers,
+hence ``S_i = 4``; complex arithmetic costs ``F_a = 2`` and ``F_m = 6``
+real flops (paper Section III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes per complex double-precision data element (paper: S_d).
+S_D: int = 16
+
+#: Bytes per (local, in-kernel) integer index element (paper: S_i).
+S_I: int = 4
+
+#: Real flops per complex addition (paper: F_a).
+F_ADD: int = 2
+
+#: Real flops per complex multiplication (paper: F_m).
+F_MUL: int = 6
+
+#: NumPy dtype of all matrix and vector data.
+DTYPE = np.complex128
+
+#: NumPy dtype of in-kernel column indices (4-byte as in the paper's kernels).
+IDTYPE = np.int32
+
+#: 1 GB in bytes (decimal, as used for bandwidth figures in the paper).
+BYTES_PER_GB: float = 1.0e9
+
+
+def element_size(dtype=DTYPE) -> int:
+    """Return the size in bytes of one element of ``dtype``."""
+    return np.dtype(dtype).itemsize
+
+
+def flops_per_cmul(dtype=DTYPE) -> int:
+    """Flops for one multiplication in ``dtype`` (6 complex, 1 real)."""
+    return F_MUL if np.issubdtype(np.dtype(dtype), np.complexfloating) else 1
+
+
+def flops_per_cadd(dtype=DTYPE) -> int:
+    """Flops for one addition in ``dtype`` (2 complex, 1 real)."""
+    return F_ADD if np.issubdtype(np.dtype(dtype), np.complexfloating) else 1

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of ``repro`` with a single except clause while
+still being able to distinguish failure classes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape, dtype, or layout."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse-matrix container is malformed (bad indptr, indices, ...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure (e.g. Lanczos bounds) failed to converge."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A row partition is invalid (non-contiguous, wrong total, bad weights)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A hardware/distributed simulation entered an inconsistent state."""

@@ -1,0 +1,55 @@
+"""Lightweight wall-clock timing helpers for benchmarks and examples."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch that accumulates over repeated entries.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        lap = time.perf_counter() - self._t0
+        self.elapsed += lap
+        self.laps.append(lap)
+
+    @property
+    def mean(self) -> float:
+        """Mean lap time (0.0 if never entered)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    @property
+    def best(self) -> float:
+        """Fastest lap time (inf if never entered)."""
+        return min(self.laps) if self.laps else float("inf")
+
+    def reset(self) -> None:
+        """Clear accumulated time and laps."""
+        self.elapsed = 0.0
+        self.laps.clear()
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Convert a flop count and duration to Gflop/s (0 if seconds<=0)."""
+    if seconds <= 0:
+        return 0.0
+    return flops / seconds / 1.0e9

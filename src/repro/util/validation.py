@@ -1,0 +1,53 @@
+"""Argument-validation helpers producing consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value, lo, hi) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_vector(name: str, v: np.ndarray, n: int) -> np.ndarray:
+    """Validate that ``v`` is a 1-D array of length ``n``; return it."""
+    v = np.asarray(v)
+    if v.ndim != 1 or v.shape[0] != n:
+        raise ShapeError(f"{name} must be a 1-D array of length {n}, got shape {v.shape}")
+    return v
+
+
+def check_block_vector(name: str, v: np.ndarray, n: int, r: int | None = None) -> np.ndarray:
+    """Validate that ``v`` is an (n, R) row-major block vector; return it.
+
+    The paper stores block vectors interleaved (row-major) so that the R
+    entries of one matrix row are contiguous (Section IV-A). We enforce
+    C-contiguity here because the fused kernels rely on that layout for
+    their locality advantage.
+    """
+    v = np.asarray(v)
+    if v.ndim != 2 or v.shape[0] != n:
+        raise ShapeError(
+            f"{name} must be a 2-D (n={n}, R) block vector, got shape {v.shape}"
+        )
+    if r is not None and v.shape[1] != r:
+        raise ShapeError(f"{name} must have R={r} columns, got {v.shape[1]}")
+    if not v.flags.c_contiguous:
+        raise ShapeError(f"{name} must be C-contiguous (row-major / interleaved)")
+    return v

@@ -1,0 +1,40 @@
+"""Shared fixtures: small reference matrices and RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics import build_topological_insulator
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_hermitian_dense(rng, n: int, density: float = 0.25) -> np.ndarray:
+    """A random complex Hermitian matrix with ~``density`` fill."""
+    mask = rng.random((n, n)) < density
+    d = (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))) * mask
+    return d + d.conj().T
+
+
+@pytest.fixture
+def small_hermitian(rng):
+    """A 40x40 random Hermitian CSR matrix plus its dense counterpart."""
+    dense = random_hermitian_dense(rng, 40)
+    return CSRMatrix.from_dense(dense), dense
+
+
+@pytest.fixture(scope="session")
+def ti_small():
+    """A small TI Hamiltonian (N = 480) with its model (session-cached)."""
+    return build_topological_insulator(6, 5, 4)
+
+
+@pytest.fixture(scope="session")
+def ti_periodic():
+    """A fully periodic TI Hamiltonian: every row has exactly 13 nonzeros."""
+    return build_topological_insulator(4, 4, 4, pbc=(True, True, True))

@@ -1,0 +1,97 @@
+"""Adaptive trace estimation and resolution planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    adaptive_trace_moments,
+    moments_for_resolution,
+    resolution_for_moments,
+)
+from repro.core.moments import compute_dos_moments
+from repro.core.scaling import SpectralScale, lanczos_scale
+from repro.core.stochastic import make_block_vector
+
+
+class TestResolutionPlanning:
+    def test_roundtrip(self):
+        scale = SpectralScale.from_bounds(-5, 5)
+        m = moments_for_resolution(scale, 0.01)
+        assert resolution_for_moments(scale, m) <= 0.0101
+
+    def test_even(self):
+        scale = SpectralScale.from_bounds(-1, 1)
+        for de in (0.3, 0.01, 0.004):
+            assert moments_for_resolution(scale, de) % 2 == 0
+
+    def test_wider_spectrum_needs_more_moments(self):
+        narrow = SpectralScale.from_bounds(-1, 1)
+        wide = SpectralScale.from_bounds(-10, 10)
+        assert moments_for_resolution(wide, 0.05) > moments_for_resolution(
+            narrow, 0.05
+        )
+
+    def test_validation(self):
+        scale = SpectralScale.from_bounds(-1, 1)
+        with pytest.raises(ValueError):
+            moments_for_resolution(scale, 0.0)
+        with pytest.raises(ValueError):
+            resolution_for_moments(scale, 0)
+
+
+class TestAdaptiveTrace:
+    @pytest.fixture(scope="class")
+    def system(self):
+        from repro.physics import build_topological_insulator
+
+        h, _ = build_topological_insulator(6, 6, 3)
+        return h, lanczos_scale(h, seed=0)
+
+    def test_converges_with_loose_tolerance(self, system):
+        h, scale = system
+        res = adaptive_trace_moments(
+            h, scale, 16, rel_tol=0.05, batch=8, max_vectors=128, seed=1
+        )
+        assert res.converged
+        assert res.n_vectors <= 128
+        assert res.relative_error() <= 0.05
+        assert res.moments[0] == pytest.approx(h.n_rows, rel=0.05)
+
+    def test_gives_up_at_max_vectors(self, system):
+        h, scale = system
+        res = adaptive_trace_moments(
+            h, scale, 16, rel_tol=1e-9, batch=4, max_vectors=8, seed=1
+        )
+        assert not res.converged
+        assert res.n_vectors == 8
+        assert res.batches == 2
+
+    def test_matches_fixed_r_estimate(self, system):
+        """The adaptive estimate is an ordinary R-vector average."""
+        h, scale = system
+        res = adaptive_trace_moments(
+            h, scale, 8, rel_tol=1e-12, batch=16, max_vectors=16, seed=5
+        )
+        # same moments magnitude as a direct run with comparable R
+        direct = compute_dos_moments(
+            h, scale, 8, make_block_vector(h.n_rows, 16, seed=99)
+        )
+        assert res.moments[0] == pytest.approx(direct[0], rel=1e-9)
+        assert np.allclose(res.moments[1:], direct[1:], atol=0.2 * h.n_rows)
+
+    def test_tighter_tolerance_uses_more_vectors(self, system):
+        h, scale = system
+        loose = adaptive_trace_moments(
+            h, scale, 16, rel_tol=0.05, batch=4, max_vectors=256, seed=3
+        )
+        tight = adaptive_trace_moments(
+            h, scale, 16, rel_tol=0.01, batch=4, max_vectors=256, seed=3
+        )
+        assert tight.n_vectors >= loose.n_vectors
+
+    def test_validation(self, system):
+        h, scale = system
+        with pytest.raises(ValueError):
+            adaptive_trace_moments(h, scale, 8, rel_tol=0.0)
+        with pytest.raises(ValueError):
+            adaptive_trace_moments(h, scale, 8, batch=0)

@@ -1,0 +1,105 @@
+"""Checkpoint/restart of the stage-2 moment computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import KpmCheckpoint, checkpointed_eta
+from repro.core.moments import compute_eta
+from repro.core.scaling import lanczos_scale
+from repro.core.stochastic import make_block_vector
+from repro.util.errors import FormatError
+
+
+@pytest.fixture(scope="module")
+def system():
+    from repro.physics import build_topological_insulator
+
+    h, _ = build_topological_insulator(5, 5, 3)
+    scale = lanczos_scale(h, seed=0)
+    blk = make_block_vector(h.n_rows, 3, seed=1)
+    ref = compute_eta(h, scale, 32, blk, "aug_spmmv")
+    return h, scale, blk, ref
+
+
+class TestEquivalence:
+    def test_no_checkpointing_matches_engine(self, system):
+        h, scale, blk, ref = system
+        eta = checkpointed_eta(h, scale, 32, blk)
+        assert np.allclose(eta, ref, atol=0)
+
+    def test_resume_is_bit_exact(self, system, tmp_path):
+        h, scale, blk, ref = system
+        ck_path = tmp_path / "state.npz"
+        # run to completion with periodic checkpoints; the last checkpoint
+        # freezes the state a few iterations before the end
+        full = checkpointed_eta(
+            h, scale, 32, blk, checkpoint_every=5, checkpoint_path=ck_path
+        )
+        assert np.allclose(full, ref, atol=0)
+        # resume from the saved state and finish again
+        resumed = checkpointed_eta(
+            h, scale, 32, blk, resume_from=ck_path
+        )
+        assert np.array_equal(resumed[:, -2:], full[:, -2:])
+        assert np.allclose(resumed, ref, atol=0)
+
+    def test_roundtrip_object(self, system, tmp_path):
+        h, scale, blk, _ = system
+        p = tmp_path / "s.npz"
+        checkpointed_eta(
+            h, scale, 16, blk, checkpoint_every=3, checkpoint_path=p
+        )
+        ck = KpmCheckpoint.load(p)
+        assert ck.n_moments == 16
+        assert ck.v.shape == blk.shape
+        ck.save(tmp_path / "s2.npz")
+        ck2 = KpmCheckpoint.load(tmp_path / "s2.npz")
+        assert np.array_equal(ck.v, ck2.v)
+        assert ck.next_m == ck2.next_m
+
+
+class TestValidation:
+    def test_moment_count_mismatch(self, system, tmp_path):
+        h, scale, blk, _ = system
+        p = tmp_path / "s.npz"
+        checkpointed_eta(
+            h, scale, 16, blk, checkpoint_every=2, checkpoint_path=p
+        )
+        with pytest.raises(FormatError, match="M="):
+            checkpointed_eta(h, scale, 32, blk, resume_from=p)
+
+    def test_scale_mismatch(self, system, tmp_path):
+        from repro.core.scaling import SpectralScale
+
+        h, scale, blk, _ = system
+        p = tmp_path / "s.npz"
+        checkpointed_eta(
+            h, scale, 16, blk, checkpoint_every=2, checkpoint_path=p
+        )
+        other = SpectralScale.from_bounds(-100, 100)
+        with pytest.raises(FormatError, match="spectral map"):
+            checkpointed_eta(h, other, 16, blk, resume_from=p)
+
+    def test_checkpoint_needs_path(self, system):
+        h, scale, blk, _ = system
+        with pytest.raises(ValueError):
+            checkpointed_eta(h, scale, 16, blk, checkpoint_every=2)
+
+    def test_odd_moments_rejected(self, system):
+        h, scale, blk, _ = system
+        with pytest.raises(ValueError):
+            checkpointed_eta(h, scale, 15, blk)
+
+    def test_version_guard(self, system, tmp_path):
+        h, scale, blk, _ = system
+        p = tmp_path / "s.npz"
+        checkpointed_eta(
+            h, scale, 16, blk, checkpoint_every=2, checkpoint_path=p
+        )
+        # corrupt the version field
+        with np.load(p) as data:
+            bad = {k: data[k] for k in data.files}
+        bad["version"] = np.array(99)
+        np.savez_compressed(p, **bad)
+        with pytest.raises(FormatError, match="version"):
+            KpmCheckpoint.load(p)

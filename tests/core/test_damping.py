@@ -1,0 +1,81 @@
+"""Damping-kernel coefficient properties."""
+
+import numpy as np
+import pytest
+
+from repro.core.damping import (
+    dirichlet_kernel,
+    get_kernel,
+    jackson_kernel,
+    lorentz_kernel,
+)
+
+
+class TestJackson:
+    def test_g0_is_one(self):
+        for m in (8, 64, 501):
+            assert jackson_kernel(m)[0] == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        g = jackson_kernel(128)
+        assert np.all(np.diff(g) < 0)
+
+    def test_positive(self):
+        assert np.all(jackson_kernel(256) > 0)
+
+    def test_last_coefficient_small(self):
+        g = jackson_kernel(512)
+        assert g[-1] < 0.01
+
+    def test_resolution_improves_with_m(self):
+        """Higher M keeps more of the high harmonics: g_m(M) grows in M."""
+        g1 = jackson_kernel(64)
+        g2 = jackson_kernel(256)
+        assert g2[32] > g1[32]
+
+
+class TestLorentz:
+    def test_g0_is_one(self):
+        assert lorentz_kernel(100)[0] == pytest.approx(1.0)
+
+    def test_lambda_controls_damping(self):
+        soft = lorentz_kernel(100, lam=2.0)
+        hard = lorentz_kernel(100, lam=6.0)
+        assert np.all(soft[1:] >= hard[1:])
+
+    def test_positive_decreasing(self):
+        g = lorentz_kernel(64)
+        assert np.all(g > 0)
+        assert np.all(np.diff(g) < 0)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            lorentz_kernel(10, lam=0.0)
+
+
+class TestDirichlet:
+    def test_all_ones(self):
+        assert np.all(dirichlet_kernel(33) == 1.0)
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["jackson", "lorentz", "dirichlet", "none"])
+    def test_known_kernels(self, name):
+        g = get_kernel(name, 16)
+        assert g.shape == (16,)
+
+    def test_case_insensitive(self):
+        assert np.allclose(get_kernel("Jackson", 8), jackson_kernel(8))
+
+    def test_kwargs_forwarded(self):
+        assert np.allclose(
+            get_kernel("lorentz", 8, lam=3.0), lorentz_kernel(8, lam=3.0)
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("fejer", 8)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            jackson_kernel(0)

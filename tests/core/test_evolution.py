@@ -1,0 +1,133 @@
+"""Chebyshev time evolution."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.core.evolution import (
+    autocorrelation,
+    chebyshev_expansion_order,
+    evolve,
+)
+from repro.core.scaling import lanczos_scale
+from repro.sparse.sell import SellMatrix
+from repro.util.counters import PerfCounters
+
+
+@pytest.fixture(scope="module")
+def system():
+    from repro.physics import build_topological_insulator
+
+    h, _ = build_topological_insulator(4, 4, 3)
+    scale = lanczos_scale(h, seed=0)
+    rng = np.random.default_rng(7)
+    psi0 = rng.normal(size=h.n_rows) + 1j * rng.normal(size=h.n_rows)
+    psi0 /= np.linalg.norm(psi0)
+    return h, scale, psi0, h.to_dense()
+
+
+class TestAgainstDenseExpm:
+    @pytest.mark.parametrize("t", [0.0, 0.3, 2.0, 7.5])
+    def test_forward(self, system, t):
+        h, scale, psi0, dense = system
+        ref = expm(-1j * dense * t) @ psi0
+        assert np.allclose(evolve(h, scale, psi0, t), ref, atol=1e-10)
+
+    def test_backward(self, system):
+        h, scale, psi0, dense = system
+        ref = expm(1j * dense * 1.7) @ psi0
+        assert np.allclose(evolve(h, scale, psi0, -1.7), ref, atol=1e-10)
+
+    def test_blocked_equals_columnwise(self, system):
+        h, scale, psi0, dense = system
+        block = np.ascontiguousarray(
+            np.column_stack([psi0, np.roll(psi0, 5), psi0 * 1j])
+        )
+        out = evolve(h, scale, block, 2.2)
+        for j in range(3):
+            single = evolve(h, scale, block[:, j].copy(), 2.2)
+            assert np.allclose(out[:, j], single, atol=1e-12)
+
+    def test_sell_backend(self, system):
+        h, scale, psi0, dense = system
+        s = SellMatrix(h, chunk_height=16, sigma=32)
+        assert np.allclose(
+            evolve(s, scale, psi0, 1.0), evolve(h, scale, psi0, 1.0),
+            atol=1e-12,
+        )
+
+
+class TestUnitarity:
+    def test_norm_conserved(self, system):
+        h, scale, psi0, _ = system
+        for t in (0.1, 1.0, 10.0, 50.0):
+            assert np.linalg.norm(evolve(h, scale, psi0, t)) == pytest.approx(
+                1.0, abs=1e-10
+            )
+
+    def test_composition(self, system):
+        """U(t1) U(t2) = U(t1 + t2)."""
+        h, scale, psi0, _ = system
+        a = evolve(h, scale, evolve(h, scale, psi0, 1.3), 0.9)
+        b = evolve(h, scale, psi0, 2.2)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_inverse(self, system):
+        h, scale, psi0, _ = system
+        back = evolve(h, scale, evolve(h, scale, psi0, 3.0), -3.0)
+        assert np.allclose(back, psi0, atol=1e-10)
+
+
+class TestExpansionOrder:
+    def test_grows_with_tau(self):
+        assert chebyshev_expansion_order(100.0) > chebyshev_expansion_order(1.0)
+
+    def test_minimum(self):
+        assert chebyshev_expansion_order(0.0) >= 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chebyshev_expansion_order(-1.0)
+
+    def test_truncated_order_loses_accuracy(self, system):
+        h, scale, psi0, dense = system
+        ref = expm(-1j * dense * 5.0) @ psi0
+        good = evolve(h, scale, psi0, 5.0)
+        bad = evolve(h, scale, psi0, 5.0, order=5)
+        assert np.abs(good - ref).max() < 1e-10
+        assert np.abs(bad - ref).max() > 1e-3
+
+
+class TestAutocorrelation:
+    def test_c0_is_one(self, system):
+        h, scale, psi0, _ = system
+        c = autocorrelation(h, scale, psi0, np.array([0.0]))
+        assert c[0] == pytest.approx(1.0)
+
+    def test_matches_dense(self, system):
+        h, scale, psi0, dense = system
+        times = np.array([0.5, 1.5])
+        c = autocorrelation(h, scale, psi0, times)
+        for t, ci in zip(times, c):
+            ref = np.vdot(psi0, expm(-1j * dense * t) @ psi0)
+            assert ci == pytest.approx(ref, abs=1e-10)
+
+    def test_modulus_bounded(self, system):
+        h, scale, psi0, _ = system
+        c = autocorrelation(h, scale, psi0, np.linspace(0, 5, 6))
+        assert np.all(np.abs(c) <= 1.0 + 1e-10)
+
+
+class TestAccounting:
+    def test_counters_charged(self, system):
+        h, scale, psi0, _ = system
+        c = PerfCounters()
+        evolve(h, scale, psi0, 2.0, counters=c)
+        assert c.calls.get("spmmv", 0) >= chebyshev_expansion_order(
+            2.0 / scale.a
+        ) - 2
+
+    def test_shape_mismatch(self, system):
+        h, scale, psi0, _ = system
+        with pytest.raises(ValueError):
+            evolve(h, scale, psi0[:-1].copy(), 1.0)

@@ -1,0 +1,128 @@
+"""Polynomial spectral window filters."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import (
+    apply_filter,
+    evaluate_window,
+    filtered_subspace,
+    window_coefficients,
+)
+from repro.core.scaling import lanczos_scale
+
+
+@pytest.fixture(scope="module")
+def system():
+    from repro.physics import build_topological_insulator
+
+    h, _ = build_topological_insulator(4, 4, 3)
+    scale = lanczos_scale(h, seed=0)
+    lam, vecs = np.linalg.eigh(h.to_dense())
+    return h, scale, lam, vecs
+
+
+class TestCoefficients:
+    def test_scalar_window_shape(self):
+        c = window_coefficients(-0.3, 0.4, 1024)
+        x = np.linspace(-0.95, 0.95, 401)
+        w = evaluate_window(c, x)
+        inside = (x > -0.25) & (x < 0.35)
+        outside = (x < -0.4) | (x > 0.5)
+        assert np.all(w[inside] > 0.9)
+        assert np.all(np.abs(w[outside]) < 0.1)
+
+    def test_c0_is_window_measure(self):
+        """c_0 equals the arccos measure of the window."""
+        c = window_coefficients(-0.5, 0.5, 64)
+        assert c[0] * np.pi == pytest.approx(
+            np.arccos(-0.5) - np.arccos(0.5)
+        )
+
+    def test_full_interval_approaches_identity(self):
+        c = window_coefficients(-0.999, 0.999, 512)
+        x = np.linspace(-0.9, 0.9, 101)
+        assert np.allclose(evaluate_window(c, x), 1.0, atol=0.02)
+
+    def test_invalid_windows(self):
+        with pytest.raises(ValueError):
+            window_coefficients(0.5, 0.4, 32)
+        with pytest.raises(ValueError):
+            window_coefficients(-1.2, 0.0, 32)
+        with pytest.raises(ValueError):
+            window_coefficients(-0.5, 0.5, 0)
+
+
+class TestApplyFilter:
+    def test_matches_dense_projector(self, system):
+        """P_approx v ~ sum over window eigenpairs of <u|v> u."""
+        h, scale, lam, vecs = system
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=h.n_rows) + 1j * rng.normal(size=h.n_rows)
+        e_lo, e_hi = -1.0, 1.0
+        out = apply_filter(h, scale, v, e_lo, e_hi, order=2048)
+        # reference projector with a safety margin off the window edges
+        weights = np.conj(vecs.T) @ v
+        inside = (lam > e_lo + 0.15) & (lam < e_hi - 0.15)
+        outside = (lam < e_lo - 0.15) | (lam > e_hi + 0.15)
+        comps = np.conj(vecs.T) @ out
+        assert np.allclose(comps[inside], weights[inside], rtol=0.05,
+                           atol=0.02 * np.abs(weights).max())
+        assert np.all(
+            np.abs(comps[outside]) < 0.05 * np.abs(weights).max() + 1e-10
+        )
+
+    def test_idempotent_away_from_edges(self, system):
+        """P^2 = P holds for components away from the window edges
+        (edge eigenstates carry weight ~0.5 and lose half per pass)."""
+        h, scale, lam, vecs = system
+        rng = np.random.default_rng(5)
+        v = rng.normal(size=h.n_rows) + 0j
+        once = apply_filter(h, scale, v, -1.0, 1.0, order=1024)
+        twice = apply_filter(h, scale, once, -1.0, 1.0, order=1024)
+        away = (np.abs(lam + 1.0) > 0.15) & (np.abs(lam - 1.0) > 0.15)
+        c1 = (np.conj(vecs.T) @ once)[away]
+        c2 = (np.conj(vecs.T) @ twice)[away]
+        assert np.allclose(c2, c1, atol=0.02 * np.abs(c1).max())
+
+    def test_block_input(self, system):
+        h, scale, _, _ = system
+        rng = np.random.default_rng(1)
+        block = np.ascontiguousarray(
+            rng.normal(size=(h.n_rows, 3)) + 0j
+        )
+        out = apply_filter(h, scale, block, -0.5, 0.5, order=256)
+        assert out.shape == block.shape
+        for j in range(3):
+            single = apply_filter(
+                h, scale, block[:, j].copy(), -0.5, 0.5, order=256
+            )
+            assert np.allclose(out[:, j], single, atol=1e-12)
+
+    def test_window_validation(self, system):
+        h, scale, _, _ = system
+        v = np.zeros(h.n_rows, dtype=complex)
+        with pytest.raises(ValueError):
+            apply_filter(h, scale, v, 1.0, -1.0)
+
+
+class TestFilteredSubspace:
+    def test_captures_window_eigenvectors(self, system):
+        """The filtered random subspace must contain the window's
+        eigenvectors (FEAST filtering round)."""
+        h, scale, lam, vecs = system
+        e_lo, e_hi = -0.8, 0.8
+        inside = (lam > e_lo + 0.1) & (lam < e_hi - 0.1)
+        k = int(inside.sum())
+        q = filtered_subspace(
+            h, scale, e_lo, e_hi, n_vectors=k + 10, order=1024, seed=2
+        )
+        # each interior eigenvector must lie in span(q)
+        proj = q @ (np.conj(q.T) @ vecs[:, inside])
+        residual = np.linalg.norm(proj - vecs[:, inside], axis=0)
+        assert np.all(residual < 0.05)
+
+    def test_orthonormal(self, system):
+        h, scale, _, _ = system
+        q = filtered_subspace(h, scale, -1, 1, n_vectors=6, order=128, seed=0)
+        assert np.allclose(np.conj(q.T) @ q, np.eye(6), atol=1e-10)

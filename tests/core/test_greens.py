@@ -1,0 +1,86 @@
+"""KPM Green functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens import (
+    dos_from_greens,
+    greens_function,
+    greens_function_energy,
+)
+from repro.core.moments import compute_dos_moments
+from repro.core.reconstruct import reconstruct_dos
+from repro.core.scaling import SpectralScale, lanczos_scale
+from repro.core.stochastic import make_block_vector
+
+
+def delta_moments(x0, m):
+    return np.cos(np.arange(m) * np.arccos(x0))
+
+
+@pytest.fixture(scope="module")
+def ti_moments():
+    from repro.physics import build_topological_insulator
+
+    h, _ = build_topological_insulator(6, 6, 3)
+    scale = lanczos_scale(h, seed=0)
+    blk = make_block_vector(h.n_rows, 32, seed=1)
+    mu = compute_dos_moments(h, scale, 128, blk)
+    return h, scale, mu
+
+
+class TestConsistency:
+    def test_imaginary_part_is_dos(self, ti_moments):
+        """rho(E) = -Im G^+ / pi must equal the direct reconstruction."""
+        h, scale, mu = ti_moments
+        e = np.linspace(-4, 4, 201)
+        _, rho_direct = reconstruct_dos(mu, scale, energies=e)
+        rho_g = dos_from_greens(mu, scale, e)
+        assert np.allclose(rho_g, rho_direct, atol=1e-10 * rho_direct.max())
+
+    def test_retarded_advanced_conjugate(self, ti_moments):
+        """G^-(E) = conj(G^+(E)) for real moments."""
+        _, scale, mu = ti_moments
+        e = np.linspace(-3, 3, 51)
+        gp = greens_function_energy(mu, scale, e, retarded=True)
+        gm = greens_function_energy(mu, scale, e, retarded=False)
+        assert np.allclose(gm, np.conj(gp), atol=1e-12 * np.abs(gp).max())
+
+    def test_retarded_im_negative(self, ti_moments):
+        """Im G^+ <= 0 (spectral positivity under Jackson damping)."""
+        _, scale, mu = ti_moments
+        e = np.linspace(-4, 4, 201)
+        gp = greens_function_energy(mu, scale, e, retarded=True)
+        assert np.all(gp.imag <= 1e-9 * np.abs(gp).max())
+
+    def test_single_pole(self):
+        """For a delta at x0, Re G^+(x) ~ P 1/(x - x0) far from the pole."""
+        mu = delta_moments(0.0, 512)
+        x = np.array([0.5, 0.7, -0.6])
+        g = greens_function(mu, x, kernel="jackson")
+        assert np.allclose(g.real, 1.0 / x, rtol=0.05)
+
+    def test_outside_window_zero(self):
+        scale = SpectralScale.from_bounds(-1, 1)
+        g = greens_function_energy(
+            delta_moments(0.0, 32), scale, np.array([-50.0, 50.0])
+        )
+        assert np.all(g == 0)
+
+
+class TestValidation:
+    def test_x_range_checked(self):
+        with pytest.raises(ValueError):
+            greens_function(np.ones(4), np.array([1.0]))
+
+    def test_batched_moments(self):
+        mus = np.stack([delta_moments(0.2, 64), delta_moments(-0.3, 64)])
+        g = greens_function(mus, np.linspace(-0.9, 0.9, 11))
+        assert g.shape == (2, 11)
+
+    def test_kernel_kwargs_forwarded(self):
+        mu = delta_moments(0.0, 64)
+        soft = greens_function(mu, np.array([0.01]), kernel="lorentz", lam=2.0)
+        hard = greens_function(mu, np.array([0.01]), kernel="lorentz", lam=6.0)
+        # harder damping broadens the pole -> smaller |Im G| at the peak
+        assert abs(hard.imag[0]) < abs(soft.imag[0])

@@ -1,0 +1,155 @@
+"""KPMSolver facade: DOS vs exact diagonalization, LDOS, A(k,E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruct import integrate_density
+from repro.core.solver import KPMSolver
+from repro.physics import build_topological_insulator
+from repro.physics.graphene import build_graphene_dot_lattice
+from repro.util.counters import PerfCounters
+
+
+@pytest.fixture(scope="module")
+def solved():
+    h, model = build_topological_insulator(6, 6, 4)
+    solver = KPMSolver(h, n_moments=256, n_vectors=24, seed=42)
+    lam = np.linalg.eigvalsh(h.to_dense())
+    return h, model, solver, lam
+
+
+class TestDos:
+    def test_integrates_to_n(self, solved):
+        h, _, solver, _ = solved
+        res = solver.dos()
+        assert integrate_density(res.energies, res.rho) == pytest.approx(
+            h.n_rows, rel=0.03
+        )
+
+    def test_matches_eigenvalue_histogram(self, solved):
+        """Cumulative KPM DOS tracks the exact counting function."""
+        h, _, solver, lam = solved
+        res = solver.dos()
+        for e_cut in (-2.0, 0.0, 1.5):
+            exact = (lam <= e_cut).sum()
+            kpm = integrate_density(res.energies, res.rho, res.energies[0], e_cut)
+            assert kpm == pytest.approx(exact, abs=0.06 * h.n_rows)
+
+    def test_nonnegative(self, solved):
+        _, _, solver, _ = solved
+        res = solver.dos()
+        assert np.all(res.rho > -1e-9)
+
+    def test_normalized_copy(self, solved):
+        _, _, solver, _ = solved
+        res = solver.dos().normalized()
+        assert integrate_density(res.energies, res.rho) == pytest.approx(
+            1.0, rel=0.03
+        )
+
+    def test_engines_agree_with_same_seed(self, solved):
+        h, _, _, _ = solved
+        rhos = []
+        for eng in ("naive", "aug_spmv", "aug_spmmv"):
+            s = KPMSolver(h, n_moments=64, n_vectors=4, seed=7, engine=eng)
+            rhos.append(s.dos().rho)
+        assert np.allclose(rhos[0], rhos[1], atol=1e-8)
+        assert np.allclose(rhos[0], rhos[2], atol=1e-8)
+
+    def test_eigencount(self, solved):
+        h, _, solver, lam = solved
+        exact = ((lam >= -1.0) & (lam <= 1.0)).sum()
+        est = solver.eigencount(-1.0, 1.0)
+        assert est == pytest.approx(exact, abs=0.08 * h.n_rows)
+
+    def test_counters_accumulate(self):
+        h, _ = build_topological_insulator(4, 4, 2)
+        c = PerfCounters()
+        s = KPMSolver(h, n_moments=32, n_vectors=2, seed=0, counters=c)
+        s.dos()
+        assert c.flops > 0 and c.bytes_total > 0
+
+
+class TestLdos:
+    def test_surface_vs_bulk_differ_with_dots(self):
+        h, model = build_topological_insulator(8, 8, 4)
+        from repro.physics.potentials import dot_superlattice_potential
+
+        pot = dot_superlattice_potential(
+            model.lattice, v_dot=1.0, spacing=4, radius=1.5
+        )
+        hd = model.build(pot)
+        s = KPMSolver(hd, n_moments=64, n_vectors=8, seed=0)
+        lat = model.lattice
+        in_dot = 4 * lat.site_index(2, 2, 0)
+        out_dot = 4 * lat.site_index(0, 0, 0)
+        res = s.ldos(np.array([in_dot, out_dot]), exact=True)
+        assert res.rho.shape[0] == 2
+        assert not np.allclose(res.rho[0], res.rho[1], rtol=0.05)
+
+    def test_exact_vs_stochastic(self):
+        h, _ = build_topological_insulator(4, 4, 2)
+        rows = np.array([0, 9])
+        ex = KPMSolver(h, n_moments=32, n_vectors=1, seed=0).ldos(
+            rows, exact=True
+        )
+        st = KPMSolver(h, n_moments=32, n_vectors=300, seed=0).ldos(rows)
+        # stochastic estimate tracks the exact curve
+        scale = np.abs(ex.rho).max()
+        assert np.allclose(st.rho, ex.rho, atol=0.25 * scale)
+
+    def test_at_energy(self):
+        h, _ = build_topological_insulator(4, 4, 2)
+        res = KPMSolver(h, n_moments=32, n_vectors=1, seed=0).ldos(
+            np.array([0]), exact=True
+        )
+        v = res.at_energy(0.0)
+        idx = np.argmin(np.abs(res.energies))
+        assert v[0] == res.rho[0, idx]
+
+
+class TestSpectralFunction:
+    def test_peak_tracks_band(self):
+        """For clean graphene, A(k, E) must peak at the band energy
+        E(k) = ±|f(k)|; we check the k = 0 point where E = ±3t."""
+        h, model = build_graphene_dot_lattice(8, 8)
+        # reuse the TI solver machinery on the TI model instead: graphene
+        # has no 4-orbital lattice; use the TI plane-wave path.
+        h, model = build_topological_insulator(8, 8, 1, pbc=(True, True, False))
+        s = KPMSolver(h, n_moments=128, n_vectors=1, seed=0)
+        res = s.spectral_function(model.lattice, [(0.0, 0.0, 0.0)])
+        assert res.a_ke.shape[0] == 1
+        # spectral weight is concentrated at a few energies (4 bands at k=0)
+        total = np.trapezoid(res.a_ke[0], res.energies)
+        assert total == pytest.approx(4.0, rel=0.1)  # 4 orbitals
+
+    def test_band_maximum_shape(self):
+        h, model = build_topological_insulator(6, 6, 1)
+        s = KPMSolver(h, n_moments=64, n_vectors=1, seed=0)
+        ks = [(0, 0, 0), (np.pi / 3, 0, 0)]
+        res = s.spectral_function(model.lattice, ks)
+        assert res.band_maximum().shape == (2,)
+
+
+class TestConfiguration:
+    def test_invalid_bounds_mode(self, solved):
+        h, _, _, _ = solved
+        with pytest.raises(ValueError):
+            KPMSolver(h, bounds="magic")
+
+    def test_gershgorin_bounds_option(self, solved):
+        h, _, _, _ = solved
+        s = KPMSolver(h, n_moments=16, n_vectors=1, bounds="gershgorin", seed=0)
+        assert s.scale.a > 0
+
+    def test_invalid_engine(self, solved):
+        h, _, _, _ = solved
+        with pytest.raises(ValueError):
+            KPMSolver(h, engine="quantum")
+
+    def test_positive_parameters(self, solved):
+        h, _, _, _ = solved
+        with pytest.raises(ValueError):
+            KPMSolver(h, n_moments=0)
+        with pytest.raises(ValueError):
+            KPMSolver(h, n_vectors=0)

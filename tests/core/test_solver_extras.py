@@ -1,0 +1,85 @@
+"""Solver facade options not covered by the main solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import KPMSolver
+from repro.physics import build_topological_insulator
+
+
+@pytest.fixture(scope="module")
+def system():
+    h, model = build_topological_insulator(5, 5, 3)
+    return h, model
+
+
+class TestDosOptions:
+    def test_explicit_energies(self, system):
+        h, _ = system
+        s = KPMSolver(h, n_moments=64, n_vectors=2, seed=0)
+        e = np.linspace(-2, 2, 33)
+        res = s.dos(energies=e)
+        assert np.array_equal(res.energies, e)
+        assert res.rho.shape == e.shape
+
+    def test_n_points_override(self, system):
+        h, _ = system
+        s = KPMSolver(h, n_moments=64, n_vectors=2, seed=0)
+        res = s.dos(n_points=200)
+        assert res.energies.shape == (200,)
+
+    def test_vector_kind_option(self, system):
+        h, _ = system
+        for kind in ("phase", "rademacher", "gaussian"):
+            s = KPMSolver(
+                h, n_moments=32, n_vectors=4, seed=0, vector_kind=kind
+            )
+            res = s.dos()
+            assert np.all(np.isfinite(res.rho))
+
+    def test_explicit_scale_used(self, system):
+        from repro.core.scaling import SpectralScale
+
+        h, _ = system
+        scale = SpectralScale.from_bounds(-10, 10)
+        s = KPMSolver(h, n_moments=16, n_vectors=1, scale=scale, seed=0)
+        assert s.scale is scale
+
+    def test_dimension_property(self, system):
+        h, _ = system
+        assert KPMSolver(h, n_moments=16, n_vectors=1, seed=0).dimension \
+            == h.n_rows
+
+
+class TestLdosOptions:
+    def test_ldos_explicit_energies(self, system):
+        h, _ = system
+        s = KPMSolver(h, n_moments=32, n_vectors=1, seed=0)
+        e = np.linspace(-1, 1, 11)
+        res = s.ldos(np.array([0, 1]), energies=e, exact=True)
+        assert res.rho.shape == (2, 11)
+
+    def test_ldos_rows_preserved(self, system):
+        h, _ = system
+        s = KPMSolver(h, n_moments=32, n_vectors=1, seed=0)
+        rows = np.array([7, 3])
+        res = s.ldos(rows, exact=True)
+        assert np.array_equal(res.rows, rows)
+
+
+class TestSpectralFunctionOptions:
+    def test_orbital_subset(self, system):
+        h, model = system
+        s = KPMSolver(h, n_moments=64, n_vectors=1, seed=0)
+        res = s.spectral_function(
+            model.lattice, [(0, 0, 0)], orbitals=[0, 1]
+        )
+        total = np.trapezoid(res.a_ke[0], res.energies)
+        assert total == pytest.approx(2.0, rel=0.1)  # two orbitals
+
+    def test_k_points_recorded(self, system):
+        h, model = system
+        s = KPMSolver(h, n_moments=32, n_vectors=1, seed=0)
+        ks = [(0, 0, 0), (0.5, 0, 0)]
+        res = s.spectral_function(model.lattice, ks)
+        assert res.k_points == ks

@@ -1,0 +1,71 @@
+"""Interconnect cost model."""
+
+import pytest
+
+from repro.dist.network import CRAY_ARIES, NetworkModel
+
+
+class TestPtp:
+    def test_latency_floor(self):
+        n = NetworkModel()
+        assert n.ptp_time(0) == pytest.approx(n.latency_s)
+
+    def test_bandwidth_term(self):
+        n = NetworkModel(latency_s=0.0, bandwidth_gbs=10.0)
+        assert n.ptp_time(10e9) == pytest.approx(1.0)
+
+    def test_monotone_in_size(self):
+        n = NetworkModel()
+        assert n.ptp_time(1 << 20) < n.ptp_time(1 << 24)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().ptp_time(-1)
+        with pytest.raises(ValueError):
+            NetworkModel().pcie_time(-1)
+
+
+class TestHalo:
+    def test_gpu_staging_adds_time(self):
+        n = NetworkModel()
+        faces = [1 << 20] * 4
+        cpu_only = n.halo_time(faces, gpu_fraction=0.0)
+        with_gpu = n.halo_time(faces, gpu_fraction=0.7)
+        assert with_gpu > cpu_only
+
+    def test_pipelined_staging_cheaper(self):
+        serial = NetworkModel(pcie_overlap=False)
+        overlap = NetworkModel(pcie_overlap=True)
+        faces = [1 << 22] * 2
+        assert overlap.halo_time(faces, gpu_fraction=0.7) < serial.halo_time(
+            faces, gpu_fraction=0.7
+        )
+
+    def test_no_faces_no_time(self):
+        assert NetworkModel().halo_time([]) == 0.0
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        assert NetworkModel().allreduce_time(1024, 1) == 0.0
+
+    def test_log_scaling(self):
+        n = NetworkModel()
+        t4 = n.allreduce_time(1024, 4)
+        t1024 = n.allreduce_time(1024, 1024)
+        assert t1024 == pytest.approx(5 * t4, rel=0.01)
+
+    def test_sync_penalty_with_compute_time(self):
+        n = NetworkModel()
+        base = n.allreduce_time(1024, 16)
+        loaded = n.allreduce_time(1024, 16, compute_time=1.0)
+        assert loaded == pytest.approx(base + n.sync_imbalance_fraction)
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            NetworkModel().allreduce_time(1, 0)
+
+
+def test_cray_aries_defaults():
+    assert CRAY_ARIES.bandwidth_gbs > 0
+    assert CRAY_ARIES.pcie_bandwidth_gbs < CRAY_ARIES.bandwidth_gbs * 2

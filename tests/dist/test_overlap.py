@@ -1,0 +1,116 @@
+"""Interior/boundary splitting for communication hiding."""
+
+import numpy as np
+import pytest
+
+from repro.dist.halo import partition_matrix
+from repro.dist.overlap import (
+    exposed_communication_time,
+    split_for_overlap,
+    two_phase_spmmv,
+)
+from repro.dist.partition import RowPartition
+
+
+@pytest.fixture(scope="module")
+def dist():
+    from repro.physics import build_topological_insulator
+
+    h, _ = build_topological_insulator(8, 6, 4)
+    part = RowPartition.equal(h.n_rows, 3, align=4)
+    return h, partition_matrix(h, part)
+
+
+class TestSplit:
+    def test_rows_partitioned(self, dist):
+        _, d = dist
+        for blk in d.blocks:
+            s = split_for_overlap(blk)
+            combined = np.sort(np.concatenate([s.interior, s.boundary]))
+            assert np.array_equal(combined, np.arange(blk.n_local))
+
+    def test_interior_has_no_halo_columns(self, dist):
+        _, d = dist
+        for blk in d.blocks:
+            s = split_for_overlap(blk)
+            if s.interior_matrix.nnz:
+                assert int(s.interior_matrix.indices.max()) < blk.n_local
+
+    def test_boundary_rows_touch_halo(self, dist):
+        _, d = dist
+        for blk in d.blocks:
+            s = split_for_overlap(blk)
+            m = s.boundary_matrix
+            for k in range(m.n_rows):
+                cols = m.indices[m.indptr[k]:m.indptr[k + 1]]
+                assert np.any(cols >= blk.n_local)
+
+    def test_interior_fraction_grows_with_slab_thickness(self):
+        """Thick stencil slabs are mostly interior: only the two site
+        layers adjacent to the cuts reference halo data."""
+        from repro.physics import build_topological_insulator
+
+        h, _ = build_topological_insulator(4, 4, 12)
+        d = partition_matrix(h, RowPartition.equal(h.n_rows, 3, align=4))
+        fractions = [
+            split_for_overlap(blk).interior_fraction for blk in d.blocks
+        ]
+        # each rank owns 4 z-planes; the middle ~2 are interior
+        assert all(f >= 0.4 for f in fractions)
+
+    def test_single_rank_all_interior(self):
+        from repro.physics import build_topological_insulator
+
+        h, _ = build_topological_insulator(4, 4, 2)
+        d = partition_matrix(h, RowPartition((0, h.n_rows)))
+        s = split_for_overlap(d.blocks[0])
+        assert s.boundary.size == 0
+        assert s.interior_fraction == 1.0
+
+
+class TestTwoPhaseProduct:
+    def test_equals_single_phase(self, dist):
+        h, d = dist
+        rng = np.random.default_rng(0)
+        r = 3
+        x_global = np.ascontiguousarray(
+            rng.normal(size=(h.n_rows, r)) + 1j * rng.normal(size=(h.n_rows, r))
+        )
+        y_ref = h.to_dense() @ x_global
+        for blk in d.blocks:
+            s = split_for_overlap(blk)
+            v_local = x_global[blk.row_start:blk.row_stop]
+            halo = x_global[blk.halo_global]
+            out = two_phase_spmmv(s, np.ascontiguousarray(v_local),
+                                  np.ascontiguousarray(halo))
+            assert np.allclose(out, y_ref[blk.row_start:blk.row_stop],
+                               atol=1e-10)
+
+    def test_out_parameter(self, dist):
+        h, d = dist
+        blk = d.blocks[0]
+        s = split_for_overlap(blk)
+        r = 2
+        v = np.zeros((blk.n_local, r), dtype=complex)
+        halo = np.zeros((blk.n_halo, r), dtype=complex)
+        out = np.empty((blk.n_local, r), dtype=complex)
+        res = two_phase_spmmv(s, v, halo, out=out)
+        assert res is out
+        assert np.allclose(out, 0)
+
+
+class TestExposedTime:
+    def test_fully_hidden(self):
+        assert exposed_communication_time(1.0, 3.0, 0.5) == 0.0
+
+    def test_partially_hidden(self):
+        assert exposed_communication_time(1.0, 1.0, 0.4) == pytest.approx(0.6)
+
+    def test_no_interior_no_hiding(self):
+        assert exposed_communication_time(1.0, 5.0, 0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exposed_communication_time(1.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            exposed_communication_time(-1.0, 1.0, 0.5)

@@ -1,0 +1,102 @@
+"""Row partitioning: weighted blocks, alignment, lookups."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.partition import RowPartition, weights_from_performance
+from repro.util.errors import PartitionError
+
+
+class TestConstruction:
+    def test_equal(self):
+        p = RowPartition.equal(100, 4)
+        assert np.array_equal(p.counts(), [25, 25, 25, 25])
+
+    def test_weighted(self):
+        p = RowPartition.from_weights(100, [3, 1])
+        assert p.counts()[0] == 75
+
+    def test_alignment(self):
+        p = RowPartition.from_weights(100, [1, 1, 1], align=8)
+        for off in p.offsets[1:-1]:
+            assert off % 8 == 0
+        assert p.offsets[-1] == 100
+
+    def test_heterogeneous_guess(self):
+        """Paper Section VI-B: weights from device Gflop/s."""
+        w = weights_from_performance([57.5, 84.1])
+        p = RowPartition.from_weights(1000, w, align=4)
+        assert p.counts()[1] > p.counts()[0]
+        assert p.imbalance(w) < 1.05
+
+    def test_weights_validated(self):
+        with pytest.raises(PartitionError):
+            RowPartition.from_weights(10, [])
+        with pytest.raises(PartitionError):
+            RowPartition.from_weights(10, [-1, 2])
+        with pytest.raises(PartitionError):
+            RowPartition.from_weights(10, [0, 0])
+        with pytest.raises(PartitionError):
+            weights_from_performance([1.0, 0.0])
+
+    def test_offsets_validated(self):
+        with pytest.raises(PartitionError):
+            RowPartition((1, 5))
+        with pytest.raises(PartitionError):
+            RowPartition((0, 5, 3))
+        with pytest.raises(PartitionError):
+            RowPartition((0,))
+
+
+class TestLookups:
+    @pytest.fixture
+    def part(self):
+        return RowPartition((0, 10, 10, 25, 40))
+
+    def test_counts(self, part):
+        assert np.array_equal(part.counts(), [10, 0, 15, 15])
+
+    def test_bounds(self, part):
+        assert part.bounds(2) == (10, 25)
+        with pytest.raises(PartitionError):
+            part.bounds(4)
+
+    def test_owner_of(self, part):
+        owners = part.owner_of([0, 9, 10, 24, 25, 39])
+        assert owners.tolist() == [0, 0, 2, 2, 3, 3]
+
+    def test_owner_skips_empty_rank(self, part):
+        assert 1 not in set(part.owner_of(np.arange(40)).tolist())
+
+    def test_owner_bounds_checked(self, part):
+        with pytest.raises(PartitionError):
+            part.owner_of([40])
+
+    def test_to_local(self, part):
+        assert np.array_equal(part.to_local([0, 12, 30]), [0, 2, 5])
+
+    def test_imbalance_perfect(self):
+        assert RowPartition.equal(100, 4).imbalance() == pytest.approx(1.0)
+
+
+@given(
+    st.integers(8, 500),
+    st.lists(st.floats(0.05, 10.0), min_size=1, max_size=8),
+    st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=80, deadline=None)
+def test_partition_invariants(n_rows, weights, align):
+    """Any weighted partition covers [0, n) contiguously without overlap."""
+    p = RowPartition.from_weights(n_rows, weights, align=align)
+    assert p.n_rows == n_rows
+    assert p.offsets[0] == 0 and p.offsets[-1] == n_rows
+    counts = p.counts()
+    assert counts.sum() == n_rows
+    assert np.all(counts >= 0)
+    # every row owned exactly once
+    owners = p.owner_of(np.arange(n_rows))
+    for r in range(p.n_ranks):
+        lo, hi = p.bounds(r)
+        assert np.all(owners[lo:hi] == r)

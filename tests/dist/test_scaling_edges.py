@@ -1,0 +1,100 @@
+"""Edge cases of the cluster scaling model."""
+
+import pytest
+
+from repro.dist.scaling_model import (
+    ClusterModel,
+    WeakScalingCase,
+    process_grid,
+)
+
+
+@pytest.fixture
+def model():
+    return ClusterModel(r=32)
+
+
+class TestProcessGrid:
+    def test_square_prefers_balanced(self):
+        px, py = process_grid(WeakScalingCase.SQUARE, 64)
+        assert (px, py) == (8, 8)
+
+    def test_square_handles_non_square_counts(self):
+        px, py = process_grid(WeakScalingCase.SQUARE, 12)
+        assert px * py == 12
+        assert px <= py
+
+    def test_bar_one_dimensional(self):
+        assert process_grid(WeakScalingCase.BAR, 7) == (7, 1)
+
+    def test_single_node(self):
+        assert process_grid(WeakScalingCase.SQUARE, 1) == (1, 1)
+
+
+class TestHaloGeometry:
+    def test_single_node_no_faces(self, model):
+        assert model.halo_rows_per_node((400, 100, 40), (1, 1)) == []
+
+    def test_bar_grid_two_faces(self, model):
+        faces = model.halo_rows_per_node((1600, 100, 40), (4, 1))
+        assert len(faces) == 2
+        assert all(f == 4 * 100 * 40 for f in faces)
+
+    def test_square_grid_four_faces(self, model):
+        faces = model.halo_rows_per_node((800, 800, 40), (4, 4))
+        assert len(faces) == 4
+        assert all(f == 4 * 200 * 40 for f in faces)
+
+    def test_ceil_division_for_ragged_grids(self, model):
+        # 6400 over 18 ranks -> local extent ceil(6400/18) = 356
+        faces = model.halo_rows_per_node((6400, 6400, 40), (16, 18))
+        assert 4 * 356 * 40 in faces
+
+
+class TestIterationTimes:
+    def test_components_positive_and_sum(self, model):
+        it = model.iteration_times((400, 400, 40), 4)
+        assert it["total"] == pytest.approx(
+            it["compute"] + it["halo"] + it["reduce"]
+        )
+        assert it["reduce"] == 0.0  # reduction='end' default
+
+    def test_reduce_every_adds_time(self, model):
+        end = model.iteration_times((400, 400, 40), 4, reduction="end")
+        every = model.iteration_times((400, 400, 40), 4, reduction="every")
+        assert every["reduce"] > 0
+        assert every["total"] > end["total"]
+
+    def test_grid_mismatch_rejected(self, model):
+        with pytest.raises(ValueError, match="grid"):
+            model.iteration_times((400, 400, 40), 4, grid=(3, 2))
+
+    def test_nodes_positive(self, model):
+        with pytest.raises(ValueError):
+            model.iteration_times((400, 400, 40), 0)
+
+    def test_larger_r_amortizes_matrix(self, model):
+        """Per-flop time falls with R (code balance shrinks)."""
+        t8 = model.iteration_times((400, 400, 40), 4, r=8)["compute"] / 8
+        t32 = model.iteration_times((400, 400, 40), 4, r=32)["compute"] / 32
+        assert t32 < t8
+
+
+class TestSolveEdges:
+    def test_solve_time_positive_small_cluster(self, model):
+        assert model.solve_time((400, 100, 40), 1, 10) > 0
+
+    def test_more_nodes_faster_wallclock(self, model):
+        t4 = model.solve_time((1600, 1600, 40), 4, 200)
+        t64 = model.solve_time((1600, 1600, 40), 64, 200)
+        assert t64 < t4
+
+    def test_m_validated(self, model):
+        with pytest.raises(ValueError):
+            model.solve_time((400, 100, 40), 1, 0)
+
+    def test_gpu_row_fraction_in_unit_interval(self, model):
+        f = model.gpu_row_fraction()
+        assert 0.0 < f < 1.0
+        # the GPU is the faster device on the Piz Daint node
+        assert f > 0.5

@@ -1,0 +1,136 @@
+"""Cluster scaling model: paper Fig. 12 and Table III claims."""
+
+import pytest
+
+from repro.dist.scaling_model import (
+    ClusterModel,
+    WeakScalingCase,
+    bar_weak_scaling_domains,
+    process_grid,
+    square_weak_scaling_domains,
+)
+
+NODE_SERIES = [1, 4, 16, 64, 256, 1024]
+LARGEST = (6400, 6400, 40)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ClusterModel()
+
+
+class TestDomainFamilies:
+    def test_square_series(self):
+        doms = square_weak_scaling_domains(NODE_SERIES)
+        assert doms[0] == (400, 100, 40)
+        assert doms[1] == (400, 400, 40)
+        assert doms[-1] == LARGEST
+
+    def test_largest_square_has_6_5e9_rows(self):
+        """Paper: 'a matrix with over 6.5e9 rows' at 1024 nodes."""
+        nx, ny, nz = square_weak_scaling_domains([1024])[0]
+        assert 4 * nx * ny * nz == pytest.approx(6.55e9, rel=0.01)
+
+    def test_fig1_domain_is_the_64_node_point(self):
+        """Fig. 1's 1600x1600x40 system is the 64-node weak-scaling member."""
+        assert square_weak_scaling_domains([64])[0] == (1600, 1600, 40)
+
+    def test_square_rejects_non_power_of_4(self):
+        with pytest.raises(ValueError):
+            square_weak_scaling_domains([8])
+
+    def test_bar_series(self):
+        doms = bar_weak_scaling_domains([1, 4, 16])
+        assert doms == [(400, 100, 40), (1600, 100, 40), (6400, 100, 40)]
+
+    def test_constant_work_per_node(self):
+        for case, doms in (
+            ("square", square_weak_scaling_domains(NODE_SERIES)),
+            ("bar", bar_weak_scaling_domains(NODE_SERIES)),
+        ):
+            for n, (nx, ny, nz) in zip(NODE_SERIES, doms):
+                assert nx * ny * nz / n == 400 * 100 * 40
+
+    def test_process_grid(self):
+        assert process_grid(WeakScalingCase.BAR, 16) == (16, 1)
+        px, py = process_grid(WeakScalingCase.SQUARE, 64)
+        assert px * py == 64 and abs(px - py) <= px
+
+
+class TestWeakScaling:
+    def test_square_exceeds_100_tflops_at_1024(self, model):
+        """Paper: 'more than 100 Tflop/s on 1024 nodes'."""
+        rows = model.weak_scaling("square", NODE_SERIES)
+        assert rows[-1]["tflops"] > 100.0
+
+    def test_aggregate_peak_fraction_about_10_percent(self, model):
+        """Paper: ~10% of the aggregated CPU-GPU peak performance."""
+        from repro.perf.arch import PIZ_DAINT_NODE
+
+        tf = model.weak_scaling("square", [1024])[-1]["tflops"]
+        peak = 1024 * PIZ_DAINT_NODE.aggregate_peak_gflops / 1000.0
+        assert 0.06 <= tf / peak <= 0.12
+
+    def test_square_efficiency_drops_then_flat(self, model):
+        """Paper: efficiency drop going to 4 nodes (y-direction growth),
+        roughly flat afterwards."""
+        rows = model.weak_scaling("square", NODE_SERIES)
+        assert rows[0]["efficiency"] == pytest.approx(1.0)
+        assert rows[1]["efficiency"] < 0.97
+        effs = [r["efficiency"] for r in rows[1:]]
+        assert max(effs) - min(effs) < 0.05
+
+    def test_bar_more_efficient_than_square(self, model):
+        sq = model.weak_scaling("square", NODE_SERIES)
+        bar = model.weak_scaling("bar", NODE_SERIES)
+        for s, b in zip(sq[1:], bar[1:]):
+            assert b["efficiency"] >= s["efficiency"]
+
+
+class TestStrongScaling:
+    def test_efficiency_decreases(self, model):
+        rows = model.strong_scaling((400, 400, 40), [4, 16, 64, 256])
+        effs = [r["efficiency"] for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_speedup_still_grows(self, model):
+        rows = model.strong_scaling((400, 400, 40), [4, 16, 64])
+        sp = [r["speedup"] for r in rows]
+        assert sp[0] == pytest.approx(1.0)
+        assert sp[1] > 2.0 and sp[2] > sp[1]
+
+
+class TestTable3:
+    def test_throughput_mode_over_2x_node_hours(self, model):
+        """Paper Table III: the embarrassingly R-parallel version costs
+        more than a factor of two in node hours (164 vs 75)."""
+        nh_throughput = model.node_hours(LARGEST, 288, 2000, variant="aug_spmv")
+        nh_blocked = model.node_hours(LARGEST, 1024, 2000, variant="aug_spmmv")
+        assert nh_throughput / nh_blocked > 1.9
+
+    def test_per_iteration_reduction_costs_percent(self, model):
+        """Paper: one reduction at the end buys ~8% performance."""
+        nh_star = model.node_hours(LARGEST, 1024, 2000, variant="aug_spmmv*")
+        nh_opt = model.node_hours(LARGEST, 1024, 2000, variant="aug_spmmv")
+        overhead = nh_star / nh_opt - 1.0
+        assert 0.02 <= overhead <= 0.15
+
+    def test_absolute_node_hours_near_paper(self, model):
+        """Paper values: 164 / 81 / 75 node-hours."""
+        assert model.node_hours(LARGEST, 288, 2000, variant="aug_spmv") == \
+            pytest.approx(164, rel=0.25)
+        assert model.node_hours(LARGEST, 1024, 2000, variant="aug_spmmv") == \
+            pytest.approx(75, rel=0.15)
+
+    def test_throughput_tflops_near_paper(self, model):
+        """Paper: 14.9 Tflop/s on 288 nodes in throughput mode."""
+        tf = model.solve_tflops(LARGEST, 288, 2000, variant="aug_spmv")
+        assert tf == pytest.approx(14.9, rel=0.2)
+
+    def test_unknown_variant(self, model):
+        with pytest.raises(ValueError):
+            model.solve_time(LARGEST, 4, 100, variant="magic")
+
+    def test_invalid_reduction(self, model):
+        with pytest.raises(ValueError):
+            model.iteration_times(LARGEST, 4, reduction="never")

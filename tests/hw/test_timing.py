@@ -1,0 +1,82 @@
+"""GPU timing model on counted kernel runs."""
+
+import numpy as np
+import pytest
+
+from repro.hw.gpu import GpuRunStats, KeplerGpu
+from repro.hw.timing import GpuTimingModel
+from repro.perf.arch import IVB, K20M, K20X
+from repro.physics import build_topological_insulator
+
+
+@pytest.fixture(scope="module")
+def counted_run():
+    h, _ = build_topological_insulator(6, 6, 4)
+    rng = np.random.default_rng(0)
+    n = h.n_rows
+    V = np.ascontiguousarray(rng.normal(size=(n, 8)) + 1j * rng.normal(size=(n, 8)))
+    W = np.ascontiguousarray(rng.normal(size=(n, 8)) + 1j * rng.normal(size=(n, 8)))
+    _, _, stats = KeplerGpu().run_aug_spmmv(h, V, W, 0.3, 0.0)
+    return stats
+
+
+class TestEstimate:
+    def test_components_positive(self, counted_run):
+        t = GpuTimingModel().estimate(counted_run, K20M)
+        for key in ("dram", "l2", "tex", "core", "total"):
+            assert t[key] > 0
+        assert t["total"] >= max(t["dram"], t["l2"], t["tex"], t["core"])
+
+    def test_gflops_below_peak(self, counted_run):
+        g = GpuTimingModel().gflops(counted_run, K20M)
+        assert 0 < g < K20M.peak_gflops
+
+    def test_faster_arch_faster(self, counted_run):
+        m = GpuTimingModel()
+        assert m.estimate(counted_run, K20X)["total"] <= m.estimate(
+            counted_run, K20M
+        )["total"] * 1.01
+
+    def test_rejects_cpu(self, counted_run):
+        with pytest.raises(ValueError):
+            GpuTimingModel().estimate(counted_run, IVB)
+
+
+class TestOccupancy:
+    def test_few_warps_penalized(self):
+        m = GpuTimingModel(warps_to_hide_latency=16)
+        low = GpuRunStats(warps=13, dram_bytes=1 << 20, flops=1000)
+        high = GpuRunStats(warps=13 * 64, dram_bytes=1 << 20, flops=1000)
+        assert m.occupancy_factor(low, K20M) < 1.0
+        assert m.occupancy_factor(high, K20M) == 1.0
+        assert m.estimate(low, K20M)["dram"] > m.estimate(high, K20M)["dram"]
+
+    def test_zero_warps_neutral(self):
+        m = GpuTimingModel()
+        assert m.occupancy_factor(GpuRunStats(), K20M) == 1.0
+
+
+class TestShuffleLatency:
+    def test_shuffles_add_time(self):
+        m = GpuTimingModel()
+        base = GpuRunStats(warps=1000, dram_bytes=1 << 20, flops=10_000)
+        shuf = GpuRunStats(
+            warps=1000, dram_bytes=1 << 20, flops=10_000,
+            shuffle_ops=5_000_000,
+        )
+        assert m.estimate(shuf, K20M)["total"] > m.estimate(base, K20M)["total"]
+
+    def test_predication_slows_core(self):
+        m = GpuTimingModel()
+        clean = GpuRunStats(warps=100, flops=1_000_000,
+                            active_lane_steps=100, predicated_lane_steps=0)
+        diverged = GpuRunStats(warps=100, flops=1_000_000,
+                               active_lane_steps=50,
+                               predicated_lane_steps=50)
+        assert m.estimate(diverged, K20M)["core"] > m.estimate(
+            clean, K20M
+        )["core"]
+
+    def test_zero_time_zero_gflops(self):
+        g = GpuTimingModel().gflops(GpuRunStats(), K20M)
+        assert g == 0.0

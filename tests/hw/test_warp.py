@@ -1,0 +1,84 @@
+"""Warp shuffle and reduction semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.warp import reduction_steps, shfl_down, warp_reduce_sum
+
+
+class TestShflDown:
+    def test_basic_shift(self):
+        v = np.arange(8.0)
+        out = shfl_down(v, 1, 8)
+        assert np.allclose(out[:-1], v[1:])
+        assert out[-1] == v[-1]  # out-of-range lane keeps its value
+
+    def test_group_boundaries(self):
+        v = np.arange(8.0)
+        out = shfl_down(v, 2, 4)
+        assert np.allclose(out, [2, 3, 2, 3, 6, 7, 6, 7])
+
+    def test_delta_zero_identity(self):
+        v = np.arange(16.0)
+        assert np.allclose(shfl_down(v, 0, 16), v)
+
+    def test_batched_warps(self):
+        v = np.arange(12.0).reshape(3, 4)
+        out = shfl_down(v, 1, 4)
+        assert out.shape == (3, 4)
+        assert np.allclose(out[:, :-1], v[:, 1:])
+
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            shfl_down(np.zeros(6), 1, 3)
+
+    def test_lane_count_multiple_of_width(self):
+        with pytest.raises(ValueError):
+            shfl_down(np.zeros(6), 1, 4)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            shfl_down(np.zeros(4), -1, 4)
+
+
+class TestWarpReduce:
+    @pytest.mark.parametrize("width", [1, 2, 4, 8, 16, 32])
+    def test_lane0_holds_sum(self, width):
+        rng = np.random.default_rng(width)
+        v = rng.normal(size=width)
+        out = warp_reduce_sum(v, width)
+        assert out[0] == pytest.approx(v.sum())
+
+    def test_groups_reduced_independently(self):
+        v = np.arange(8.0)
+        out = warp_reduce_sum(v, 4)
+        assert out[0] == pytest.approx(v[:4].sum())
+        assert out[4] == pytest.approx(v[4:].sum())
+
+    def test_complex_values(self):
+        v = np.arange(4) + 1j * np.arange(4)
+        out = warp_reduce_sum(v, 4)
+        assert out[0] == pytest.approx(v.sum())
+
+    def test_reduction_steps(self):
+        assert reduction_steps(1) == 0
+        assert reduction_steps(2) == 1
+        assert reduction_steps(32) == 5
+        with pytest.raises(ValueError):
+            reduction_steps(3)
+
+
+@given(
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=32, max_size=32),
+    st.sampled_from([1, 2, 4, 8, 16, 32]),
+)
+@settings(max_examples=50, deadline=None)
+def test_reduce_matches_numpy_sum(values, width):
+    v = np.array(values)
+    out = warp_reduce_sum(v, width)
+    for g in range(32 // width):
+        assert out[g * width] == pytest.approx(
+            v[g * width : (g + 1) * width].sum(), abs=1e-9, rel=1e-9
+        )

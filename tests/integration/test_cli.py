@@ -1,0 +1,72 @@
+"""Command-line interface end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.io import write_matrix_market
+
+
+class TestDos:
+    def test_runs(self, capsys):
+        rc = main(["dos", "--nx", "6", "--nz", "3", "--moments", "64",
+                   "--vectors", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DOS integral" in out
+        assert "rho(E)" in out
+
+    def test_engine_option(self, capsys):
+        rc = main(["dos", "--nx", "4", "--nz", "2", "--moments", "32",
+                   "--vectors", "1", "--engine", "naive"])
+        assert rc == 0
+
+    def test_from_mtx(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        d = rng.normal(size=(30, 30))
+        d = d + d.T
+        m = CSRMatrix.from_dense(d, tol=1.0)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        rc = main(["dos", "--mtx", str(path), "--moments", "32",
+                   "--vectors", "2"])
+        assert rc == 0
+        assert "30 rows" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_ti_structure(self, capsys):
+        rc = main(["info", "--nx", "6", "--nz", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stencil-like:  True" in out
+        assert "diagonals" in out
+
+
+class TestReport:
+    def test_sections(self, capsys):
+        rc = main(["report", "--nx", "10", "--nz", "4", "--nodes", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ARCHITECTURES" in out and "CLUSTER" in out
+
+
+class TestScaling:
+    def test_table(self, capsys):
+        rc = main(["scaling", "--nodes-list", "1,4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "square" in out and "bar" in out
+
+    def test_invalid_square_nodes_warns(self, capsys):
+        rc = main(["scaling", "--nodes-list", "8"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "square" in captured.err  # square family skipped with note
+        assert "bar" in captured.out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["fly"])

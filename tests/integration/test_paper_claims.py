@@ -1,0 +1,162 @@
+"""Every quantitative headline claim of the paper, in one place.
+
+Each test cites the paper location of the claim it verifies. This file
+is the executable summary of EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.scaling_model import ClusterModel, square_weak_scaling_domains
+from repro.perf.arch import IVB, PIZ_DAINT_NODE
+from repro.perf.balance import bmin, bmin_limit, naive_balance
+from repro.perf.roofline import (
+    custom_roofline,
+    gpu_level_bandwidths,
+    memory_bound_performance,
+    node_performance,
+)
+from repro.perf.traffic import omega_parametric
+
+
+class TestSectionIII:
+    def test_eq5_closed_form(self):
+        """Eq. (5): B_min(R) = (260/R + 48)/138 bytes/flop."""
+        for r in (1, 4, 32):
+            assert bmin(r) == pytest.approx((260 / r + 48) / 138, rel=1e-12)
+
+    def test_eq6(self):
+        """Eq. (6): B_min(1) ~ 2.23 bytes/flop."""
+        assert bmin(1) == pytest.approx(2.23, abs=0.005)
+
+    def test_eq7(self):
+        """Eq. (7): lim B_min ~ 0.35 bytes/flop."""
+        assert bmin_limit() == pytest.approx(0.348, abs=0.005)
+
+    def test_vector_traffic_cascade(self):
+        """Section III: 13 -> 3 vector transfers per inner iteration."""
+        # difference of balances is exactly 10 S_d / 138 flops per row
+        assert (naive_balance() - bmin(1)) * 138 == pytest.approx(160.0)
+
+
+class TestSectionV:
+    def test_fig7_roofline_22gf(self):
+        """Fig. 7: IVB roofline at B_min(1) is ~22.4 Gflop/s."""
+        assert memory_bound_performance(IVB.bandwidth_gbs, bmin(1)) == \
+            pytest.approx(22.4, abs=0.3)
+
+    def test_fig8_bound_migration(self):
+        """Section V-A: memory-bound at small R, cache-bound at large R."""
+        d1 = custom_roofline(IVB, 1)
+        d32 = custom_roofline(IVB, 32, omega=omega_parametric(
+            32, 1_600_000, 13, IVB.llc_bytes, 80_000))
+        assert d1["p_star"] == d1["p_mem"]
+        assert d32["p_star"] == d32["p_llc"]
+
+    def test_fig8_model_within_15_percent(self):
+        """Section V-A: 'our refined model does not deviate by more than
+        15% from the measurement' — measured ~65 Gflop/s at large R."""
+        p = custom_roofline(IVB, 32)["p_star"]
+        assert abs(p - 65.0) / 65.0 <= 0.15
+
+    def test_fig10_r1_memory_bound(self):
+        """Section V-B: 'At R = 1 the DRAM bandwidth is around 150 GB/s
+        ... equal to the maximum attainable bandwidth on this device'."""
+        from repro.perf.arch import K20M
+
+        bw = gpu_level_bandwidths(K20M, "spmmv", 1)
+        assert bw["dram"] == pytest.approx(150.0, rel=0.03)
+
+    def test_fig10_bottleneck_moves_to_l2(self):
+        """Section V-B: with growing R the L2 becomes the bottleneck for
+        kernels without on-the-fly dot products."""
+        from repro.perf.arch import K20M
+
+        bw = gpu_level_bandwidths(K20M, "aug_spmmv_nodot", 64)
+        assert bw["l2"] == pytest.approx(K20M.llc_bandwidth_gbs, rel=0.03)
+        assert bw["dram"] < K20M.bandwidth_gbs
+
+
+class TestSectionVI:
+    def test_10x_node_speedup(self):
+        """Section VI-B: 'more than a factor of 10' naive CPU -> full
+        heterogeneous."""
+        s0 = node_performance(PIZ_DAINT_NODE, "naive", r=32)
+        s2 = node_performance(PIZ_DAINT_NODE, "aug_spmmv", r=32)
+        assert s2["heterogeneous"] / s0["cpu"] > 10.0
+
+    def test_2_3x_gpu_speedup(self):
+        """Section VI-B: 'a speed-up of 2.3x can be achieved by
+        algorithmic optimizations' on the GPU."""
+        s0 = node_performance(PIZ_DAINT_NODE, "naive", r=32)
+        s2 = node_performance(PIZ_DAINT_NODE, "aug_spmmv", r=32)
+        assert s2["gpu"] / s0["gpu"] == pytest.approx(2.3, abs=0.4)
+
+    def test_36_percent_cpu_contribution(self):
+        """Section VI-B: 'another 36% can be gained by enabling fully
+        heterogeneous execution including the CPU'."""
+        s2 = node_performance(PIZ_DAINT_NODE, "aug_spmmv", r=32)
+        gain = s2["heterogeneous"] / s2["gpu"] - 1
+        assert 0.2 <= gain <= 0.5
+
+    def test_85_90_percent_efficiency(self):
+        """Section VI-B: 'parallel efficiency ... tops out at 85-90%'."""
+        s2 = node_performance(PIZ_DAINT_NODE, "aug_spmmv", r=32)
+        assert 0.80 <= s2["parallel_efficiency"] <= 0.92
+
+    def test_100_tflops_at_1024_nodes(self):
+        """Abstract / Section VI-C: 'more than 100 Tflop/s on 1024 nodes
+        ... equivalent to almost 10% of the aggregated peak'."""
+        cm = ClusterModel(r=32)
+        tf = cm.solve_tflops((6400, 6400, 40), 1024, 2000)
+        assert tf > 100.0
+        peak_tf = 1024 * PIZ_DAINT_NODE.aggregate_peak_gflops / 1000.0
+        assert 0.06 < tf / peak_tf < 0.12
+
+    def test_largest_system_6_5e9_rows(self):
+        """Section VI-C: 'the largest system ... over 6.5e9 rows'."""
+        nx, ny, nz = square_weak_scaling_domains([1024])[0]
+        assert 4 * nx * ny * nz > 6.5e9
+
+    def test_table3_throughput_2x(self):
+        """Section VI-C: throughput mode 'more than a factor of two more
+        expensive in terms of compute resources'."""
+        cm = ClusterModel(r=32)
+        big = (6400, 6400, 40)
+        ratio = cm.node_hours(big, 288, 2000, variant="aug_spmv") / \
+            cm.node_hours(big, 1024, 2000, variant="aug_spmmv")
+        assert ratio > 1.9
+
+    def test_table3_8_percent_reduction_gain(self):
+        """Section VI-C: 'Reducing the number of global reductions
+        increases the performance by 8%'."""
+        cm = ClusterModel(r=32)
+        big = (6400, 6400, 40)
+        t_star = cm.solve_time(big, 1024, 2000, variant="aug_spmmv*")
+        t_opt = cm.solve_time(big, 1024, 2000, variant="aug_spmmv")
+        assert t_star / t_opt - 1 == pytest.approx(0.08, abs=0.06)
+
+
+class TestApplication:
+    def test_nnz_13n(self):
+        """Section I-B: 'the number of non-zero entries is N_nz ~ 13N'."""
+        from repro.physics import build_topological_insulator
+
+        h, _ = build_topological_insulator(8, 8, 8, pbc=(True, True, True))
+        assert h.nnz == 13 * h.n_rows
+
+    def test_dimension_4nxnynz(self):
+        """Section I-B: 'the matrix H ... has dimension N = 4 Nx Ny Nz'."""
+        from repro.physics import build_topological_insulator
+
+        h, _ = build_topological_insulator(5, 6, 7)
+        assert h.n_rows == 4 * 5 * 6 * 7
+
+    def test_complex_hermitian(self):
+        """Section I-B: 'The matrix is complex and Hermitian'."""
+        from repro.physics import build_topological_insulator
+
+        h, _ = build_topological_insulator(4, 4, 4)
+        assert h.data.dtype == np.complex128
+        assert h.is_hermitian()
+        assert np.abs(h.data.imag).max() > 0  # genuinely complex

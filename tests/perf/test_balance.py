@@ -1,0 +1,161 @@
+"""Paper Table I and Eqs. (4)-(7), cross-checked against instrumented kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.moments import compute_eta
+from repro.core.scaling import SpectralScale
+from repro.core.stochastic import make_block_vector
+from repro.perf.balance import (
+    bmin,
+    bmin_limit,
+    kpm_flops,
+    kpm_min_traffic,
+    naive_balance,
+    table1_calls,
+    table1_flops,
+    table1_min_bytes,
+)
+from repro.util.counters import PerfCounters
+
+
+class TestPaperNumbers:
+    def test_bmin_r1_eq6(self):
+        """Paper Eq. (6): B_min(1) ~= 2.23 bytes/flop."""
+        assert bmin(1) == pytest.approx(2.23, abs=0.01)
+
+    def test_bmin_limit_eq7(self):
+        """Paper Eq. (7): B_min -> ~0.35 bytes/flop for R -> inf."""
+        assert bmin_limit() == pytest.approx(0.35, abs=0.01)
+
+    def test_bmin_closed_form(self):
+        """(260/R + 48)/138 with the paper's parameters (Eq. (5))."""
+        for r in (1, 2, 8, 32, 1024):
+            assert bmin(r) == pytest.approx((260.0 / r + 48.0) / 138.0)
+
+    def test_bmin_monotone_decreasing(self):
+        vals = [bmin(r) for r in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_bmin_approaches_limit(self):
+        assert bmin(10_000) == pytest.approx(bmin_limit(), rel=1e-2)
+
+    def test_naive_balance_larger(self):
+        assert naive_balance() > bmin(1)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            bmin(0)
+
+
+class TestTable1:
+    N, NNZ = 1000, 13_000
+
+    @pytest.mark.parametrize(
+        "func,expected_bytes",
+        [
+            ("spmv", 13_000 * 20 + 2 * 1000 * 16),
+            ("axpy", 3 * 1000 * 16),
+            ("scal", 2 * 1000 * 16),
+            ("nrm2", 1000 * 16),
+            ("dot", 2 * 1000 * 16),
+        ],
+    )
+    def test_min_bytes(self, func, expected_bytes):
+        assert table1_min_bytes(func, self.N, self.NNZ) == expected_bytes
+
+    @pytest.mark.parametrize(
+        "func,expected_flops",
+        [
+            ("spmv", 13_000 * 8),
+            ("axpy", 1000 * 8),
+            ("scal", 1000 * 6),
+            ("nrm2", 1000 * 4),
+            ("dot", 1000 * 8),
+        ],
+    )
+    def test_flops(self, func, expected_flops):
+        assert table1_flops(func, self.N, self.NNZ) == expected_flops
+
+    def test_calls_per_solver(self):
+        r, m = 4, 100
+        assert table1_calls("spmv", r, m) == r * m / 2
+        assert table1_calls("axpy", r, m) == r * m
+        assert table1_calls("dot", r, m) == r * m / 2
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            table1_min_bytes("gemm", 1, 1)
+        with pytest.raises(ValueError):
+            table1_flops("gemm", 1, 1)
+        with pytest.raises(ValueError):
+            table1_calls("gemm", 1, 1)
+
+    def test_kpm_total_equals_sum_of_calls(self):
+        """Table I's KPM row = sum over functions of calls x per-call."""
+        n, nnz, r, m = self.N, self.NNZ, 3, 40
+        total_bytes = sum(
+            table1_calls(f, r, m) * table1_min_bytes(f, n, nnz)
+            for f in ("spmv", "axpy", "scal", "nrm2", "dot")
+        )
+        assert total_bytes == kpm_min_traffic(n, nnz, r, m, stage="naive")
+        total_flops = sum(
+            table1_calls(f, r, m) * table1_flops(f, n, nnz)
+            for f in ("spmv", "axpy", "scal", "nrm2", "dot")
+        )
+        assert total_flops == kpm_flops(n, nnz, r, m)
+
+
+class TestEq4Cascade:
+    def test_traffic_ordering(self):
+        n, nnz, r, m = 1000, 13_000, 16, 64
+        v_naive = kpm_min_traffic(n, nnz, r, m, "naive")
+        v_s1 = kpm_min_traffic(n, nnz, r, m, "aug_spmv")
+        v_s2 = kpm_min_traffic(n, nnz, r, m, "aug_spmmv")
+        assert v_naive > v_s1 > v_s2
+
+    def test_stage_validated(self):
+        with pytest.raises(ValueError):
+            kpm_min_traffic(1, 1, 1, 2, "warp")
+
+
+class TestAgainstInstrumentedKernels:
+    """The analytic formulas must equal what the real kernels charge."""
+
+    @pytest.mark.parametrize("engine,stage", [
+        ("naive", "naive"), ("aug_spmv", "aug_spmv"), ("aug_spmmv", "aug_spmmv"),
+    ])
+    def test_solver_traffic_matches_eq4(self, ti_periodic, engine, stage):
+        h, _ = ti_periodic
+        n, nnz = h.n_rows, h.nnz
+        r, m = 2, 8
+        scale = SpectralScale.from_bounds(-8, 8)
+        blk = make_block_vector(n, r, seed=0)
+        c = PerfCounters()
+        compute_eta(h, scale, m, blk, engine, counters=c)
+        # the engines charge (m/2 - 1) inner iterations plus an spm(m)v init
+        iters = m // 2 - 1
+        if stage == "naive":
+            per_iter = kpm_min_traffic(n, nnz, r, 2, "naive")
+        elif stage == "aug_spmv":
+            per_iter = kpm_min_traffic(n, nnz, r, 2, "aug_spmv")
+        else:
+            per_iter = kpm_min_traffic(n, nnz, r, 2, "aug_spmmv")
+        if stage == "aug_spmmv":
+            init = nnz * 20 + 2 * r * n * 16  # one blocked nu_1 spmmv
+        else:
+            init = r * (nnz * 20 + 2 * n * 16)  # one nu_1 spmv per column
+        expected = iters / 1.0 * per_iter + init
+        assert c.bytes_total == pytest.approx(expected, rel=1e-12)
+
+    def test_solver_flops_match_table1(self, ti_periodic):
+        h, _ = ti_periodic
+        n, nnz = h.n_rows, h.nnz
+        r, m = 3, 8
+        scale = SpectralScale.from_bounds(-8, 8)
+        blk = make_block_vector(n, r, seed=0)
+        c = PerfCounters()
+        compute_eta(h, scale, m, blk, "aug_spmmv", counters=c)
+        iters = m // 2 - 1
+        expected = iters * kpm_flops(n, nnz, r, 2) + r * nnz * 8
+        assert c.flops == pytest.approx(expected)

@@ -1,0 +1,77 @@
+"""Energy-to-solution model."""
+
+import pytest
+
+from repro.perf.arch import EMMY_NODE, IVB, K20X, PIZ_DAINT_NODE, Architecture
+from repro.perf.energy import (
+    DEVICE_TDP_W,
+    EnergyModel,
+    variant_energy_table,
+)
+
+
+class TestPower:
+    def test_device_power_active_idle(self):
+        em = EnergyModel()
+        assert em.device_power(K20X) == DEVICE_TDP_W["K20X"]
+        assert em.device_power(K20X, active=False) == pytest.approx(
+            0.35 * DEVICE_TDP_W["K20X"]
+        )
+
+    def test_node_power_sums_devices(self):
+        em = EnergyModel(node=PIZ_DAINT_NODE)
+        expected = 100.0 + DEVICE_TDP_W["SNB"] + DEVICE_TDP_W["K20X"]
+        assert em.node_power() == pytest.approx(expected)
+
+    def test_emmy_node_heavier(self):
+        assert EnergyModel(node=EMMY_NODE).node_power() > EnergyModel(
+            node=PIZ_DAINT_NODE
+        ).node_power()
+
+    def test_unknown_device(self):
+        em = EnergyModel()
+        fake = Architecture(
+            name="X1", kind="cpu", clock_mhz=1, simd_bytes=1, cores=1,
+            bandwidth_gbs=1, llc_mib=1, peak_gflops=1,
+        )
+        with pytest.raises(ValueError):
+            em.device_power(fake)
+
+
+class TestEnergy:
+    def test_energy_scales_with_time_and_nodes(self):
+        em = EnergyModel()
+        e1 = em.energy_to_solution_kwh(100.0, 10)
+        assert em.energy_to_solution_kwh(200.0, 10) == pytest.approx(2 * e1)
+        assert em.energy_to_solution_kwh(100.0, 20) == pytest.approx(2 * e1)
+
+    def test_idle_gpu_saves_energy(self):
+        em = EnergyModel()
+        full = em.energy_to_solution_kwh(100.0, 1)
+        cpu_only = em.energy_to_solution_kwh(100.0, 1, gpus_active=False)
+        assert cpu_only < full
+
+    def test_validation(self):
+        em = EnergyModel()
+        with pytest.raises(ValueError):
+            em.energy_to_solution_kwh(-1.0, 1)
+        with pytest.raises(ValueError):
+            em.energy_to_solution_kwh(1.0, 0)
+
+
+class TestVariantTable:
+    def test_blocked_cheapest(self):
+        rows = {r["variant"]: r for r in variant_energy_table()}
+        assert rows["aug_spmmv"]["energy_kwh"] < rows["aug_spmmv*"]["energy_kwh"]
+        assert rows["aug_spmmv"]["energy_kwh"] < rows["aug_spmv"]["energy_kwh"]
+
+    def test_energy_tracks_node_hours(self):
+        """Constant node power makes energy proportional to node-hours."""
+        rows = variant_energy_table()
+        ratios = [r["energy_kwh"] / r["node_hours"] for r in rows]
+        assert max(ratios) == pytest.approx(min(ratios), rel=1e-9)
+
+    def test_throughput_penalty_factor(self):
+        rows = {r["variant"]: r for r in variant_energy_table()}
+        penalty = rows["aug_spmv"]["energy_kwh"] / rows["aug_spmmv"]["energy_kwh"]
+        assert penalty > 1.9  # mirrors the Table III node-hour gap

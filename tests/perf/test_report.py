@@ -1,0 +1,57 @@
+"""Performance-report generator."""
+
+import pytest
+
+from repro.perf.arch import EMMY_NODE
+from repro.perf.report import (
+    architecture_table,
+    balance_section,
+    cluster_section,
+    device_section,
+    full_report,
+    node_section,
+)
+
+
+class TestSections:
+    def test_architecture_table_lists_all(self):
+        text = architecture_table()
+        for name in ("IVB", "SNB", "K20m", "K20X"):
+            assert name in text
+        assert "176.0" in text  # IVB peak
+
+    def test_balance_section_values(self):
+        text = balance_section(1_000_000, 13.0, 32, 2000)
+        assert "2.232" in text  # Eq. (6)
+        assert "0.348" in text  # Eq. (7)
+        assert "V_KPM" in text
+
+    def test_device_section_rows(self):
+        text = device_section(32, 13.0)
+        assert text.count("\n") >= 5
+        assert "K20X" in text
+
+    def test_node_section_emmy(self):
+        text = node_section(EMMY_NODE, 32)
+        assert "2 CPU + 2 GPU" in text
+        assert "hetero" in text
+
+    def test_cluster_section_variants(self):
+        text = cluster_section((400, 400, 40), 4, 2000, 32)
+        for variant in ("aug_spmv", "aug_spmmv*", "aug_spmmv"):
+            assert variant in text
+        assert "node-hours" in text
+
+
+class TestFullReport:
+    def test_contains_all_sections(self):
+        text = full_report(nx=20, ny=20, nz=8, nodes=4)
+        for header in (
+            "ARCHITECTURES", "ACCOUNTING", "DEVICE ROOFLINES",
+            "NODE LEVEL", "CLUSTER",
+        ):
+            assert header in text
+
+    def test_validates_nodes(self):
+        with pytest.raises(ValueError):
+            full_report(nodes=0)

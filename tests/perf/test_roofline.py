@@ -1,0 +1,186 @@
+"""Roofline models and device/node performance predictions."""
+
+import pytest
+
+from repro.perf.arch import ARCHITECTURES, IVB, K20M, K20X, PIZ_DAINT_NODE, SNB
+from repro.perf.balance import bmin
+from repro.perf.roofline import (
+    cpu_kernel_performance,
+    custom_roofline,
+    gpu_kernel_performance,
+    gpu_level_bandwidths,
+    llc_code_balance,
+    memory_bound_performance,
+    node_performance,
+    roofline,
+)
+
+
+class TestTable2:
+    def test_registry_complete(self):
+        # Table II devices plus the outlook Xeon Phi (paper Section VII)
+        assert set(ARCHITECTURES) == {"IVB", "SNB", "K20m", "K20X", "KNC"}
+
+    def test_ivb_row(self):
+        assert (IVB.clock_mhz, IVB.cores, IVB.bandwidth_gbs) == (2200, 10, 50.0)
+        assert (IVB.llc_mib, IVB.peak_gflops) == (25.0, 176.0)
+
+    def test_snb_row(self):
+        assert (SNB.clock_mhz, SNB.cores, SNB.bandwidth_gbs) == (2600, 8, 48.0)
+        assert SNB.peak_gflops == 166.4
+
+    def test_k20_rows(self):
+        assert (K20M.bandwidth_gbs, K20M.peak_gflops) == (150.0, 1174.0)
+        assert (K20X.bandwidth_gbs, K20X.peak_gflops) == (170.0, 1311.0)
+
+    def test_peak_consistent_with_clock(self):
+        """P_peak = clock x cores x 8 flops/cycle (AVX DP) on the CPUs."""
+        assert IVB.peak_gflops == pytest.approx(2.2 * 10 * 8)
+        assert SNB.peak_gflops == pytest.approx(2.6 * 8 * 8)
+
+    def test_gpu_peak_consistent_with_smx(self):
+        """P_peak = clock x SMX x 64 FMA units x 2 flops."""
+        assert K20M.peak_gflops == pytest.approx(0.706 * 13 * 128, rel=1e-3)
+        assert K20X.peak_gflops == pytest.approx(0.732 * 14 * 128, rel=1e-3)
+
+
+class TestRooflineEq9:
+    def test_min_of_peak_and_memory(self):
+        assert roofline(100.0, 50.0, 1.0) == 50.0
+        assert roofline(100.0, 500.0, 1.0) == 100.0
+
+    def test_memory_bound_eq10(self):
+        assert memory_bound_performance(50.0, 2.0) == 25.0
+
+    def test_invalid_balance(self):
+        with pytest.raises(ValueError):
+            roofline(1, 1, 0)
+        with pytest.raises(ValueError):
+            memory_bound_performance(1, -1)
+
+    def test_ivb_spmv_prediction(self):
+        """b / B_min(1) = 50 / 2.23 ~= 22.4 Gflop/s (paper Fig. 7 line)."""
+        assert memory_bound_performance(
+            IVB.bandwidth_gbs, bmin(1)
+        ) == pytest.approx(22.4, abs=0.2)
+
+
+class TestCustomRooflineEq11:
+    def test_bottleneck_crossover(self):
+        """Memory-bound at small R, LLC-bound at large R (paper Fig. 8)."""
+        small = custom_roofline(IVB, 1)
+        large = custom_roofline(IVB, 32)
+        assert small["p_star"] == small["p_mem"]
+        assert large["p_star"] == large["p_llc"]
+
+    def test_p_star_is_min(self):
+        for r in (1, 4, 16, 64):
+            d = custom_roofline(IVB, r)
+            assert d["p_star"] == min(d["p_mem"], d["p_llc"])
+
+    def test_saturates_near_measured_65(self):
+        """Paper Fig. 8: measured ~65 Gflop/s at large R; model within 15%."""
+        p = custom_roofline(IVB, 32)["p_star"]
+        assert 55.0 <= p <= 75.0
+
+    def test_llc_balance_decreasing_in_r(self):
+        assert llc_code_balance(1) > llc_code_balance(8) > llc_code_balance(64)
+
+    def test_omega_raises_balance(self):
+        assert (
+            custom_roofline(IVB, 16, omega=1.5)["p_mem"]
+            < custom_roofline(IVB, 16, omega=1.0)["p_mem"]
+        )
+
+    def test_never_exceeds_peak(self):
+        for r in (1, 1024):
+            assert custom_roofline(IVB, r)["p_star"] <= IVB.peak_gflops
+
+
+class TestCpuModel:
+    def test_stage_ordering(self):
+        p0 = cpu_kernel_performance(IVB, "naive")
+        p1 = cpu_kernel_performance(IVB, "aug_spmv")
+        p2 = cpu_kernel_performance(IVB, "aug_spmmv", r=32)
+        assert p0 < p1 < p2
+
+    def test_spmv_saturates_with_cores(self):
+        """Paper Fig. 7: aug_spmv is bandwidth-bound within the socket."""
+        p4 = cpu_kernel_performance(IVB, "aug_spmv", cores=4)
+        p10 = cpu_kernel_performance(IVB, "aug_spmv", cores=10)
+        assert p10 == pytest.approx(p4, rel=0.02)
+
+    def test_spmmv_scales_with_cores(self):
+        """Paper Fig. 7: aug_spmmv(R=32) scales almost linearly."""
+        p2 = cpu_kernel_performance(IVB, "aug_spmmv", r=32, cores=2)
+        p10 = cpu_kernel_performance(IVB, "aug_spmmv", r=32, cores=10)
+        assert p10 > 4.0 * p2
+
+    def test_core_validation(self):
+        with pytest.raises(ValueError):
+            cpu_kernel_performance(IVB, "aug_spmv", cores=0)
+        with pytest.raises(ValueError):
+            cpu_kernel_performance(IVB, "aug_spmv", cores=11)
+
+    def test_rejects_gpu(self):
+        with pytest.raises(ValueError):
+            cpu_kernel_performance(K20M, "naive")
+
+    def test_unknown_stage(self):
+        with pytest.raises(ValueError):
+            cpu_kernel_performance(IVB, "fused_everything")
+
+
+class TestGpuModel:
+    def test_stage_ordering(self):
+        p0 = gpu_kernel_performance(K20X, "naive")
+        p1 = gpu_kernel_performance(K20X, "aug_spmv")
+        p2 = gpu_kernel_performance(K20X, "aug_spmmv", r=32)
+        assert p0 < p1 < p2
+
+    def test_blocked_speedup_about_2_3x(self):
+        """Paper Section VI-B: 2.3x naive GPU -> optimized GPU."""
+        ratio = gpu_kernel_performance(K20X, "aug_spmmv", r=32) / \
+            gpu_kernel_performance(K20X, "naive")
+        assert 1.9 <= ratio <= 2.7
+
+    def test_rejects_cpu(self):
+        with pytest.raises(ValueError):
+            gpu_kernel_performance(IVB, "naive")
+
+    def test_bandwidth_curves_fig10(self):
+        """R=1 memory-bound at b; large R saturates the L2; the full
+        augmented kernel runs at a much lower level (latency-bound)."""
+        bw1 = gpu_level_bandwidths(K20M, "spmmv", 1)
+        assert bw1["dram"] == pytest.approx(K20M.bandwidth_gbs, rel=0.02)
+        bw32 = gpu_level_bandwidths(K20M, "spmmv", 32)
+        assert bw32["l2"] == pytest.approx(K20M.llc_bandwidth_gbs, rel=0.02)
+        assert bw32["dram"] < bw1["dram"]
+        full = gpu_level_bandwidths(K20M, "aug_spmmv", 32)
+        assert full["l2"] < 0.5 * bw32["l2"]
+
+
+class TestNodeModel:
+    def test_fig11_headline_ratios(self):
+        s0 = node_performance(PIZ_DAINT_NODE, "naive", r=32)
+        s2 = node_performance(PIZ_DAINT_NODE, "aug_spmmv", r=32)
+        # "more than a factor of 10" naive CPU -> optimized heterogeneous
+        assert s2["heterogeneous"] / s0["cpu"] > 10.0
+        # "another 36% ... by enabling fully heterogeneous execution"
+        gain = s2["heterogeneous"] / s2["gpu"]
+        assert 1.2 <= gain <= 1.5
+
+    def test_parallel_efficiency_band(self):
+        """Paper: heterogeneous efficiency tops out at 85-90%."""
+        for stage in ("naive", "aug_spmv", "aug_spmmv"):
+            eff = node_performance(PIZ_DAINT_NODE, stage, r=32)[
+                "parallel_efficiency"
+            ]
+            assert 0.80 <= eff <= 0.92
+
+    def test_stagewise_monotone(self):
+        vals = [
+            node_performance(PIZ_DAINT_NODE, s, r=32)["heterogeneous"]
+            for s in ("naive", "aug_spmv", "aug_spmmv")
+        ]
+        assert vals[0] < vals[1] < vals[2]

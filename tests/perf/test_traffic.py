@@ -1,0 +1,81 @@
+"""Analytic per-level traffic models (paper Figs. 9-10 shapes)."""
+
+import pytest
+
+from repro.perf.arch import K20M
+from repro.perf.traffic import gpu_level_traffic, omega_parametric
+
+N = 1_600_000  # the paper's 100x100x40 domain
+NNZR = 13.0
+
+
+class TestOmega:
+    def test_at_least_one(self):
+        for r in (1, 4, 16, 64):
+            assert omega_parametric(r, N, NNZR, 25 << 20, 80_000) >= 1.0
+
+    def test_monotone_in_r(self):
+        vals = [
+            omega_parametric(r, N, NNZR, 25 << 20, 80_000)
+            for r in (1, 8, 16, 32, 64)
+        ]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_small_r_is_one(self):
+        """Paper Fig. 8: Omega = 1 for small R on IVB."""
+        assert omega_parametric(1, N, NNZR, 25 << 20, 80_000) == 1.0
+        assert omega_parametric(4, N, NNZR, 25 << 20, 80_000) == 1.0
+
+    def test_r32_near_paper_value(self):
+        """Paper Fig. 8 annotation: Omega ~= 1.54 at R = 32."""
+        om = omega_parametric(32, N, NNZR, 25 << 20, 80_000)
+        assert 1.3 <= om <= 1.7
+
+    def test_bigger_cache_smaller_omega(self):
+        small = omega_parametric(32, N, NNZR, 10 << 20, 80_000)
+        big = omega_parametric(32, N, NNZR, 100 << 20, 80_000)
+        assert big <= small
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            omega_parametric(0, N, NNZR, 1 << 20, 100)
+
+
+class TestGpuTraffic:
+    def test_dram_per_vector_decreases(self):
+        """Paper Fig. 9: accumulated volume per vector shrinks with R."""
+        vols = [
+            gpu_level_traffic("spmmv", r, N, NNZR, K20M).per_vector(r).dram
+            for r in (1, 8, 16, 32, 64)
+        ]
+        assert all(b < a for a, b in zip(vols, vols[1:]))
+
+    def test_tex_scales_linearly_with_r(self):
+        """Paper Section V-B: texture traffic scales linearly with R."""
+        t8 = gpu_level_traffic("spmmv", 8, N, NNZR, K20M).tex
+        t16 = gpu_level_traffic("spmmv", 16, N, NNZR, K20M).tex
+        t64 = gpu_level_traffic("spmmv", 64, N, NNZR, K20M).tex
+        assert t16 == pytest.approx(2 * t8, rel=0.05)
+        assert t64 == pytest.approx(8 * t8, rel=0.05)
+
+    def test_augmented_adds_w_stream(self):
+        plain = gpu_level_traffic("spmmv", 8, N, NNZR, K20M)
+        aug = gpu_level_traffic("aug_spmmv_nodot", 8, N, NNZR, K20M)
+        assert aug.dram > plain.dram
+
+    def test_dots_do_not_change_traffic(self):
+        """Fig. 10(b) vs (c): same volumes, different *time* (latency)."""
+        nodot = gpu_level_traffic("aug_spmmv_nodot", 16, N, NNZR, K20M)
+        full = gpu_level_traffic("aug_spmmv", 16, N, NNZR, K20M)
+        assert nodot.dram == full.dram
+        assert nodot.l2 == full.l2
+        assert nodot.tex == full.tex
+
+    def test_r1_dram_dominated_by_matrix(self):
+        t = gpu_level_traffic("spmmv", 1, N, NNZR, K20M)
+        matrix_bytes = NNZR * N * 20
+        assert t.dram == pytest.approx(matrix_bytes, rel=0.35)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            gpu_level_traffic("magic", 1, N, NNZR, K20M)

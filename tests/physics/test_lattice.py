@@ -1,0 +1,111 @@
+"""3D lattice indexing and boundary conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.lattice import Lattice3D
+
+
+class TestIndexing:
+    def test_roundtrip(self):
+        lat = Lattice3D(5, 4, 3)
+        n = np.arange(lat.n_sites)
+        x, y, z = lat.site_coords(n)
+        assert np.array_equal(lat.site_index(x, y, z), n)
+
+    def test_x_fastest(self):
+        lat = Lattice3D(5, 4, 3)
+        assert lat.site_index(1, 0, 0) == 1
+        assert lat.site_index(0, 1, 0) == 5
+        assert lat.site_index(0, 0, 1) == 20
+
+    def test_n_sites(self):
+        assert Lattice3D(5, 4, 3).n_sites == 60
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Lattice3D(0, 4, 3)
+
+    def test_all_coords_cover_lattice(self):
+        lat = Lattice3D(3, 3, 2)
+        x, y, z = lat.all_coords()
+        assert len(set(zip(x.tolist(), y.tolist(), z.tolist()))) == 18
+
+
+class TestNeighbors:
+    def test_periodic_axis_full_count(self):
+        lat = Lattice3D(4, 3, 2, pbc=(True, True, False))
+        src, dst = lat.neighbor_pairs(0)
+        assert src.size == lat.n_sites
+
+    def test_open_axis_reduced_count(self):
+        lat = Lattice3D(4, 3, 2, pbc=(True, True, False))
+        src, dst = lat.neighbor_pairs(2)
+        assert src.size == lat.n_sites // 2  # nz=2 -> half the sites hop up
+
+    def test_periodic_wraps(self):
+        lat = Lattice3D(4, 3, 2, pbc=(True, False, False))
+        src, dst = lat.neighbor_pairs(0)
+        # the site at x=3 must wrap to x=0
+        x, y, z = lat.site_coords(src)
+        wrapped = x == 3
+        xd, yd, zd = lat.site_coords(dst[wrapped])
+        assert np.all(xd == 0)
+
+    def test_open_no_wrap(self):
+        lat = Lattice3D(4, 3, 2, pbc=(False, False, False))
+        src, dst = lat.neighbor_pairs(0)
+        x, _, _ = lat.site_coords(src)
+        assert np.all(x < 3)
+
+    def test_extent_one_axis_empty(self):
+        lat = Lattice3D(4, 1, 2, pbc=(True, True, True))
+        src, dst = lat.neighbor_pairs(1)
+        assert src.size == 0
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            Lattice3D(2, 2, 2).neighbor_pairs(3)
+
+    def test_neighbors_differ_by_one_step(self):
+        lat = Lattice3D(5, 4, 3, pbc=(True, True, False))
+        for axis in range(3):
+            src, dst = lat.neighbor_pairs(axis)
+            xs, ys, zs = lat.site_coords(src)
+            xd, yd, zd = lat.site_coords(dst)
+            deltas = (xd - xs, yd - ys, zd - zs)
+            extent = lat.extent(axis)
+            ok = (deltas[axis] == 1) | (deltas[axis] == 1 - extent)
+            assert np.all(ok)
+            for other in range(3):
+                if other != axis:
+                    assert np.all(deltas[other] == 0)
+
+
+class TestBoundary:
+    def test_boundary_sites(self):
+        lat = Lattice3D(3, 3, 4)
+        low = lat.boundary_sites(2, 0)
+        high = lat.boundary_sites(2, 1)
+        assert low.size == high.size == 9
+        _, _, zl = lat.site_coords(low)
+        _, _, zh = lat.site_coords(high)
+        assert np.all(zl == 0) and np.all(zh == 3)
+
+
+@given(
+    st.integers(1, 6), st.integers(1, 6), st.integers(1, 6),
+    st.tuples(st.booleans(), st.booleans(), st.booleans()),
+)
+@settings(max_examples=50, deadline=None)
+def test_neighbor_pairs_are_injective(nx, ny, nz, pbc):
+    """Each source site hops to at most one destination per axis."""
+    lat = Lattice3D(nx, ny, nz, pbc=pbc)
+    for axis in range(3):
+        src, dst = lat.neighbor_pairs(axis)
+        assert len(set(src.tolist())) == src.size
+        assert src.size == dst.size
+        if src.size:
+            assert dst.min() >= 0 and dst.max() < lat.n_sites

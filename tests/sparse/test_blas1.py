@@ -1,0 +1,82 @@
+"""BLAS-1 kernels: numerics and paper-Table-I accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.blas1 import axpy, dot, nrm2_sq, scal
+from repro.util.constants import F_ADD, F_MUL, S_D
+from repro.util.counters import PerfCounters
+
+
+@pytest.fixture
+def vectors(rng):
+    n = 100
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    y = rng.normal(size=n) + 1j * rng.normal(size=n)
+    return x, y
+
+
+class TestNumerics:
+    def test_axpy_in_place(self, vectors):
+        x, y = vectors
+        ref = y + (2 - 1j) * x
+        out = axpy(y, 2 - 1j, x)
+        assert out is y
+        assert np.allclose(y, ref)
+
+    def test_scal_in_place(self, vectors):
+        x, _ = vectors
+        ref = -3.0 * x
+        out = scal(-3.0, x)
+        assert out is x
+        assert np.allclose(x, ref)
+
+    def test_dot_conjugates_first_argument(self, vectors):
+        x, y = vectors
+        assert dot(x, y) == pytest.approx(np.sum(np.conj(x) * y))
+
+    def test_dot_hermitian_symmetry(self, vectors):
+        x, y = vectors
+        assert dot(x, y) == pytest.approx(np.conj(dot(y, x)))
+
+    def test_nrm2_sq(self, vectors):
+        x, _ = vectors
+        assert nrm2_sq(x) == pytest.approx(np.linalg.norm(x) ** 2)
+
+    def test_nrm2_sq_real_nonnegative(self, vectors):
+        x, _ = vectors
+        v = nrm2_sq(x)
+        assert isinstance(v, float) and v >= 0
+
+
+class TestAccounting:
+    """Exactly the per-call rows of paper Table I."""
+
+    N = 64
+
+    def _vec(self):
+        return np.ones(self.N, dtype=complex)
+
+    def test_axpy(self):
+        c = PerfCounters()
+        axpy(self._vec(), 1.0, self._vec(), counters=c)
+        assert c.bytes_total == 3 * self.N * S_D
+        assert c.flops == self.N * (F_ADD + F_MUL)
+
+    def test_scal(self):
+        c = PerfCounters()
+        scal(2.0, self._vec(), counters=c)
+        assert c.bytes_total == 2 * self.N * S_D
+        assert c.flops == self.N * F_MUL
+
+    def test_dot(self):
+        c = PerfCounters()
+        dot(self._vec(), self._vec(), counters=c)
+        assert c.bytes_total == 2 * self.N * S_D
+        assert c.flops == self.N * (F_ADD + F_MUL)
+
+    def test_nrm2(self):
+        c = PerfCounters()
+        nrm2_sq(self._vec(), counters=c)
+        assert c.bytes_total == self.N * S_D
+        assert c.flops == self.N * (F_ADD // 2 + F_MUL // 2)

@@ -1,0 +1,111 @@
+"""SELL-C-sigma storage: layout, padding, sorting, round trips."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.sell import SellMatrix
+from repro.util.errors import FormatError
+
+
+def ragged_matrix():
+    """Rows with very different lengths to exercise sorting/padding."""
+    rows, cols, vals = [], [], []
+    n = 20
+    for i in range(n):
+        k = (i * 7) % 9 + 1
+        for j in range(k):
+            rows.append(i)
+            cols.append((i + j * 3) % n)
+            vals.append(float(i + 1) + 1j * j)
+    return CSRMatrix.from_coo(rows, cols, vals, (n, n))
+
+
+class TestConstruction:
+    def test_roundtrip_dense(self, small_hermitian):
+        m, dense = small_hermitian
+        s = SellMatrix(m, chunk_height=8, sigma=16)
+        assert np.allclose(s.to_dense(), dense)
+
+    @pytest.mark.parametrize("c,sigma", [(1, 1), (2, 4), (4, 4), (8, 1), (32, 32)])
+    def test_roundtrip_parametrized(self, c, sigma):
+        m = ragged_matrix()
+        s = SellMatrix(m, chunk_height=c, sigma=sigma)
+        assert np.allclose(s.to_dense(), m.to_dense())
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(FormatError):
+            SellMatrix(ragged_matrix(), chunk_height=4, sigma=6)
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            SellMatrix(ragged_matrix(), chunk_height=0)
+
+    def test_nonsquare(self):
+        m = CSRMatrix.from_coo([0, 2], [1, 4], [1.0, 2.0], (3, 5))
+        s = SellMatrix(m, chunk_height=2)
+        assert np.allclose(s.to_dense(), m.to_dense())
+
+
+class TestPadding:
+    def test_beta_at_most_one(self):
+        s = SellMatrix(ragged_matrix(), chunk_height=4, sigma=1)
+        assert 0 < s.beta <= 1.0
+
+    def test_sorting_improves_beta(self):
+        m = ragged_matrix()
+        unsorted = SellMatrix(m, chunk_height=4, sigma=1)
+        fully = SellMatrix(m, chunk_height=4, sigma=20)
+        assert fully.beta >= unsorted.beta
+
+    def test_sell1_is_crs_no_padding(self):
+        s = SellMatrix(ragged_matrix(), chunk_height=1, sigma=1)
+        assert s.beta == pytest.approx(1.0)
+        assert s.stored_slots == s.nnz
+
+    def test_uniform_rows_no_padding(self, ti_periodic):
+        h, _ = ti_periodic
+        s = SellMatrix(h, chunk_height=32, sigma=1)
+        assert s.beta == pytest.approx(1.0)
+
+    def test_memory_bytes_counts_padding(self):
+        s = SellMatrix(ragged_matrix(), chunk_height=4, sigma=1)
+        assert s.memory_bytes() == s.stored_slots * 20
+        assert s.memory_bytes() >= s.nnz * 20
+
+
+class TestLayout:
+    def test_chunk_count(self):
+        s = SellMatrix(ragged_matrix(), chunk_height=8)
+        assert s.n_chunks == -(-20 // 8)
+
+    def test_chunk_len_is_chunk_max(self):
+        m = ragged_matrix()
+        s = SellMatrix(m, chunk_height=4, sigma=1)
+        lengths = np.zeros(s.n_chunks * 4, dtype=int)
+        lengths[:20] = m.nnz_per_row
+        for ci in range(s.n_chunks):
+            assert s.chunk_len[ci] == lengths[4 * ci : 4 * ci + 4].max()
+
+    def test_perm_is_permutation(self):
+        s = SellMatrix(ragged_matrix(), chunk_height=4, sigma=8)
+        assert sorted(s.perm.tolist()) == list(range(len(s.perm)))
+
+    def test_sigma_sorting_descending_within_scope(self):
+        m = ragged_matrix()
+        s = SellMatrix(m, chunk_height=4, sigma=8)
+        lengths = np.zeros(s.n_chunks * 4, dtype=int)
+        lengths[:20] = m.nnz_per_row
+        sorted_lengths = lengths[s.perm]
+        for lo in range(0, len(sorted_lengths), 8):
+            scope = sorted_lengths[lo : lo + 8]
+            assert np.all(np.diff(scope) <= 0)
+
+    def test_repr_shows_beta(self):
+        s = SellMatrix(ragged_matrix(), chunk_height=4)
+        assert "beta" in repr(s)
+
+    def test_nnzr_preserved(self):
+        m = ragged_matrix()
+        s = SellMatrix(m, chunk_height=4)
+        assert s.nnzr == pytest.approx(m.nnzr)

@@ -1,0 +1,84 @@
+"""Sparsity-structure diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.physics import build_topological_insulator
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.stats import (
+    analyze,
+    row_length_histogram,
+    stencil_reuse_rows,
+)
+
+
+class TestAnalyze:
+    def test_ti_matches_paper_description(self):
+        """Paper Sec. I-B: several sub-diagonals, corner diagonals from
+        periodic x/y, 'a stencil but not a band matrix'."""
+        h, _ = build_topological_insulator(8, 8, 6)
+        stats = analyze(h)
+        assert stats.nnzr_mean == pytest.approx(h.nnzr)
+        assert len(stats.diagonals) > 5  # several sub-diagonals
+        assert stats.diagonal_coverage > 0.95
+        assert stats.has_corner_entries  # periodic wrap in y
+        assert stats.is_stencil_like
+
+    def test_diagonal_matrix(self):
+        m = CSRMatrix.from_dense(np.diag([1.0, 2.0, 3.0, 4.0]))
+        stats = analyze(m)
+        assert stats.diagonals == [0]
+        assert stats.diagonal_coverage == pytest.approx(1.0)
+        assert stats.bandwidth == 0
+        assert not stats.has_corner_entries
+
+    def test_random_matrix_not_stencil(self, rng):
+        n = 64
+        mask = rng.random((n, n)) < 0.05
+        m = CSRMatrix.from_dense(mask.astype(float))
+        stats = analyze(m)
+        assert not stats.is_stencil_like or stats.diagonal_coverage <= 0.9
+
+    def test_empty_matrix(self):
+        m = CSRMatrix.from_coo([], [], [], (4, 4))
+        stats = analyze(m)
+        assert stats.nnz == 0
+        assert stats.diagonals == []
+        assert stats.bandwidth == 0
+
+    def test_diagonals_sorted_by_population(self):
+        rows = [0, 1, 2, 3, 0, 1, 2, 0]
+        cols = [0, 1, 2, 3, 1, 2, 3, 2]  # diag 0 x4, diag +1 x3, diag +2 x1
+        m = CSRMatrix.from_coo(rows, cols, np.ones(8), (4, 4))
+        stats = analyze(m, diag_threshold=0.2)
+        assert stats.diagonals[0] == 0
+        assert stats.diagonals[1] == 1
+
+
+class TestReuseWindow:
+    def test_tridiagonal(self):
+        n = 50
+        d = np.diag(np.ones(n)) + np.diag(np.ones(n - 1), 1) + np.diag(
+            np.ones(n - 1), -1
+        )
+        m = CSRMatrix.from_dense(d)
+        assert stencil_reuse_rows(m) == pytest.approx(2.0)
+
+    def test_ti_scales_with_plane_size(self):
+        h1, _ = build_topological_insulator(6, 6, 6)
+        h2, _ = build_topological_insulator(12, 12, 6)
+        assert stencil_reuse_rows(h2) > 2 * stencil_reuse_rows(h1)
+
+    def test_empty(self):
+        assert stencil_reuse_rows(CSRMatrix.from_coo([], [], [], (2, 2))) == 0.0
+
+
+class TestHistogram:
+    def test_ti_histogram(self):
+        h, _ = build_topological_insulator(4, 4, 4, pbc=(True, True, True))
+        assert row_length_histogram(h) == {13: h.n_rows}
+
+    def test_counts_sum_to_rows(self, small_hermitian):
+        m, _ = small_hermitian
+        hist = row_length_histogram(m)
+        assert sum(hist.values()) == m.n_rows

@@ -1,0 +1,70 @@
+"""PerfCounters accounting semantics."""
+
+import math
+
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+
+
+class TestCharge:
+    def test_accumulates_bytes_and_flops(self):
+        c = PerfCounters()
+        c.charge("spmv", loads=100, stores=20, flops=50)
+        c.charge("spmv", loads=10, flops=5)
+        assert c.bytes_loaded == 110
+        assert c.bytes_stored == 20
+        assert c.flops == 55
+        assert c.bytes_total == 130
+
+    def test_call_tally_per_kernel(self):
+        c = PerfCounters()
+        c.charge("axpy")
+        c.charge("axpy")
+        c.charge("dot")
+        assert c.calls == {"axpy": 2, "dot": 1}
+
+    def test_code_balance(self):
+        c = PerfCounters()
+        c.charge("k", loads=138, stores=0, flops=69)
+        assert c.code_balance == 2.0
+
+    def test_code_balance_without_flops_is_inf(self):
+        assert math.isinf(PerfCounters().code_balance)
+
+    def test_disabled_counters_ignore_charges(self):
+        c = PerfCounters(enabled=False)
+        c.charge("k", loads=100, flops=10)
+        assert c.bytes_total == 0
+        assert c.flops == 0
+
+
+class TestNullCounters:
+    def test_null_charge_is_noop(self):
+        NULL_COUNTERS.charge("anything", loads=1 << 40, flops=1 << 40)
+        assert NULL_COUNTERS.bytes_total == 0
+        assert NULL_COUNTERS.flops == 0
+        assert NULL_COUNTERS.calls == {}
+
+
+class TestResetMerge:
+    def test_reset_zeroes_everything(self):
+        c = PerfCounters()
+        c.charge("k", loads=5, stores=5, flops=5)
+        c.reset()
+        assert c.bytes_total == 0 and c.flops == 0 and c.calls == {}
+
+    def test_merge_adds_all_fields(self):
+        a = PerfCounters()
+        b = PerfCounters()
+        a.charge("x", loads=1, stores=2, flops=3)
+        b.charge("x", loads=10, stores=20, flops=30)
+        b.charge("y", flops=1)
+        a.merge(b)
+        assert a.bytes_loaded == 11
+        assert a.bytes_stored == 22
+        assert a.flops == 34
+        assert a.calls == {"x": 2, "y": 1}
+
+    def test_summary_mentions_balance(self):
+        c = PerfCounters()
+        c.charge("k", loads=4, flops=2)
+        assert "balance" in c.summary()
