@@ -7,15 +7,20 @@ inner KPM iteration per stage on a TI matrix and reports the achieved
 per-vector throughput — the in-repo analogue of paper Fig. 11's bars.
 """
 
+import json
+import time
+
 import numpy as np
 import pytest
 
-from _support import emit, format_table
+from _support import RESULTS_DIR, emit, format_table
 from repro.core.scaling import SpectralScale
 from repro.physics import build_topological_insulator
 from repro.sparse import SellMatrix
+from repro.sparse.backend import get_backend
 from repro.sparse.fused import aug_spmmv_step, aug_spmv_step, naive_kpm_step
 from repro.util.constants import DTYPE
+from repro.util.counters import PerfCounters
 
 NX, NZ = 40, 10  # N = 64,000 rows — larger than any host cache
 
@@ -77,8 +82,6 @@ def test_stage_speedups_summary(benchmark, system):
     Asserts the paper's ordering: stage 1 beats naive, and the blocked
     stage beats R separate stage-1 iterations per vector.
     """
-    import time
-
     h, _, scale = system
     n = h.n_rows
 
@@ -96,8 +99,6 @@ def test_stage_speedups_summary(benchmark, system):
             fn(h, v, w, scale.a, scale.b, scratch)
             best = min(best, time.perf_counter() - t0)
         return best
-
-    from repro.util.counters import PerfCounters
 
     t_naive = time_step(naive_kpm_step, 1)
     t_s1 = time_step(aug_spmv_step, 1)
@@ -138,4 +139,119 @@ def test_stage_speedups_summary(benchmark, system):
     # fusion never loses, and the traffic hierarchy is strict
     assert t_s1 <= t_naive * 1.10
     assert b_s1 < b_naive and b_s2 < b_s1
+    benchmark(lambda: None)
+
+
+# -- backend comparison (numpy vs compiled native kernels) --------------
+
+R_BLOCK = 32  # the paper's production block width
+
+
+def _time_backend_step(bk, A, scale, stage, r, reps=5):
+    """Best-of-reps seconds for one inner iteration, plus min-traffic bytes."""
+    n = A.n_rows
+    plan = bk.plan(A, r)
+    step = {
+        "naive": bk.naive_step,
+        "aug_spmv": bk.aug_spmv_step,
+        "aug_spmmv": bk.aug_spmmv_step,
+    }[stage]
+    if r == 1:
+        v, w = _vectors(n, 1, seed=1)
+        v, w = v[:, 0].copy(), w[:, 0].copy()
+    else:
+        v, w = _vectors(n, r, seed=1)
+    counters = PerfCounters()
+    step(A, v, w, scale.a, scale.b, plan=plan, counters=counters)  # warm-up
+    nbytes = counters.bytes_total
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        step(A, v, w, scale.a, scale.b, plan=plan)
+        best = min(best, time.perf_counter() - t0)
+    return best, nbytes
+
+
+def test_backend_speedups_json(benchmark, system):
+    """Per-stage, per-format, per-backend wall clock — BENCH_kernels.json.
+
+    Times every (stage, format, backend) combination through the kernel
+    backend registry, converts the Table-I minimum traffic into achieved
+    GB/s, and records the native-over-numpy speedups. When the native
+    kernels compiled, the fused blocked SELL iteration must beat the
+    NumPy path by >= 3x — the compiled single-pass kernel's win over
+    NumPy's multi-pass stages on this bandwidth-priced workload.
+    """
+    h, s, scale = system
+    backends = {"numpy": get_backend("numpy")}
+    native = get_backend("native")
+    native_ok = native.available()
+    if native_ok:
+        backends["native"] = native
+
+    stages = [("naive", 1), ("aug_spmv", 1), ("aug_spmmv", R_BLOCK)]
+    series = []
+    for fmt, A in (("csr", h), ("sell", s)):
+        for stage, r in stages:
+            for bk_name, bk in backends.items():
+                secs, nbytes = _time_backend_step(bk, A, scale, stage, r)
+                series.append(
+                    {
+                        "stage": stage,
+                        "format": fmt,
+                        "backend": bk_name,
+                        "r": r,
+                        "seconds": secs,
+                        "ms_per_vector": secs / r * 1e3,
+                        "bytes_min": nbytes,
+                        "gbps": nbytes / secs / 1e9,
+                    }
+                )
+
+    def lookup(stage, fmt, backend):
+        for row in series:
+            if (row["stage"], row["format"], row["backend"]) == (
+                stage, fmt, backend,
+            ):
+                return row
+        raise KeyError((stage, fmt, backend))
+
+    for row in series:
+        base = lookup(row["stage"], row["format"], "numpy")
+        row["speedup_vs_numpy"] = base["seconds"] / row["seconds"]
+
+    payload = {
+        "n_rows": h.n_rows,
+        "nnz": h.nnz,
+        "r_block": R_BLOCK,
+        "native_available": native_ok,
+        "series": series,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernels.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [
+        [
+            f"{r['stage']}/{r['format']}", r["backend"], r["r"],
+            r["seconds"] * 1e3, r["gbps"], r["speedup_vs_numpy"],
+        ]
+        for r in series
+    ]
+    emit(
+        "kernels_backends",
+        format_table(
+            ["kernel", "backend", "R", "ms/call", "GB/s (min)", "speedup"],
+            rows,
+        )
+        + "\n(GB/s uses the Table-I minimum-traffic byte count; the"
+        "\n native column is the compiled single-pass C kernel.)",
+    )
+
+    if native_ok:
+        ratio = lookup("aug_spmmv", "sell", "native")["speedup_vs_numpy"]
+        assert ratio >= 3.0, (
+            f"native SELL aug_spmmv R={R_BLOCK} speedup {ratio:.2f}x < 3x"
+        )
     benchmark(lambda: None)

@@ -37,12 +37,20 @@ def _load_matrix(args):
 def cmd_dos(args) -> int:
     from repro.core.reconstruct import integrate_density
     from repro.core.solver import KPMSolver
+    from repro.sparse.backend import get_backend
+    from repro.util.errors import BackendError
 
     h = _load_matrix(args)
     print(f"matrix: {h.n_rows:,} rows, {h.nnz:,} nnz ({h.nnzr:.2f}/row)")
+    try:
+        backend = get_backend(args.backend)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"kernel backend: {backend.name}")
     solver = KPMSolver(
         h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed,
-        engine=args.engine,
+        engine=args.engine, backend=backend,
     )
     dos = solver.dos()
     total = integrate_density(dos.energies, dos.rho)
@@ -111,6 +119,8 @@ def cmd_scaling(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.sparse.backend import BACKEND_CHOICES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="KPM performance-engineering reproduction (IPDPS'15)",
@@ -125,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rows of the printed table")
     p.add_argument("--engine", default="aug_spmmv",
                    choices=["naive", "aug_spmv", "aug_spmmv"])
+    p.add_argument("--backend", default="auto", choices=list(BACKEND_CHOICES),
+                   help="kernel backend (auto: native C kernels when a "
+                        "compiler is available, else numpy)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_dos)
 

@@ -17,6 +17,13 @@ The engines differ only in *implementation* — exactly the paper's point:
 * ``AUG_SPMV``  — paper Fig. 4 (stage 1): one fused kernel per iteration.
 * ``AUG_SPMMV`` — paper Fig. 5 (stage 2): all R vectors blocked, one
   matrix traversal per iteration.
+
+Orthogonally, ``backend`` selects *who executes* the kernels — the
+NumPy reference or the compiled native kernels — through
+:mod:`repro.sparse.backend`. All workspaces are hoisted into a
+per-(matrix, R) plan before the M/2-iteration loop, which then runs
+allocation-free: the nu_m / nu_{m+1} buffers swap by reference and every
+kernel writes into preallocated storage.
 """
 
 from __future__ import annotations
@@ -26,10 +33,10 @@ from enum import Enum
 import numpy as np
 
 from repro.core.scaling import SpectralScale
+from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.fused import aug_spmv_step, aug_spmmv_step, naive_kpm_step
+from repro.sparse.fused import _col_dots
 from repro.sparse.sell import SellMatrix
-from repro.sparse.spmv import spmv, spmmv
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.validation import check_block_vector, check_positive
@@ -57,24 +64,30 @@ def _eta_single(
     scale: SpectralScale,
     n_moments: int,
     start: np.ndarray,
+    bk: KernelBackend,
     step_fn,
+    plan,
     counters: PerfCounters,
 ) -> np.ndarray:
-    """Shared single-vector driver for the NAIVE and AUG_SPMV engines."""
+    """Shared single-vector driver for the NAIVE and AUG_SPMV engines.
+
+    ``step_fn`` is a bound backend step (naive/aug_spmv); ``plan`` holds
+    its workspaces, so the loop allocates nothing per iteration.
+    """
     a, b = scale.a, scale.b
-    n = H.n_rows
     eta = np.empty(n_moments, dtype=DTYPE)
     v = start.astype(DTYPE, copy=True)  # nu_0
-    scratch = np.empty(n, dtype=DTYPE)
     # nu_1 = a (H nu_0 - b nu_0)
-    w = spmv(H, v, counters=counters)
-    w -= b * v
+    w = np.empty_like(v)
+    bk.spmv(H, v, out=w, counters=counters)
+    np.multiply(v, b, out=plan.work)
+    w -= plan.work
     w *= a
     eta[0] = np.vdot(v, v).real
     eta[1] = np.vdot(w, v)
     for m in range(1, n_moments // 2):
         v, w = w, v  # v = nu_m, w = nu_{m-1}
-        eta_even, eta_odd = step_fn(H, v, w, a, b, scratch=scratch, counters=counters)
+        eta_even, eta_odd = step_fn(H, v, w, a, b, plan=plan, counters=counters)
         eta[2 * m] = eta_even
         eta[2 * m + 1] = eta_odd
     return eta
@@ -87,6 +100,7 @@ def compute_eta(
     start_block: np.ndarray,
     engine: MomentEngine | str = MomentEngine.AUG_SPMMV,
     counters: PerfCounters = NULL_COUNTERS,
+    backend: KernelBackend | str = "auto",
 ) -> np.ndarray:
     """Compute the raw scalar products eta for every start vector.
 
@@ -103,6 +117,9 @@ def compute_eta(
         (N, R) C-contiguous block of start vectors.
     engine:
         Which optimization stage to execute.
+    backend:
+        Kernel backend: ``'auto'`` (native when compilable, else numpy),
+        ``'numpy'``, ``'native'``, or a :class:`KernelBackend` instance.
 
     Returns
     -------
@@ -111,37 +128,37 @@ def compute_eta(
     """
     _check_moments(n_moments)
     engine = MomentEngine(engine)
+    bk = get_backend(backend)
     n = H.n_rows
     start_block = check_block_vector("start_block", start_block, n)
     r = start_block.shape[1]
     eta = np.empty((r, n_moments), dtype=DTYPE)
 
-    if engine is MomentEngine.NAIVE:
+    if engine in (MomentEngine.NAIVE, MomentEngine.AUG_SPMV):
+        step_fn = (
+            bk.naive_step if engine is MomentEngine.NAIVE else bk.aug_spmv_step
+        )
+        plan = bk.plan(H, 1)
         for i in range(r):
             eta[i] = _eta_single(
-                H, scale, n_moments, start_block[:, i], naive_kpm_step, counters
-            )
-        return eta
-    if engine is MomentEngine.AUG_SPMV:
-        for i in range(r):
-            eta[i] = _eta_single(
-                H, scale, n_moments, start_block[:, i], aug_spmv_step, counters
+                H, scale, n_moments, start_block[:, i], bk, step_fn, plan,
+                counters,
             )
         return eta
 
     # --- stage 2: blocked ---------------------------------------------
     a, b = scale.a, scale.b
+    plan = bk.plan(H, r)
     V = start_block.astype(DTYPE, copy=True)  # nu_0 block (private copy)
-    W = spmmv(H, V, counters=counters)  # nu_1 block
-    W -= b * V
+    W = bk.spmmv(H, V, counters=counters)  # nu_1 block
+    np.multiply(V, b, out=plan.work_block)
+    W -= plan.work_block
     W *= a
-    eta[:, 0] = np.einsum("nr,nr->r", np.conj(V), V).real
-    eta[:, 1] = np.einsum("nr,nr->r", np.conj(W), V)
-    scratch = np.empty_like(V)
+    eta[:, 0], eta[:, 1] = _col_dots(V, W)
     for m in range(1, n_moments // 2):
         V, W = W, V
-        eta_even, eta_odd = aug_spmmv_step(
-            H, V, W, a, b, scratch=scratch, counters=counters
+        eta_even, eta_odd = bk.aug_spmmv_step(
+            H, V, W, a, b, plan=plan, counters=counters
         )
         eta[:, 2 * m] = eta_even
         eta[:, 2 * m + 1] = eta_odd
@@ -173,6 +190,7 @@ def compute_dos_moments(
     start_block: np.ndarray,
     engine: MomentEngine | str = MomentEngine.AUG_SPMMV,
     counters: PerfCounters = NULL_COUNTERS,
+    backend: KernelBackend | str = "auto",
 ) -> np.ndarray:
     """Stochastic-trace DOS moments mu_m ~= tr[T_m(H~)].
 
@@ -180,6 +198,8 @@ def compute_dos_moments(
     tr[A] ~= (1/R) sum_r <v_r|A|v_r> for iid random vectors with
     E[v v^H] = Identity (paper Section II). Returns a real (M,) array.
     """
-    eta = compute_eta(H, scale, n_moments, start_block, engine, counters)
+    eta = compute_eta(
+        H, scale, n_moments, start_block, engine, counters, backend=backend
+    )
     mu = eta_to_moments(eta)
     return mu.mean(axis=0).real

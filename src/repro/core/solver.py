@@ -26,6 +26,7 @@ from repro.core.scaling import SpectralScale, gershgorin_scale, lanczos_scale
 from repro.core.stochastic import ldos_moments, make_block_vector, unit_block_vector
 from repro.physics.hamiltonian import plane_wave_vector
 from repro.physics.lattice import Lattice3D
+from repro.sparse.backend import KernelBackend
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.sell import SellMatrix
 from repro.util.counters import NULL_COUNTERS, PerfCounters
@@ -110,6 +111,10 @@ class KPMSolver:
         RNG seed for the stochastic vectors.
     counters:
         Optional traffic/flop accounting sink.
+    backend:
+        Kernel backend executing the inner iterations — ``'auto'``
+        (native C kernels when compilable, else numpy), ``'numpy'``,
+        ``'native'``, or a :class:`~repro.sparse.backend.KernelBackend`.
     """
 
     def __init__(
@@ -125,6 +130,7 @@ class KPMSolver:
         vector_kind: str = "phase",
         seed: int | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        backend: KernelBackend | str = "auto",
     ) -> None:
         check_positive("n_moments", n_moments)
         check_positive("n_vectors", n_vectors)
@@ -133,6 +139,7 @@ class KPMSolver:
         self.n_vectors = int(n_vectors)
         self.engine = MomentEngine(engine)
         self.kernel = kernel
+        self.backend = backend
         self.vector_kind = vector_kind
         self.seed = seed
         self.counters = counters
@@ -164,7 +171,7 @@ class KPMSolver:
         """Raw stochastic-trace Chebyshev moments mu_m ~= tr[T_m(H~)]."""
         eta = compute_eta(
             self.H, self.scale, self.n_moments, self._start_block(),
-            self.engine, self.counters,
+            self.engine, self.counters, backend=self.backend,
         )
         return eta_to_moments(eta).mean(axis=0).real
 
@@ -207,7 +214,8 @@ class KPMSolver:
         else:
             block = self._start_block()
         mu = ldos_moments(
-            self.H, self.scale, self.n_moments, block, rows, self.counters
+            self.H, self.scale, self.n_moments, block, rows, self.counters,
+            backend=self.backend,
         )
         pts = n_points if n_points is not None else max(2 * self.n_moments, 256)
         e_grid, rho = reconstruct_dos(
@@ -241,7 +249,7 @@ class KPMSolver:
             )
             eta = compute_eta(
                 self.H, self.scale, self.n_moments, block,
-                self.engine, self.counters,
+                self.engine, self.counters, backend=self.backend,
             )
             mu = eta_to_moments(eta).sum(axis=0).real  # sum over orbitals
             e_grid, rho = reconstruct_dos(

@@ -12,9 +12,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.scaling import SpectralScale
+from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.fused import _recombine
 from repro.sparse.sell import SellMatrix
-from repro.sparse.spmv import spmmv
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import ShapeError
@@ -108,6 +109,7 @@ def ldos_moments(
     start_block: np.ndarray,
     rows: np.ndarray,
     counters: PerfCounters = NULL_COUNTERS,
+    backend: KernelBackend | str = "auto",
 ) -> np.ndarray:
     """Stochastic diagonal (LDOS) moments for selected matrix rows.
 
@@ -126,16 +128,18 @@ def ldos_moments(
     if n_moments < 2:
         raise ValueError(f"n_moments must be >= 2, got {n_moments}")
     rows = np.asarray(rows, dtype=np.int64)
-    n = H.n_rows
     r = start_block.shape[1]
     a, b = scale.a, scale.b
+    bk = get_backend(backend)
+    plan = bk.plan(H, r)
 
     exact = _is_unit_block(start_block, rows)
     out = np.zeros((rows.size, n_moments))
 
     v_prev = start_block.astype(DTYPE, copy=True)  # nu_0
-    v_cur = spmmv(H, v_prev, counters=counters)  # nu_1
-    v_cur -= b * v_prev
+    v_cur = bk.spmmv(H, v_prev, counters=counters)  # nu_1
+    np.multiply(v_prev, b, out=plan.work_block)
+    v_cur -= plan.work_block
     v_cur *= a
 
     conj0 = np.conj(v_prev[rows, :])
@@ -149,14 +153,10 @@ def ldos_moments(
 
     accumulate(0, v_prev)
     accumulate(1, v_cur)
-    scratch = np.empty_like(v_prev)
-    two_a = 2.0 * a
     for m in range(2, n_moments):
         # nu_{m} = 2 a (H - b) nu_{m-1} - nu_{m-2}, in v_prev's storage
-        spmmv(H, v_cur, out=scratch, counters=counters)
-        v_prev *= -1.0
-        v_prev += two_a * scratch
-        v_prev -= (two_a * b) * v_cur
+        bk.spmmv(H, v_cur, out=plan.u_block, counters=counters)
+        _recombine(v_prev, plan.u_block, v_cur, a, b)
         v_prev, v_cur = v_cur, v_prev
         accumulate(m, v_cur)
     return out

@@ -30,26 +30,39 @@ class MessageRecord:
 
 @dataclass
 class MessageLog:
-    """Ordered log of all simulated communication."""
+    """Ordered log of all simulated communication.
+
+    The byte totals are maintained incrementally in :meth:`add` — a
+    distributed run logs one record per message, and recomputing the
+    totals by walking the whole log made every query O(messages).
+    """
 
     records: list[MessageRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Rebuild the accumulators for logs constructed with pre-seeded
+        # records (the dataclass field is part of the public signature).
+        self._total_bytes = sum(r.nbytes for r in self.records)
+        self._by_phase: dict[str, int] = {}
+        for r in self.records:
+            self._by_phase[r.phase] = self._by_phase.get(r.phase, 0) + r.nbytes
+
     def add(self, src: int, dst: int, nbytes: int, phase: str) -> None:
-        self.records.append(MessageRecord(src, dst, int(nbytes), phase))
+        nbytes = int(nbytes)
+        self.records.append(MessageRecord(src, dst, nbytes, phase))
+        self._total_bytes += nbytes
+        self._by_phase[phase] = self._by_phase.get(phase, 0) + nbytes
 
     @property
     def total_bytes(self) -> int:
-        return sum(r.nbytes for r in self.records)
+        return self._total_bytes
 
     @property
     def n_messages(self) -> int:
         return len(self.records)
 
     def bytes_by_phase(self) -> dict[str, int]:
-        out: dict[str, int] = {}
-        for r in self.records:
-            out[r.phase] = out.get(r.phase, 0) + r.nbytes
-        return out
+        return dict(self._by_phase)
 
     def bytes_by_rank(self, n_ranks: int) -> np.ndarray:
         """Outgoing bytes per source rank (collectives attributed to src)."""
@@ -61,6 +74,8 @@ class MessageLog:
 
     def clear(self) -> None:
         self.records.clear()
+        self._total_bytes = 0
+        self._by_phase = {}
 
 
 class SimWorld:

@@ -28,60 +28,38 @@ from repro.core.scaling import SpectralScale
 from repro.dist.comm import SimWorld
 from repro.dist.halo import DistributedMatrix, partition_matrix
 from repro.dist.partition import RowPartition
+from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.spmv import spmmv
 from repro.util.constants import DTYPE
 from repro.util.errors import SimulationError
 from repro.util.validation import check_block_vector
 
 
-def _halo_exchange(
+def _halo_exchange_into(
     world: SimWorld,
     dist: DistributedMatrix,
     local_vs: list[np.ndarray],
+    xbufs: list[np.ndarray],
     phase: str,
-) -> list[np.ndarray]:
-    """Return each rank's received halo rows, logging every message."""
-    halos: list[np.ndarray] = []
+) -> None:
+    """Halo-exchange into each rank's preallocated ``x = [v_loc; halo]``.
+
+    The first ``n_local`` rows of ``xbufs[rank]`` receive that rank's own
+    block, the tail the halo rows from its neighbours, logging every
+    message — no per-iteration buffer allocation.
+    """
     for block in dist.blocks:
-        parts = []
+        xbuf = xbufs[block.rank]
+        n_local = local_vs[block.rank].shape[0]
+        xbuf[:n_local] = local_vs[block.rank]
+        pos = n_local
         for src, cnt in zip(block.halo_sources.tolist(), block.halo_counts.tolist()):
             send_rows = dist.pattern.send_rows[(src, block.rank)]
             if send_rows.size != cnt:
                 raise SimulationError("inconsistent halo pattern")
             buf = local_vs[src][send_rows, :]  # buffer assembly at the source
-            parts.append(world.send(src, block.rank, buf, phase))
-        r = local_vs[block.rank].shape[1]
-        halos.append(
-            np.concatenate(parts, axis=0)
-            if parts
-            else np.empty((0, r), dtype=DTYPE)
-        )
-    return halos
-
-
-def _local_step(
-    block_matrix: CSRMatrix,
-    v_loc: np.ndarray,
-    halo: np.ndarray,
-    w_loc: np.ndarray,
-    a: float,
-    b: float,
-) -> tuple[np.ndarray, np.ndarray]:
-    """One rank's augmented SpMMV update: w <- 2a(A x - b v) - w.
-
-    ``x = [v_loc; halo]`` in the local column layout. Returns this rank's
-    partial (eta_even, eta_odd) contributions.
-    """
-    x = np.ascontiguousarray(np.vstack([v_loc, halo]))
-    u = spmmv(block_matrix, x)
-    two_a = 2.0 * a
-    w_loc *= -1.0
-    w_loc += two_a * u
-    w_loc -= (two_a * b) * v_loc
-    eta_even = np.einsum("nr,nr->r", np.conj(v_loc), v_loc)
-    eta_odd = np.einsum("nr,nr->r", np.conj(w_loc), v_loc)
-    return eta_even, eta_odd
+            xbuf[pos : pos + cnt] = world.send(src, block.rank, buf, phase)
+            pos += cnt
 
 
 def distributed_eta(
@@ -93,6 +71,7 @@ def distributed_eta(
     world: SimWorld,
     *,
     reduction: str = "end",
+    backend: KernelBackend | str = "auto",
 ) -> np.ndarray:
     """Distributed equivalent of :func:`repro.core.moments.compute_eta`.
 
@@ -111,6 +90,10 @@ def distributed_eta(
         ``'end'`` — one global reduction after the loop (the optimal
         scheme); ``'every'`` — reduce each iteration's dots immediately
         (the Table III ``aug_spmmv()*`` ablation).
+    backend:
+        Kernel backend for each rank's local augmented SpMMV (the fused
+        block kernels accept the rectangular local+halo column layout,
+        so native and numpy run the identical distributed algorithm).
 
     Returns
     -------
@@ -134,17 +117,26 @@ def distributed_eta(
     start_block = check_block_vector("start_block", start_block, n)
     r = start_block.shape[1]
     a, b = scale.a, scale.b
+    bk = get_backend(backend)
 
+    # Per-rank persistent state, sized once: the local block of the
+    # current vector, the rectangular x = [v_loc; halo] kernel input, and
+    # each rank's workspace plan for the fused kernel.
     v_loc = [
         start_block[blk.row_start : blk.row_stop, :].copy() for blk in dist.blocks
     ]
+    xbufs = [
+        np.empty((blk.matrix.n_cols, r), dtype=DTYPE) for blk in dist.blocks
+    ]
+    plans = [bk.plan(blk.matrix, r) for blk in dist.blocks]
+
     # nu_1 = a (H nu_0 - b nu_0), distributed
-    halos = _halo_exchange(world, dist, v_loc, phase="halo_init")
+    _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo_init")
     w_loc = []
-    for blk, v, h in zip(dist.blocks, v_loc, halos):
-        x = np.ascontiguousarray(np.vstack([v, h]))
-        u = spmmv(blk.matrix, x)
-        u -= b * v
+    for blk, v, xbuf, plan in zip(dist.blocks, v_loc, xbufs, plans):
+        u = bk.spmmv(blk.matrix, xbuf)
+        np.multiply(v, b, out=plan.work_block)
+        u -= plan.work_block
         u *= a
         w_loc.append(u)
 
@@ -160,10 +152,12 @@ def distributed_eta(
 
     for m in range(1, n_moments // 2):
         v_loc, w_loc = w_loc, v_loc
-        halos = _halo_exchange(world, dist, v_loc, phase="halo")
+        _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo")
         for rank, blk in enumerate(dist.blocks):
-            ee, eo = _local_step(
-                blk.matrix, v_loc[rank], halos[rank], w_loc[rank], a, b
+            # The rectangular fused kernel runs the update and the dots
+            # over the first n_local rows of x — the rank's partial etas.
+            ee, eo = bk.aug_spmmv_step(
+                blk.matrix, xbufs[rank], w_loc[rank], a, b, plan=plans[rank]
             )
             eta_acc[rank, 2 * m] = ee
             eta_acc[rank, 2 * m + 1] = eo
@@ -190,6 +184,7 @@ def distributed_dos(
     kernel: str = "jackson",
     n_points: int | None = None,
     reduction: str = "end",
+    backend: KernelBackend | str = "auto",
 ):
     """Full distributed KPM-DOS application: the paper's production code.
 
@@ -222,7 +217,8 @@ def distributed_dos(
     n = (dist.n_global if dist is not None else A.n_rows)
     block = make_block_vector(n, n_vectors, seed=seed)
     eta = distributed_eta(
-        A, partition, scale, n_moments, block, world, reduction=reduction
+        A, partition, scale, n_moments, block, world, reduction=reduction,
+        backend=backend,
     )
     mu = eta_to_moments(eta).mean(axis=0).real
     pts = n_points if n_points is not None else max(2 * n_moments, 256)
@@ -241,11 +237,13 @@ def distributed_dos_moments(
     world: SimWorld,
     *,
     reduction: str = "end",
+    backend: KernelBackend | str = "auto",
 ) -> np.ndarray:
     """Distributed stochastic-trace moments (mean over the R vectors)."""
     from repro.core.moments import eta_to_moments
 
     eta = distributed_eta(
-        A, partition, scale, n_moments, start_block, world, reduction=reduction
+        A, partition, scale, n_moments, start_block, world, reduction=reduction,
+        backend=backend,
     )
     return eta_to_moments(eta).mean(axis=0).real

@@ -14,6 +14,8 @@ needs from a sparse linear-algebra library:
 * :mod:`repro.sparse.fused` — the paper's contribution at kernel level:
   the augmented SpMV (optimization stage 1, Fig. 4) and augmented SpMMV
   (optimization stage 2, Fig. 5) with on-the-fly shift/scale/dot fusion.
+* :mod:`repro.sparse.backend` — pluggable kernel backends: the NumPy
+  reference and the compiled native C kernels behind one interface.
 """
 
 from repro.sparse.csr import CSRMatrix
@@ -28,8 +30,20 @@ from repro.sparse.fused import (
     aug_spmmv_step,
     aug_spmmv_nodot_step,
 )
+from repro.sparse.backend import (
+    BACKEND_CHOICES,
+    KernelBackend,
+    KernelPlan,
+    available_backends,
+    get_backend,
+)
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "KernelBackend",
+    "KernelPlan",
+    "available_backends",
+    "get_backend",
     "CSRMatrix",
     "SellMatrix",
     "axpy",

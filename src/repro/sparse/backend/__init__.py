@@ -1,0 +1,196 @@
+"""Pluggable kernel backends for the KPM inner-iteration kernels.
+
+The moment engines, the distributed driver, and the CLI all consume the
+four performance-critical kernels (``spmv``, ``spmmv``, ``aug_spmv``,
+``aug_spmmv``) through the :class:`KernelBackend` interface defined
+here.  Two implementations are registered:
+
+``numpy``
+    The vectorized NumPy/SciPy kernels of :mod:`repro.sparse.spmv` and
+    :mod:`repro.sparse.fused`, driven through preallocated workspace
+    plans so the steady-state iteration allocates nothing.
+``native``
+    Truly single-pass C kernels (CSR and SELL-C-sigma) compiled from
+    ``_kernels.c`` on first use — see
+    :mod:`repro.sparse.backend.native_backend`.  Unavailable hosts (no C
+    compiler, or ``REPRO_NATIVE_DISABLE`` set) fall back to ``numpy``
+    automatically under the ``auto`` selector.
+
+Both backends charge identical Table-I traffic/flop accounting to
+:class:`~repro.util.counters.PerfCounters`, so every performance model
+in :mod:`repro.perf` works unchanged whichever backend computed the
+numbers.
+
+Usage::
+
+    from repro.sparse.backend import get_backend
+
+    bk = get_backend("auto")          # native if compilable, else numpy
+    plan = bk.plan(H, r=32)           # workspaces sized once per (H, R)
+    eta_even, eta_odd = bk.aug_spmmv_step(H, V, W, a, b, plan=plan)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.errors import BackendError
+
+#: Valid values of the user-facing ``backend=`` knob.
+BACKEND_CHOICES = ("auto", "numpy", "native")
+
+
+class KernelPlan:
+    """Preallocated workspaces for repeated kernel steps on one (A, R).
+
+    Sized once per matrix/block-width pair and reused across all M/2
+    inner iterations; the buffers are scratch (contents undefined between
+    calls).  ``u`` holds the SpM(M)V result, ``work`` is a second pass
+    buffer, and the small ``eta`` buffers receive the per-column dots
+    without per-call allocation.
+    """
+
+    def __init__(self, A, r: int = 1) -> None:
+        self.matrix = A
+        self.r = int(r)
+        n = A.n_rows
+        shape = (n,) if self.r == 1 else (n, self.r)
+        self.u = np.empty(shape, dtype=DTYPE)
+        self.work = np.empty(shape, dtype=DTYPE)
+        # 2-D views of the same storage for the blocked engines, which
+        # need (n, r) even when r == 1 (where u/work are 1-D vectors).
+        self.u_block = self.u.reshape(n, self.r)
+        self.work_block = self.work.reshape(n, self.r)
+        self.eta_even = np.empty(self.r, dtype=np.float64)
+        self.eta_odd = np.empty(self.r, dtype=DTYPE)
+
+
+class KernelBackend(ABC):
+    """Interface every kernel backend implements.
+
+    ``A`` is a :class:`~repro.sparse.csr.CSRMatrix` or
+    :class:`~repro.sparse.sell.SellMatrix`; block vectors are row-major
+    (N, R) complex128.  The ``*_step`` kernels update ``w``/``W`` in
+    place with ``w_new = 2a(H - b)v - w`` and return
+    ``(eta_even, eta_odd)`` — see :mod:`repro.sparse.fused`.
+    """
+
+    name: str = "?"
+
+    @abstractmethod
+    def available(self) -> bool:
+        """Whether this backend can run on the current host."""
+
+    def plan(self, A, r: int = 1) -> KernelPlan:
+        """Allocate the workspaces for repeated steps on ``(A, r)``."""
+        return KernelPlan(A, r)
+
+    @abstractmethod
+    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS):
+        """``out = A @ x`` for a single vector."""
+
+    @abstractmethod
+    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS):
+        """``out = A @ X`` for a row-major (N, R) block vector."""
+
+    @abstractmethod
+    def naive_step(
+        self, A, v, w, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        """Paper Fig. 3: SpMV + separate BLAS-1 calls."""
+
+    @abstractmethod
+    def aug_spmv_step(
+        self, A, v, w, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        """Paper Fig. 4 (stage 1): fused single-vector update + dots."""
+
+    @abstractmethod
+    def aug_spmmv_step(
+        self, A, V, W, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        """Paper Fig. 5 (stage 2): fused block update + column dots."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ---------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, cls: type[KernelBackend]) -> None:
+    """Register a backend class under ``name`` (replaces any previous)."""
+    _REGISTRY[name] = cls
+    _INSTANCES.pop(name, None)
+
+
+def _instance(name: str) -> KernelBackend:
+    if name not in _REGISTRY:
+        raise BackendError(
+            f"unknown kernel backend {name!r}; choose from "
+            f"{sorted([*_REGISTRY, 'auto'])}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _REGISTRY[name]()
+    return _INSTANCES[name]
+
+
+def get_backend(name: str | KernelBackend | None = "auto") -> KernelBackend:
+    """Resolve a backend by name.
+
+    ``'auto'`` (or None) prefers ``native`` when the C kernels compile on
+    this host and silently falls back to ``numpy`` otherwise.  Asking for
+    ``'native'`` explicitly raises :class:`~repro.util.errors.BackendError`
+    when it is unavailable, with the compiler diagnostic attached.
+    Passing an existing :class:`KernelBackend` returns it unchanged.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    name = (name or "auto").lower()
+    if name == "auto":
+        native = _instance("native")
+        return native if native.available() else _instance("numpy")
+    backend = _instance(name)
+    if not backend.available():
+        from repro.sparse.backend.native import native_error
+
+        reason = native_error() if name == "native" else "unavailable"
+        raise BackendError(f"kernel backend {name!r} unavailable: {reason}")
+    return backend
+
+
+def available_backends() -> dict[str, bool]:
+    """Availability of every registered backend on this host."""
+    return {name: _instance(name).available() for name in sorted(_REGISTRY)}
+
+
+# Register the built-in implementations (import order matters: these
+# modules import the base class from this package).
+from repro.sparse.backend.numpy_backend import NumpyBackend  # noqa: E402
+from repro.sparse.backend.native_backend import NativeBackend  # noqa: E402
+
+register_backend(NumpyBackend.name, NumpyBackend)
+register_backend(NativeBackend.name, NativeBackend)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "KernelBackend",
+    "KernelPlan",
+    "NativeBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

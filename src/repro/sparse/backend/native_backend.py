@@ -1,0 +1,221 @@
+"""The native kernel backend: compiled single-pass C kernels.
+
+Marshals the CSR / SELL-C-sigma containers into the ctypes entry points
+of ``_kernels.c`` (see :mod:`repro.sparse.backend.native`).  Unlike the
+NumPy backend, the augmented kernels here really are one traversal of
+the matrix stream per iteration with the recurrence update and both
+scalar products computed inside the row loop — the kernel structure of
+paper Figs. 4 and 5.
+
+Accounting is charged through the exact same helpers as the NumPy
+backend, so :class:`~repro.util.counters.PerfCounters` totals and every
+Table-I-derived model are backend-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.backend import KernelBackend, KernelPlan
+from repro.sparse.backend.native import _pc, _pi32, _pi64, load_library
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.fused import charge_aug_spmmv, charge_aug_spmv
+from repro.sparse.sell import SellMatrix
+from repro.sparse.spmv import _charge_spmv
+from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.errors import BackendError, ShapeError
+from repro.util.validation import check_block_vector, check_vector
+
+
+def _as_kernel_block(name: str, X: np.ndarray, n: int) -> np.ndarray:
+    """Validate a (n, R) block for the C kernels: contiguous complex128."""
+    X = check_block_vector(name, X, n)
+    if X.dtype != DTYPE or not X.flags.c_contiguous:
+        raise ShapeError(
+            f"{name} must be C-contiguous complex128 for the native backend"
+        )
+    return X
+
+
+def _as_kernel_vector(name: str, x: np.ndarray, n: int) -> np.ndarray:
+    x = check_vector(name, x, n)
+    if x.dtype != DTYPE or not x.flags.c_contiguous:
+        raise ShapeError(
+            f"{name} must be contiguous complex128 for the native backend"
+        )
+    return x
+
+
+class NativeBackend(KernelBackend):
+    """Compiled C kernels (CSR + SELL-C-sigma), single pass per iteration."""
+
+    name = "native"
+
+    def available(self) -> bool:
+        return load_library() is not None
+
+    def _lib(self):
+        lib = load_library()
+        if lib is None:
+            from repro.sparse.backend.native import native_error
+
+            raise BackendError(
+                f"native kernel backend unavailable: {native_error()}"
+            )
+        return lib
+
+    # -- marshalling ---------------------------------------------------
+    # The matrix-side pointers are cached on the matrix object (the
+    # containers are immutable, same pattern as the ``_scipy_cache``
+    # handle): ``data_as`` builds fresh ctypes wrappers per call, which
+    # is measurable overhead when the distributed driver calls into the
+    # kernels once per rank per iteration on small row blocks.
+    @staticmethod
+    def _csr_args(A: CSRMatrix):
+        args = getattr(A, "_native_arg_cache", None)
+        if args is None:
+            args = (_pi64(A.indptr), _pi32(A.indices), _pc(A.data))
+            A._native_arg_cache = args
+        return args
+
+    @staticmethod
+    def _sell_args(A: SellMatrix):
+        args = getattr(A, "_native_arg_cache", None)
+        if args is None:
+            args = (
+                A.n_chunks,
+                A.chunk_height,
+                _pi64(A.chunk_ptr),
+                _pi64(A.chunk_len),
+                _pi64(A.perm),
+                _pi32(A.indices),
+                _pc(A.data),
+            )
+            A._native_arg_cache = args
+        return args
+
+    # -- kernels -------------------------------------------------------
+    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS):
+        lib = self._lib()
+        x = _as_kernel_vector("x", x, A.n_cols)
+        if out is None:
+            out = np.empty(A.n_rows, dtype=DTYPE)
+        elif out.shape != (A.n_rows,):
+            raise ShapeError(
+                f"out must have shape ({A.n_rows},), got {out.shape}"
+            )
+        if isinstance(A, CSRMatrix):
+            lib.repro_csr_spmv(A.n_rows, *self._csr_args(A), _pc(x), _pc(out))
+        elif isinstance(A, SellMatrix):
+            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+            lib.repro_sell_spmv(n, nc, c, *rest, _pc(x), _pc(out))
+        else:
+            raise TypeError(f"unsupported matrix type {type(A).__name__}")
+        _charge_spmv(A, 1, counters, "spmv")
+        return out
+
+    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS):
+        lib = self._lib()
+        X = _as_kernel_block("X", X, A.n_cols)
+        r = X.shape[1]
+        if out is None:
+            out = np.empty((A.n_rows, r), dtype=DTYPE)
+        elif out.shape != (A.n_rows, r):
+            raise ShapeError(
+                f"out must have shape ({A.n_rows}, {r}), got {out.shape}"
+            )
+        if isinstance(A, CSRMatrix):
+            lib.repro_csr_spmmv(
+                A.n_rows, r, *self._csr_args(A), _pc(X), _pc(out)
+            )
+        elif isinstance(A, SellMatrix):
+            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+            lib.repro_sell_spmmv(n, nc, c, r, *rest, _pc(X), _pc(out))
+        else:
+            raise TypeError(f"unsupported matrix type {type(A).__name__}")
+        _charge_spmv(A, r, counters, "spmmv")
+        return out
+
+    def naive_step(
+        self, A, v, w, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        # The naive algorithm *is* the library-call structure of paper
+        # Fig. 3 — an optimized SpMV plus separate BLAS-1 passes. Only
+        # the SpMV is native; fusing more would make it stage 1.
+        from repro.sparse.blas1 import axpy, dot, nrm2_sq, scal
+
+        n = A.n_rows
+        v = _as_kernel_vector("v", v, n)
+        w = _as_kernel_vector("w", w, n)
+        u = plan.u if plan is not None else np.empty(n, dtype=DTYPE)
+        work = plan.work if plan is not None else None
+        self.spmv(A, v, out=u, counters=counters)
+        axpy(u, -b, v, counters=counters, work=work)
+        scal(-1.0, w, counters=counters)
+        axpy(w, 2.0 * a, u, counters=counters, work=work)
+        eta_even = nrm2_sq(v, counters=counters)
+        eta_odd = dot(w, v, counters=counters)
+        return eta_even, eta_odd
+
+    def aug_spmv_step(
+        self, A, v, w, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        lib = self._lib()
+        v = _as_kernel_vector("v", v, A.n_cols)
+        w = _as_kernel_vector("w", w, A.n_rows)
+        if plan is not None:
+            ee, eo = plan.eta_even[:1], plan.eta_odd[:1]
+        else:
+            ee = np.empty(1, dtype=np.float64)
+            eo = np.empty(1, dtype=DTYPE)
+        if isinstance(A, CSRMatrix):
+            lib.repro_csr_aug_spmv(
+                A.n_rows, *self._csr_args(A), _pc(v), _pc(w), a, b,
+                _pc(ee), _pc(eo),
+            )
+        elif isinstance(A, SellMatrix):
+            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+            lib.repro_sell_aug_spmv(
+                n, nc, c, *rest, _pc(v), _pc(w), a, b,
+                _pc(ee), _pc(eo),
+            )
+        else:
+            raise TypeError(f"unsupported matrix type {type(A).__name__}")
+        charge_aug_spmv(A, counters)
+        return float(ee[0]), complex(eo[0])
+
+    def aug_spmmv_step(
+        self, A, V, W, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        lib = self._lib()
+        V = _as_kernel_block("V", V, A.n_cols)
+        W = _as_kernel_block("W", W, A.n_rows)
+        r = V.shape[1]
+        if W.shape[1] != r:
+            raise ShapeError(
+                f"V and W must share a block width, got {r} and {W.shape[1]}"
+            )
+        if plan is not None and plan.r == r:
+            ee, eo = plan.eta_even, plan.eta_odd
+        else:
+            ee = np.empty(r, dtype=np.float64)
+            eo = np.empty(r, dtype=DTYPE)
+        if isinstance(A, CSRMatrix):
+            lib.repro_csr_aug_spmmv(
+                A.n_rows, r, *self._csr_args(A), _pc(V), _pc(W), a, b,
+                _pc(ee), _pc(eo),
+            )
+        elif isinstance(A, SellMatrix):
+            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+            lib.repro_sell_aug_spmmv(
+                n, nc, c, r, *rest, _pc(V), _pc(W), a, b,
+                _pc(ee), _pc(eo),
+            )
+        else:
+            raise TypeError(f"unsupported matrix type {type(A).__name__}")
+        charge_aug_spmmv(A, r, counters)
+        return ee.copy(), eo.copy()

@@ -1,0 +1,60 @@
+"""The NumPy kernel backend: vectorized reference implementation.
+
+Thin adapter that routes the :class:`~repro.sparse.backend.KernelBackend`
+interface onto the existing NumPy/SciPy kernels in
+:mod:`repro.sparse.spmv` and :mod:`repro.sparse.fused`, feeding them the
+plan's preallocated workspaces so a steady-state KPM iteration performs
+zero array allocation (``out=`` everywhere; the recombination runs as
+in-place passes through the plan's scratch buffers).
+"""
+
+from __future__ import annotations
+
+from repro.sparse import fused
+from repro.sparse.backend import KernelBackend, KernelPlan
+from repro.sparse.spmv import spmmv as _spmmv
+from repro.sparse.spmv import spmv as _spmv
+from repro.util.counters import NULL_COUNTERS, PerfCounters
+
+
+class NumpyBackend(KernelBackend):
+    """Pure NumPy/SciPy kernels — always available."""
+
+    name = "numpy"
+
+    def available(self) -> bool:
+        return True
+
+    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS):
+        return _spmv(A, x, out=out, counters=counters)
+
+    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS):
+        return _spmmv(A, X, out=out, counters=counters)
+
+    def naive_step(
+        self, A, v, w, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        scratch = plan.u if plan is not None else None
+        work = plan.work if plan is not None else None
+        return fused.naive_kpm_step(
+            A, v, w, a, b, scratch=scratch, counters=counters, scratch2=work
+        )
+
+    def aug_spmv_step(
+        self, A, v, w, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        scratch = plan.u if plan is not None else None
+        return fused.aug_spmv_step(
+            A, v, w, a, b, scratch=scratch, counters=counters
+        )
+
+    def aug_spmmv_step(
+        self, A, V, W, a, b, plan: KernelPlan | None = None,
+        counters: PerfCounters = NULL_COUNTERS,
+    ):
+        scratch = plan.u_block if plan is not None else None
+        return fused.aug_spmmv_step(
+            A, V, W, a, b, scratch=scratch, counters=counters
+        )

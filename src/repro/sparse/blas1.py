@@ -31,10 +31,21 @@ def axpy(
     alpha: complex,
     x: np.ndarray,
     counters: PerfCounters = NULL_COUNTERS,
+    work: np.ndarray | None = None,
 ) -> np.ndarray:
-    """In-place ``y += alpha * x``; returns ``y``."""
+    """In-place ``y += alpha * x``; returns ``y``.
+
+    A real BLAS axpy allocates nothing; NumPy's ``y += alpha * x`` hides
+    an ``alpha * x`` temporary. Passing ``work`` (any buffer of y's
+    shape/dtype, contents destroyed) routes the product through it so the
+    call is allocation-free — the moment-engine workspace plans do this.
+    """
     n = y.shape[0]
-    y += alpha * x
+    if work is not None:
+        np.multiply(x, alpha, out=work)
+        y += work
+    else:
+        y += alpha * x
     counters.charge(
         "axpy", loads=2 * n * S_D, stores=n * S_D, flops=n * (F_ADD + F_MUL)
     )

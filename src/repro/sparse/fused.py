@@ -22,10 +22,17 @@ and return the two KPM scalar products of the iteration,
 The caller swaps the roles of ``v`` and ``w`` afterwards (the paper's
 "swap" is likewise just a pointer exchange).
 
-In NumPy, "fusion" cannot reach single-pass machine code, but it still
-eliminates whole array traversals and temporaries relative to the naive
-BLAS-1 chain, so the stage-1/stage-2 speedups are genuinely measurable
-here (see ``benchmarks/bench_kernels_measured.py``).
+These are the *NumPy* implementations: every array pass is in-place into
+caller-provided scratch (zero per-iteration allocation — see the
+workspace plans in :mod:`repro.sparse.backend`), but true single-pass
+fusion needs compiled code; the native backend
+(:mod:`repro.sparse.backend.native_backend`) provides exactly that with
+identical accounting.
+
+For the distributed driver the block kernels accept a *rectangular*
+input: ``V`` may have ``A.n_cols`` rows (local + halo columns) while
+``W`` has ``A.n_rows`` rows; the update and both dot products then run
+over the first ``n_rows`` rows of ``V`` — each rank's partial dots.
 """
 
 from __future__ import annotations
@@ -50,6 +57,65 @@ def _slots(A) -> int:
     return A.stored_slots if isinstance(A, SellMatrix) else A.nnz
 
 
+def charge_aug_spmv(A, counters: PerfCounters) -> None:
+    """Table-I accounting of one augmented SpMV call (any backend)."""
+    n = A.n_rows
+    slots = _slots(A)
+    counters.charge(
+        "aug_spmv",
+        loads=slots * (S_D + S_I) + 2 * n * S_D,
+        stores=n * S_D,
+        flops=slots * (F_ADD + F_MUL) + n * _ROW_FLOPS,
+    )
+
+
+def charge_aug_spmmv(A, r: int, counters: PerfCounters) -> None:
+    """Table-I accounting of one augmented SpMMV call (any backend)."""
+    n = A.n_rows
+    slots = _slots(A)
+    counters.charge(
+        "aug_spmmv",
+        loads=slots * (S_D + S_I) + 2 * r * n * S_D,
+        stores=r * n * S_D,
+        flops=r * (slots * (F_ADD + F_MUL) + n * _ROW_FLOPS),
+    )
+
+
+def _recombine(W, U, V, a: float, b: float) -> None:
+    """In-place ``W <- 2a U - 2ab V - W`` with zero temporaries.
+
+    ``U`` is consumed as workspace (it holds the SpMV result on entry and
+    garbage on exit) — five in-place passes, no allocation.
+    """
+    two_a = 2.0 * a
+    W *= -1.0
+    U *= two_a
+    W += U
+    np.multiply(V, two_a * b, out=U)
+    W -= U
+
+
+def _col_dots(V: np.ndarray, W: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Column-wise ``<V|V>`` (real) and ``<W|V>`` without (N, R) temporaries.
+
+    Works on the real/imaginary views so no conjugated copy of the block
+    is ever materialized; only the (R,) outputs are allocated.
+    """
+    vr, vi = V.real, V.imag
+    wr, wi = W.real, W.imag
+    eta_even = np.einsum("nr,nr->r", vr, vr) + np.einsum("nr,nr->r", vi, vi)
+    re = np.einsum("nr,nr->r", wr, vr) + np.einsum("nr,nr->r", wi, vi)
+    im = np.einsum("nr,nr->r", wr, vi) - np.einsum("nr,nr->r", wi, vr)
+    return eta_even, re + 1j * im
+
+
+def _check_block_pair(A, V: np.ndarray, W: np.ndarray):
+    """Validate the (possibly rectangular) V/W pair; returns (V, W, r)."""
+    V = check_block_vector("V", V, A.n_cols)
+    W = check_block_vector("W", W, A.n_rows, V.shape[1])
+    return V, W, V.shape[1]
+
+
 def naive_kpm_step(
     A: CSRMatrix | SellMatrix,
     v: np.ndarray,
@@ -58,6 +124,7 @@ def naive_kpm_step(
     b: float,
     scratch: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
+    scratch2: np.ndarray | None = None,
 ) -> tuple[float, complex]:
     """One inner iteration of the *naive* algorithm (paper Fig. 3).
 
@@ -76,9 +143,9 @@ def naive_kpm_step(
     w = check_vector("w", w, n)
     u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
     spmv(A, v, out=u, counters=counters)
-    axpy(u, -b, v, counters=counters)
+    axpy(u, -b, v, counters=counters, work=scratch2)
     scal(-1.0, w, counters=counters)
-    axpy(w, 2.0 * a, u, counters=counters)
+    axpy(w, 2.0 * a, u, counters=counters, work=scratch2)
     eta_even = nrm2_sq(v, counters=counters)
     eta_odd = dot(w, v, counters=counters)
     return eta_even, eta_odd
@@ -104,19 +171,10 @@ def aug_spmv_step(
     w = check_vector("w", w, n)
     u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
     spmv(A, v, out=u, counters=NULL_COUNTERS)
-    two_a = 2.0 * a
-    w *= -1.0
-    w += two_a * u
-    w -= (two_a * b) * v
+    _recombine(w, u, v, a, b)
     eta_even = float(np.vdot(v, v).real)
     eta_odd = complex(np.vdot(w, v))
-    slots = _slots(A)
-    counters.charge(
-        "aug_spmv",
-        loads=slots * (S_D + S_I) + 2 * n * S_D,
-        stores=n * S_D,
-        flops=slots * (F_ADD + F_MUL) + n * _ROW_FLOPS,
-    )
+    charge_aug_spmv(A, counters)
     return eta_even, eta_odd
 
 
@@ -139,24 +197,13 @@ def aug_spmmv_step(
     Eq. (4)'s final line divided by the M/2 iterations.
     """
     n = A.n_rows
-    V = check_block_vector("V", V, n)
-    W = check_block_vector("W", W, n, V.shape[1])
-    r = V.shape[1]
+    V, W, r = _check_block_pair(A, V, W)
     U = scratch if scratch is not None else np.empty((n, r), dtype=DTYPE)
     spmmv(A, V, out=U, counters=NULL_COUNTERS)
-    two_a = 2.0 * a
-    W *= -1.0
-    W += two_a * U
-    W -= (two_a * b) * V
-    eta_even = np.einsum("nr,nr->r", np.conj(V), V).real.copy()
-    eta_odd = np.einsum("nr,nr->r", np.conj(W), V)
-    slots = _slots(A)
-    counters.charge(
-        "aug_spmmv",
-        loads=slots * (S_D + S_I) + 2 * r * n * S_D,
-        stores=r * n * S_D,
-        flops=r * (slots * (F_ADD + F_MUL) + n * _ROW_FLOPS),
-    )
+    Vn = V[:n]
+    _recombine(W, U, Vn, a, b)
+    eta_even, eta_odd = _col_dots(Vn, W)
+    charge_aug_spmmv(A, r, counters)
     return eta_even, eta_odd
 
 
@@ -177,15 +224,10 @@ def aug_spmmv_nodot_step(
     benches to isolate the cost of the in-kernel reductions.
     """
     n = A.n_rows
-    V = check_block_vector("V", V, n)
-    W = check_block_vector("W", W, n, V.shape[1])
-    r = V.shape[1]
+    V, W, r = _check_block_pair(A, V, W)
     U = scratch if scratch is not None else np.empty((n, r), dtype=DTYPE)
     spmmv(A, V, out=U, counters=NULL_COUNTERS)
-    two_a = 2.0 * a
-    W *= -1.0
-    W += two_a * U
-    W -= (two_a * b) * V
+    _recombine(W, U, V[:n], a, b)
     slots = _slots(A)
     counters.charge(
         "aug_spmmv_nodot",
@@ -204,8 +246,7 @@ def block_dots(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Separate column-wise <V|V> and <W|V> for the no-dot kernel variant."""
     n, r = V.shape
-    eta_even = np.einsum("nr,nr->r", np.conj(V), V).real.copy()
-    eta_odd = np.einsum("nr,nr->r", np.conj(W), V)
+    eta_even, eta_odd = _col_dots(V, W)
     counters.charge(
         "block_dots",
         loads=3 * n * r * S_D,

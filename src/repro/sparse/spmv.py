@@ -23,6 +23,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as _sp
 
+try:  # allocation-free compiled CSR products (y += A x into caller storage)
+    from scipy.sparse import _sparsetools
+except ImportError:  # pragma: no cover - very old scipy
+    _sparsetools = None
+
 from repro.sparse.csr import CSRMatrix, segment_sum
 from repro.sparse.sell import SellMatrix
 from repro.util.constants import DTYPE, F_ADD, F_MUL, S_D, S_I
@@ -69,6 +74,36 @@ def _scipy_handle(A: CSRMatrix | SellMatrix) -> "_sp.csr_matrix":
     return handle
 
 
+def _fast_product(A, X: np.ndarray, out: np.ndarray) -> None:
+    """``out = A @ X`` through the compiled scipy CSR kernel.
+
+    Uses the accumulate-into-``out`` entry points of
+    ``scipy.sparse._sparsetools`` when available so the product allocates
+    nothing (the workspace plans rely on this); falls back to the public
+    operator otherwise.
+    """
+    handle = _scipy_handle(A)
+    X = X.astype(DTYPE, copy=False)
+    if (
+        _sparsetools is not None
+        and X.flags.c_contiguous
+        and out.flags.c_contiguous
+    ):
+        out.fill(0.0)
+        m, k = handle.shape
+        if X.ndim == 1:
+            _sparsetools.csr_matvec(
+                m, k, handle.indptr, handle.indices, handle.data, X, out
+            )
+        else:
+            _sparsetools.csr_matvecs(
+                m, k, X.shape[1], handle.indptr, handle.indices, handle.data,
+                X.ravel(), out.ravel(),
+            )
+    else:
+        out[:] = handle @ X
+
+
 def _charge_spmv(A, n_vecs: int, counters: PerfCounters, name: str) -> None:
     n = A.n_rows
     if isinstance(A, SellMatrix):
@@ -111,7 +146,7 @@ def spmv(
         raise ShapeError(f"out must have shape ({A.n_rows},), got {out.shape}")
 
     if _FAST_BACKEND:
-        out[:] = _scipy_handle(A) @ x.astype(DTYPE, copy=False)
+        _fast_product(A, x, out)
     elif isinstance(A, CSRMatrix):
         products = A.data * x[A.indices.astype(np.int64)]
         out[:] = segment_sum(products, A.indptr)
@@ -146,7 +181,7 @@ def spmmv(
         raise ShapeError(f"out must have shape ({A.n_rows}, {r}), got {out.shape}")
 
     if _FAST_BACKEND:
-        out[:] = _scipy_handle(A) @ X.astype(DTYPE, copy=False)
+        _fast_product(A, X, out)
     elif isinstance(A, CSRMatrix):
         _csr_spmmv_blocked(A, X, out)
     else:

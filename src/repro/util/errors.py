@@ -28,3 +28,7 @@ class PartitionError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """A hardware/distributed simulation entered an inconsistent state."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """A kernel backend is unknown or unavailable on this host."""

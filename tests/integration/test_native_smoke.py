@@ -1,0 +1,36 @@
+"""Slow smoke test: the ``tools/check_native.py`` script end to end.
+
+Excluded from the default run (``-m "not slow"`` in pyproject.toml);
+select it explicitly with ``pytest -m slow``.  Runs the checker in a
+fresh interpreter so it exercises the same path an operator would —
+compile/load, parity in both formats, and the numpy-vs-native timing.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sparse.backend.native import native_available, native_error
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.slow
+def test_check_native_script():
+    if not native_available():
+        pytest.skip(f"native backend unavailable: {native_error()}")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_native.py"),
+         "--nx", "16", "--nz", "8"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+    )
+    assert proc.returncode == 0, (
+        f"check_native.py failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert "native backend healthy" in proc.stdout
