@@ -1,0 +1,108 @@
+"""Multiprocess-engine scaling: real workers vs the sequential simulator.
+
+The mp engine exists to exploit real cores: the same rank loop the
+:class:`SimWorld` executes sequentially runs in parallel OS processes.
+This bench times the sequential sim engine once and the mp engine at
+worker counts {1, 2, 4} on the same problem, then records the measured
+speedups to ``results/BENCH_mp.json``.
+
+Honesty note: the speedup ceiling is the number of *physical cores the
+host actually exposes* (``cpu_count`` in the payload).  On a >= 4-core
+host the 4-worker run is expected to beat the sequential simulator by
+well over 1.5x (the rank loop is compute-bound and embarrassingly
+parallel between halo exchanges); on a 1-core container the mp runs can
+only tie or lose to the simulator — the payload records the core count
+precisely so the numbers are interpretable.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from _support import RESULTS_DIR, emit, format_table
+from repro.core.scaling import lanczos_scale
+from repro.core.stochastic import make_block_vector
+from repro.dist.comm import SimWorld
+from repro.dist.kpm_parallel import distributed_eta
+from repro.dist.mp import MpWorld
+from repro.dist.partition import RowPartition
+from repro.physics import build_topological_insulator
+
+NX, NZ = 32, 8   # N = 32,768 rows
+M, R = 512, 8    # sized so compute dwarfs the ~0.1 s process startup
+WORKER_COUNTS = [1, 2, 4]
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.slow
+def test_mp_scaling_vs_sim():
+    h, _ = build_topological_insulator(NX, NX, NZ)
+    scale = lanczos_scale(h, seed=1)
+    blk = make_block_vector(h.n_rows, R, seed=2)
+
+    def run(world, part):
+        t0 = time.perf_counter()
+        eta = distributed_eta(h, part, scale, M, blk, world)
+        return time.perf_counter() - t0, eta
+
+    # warm up the kernel backend (possible first-use C compilation)
+    warm = RowPartition.equal(h.n_rows, 1, align=4)
+    run(SimWorld(1), warm)
+
+    t_sim, eta_ref = run(SimWorld(1), warm)
+    runs = []
+    for workers in WORKER_COUNTS:
+        part = RowPartition.equal(h.n_rows, workers, align=4)
+        t_mp, eta = run(MpWorld(workers), part)
+        assert abs(eta - eta_ref).max() < 1e-9  # same physics, always
+        runs.append(
+            {
+                "workers": workers,
+                "mp_seconds": round(t_mp, 4),
+                "speedup_vs_sim": round(t_sim / t_mp, 3),
+            }
+        )
+
+    cores = _cores()
+    payload = {
+        "bench": "mp_scaling",
+        "cpu_count": cores,
+        "matrix": {"n_rows": h.n_rows, "nnz": h.nnz, "nx": NX, "nz": NZ},
+        "n_moments": M,
+        "r": R,
+        "sim_seconds": round(t_sim, 4),
+        "runs": runs,
+        "note": (
+            "speedup ceiling is cpu_count; the >1.5x @ 4 workers target "
+            "assumes >= 4 physical cores"
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_mp.json").write_text(json.dumps(payload, indent=2))
+
+    emit(
+        "mp_scaling",
+        format_table(
+            ["engine", "workers", "seconds", "speedup vs sim"],
+            [["sim", 1, t_sim, 1.0]]
+            + [
+                ["mp", r_["workers"], r_["mp_seconds"], r_["speedup_vs_sim"]]
+                for r_ in runs
+            ],
+        )
+        + f"\n(host exposes {cores} core(s))",
+    )
+
+    # structural assertions only — the parallel speedup itself depends on
+    # the host's core count, which the payload records
+    assert all(r_["mp_seconds"] > 0 for r_ in runs)
+    if cores >= 4:
+        assert runs[-1]["speedup_vs_sim"] > 1.5

@@ -48,11 +48,33 @@ def cmd_dos(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(f"kernel backend: {backend.name}")
+    weights = None
+    if args.weights:
+        try:
+            weights = [float(w) for w in args.weights.split(",")]
+        except ValueError:
+            print(f"error: --weights must be comma-separated numbers, "
+                  f"got {args.weights!r}", file=sys.stderr)
+            return 1
+    # sim/mp select a *distributed* engine; the rank-local kernels are
+    # always the stage-2 blocked ones (the paper's production scheme).
+    distributed = args.engine in ("sim", "mp")
     solver = KPMSolver(
         h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed,
-        engine=args.engine, backend=backend,
+        engine="aug_spmmv" if distributed else args.engine, backend=backend,
+        dist_engine=args.engine if distributed else None,
+        workers=args.workers, weights=weights,
     )
+    if distributed:
+        print(f"distributed engine: {args.engine} ({args.workers} workers)")
     dos = solver.dos()
+    if distributed and solver.world is not None:
+        log = solver.world.log
+        phases = ", ".join(
+            f"{k}: {v:,} B" for k, v in sorted(log.bytes_by_phase().items())
+        )
+        print(f"communication: {log.n_messages} messages, "
+              f"{log.total_bytes:,} bytes ({phases})")
     total = integrate_density(dos.energies, dos.rho)
     print(f"DOS integral: {total:,.1f} (N = {h.n_rows:,})")
     step = max(len(dos.energies) // args.points, 1)
@@ -134,7 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=24,
                    help="rows of the printed table")
     p.add_argument("--engine", default="aug_spmmv",
-                   choices=["naive", "aug_spmv", "aug_spmmv"])
+                   choices=["naive", "aug_spmv", "aug_spmmv", "sim", "mp"],
+                   help="serial moment engine (paper stages 0/1/2), or a "
+                        "distributed run: 'sim' = sequential SPMD "
+                        "simulator, 'mp' = real worker processes over "
+                        "shared memory")
+    p.add_argument("--workers", type=int, default=2,
+                   help="rank count for --engine sim|mp")
+    p.add_argument("--weights", type=str, default=None,
+                   help="comma-separated per-rank partition weights "
+                        "(default: equal split)")
     p.add_argument("--backend", default="auto", choices=list(BACKEND_CHOICES),
                    help="kernel backend (auto: native C kernels when a "
                         "compiler is available, else numpy)")

@@ -16,10 +16,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.scaling import SpectralScale
+from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.fused import aug_spmmv_step
+from repro.sparse.fused import _col_dots
 from repro.sparse.sell import SellMatrix
-from repro.sparse.spmv import spmmv
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import FormatError
@@ -73,6 +73,7 @@ def checkpointed_eta(
     checkpoint_path: str | Path | None = None,
     resume_from: KpmCheckpoint | str | Path | None = None,
     counters: PerfCounters = NULL_COUNTERS,
+    backend: KernelBackend | str = "auto",
 ) -> np.ndarray:
     """Stage-2 eta computation with optional checkpoint/restart.
 
@@ -81,13 +82,18 @@ def checkpointed_eta(
     ``checkpoint_every = k > 0`` the state is saved to
     ``checkpoint_path`` after every k inner iterations; pass
     ``resume_from`` (a checkpoint object or path) to continue an
-    interrupted run — ``start_block`` is then ignored.
+    interrupted run — ``start_block`` is then ignored.  The resume is
+    bit-exact under any one ``backend``; checkpoints themselves are
+    backend-agnostic (plain recurrence state), so a run interrupted on
+    one backend can resume on another, matching to floating-point
+    reduction-order tolerance.
     """
     if n_moments % 2 or n_moments < 2:
         raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
     if checkpoint_every and checkpoint_path is None:
         raise ValueError("checkpoint_every requires checkpoint_path")
     a, b = scale.a, scale.b
+    bk = get_backend(backend)
 
     if resume_from is not None:
         ck = (
@@ -108,20 +114,21 @@ def checkpointed_eta(
         first_m = ck.next_m
     else:
         v = start_block.astype(DTYPE, copy=True)
-        w = spmmv(H, v, counters=counters)
+        w = bk.spmmv(H, v, counters=counters)
         w -= b * v
         w *= a
         r = v.shape[1]
         eta = np.empty((r, n_moments), dtype=DTYPE)
-        eta[:, 0] = np.einsum("nr,nr->r", np.conj(v), v)
-        eta[:, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+        # same dot kernel as compute_eta's bootstrap: bitwise-identical
+        # moments whichever entry point ran the computation
+        eta[:, 0], eta[:, 1] = _col_dots(v, w)
         first_m = 1
 
-    scratch = np.empty_like(v)
+    plan = bk.plan(H, v.shape[1])
     for m in range(first_m, n_moments // 2):
         v, w = w, v
-        ee, eo = aug_spmmv_step(H, v, w, a, b, scratch=scratch,
-                                counters=counters)
+        ee, eo = bk.aug_spmmv_step(H, v, w, a, b, plan=plan,
+                                   counters=counters)
         eta[:, 2 * m] = ee
         eta[:, 2 * m + 1] = eo
         if checkpoint_every and (m - first_m + 1) % checkpoint_every == 0:

@@ -115,6 +115,18 @@ class KPMSolver:
         Kernel backend executing the inner iterations — ``'auto'``
         (native C kernels when compilable, else numpy), ``'numpy'``,
         ``'native'``, or a :class:`~repro.sparse.backend.KernelBackend`.
+    dist_engine:
+        ``None`` (serial, default), ``'sim'`` (sequential SPMD
+        simulator) or ``'mp'`` (real worker processes over shared
+        memory).  Both run the paper's data-parallel scheme: weighted
+        row partition, halo exchange, one deferred global reduction —
+        and produce the serial moments to reduction-order tolerance.
+    workers:
+        Rank count for the distributed engines (ignored when
+        ``dist_engine`` is None).
+    weights:
+        Optional per-rank partition weights (heterogeneous nodes,
+        paper Section VI-B); equal split by default.
     """
 
     def __init__(
@@ -131,6 +143,9 @@ class KPMSolver:
         seed: int | None = None,
         counters: PerfCounters = NULL_COUNTERS,
         backend: KernelBackend | str = "auto",
+        dist_engine: str | None = None,
+        workers: int = 2,
+        weights: list[float] | None = None,
     ) -> None:
         check_positive("n_moments", n_moments)
         check_positive("n_vectors", n_vectors)
@@ -143,6 +158,23 @@ class KPMSolver:
         self.vector_kind = vector_kind
         self.seed = seed
         self.counters = counters
+        if dist_engine not in (None, "sim", "mp"):
+            raise ValueError(
+                f"dist_engine must be None, 'sim' or 'mp', got {dist_engine!r}"
+            )
+        if dist_engine is not None:
+            check_positive("workers", workers)
+            if not isinstance(H, CSRMatrix):
+                raise ValueError(
+                    "distributed engines partition CSR operators; convert "
+                    "SELL-C-sigma back with to_csr() first"
+                )
+        self.dist_engine = dist_engine
+        self.workers = int(workers)
+        self.weights = list(weights) if weights is not None else None
+        #: the communicator of the most recent distributed solve
+        #: (message log, per-rank accounting); None until one runs.
+        self.world = None
         if scale is not None:
             self.scale = scale
         elif bounds == "gershgorin":
@@ -166,13 +198,46 @@ class KPMSolver:
             self.dimension, self.n_vectors, self.vector_kind, self.seed
         )
 
+    def _make_world(self):
+        from repro.dist.comm import SimWorld
+        from repro.dist.mp import MpWorld
+
+        if self.dist_engine == "mp":
+            return MpWorld(self.workers)
+        return SimWorld(self.workers)
+
+    def _distributed_eta(self) -> np.ndarray:
+        from repro.dist.kpm_parallel import distributed_eta
+        from repro.dist.partition import RowPartition
+
+        if self.weights is not None:
+            part = RowPartition.from_weights(
+                self.dimension, self.weights, align=4
+            )
+        else:
+            part = RowPartition.equal(self.dimension, self.workers, align=4)
+        self.world = self._make_world()
+        return distributed_eta(
+            self.H, part, self.scale, self.n_moments, self._start_block(),
+            self.world, backend=self.backend,
+        )
+
     # ------------------------------------------------------------------
     def moments(self) -> np.ndarray:
-        """Raw stochastic-trace Chebyshev moments mu_m ~= tr[T_m(H~)]."""
-        eta = compute_eta(
-            self.H, self.scale, self.n_moments, self._start_block(),
-            self.engine, self.counters, backend=self.backend,
-        )
+        """Raw stochastic-trace Chebyshev moments mu_m ~= tr[T_m(H~)].
+
+        With ``dist_engine`` set, the moments come from the distributed
+        stage-2 driver (simulated or real processes); otherwise from the
+        serial engine selected at construction.  Identical values either
+        way, up to floating-point reduction order.
+        """
+        if self.dist_engine is not None:
+            eta = self._distributed_eta()
+        else:
+            eta = compute_eta(
+                self.H, self.scale, self.n_moments, self._start_block(),
+                self.engine, self.counters, backend=self.backend,
+            )
         return eta_to_moments(eta).mean(axis=0).real
 
     def dos(

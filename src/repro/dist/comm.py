@@ -78,6 +78,24 @@ class MessageLog:
         self._by_phase = {}
 
 
+def log_allreduce(log: MessageLog, n_ranks: int, nbytes: int, phase: str) -> None:
+    """Charge one allreduce to ``log`` as recursive-doubling stages.
+
+    Shared by :class:`SimWorld` and the multiprocess engine's accounting
+    shim (:mod:`repro.dist.mp`), so a real shared-memory reduction is
+    priced identically to the simulated one: 2 log2(P) stages, one
+    buffer-sized message per participating rank per stage.
+    """
+    if n_ranks <= 1:
+        return
+    stages = max(int(np.ceil(np.log2(n_ranks))), 1)
+    for stage in range(stages):
+        for rank in range(n_ranks):
+            partner = rank ^ (1 << stage)
+            if partner < n_ranks and partner != rank:
+                log.add(rank, partner, nbytes, phase)
+
+
 class SimWorld:
     """A simulated communicator of ``n_ranks`` processes.
 
@@ -134,13 +152,7 @@ class SimWorld:
             if a.shape != shape:
                 raise SimulationError("allreduce contributions differ in shape")
         total = np.sum(arrays, axis=0)
-        if self.n_ranks > 1:
-            stages = max(int(np.ceil(np.log2(self.n_ranks))), 1)
-            for stage in range(stages):
-                for rank in range(self.n_ranks):
-                    partner = rank ^ (1 << stage)
-                    if partner < self.n_ranks and partner != rank:
-                        self.log.add(rank, partner, arrays[0].nbytes, phase)
+        log_allreduce(self.log, self.n_ranks, arrays[0].nbytes, phase)
         return total
 
     def _check_rank(self, rank: int) -> None:

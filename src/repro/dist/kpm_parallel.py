@@ -68,7 +68,7 @@ def distributed_eta(
     scale: SpectralScale,
     n_moments: int,
     start_block: np.ndarray,
-    world: SimWorld,
+    world,
     *,
     reduction: str = "end",
     backend: KernelBackend | str = "auto",
@@ -85,7 +85,11 @@ def distributed_eta(
     start_block:
         Global (N, R) start block; each rank gets its row slice.
     world:
-        The simulated communicator (must match the partition's rank count).
+        The communicator: a :class:`SimWorld` executes the rank loop
+        sequentially in-process, a :class:`~repro.dist.mp.MpWorld` runs
+        it in real worker processes over shared memory (same results to
+        reduction-order tolerance, same message accounting).  Must match
+        the partition's rank count.
     reduction:
         ``'end'`` — one global reduction after the loop (the optimal
         scheme); ``'every'`` — reduce each iteration's dots immediately
@@ -100,6 +104,13 @@ def distributed_eta(
     eta:
         (R, M) complex, matching the serial engines.
     """
+    from repro.dist.mp import MpWorld, mp_eta
+
+    if isinstance(world, MpWorld):
+        return mp_eta(
+            A, partition, scale, n_moments, start_block, world,
+            reduction=reduction, backend=backend,
+        )
     _check_moments(n_moments)
     if reduction not in ("end", "every"):
         raise ValueError(f"reduction must be 'end' or 'every', got {reduction!r}")
@@ -177,7 +188,7 @@ def distributed_dos(
     partition: RowPartition | None,
     n_moments: int,
     n_vectors: int,
-    world: SimWorld,
+    world,
     *,
     scale: SpectralScale | None = None,
     seed: int | None = None,
@@ -234,7 +245,7 @@ def distributed_dos_moments(
     scale: SpectralScale,
     n_moments: int,
     start_block: np.ndarray,
-    world: SimWorld,
+    world,
     *,
     reduction: str = "end",
     backend: KernelBackend | str = "auto",

@@ -1,0 +1,445 @@
+"""True multiprocess shared-memory KPM execution engine.
+
+Where :class:`repro.dist.comm.SimWorld` *simulates* the paper's
+data-parallel scheme sequentially in one process, this module runs the
+identical rank loop of :mod:`repro.dist.kpm_parallel` in real OS
+processes: every rank is a worker (``multiprocessing.Process``) that
+owns a contiguous weighted row block (:mod:`repro.dist.partition`),
+iterates the fused ``aug_spmmv`` kernel on it with its own kernel
+backend, and meets its neighbours at per-iteration barriers.
+
+Communication structure (paper Section VI-A, mapped onto one node):
+
+* the start block is published once in a POSIX shared-memory segment —
+  workers slice their rows zero-copy instead of receiving pickles;
+* each directed halo edge (p → q) owns a shared *window* sized to its
+  transfer list; one halo exchange is: every rank packs its send
+  windows, a barrier, every rank gathers its ``[local | halo]`` kernel
+  input from the windows it receives from, a barrier ("the assembly of
+  communication buffers ... only the elements which need to be
+  transferred are copied");
+* per-rank eta contributions accumulate in a shared ``(P, M, R)`` array
+  and are reduced **once** after the workers join — the single deferred
+  global reduction of Section II.  ``reduction='every'`` instead
+  synchronizes and sums after every iteration (the Table III
+  ``aug_spmmv()*`` ablation).
+
+Accounting: the engine charges :class:`~repro.dist.comm.MessageLog`
+records equivalent to what :class:`SimWorld` logs for the same run
+(halo volumes from the communication pattern, reductions priced as
+recursive doubling via :func:`~repro.dist.comm.log_allreduce`), and
+cross-checks the halo volume against byte counters the workers maintain
+while actually copying the windows — so the network cost model keeps
+working on real runs, and a worker that skipped communication is caught.
+
+Failure model: any worker exception (or hard death) aborts the shared
+barrier, which unblocks every peer; the parent terminates the world,
+unlinks all shared memory, and raises
+:class:`~repro.util.errors.SimulationError` — no hang, no leaked
+``/dev/shm`` segments (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from threading import BrokenBarrierError
+
+import numpy as np
+
+from repro.core.moments import _check_moments
+from repro.core.scaling import SpectralScale
+from repro.dist.comm import MessageLog, log_allreduce
+from repro.dist.halo import DistributedMatrix, RankBlock, partition_matrix
+from repro.dist.partition import RowPartition
+from repro.dist.shm import ShmArena, ShmAttachment
+from repro.sparse.backend import KernelBackend
+from repro.sparse.csr import CSRMatrix
+from repro.util.constants import DTYPE
+from repro.util.errors import SimulationError
+from repro.util.validation import check_block_vector, check_positive
+
+#: acct columns maintained by each worker (its row; no locking needed):
+#: actual halo messages/bytes it packed, actual reduction events/bytes.
+_ACCT_COLS = 4
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class MpWorld:
+    """A communicator of ``n_workers`` real OS processes.
+
+    Drop-in peer of :class:`~repro.dist.comm.SimWorld` for the
+    distributed drivers: :func:`repro.dist.kpm_parallel.distributed_eta`
+    (and everything built on it) dispatches on the world type, so
+    ``distributed_dos(..., world=MpWorld(4))`` runs the rank loop in
+    parallel while ``SimWorld(4)`` simulates it sequentially.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes (one per partition rank).
+    devices:
+        Optional ``'cpu'``/``'gpu'`` label per rank, as in ``SimWorld``
+        (feeds the network cost model's PCIe staging surcharge).
+    backend:
+        Kernel backend override: ``None`` (use the driver's ``backend=``
+        argument for every rank), a single name, or one name per rank —
+        heterogeneous worlds can run native kernels on "fast" ranks and
+        numpy on others.
+    timeout:
+        Seconds any worker may wait at a barrier (and the parent for the
+        whole run) before the world is declared wedged and torn down.
+    start_method:
+        ``'fork'``/``'spawn'``/``'forkserver'``; default prefers fork
+        (zero-copy matrix inheritance) where the platform offers it.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        devices: list[str] | None = None,
+        *,
+        backend=None,
+        timeout: float = 120.0,
+        start_method: str | None = None,
+    ) -> None:
+        check_positive("n_workers", n_workers)
+        self.n_ranks = int(n_workers)
+        if devices is None:
+            devices = ["cpu"] * self.n_ranks
+        if len(devices) != self.n_ranks:
+            raise SimulationError(
+                f"need one device label per rank ({self.n_ranks}), "
+                f"got {len(devices)}"
+            )
+        for d in devices:
+            if d not in ("cpu", "gpu"):
+                raise SimulationError(f"unknown device label {d!r}")
+        self.devices = list(devices)
+        self.backend = backend
+        self.timeout = float(timeout)
+        self.start_method = start_method or _default_start_method()
+        self.log = MessageLog()
+        #: OS segment names of the most recent run (leak checks in tests).
+        self.last_segment_names: list[str] = []
+        #: per-rank (halo_msgs, halo_bytes, reduce_events, reduce_bytes)
+        #: actually performed by the workers in the most recent run.
+        self.last_acct: np.ndarray | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MpWorld(n_workers={self.n_ranks}, devices={self.devices}, "
+            f"start_method={self.start_method!r})"
+        )
+
+
+def _backend_names(world: MpWorld, backend) -> list[str]:
+    """One backend *name* per rank (workers resolve instances themselves)."""
+    spec = world.backend if world.backend is not None else backend
+    if isinstance(spec, KernelBackend):
+        spec = spec.name
+    if spec is None or isinstance(spec, str):
+        return [spec or "auto"] * world.n_ranks
+    names = [s.name if isinstance(s, KernelBackend) else str(s) for s in spec]
+    if len(names) != world.n_ranks:
+        raise SimulationError(
+            f"need one backend per rank ({world.n_ranks}), got {len(names)}"
+        )
+    return names
+
+
+# ---------------------------------------------------------------------
+# worker
+# ---------------------------------------------------------------------
+
+def _worker(
+    rank: int,
+    blk: RankBlock,
+    send_edges: list[tuple[int, np.ndarray]],
+    specs: dict,
+    barrier,
+    errq,
+    a: float,
+    b: float,
+    n_moments: int,
+    r: int,
+    reduction: str,
+    backend_name: str,
+    timeout: float,
+    fault: tuple | None,
+) -> None:
+    """One rank's full KPM loop (module-level: spawn-picklable)."""
+    att = None
+    code = 0
+    try:
+        from repro.sparse.backend import get_backend
+
+        bk = get_backend(backend_name)
+        att = ShmAttachment(specs)
+        start, eta, acct = att["start"], att["eta"], att["acct"]
+        lo, hi = blk.row_start, blk.row_stop
+        n_local = hi - lo
+
+        v = np.ascontiguousarray(start[lo:hi, :], dtype=DTYPE)
+        xbuf = np.empty((blk.matrix.n_cols, r), dtype=DTYPE)
+        plan = bk.plan(blk.matrix, r)
+        wins_out = [(q, rows, att[f"w{rank}_{q}"]) for q, rows in send_edges]
+        wins_in = [
+            (int(cnt), att[f"w{src}_{rank}"])
+            for src, cnt in zip(
+                blk.halo_sources.tolist(), blk.halo_counts.tolist()
+            )
+        ]
+
+        def maybe_fault(m: int) -> None:
+            if fault is not None and fault[0] == rank and fault[1] == m:
+                if fault[2] == "exit":  # simulated hard crash (SIGKILL-like)
+                    import os
+
+                    os._exit(3)
+                raise RuntimeError(f"injected fault in rank {rank} at m={m}")
+
+        def exchange(vec: np.ndarray) -> None:
+            for _q, rows, win in wins_out:
+                win[...] = vec[rows, :]  # buffer assembly at the source
+                acct[rank, 0] += 1
+                acct[rank, 1] += win.nbytes
+            barrier.wait(timeout)  # all windows packed
+            xbuf[:n_local] = vec
+            pos = n_local
+            for cnt, win in wins_in:
+                xbuf[pos : pos + cnt] = win
+                pos += cnt
+            barrier.wait(timeout)  # all windows consumed, reusable
+
+        def reduce_now(m: int) -> None:
+            # The contributions already sit in the shared eta array; a
+            # barrier makes every rank's slice visible, then each rank
+            # forms the global sum locally (allreduce semantics).
+            acct[rank, 2] += 2
+            acct[rank, 3] += 2 * eta[rank, 2 * m].nbytes
+            barrier.wait(timeout)
+            eta[:, 2 * m].sum(axis=0)
+            eta[:, 2 * m + 1].sum(axis=0)
+
+        maybe_fault(0)
+        exchange(v)
+        # nu_1 = a (H nu_0 - b nu_0) on the local rows
+        w = bk.spmmv(blk.matrix, xbuf)
+        np.multiply(v, b, out=plan.work_block)
+        w -= plan.work_block
+        w *= a
+        eta[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
+        eta[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+        if reduction == "every":
+            reduce_now(0)
+
+        for m in range(1, n_moments // 2):
+            maybe_fault(m)
+            v, w = w, v
+            exchange(v)
+            ee, eo = bk.aug_spmmv_step(blk.matrix, xbuf, w, a, b, plan=plan)
+            eta[rank, 2 * m] = ee
+            eta[rank, 2 * m + 1] = eo
+            if reduction == "every":
+                reduce_now(m)
+    except BrokenBarrierError:
+        code = 2  # a peer died; the parent reports the root cause
+    except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            errq.put((rank, f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+        try:
+            barrier.abort()  # unblock every waiting peer immediately
+        except Exception:  # pragma: no cover
+            pass
+        code = 1
+    finally:
+        if att is not None:
+            att.close()
+    sys.exit(code)
+
+
+# ---------------------------------------------------------------------
+# parent driver
+# ---------------------------------------------------------------------
+
+def _charge_log(
+    log: MessageLog, dist: DistributedMatrix, r: int, n_moments: int,
+    reduction: str,
+) -> None:
+    """Charge the run to ``log`` exactly as :class:`SimWorld` would.
+
+    Record-for-record equivalent to the simulator executing the same
+    partition/reduction — asserted by the differential tests, and the
+    contract that keeps :mod:`repro.dist.network` pricing mp runs.
+    """
+    itemsize = np.dtype(DTYPE).itemsize
+
+    def halo(phase: str) -> None:
+        for block in dist.blocks:
+            for src, cnt in zip(
+                block.halo_sources.tolist(), block.halo_counts.tolist()
+            ):
+                log.add(src, block.rank, cnt * r * itemsize, phase)
+
+    halo("halo_init")
+    if reduction == "every":
+        for _ in range(2):
+            log_allreduce(log, dist.n_ranks, r * itemsize, "allreduce_iter")
+    for _m in range(1, n_moments // 2):
+        halo("halo")
+        if reduction == "every":
+            for _ in range(2):
+                log_allreduce(log, dist.n_ranks, r * itemsize, "allreduce_iter")
+    log_allreduce(
+        log, dist.n_ranks, n_moments * r * itemsize, "allreduce_final"
+    )
+
+
+def _expected_halo_acct(
+    dist: DistributedMatrix, r: int, n_moments: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(messages, bytes) per source rank over all M/2 halo exchanges."""
+    itemsize = np.dtype(DTYPE).itemsize
+    msgs = np.zeros(dist.n_ranks, dtype=np.int64)
+    nbytes = np.zeros(dist.n_ranks, dtype=np.int64)
+    for (p, _q), rows in dist.pattern.send_rows.items():
+        if rows.size:
+            msgs[p] += 1
+            nbytes[p] += rows.size * r * itemsize
+    n_exchanges = n_moments // 2
+    return msgs * n_exchanges, nbytes * n_exchanges
+
+
+def mp_eta(
+    A: CSRMatrix | DistributedMatrix,
+    partition: RowPartition | None,
+    scale: SpectralScale,
+    n_moments: int,
+    start_block: np.ndarray,
+    world: MpWorld,
+    *,
+    reduction: str = "end",
+    backend: KernelBackend | str = "auto",
+    _fault: tuple | None = None,
+) -> np.ndarray:
+    """Multiprocess equivalent of :func:`repro.dist.kpm_parallel.distributed_eta`.
+
+    Same signature and same result (to reduction-order tolerance) with a
+    :class:`MpWorld` in place of the :class:`SimWorld`; ``_fault`` is a
+    test-only ``(rank, iteration, mode)`` crash injector.
+    """
+    _check_moments(n_moments)
+    if reduction not in ("end", "every"):
+        raise ValueError(f"reduction must be 'end' or 'every', got {reduction!r}")
+    if isinstance(A, DistributedMatrix):
+        dist = A
+    else:
+        if partition is None:
+            raise ValueError("partition is required with a global matrix")
+        dist = partition_matrix(A, partition)
+    if world.n_ranks != dist.n_ranks:
+        raise SimulationError(
+            f"world has {world.n_ranks} ranks, partition has {dist.n_ranks}"
+        )
+    n = dist.n_global
+    start_block = check_block_vector("start_block", start_block, n)
+    r = start_block.shape[1]
+    names = _backend_names(world, backend)
+    ctx = multiprocessing.get_context(world.start_method)
+
+    send_edges: list[list[tuple[int, np.ndarray]]] = [
+        [] for _ in range(dist.n_ranks)
+    ]
+    for (p, q), rows in sorted(dist.pattern.send_rows.items()):
+        if rows.size:
+            send_edges[p].append((q, rows))
+
+    errors: list[tuple[int, str]] = []
+    procs: list = []
+    with ShmArena() as arena:
+        start = arena.create("start", (n, r))
+        start[...] = start_block
+        eta_shared = arena.create("eta", (world.n_ranks, n_moments, r))
+        acct = arena.create("acct", (world.n_ranks, _ACCT_COLS), dtype="int64")
+        for p, edges in enumerate(send_edges):
+            for q, rows in edges:
+                arena.create(f"w{p}_{q}", (rows.size, r))
+        world.last_segment_names = list(arena.names)
+
+        barrier = ctx.Barrier(world.n_ranks)
+        errq = ctx.SimpleQueue()
+        for rank in range(world.n_ranks):
+            procs.append(
+                ctx.Process(
+                    target=_worker,
+                    args=(
+                        rank, dist.blocks[rank], send_edges[rank],
+                        arena.specs, barrier, errq, scale.a, scale.b,
+                        n_moments, r, reduction, names[rank],
+                        world.timeout, _fault,
+                    ),
+                    daemon=True,
+                )
+            )
+        for p in procs:
+            p.start()
+
+        # Monitor: a worker death aborts the barrier so peers unblock
+        # instead of waiting out their timeout; a wedged world is torn
+        # down at the deadline.
+        deadline = time.monotonic() + world.timeout
+        timed_out = False
+        while any(p.is_alive() for p in procs):
+            if any(p.exitcode not in (None, 0) for p in procs):
+                barrier.abort()
+                break
+            if time.monotonic() >= deadline:
+                timed_out = True
+                barrier.abort()
+                break
+            time.sleep(0.005)
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - last-resort cleanup
+                p.terminate()
+                p.join(timeout=5.0)
+        while not errq.empty():
+            errors.append(errq.get())
+
+        exit_codes = [p.exitcode for p in procs]
+        if timed_out or errors or any(c != 0 for c in exit_codes):
+            detail = "; ".join(f"rank {rk}: {msg}" for rk, msg in errors)
+            if timed_out and not detail:
+                detail = f"no progress within {world.timeout:.0f}s"
+            if not detail:
+                dead = [i for i, c in enumerate(exit_codes) if c not in (0, 2)]
+                detail = f"worker(s) {dead} died with exit codes " + str(
+                    [exit_codes[i] for i in dead]
+                )
+            raise SimulationError(f"multiprocess KPM run failed: {detail}")
+
+        # Pull results out of shared memory before the arena unlinks.
+        world.last_acct = acct.copy()
+        eta_global = eta_shared.sum(axis=0)  # the single deferred reduction
+
+        exp_msgs, exp_bytes = _expected_halo_acct(dist, r, n_moments)
+        if not (
+            np.array_equal(world.last_acct[:, 0], exp_msgs)
+            and np.array_equal(world.last_acct[:, 1], exp_bytes)
+        ):
+            raise SimulationError(
+                "halo accounting mismatch: workers moved "
+                f"{world.last_acct[:, 1].tolist()} bytes, pattern predicts "
+                f"{exp_bytes.tolist()}"
+            )
+
+    _charge_log(world.log, dist, r, n_moments, reduction)
+    return eta_global.T.copy()  # (R, M), as the serial/sim engines

@@ -84,6 +84,11 @@ class RowPartition:
             )
         return self.offsets[rank], self.offsets[rank + 1]
 
+    def slice_of(self, rank: int) -> slice:
+        """``rank``'s rows as a slice — zero-copy views into shared arrays."""
+        lo, hi = self.bounds(rank)
+        return slice(lo, hi)
+
     def counts(self) -> np.ndarray:
         """Rows per rank."""
         return np.diff(np.asarray(self.offsets, dtype=np.int64))

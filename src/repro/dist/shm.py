@@ -1,0 +1,169 @@
+"""POSIX shared-memory arenas for the multiprocess KPM engine.
+
+The :mod:`repro.dist.mp` engine moves block vectors between real OS
+processes through ``multiprocessing.shared_memory`` segments instead of
+pickled pipe messages: the parent creates every segment up front (an
+:class:`ShmArena`), workers attach by name and map NumPy views directly
+onto the shared pages — the halo "transfer" is then a plain array copy
+into a window both sides have mapped, with no serialization.
+
+Ownership is strictly parent-side: the arena that created a segment is
+the only one that ever unlinks it.  Workers attaching a segment
+immediately deregister it from their ``resource_tracker`` (otherwise
+every child registers the name again and the interpreter prints bogus
+"leaked shared_memory" warnings at shutdown — the tracker cannot know
+the parent owns the lifetime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShmSpec:
+    """Picklable description of one shared array (sent to workers)."""
+
+    name: str  # OS-level segment name
+    shape: tuple[int, ...]
+    dtype: str  # numpy dtype string, e.g. 'complex128'
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class ShmArena:
+    """Parent-side owner of a set of named shared-memory arrays.
+
+    ``create()`` allocates a zero-initialized segment and returns a NumPy
+    view; ``specs`` is the picklable map workers use to re-attach.  The
+    arena is a context manager — on exit (success *or* failure) every
+    segment is closed and unlinked, so a crashed run never leaks
+    ``/dev/shm`` entries.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._specs: dict[str, ShmSpec] = {}
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def create(self, key: str, shape: tuple[int, ...], dtype="complex128") -> np.ndarray:
+        if key in self._segments:
+            raise ValueError(f"shared array {key!r} already exists")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        arr[...] = 0
+        self._segments[key] = seg
+        self._specs[key] = ShmSpec(seg.name, tuple(int(s) for s in shape), np.dtype(dtype).str)
+        self._arrays[key] = arr
+        return arr
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._arrays[key]
+
+    @property
+    def specs(self) -> dict[str, ShmSpec]:
+        return dict(self._specs)
+
+    @property
+    def names(self) -> list[str]:
+        """OS segment names (for leak checks in tests)."""
+        return [seg.name for seg in self._segments.values()]
+
+    def close(self) -> None:
+        """Drop the NumPy views and unmap; segments stay alive for workers."""
+        # The views hold references into seg.buf: they must die before
+        # SharedMemory.close() or the mmap cannot be released.
+        self._arrays.clear()
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+
+    def unlink(self) -> None:
+        self.close()
+        for seg in self._segments.values():
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._specs.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+class ShmAttachment:
+    """Worker-side view onto a parent-created arena.
+
+    Maps every spec to a NumPy array and keeps the SharedMemory handles
+    alive while the views are in use.  Never unlinks — the parent owns
+    the segments.
+
+    ``unregister`` balances the resource-tracker registration that
+    attaching performs on this Python.  Children started by
+    ``multiprocessing`` — fork *and* spawn — inherit the parent's
+    tracker process (the tracker fd is forwarded), whose per-name set
+    entry the parent's ``unlink`` removes exactly once; an extra
+    unregister from a child makes the tracker print KeyError noise, so
+    the default is False.  Pass True only when attaching from a process
+    with its own tracker (an unrelated interpreter), where the
+    registration would otherwise trigger bogus leak warnings — and a
+    spurious unlink — at shutdown.
+    """
+
+    def __init__(self, specs: dict[str, ShmSpec], *, unregister: bool = False) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self.arrays: dict[str, np.ndarray] = {}
+        for key, spec in specs.items():
+            seg = shared_memory.SharedMemory(name=spec.name)
+            if unregister:
+                try:
+                    resource_tracker.unregister(seg._name, "shared_memory")
+                except Exception:  # pragma: no cover - tracker internals moved
+                    pass
+            self._segments[key] = seg
+            self.arrays[key] = np.ndarray(spec.shape, dtype=spec.dtype, buffer=seg.buf)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+    def close(self) -> None:
+        self.arrays.clear()
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ShmAttachment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment with this OS name still exists.
+
+    Leak-check helper for tests: call it on names expected to be dead
+    (attaching a dead name fails before any tracker registration, so the
+    probe is side-effect free in that case).
+    """
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    seg.close()
+    return True

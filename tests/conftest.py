@@ -2,11 +2,41 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.physics import build_topological_insulator
 from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(scope="session", autouse=True)
+def pinned_backend_selection():
+    """Pin the kernel-backend environment for the whole session.
+
+    The native loader caches its first load attempt process-wide, and
+    ``REPRO_NATIVE_DISABLE`` is read at that moment — a test mutating the
+    variable mid-session would silently flip which backend every *later*
+    test (and every mp worker process, which inherits the environment)
+    runs under.  This fixture snapshots the relevant variables and the
+    resolved availability up front, restores the environment afterwards,
+    and forces a clean reload so nothing leaks past the session.
+    """
+    from repro.sparse.backend.native import load_library, native_available
+
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_NATIVE_DISABLE", "REPRO_NATIVE_CACHE", "CC")
+    }
+    availability = native_available()  # resolve (and cache) once, up front
+    yield availability
+    for key, val in saved.items():
+        if val is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = val
+    load_library(force_reload=True)
 
 
 @pytest.fixture

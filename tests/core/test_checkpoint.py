@@ -7,7 +7,14 @@ from repro.core.checkpoint import KpmCheckpoint, checkpointed_eta
 from repro.core.moments import compute_eta
 from repro.core.scaling import lanczos_scale
 from repro.core.stochastic import make_block_vector
+from repro.sparse.backend.native import native_available
 from repro.util.errors import FormatError
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="no C compiler for the native kernels"
+)
+
+BACKENDS = ["numpy", pytest.param("native", marks=needs_native)]
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +63,69 @@ class TestEquivalence:
         ck2 = KpmCheckpoint.load(tmp_path / "s2.npz")
         assert np.array_equal(ck.v, ck2.v)
         assert ck.next_m == ck2.next_m
+
+
+class TestResumeMidRun:
+    """Interrupt in the middle of the loop; resume must be bit-exact."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resume_bitwise_per_backend(self, system, tmp_path, backend):
+        h, scale, blk, _ = system
+        p = tmp_path / "mid.npz"
+        # checkpoint_every=4 over 15 iterations: the last saved state sits
+        # at next_m=13, three iterations short of completion
+        full = checkpointed_eta(
+            h, scale, 32, blk, checkpoint_every=4, checkpoint_path=p,
+            backend=backend,
+        )
+        ck = KpmCheckpoint.load(p)
+        assert 1 < ck.next_m < 16  # genuinely mid-run
+        resumed = checkpointed_eta(
+            h, scale, 32, blk, resume_from=ck, backend=backend
+        )
+        # same backend, same state, deterministic recurrence: bitwise
+        assert np.array_equal(resumed, full)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_engine_per_backend(self, system, backend):
+        h, scale, blk, _ = system
+        eta = checkpointed_eta(h, scale, 32, blk, backend=backend)
+        ref = compute_eta(h, scale, 32, blk, "aug_spmmv", backend=backend)
+        assert np.array_equal(eta, ref)
+
+    @needs_native
+    def test_cross_backend_resume(self, system, tmp_path):
+        """A checkpoint is backend-agnostic: save numpy, resume native."""
+        h, scale, blk, _ = system
+        p = tmp_path / "mid.npz"
+        full = checkpointed_eta(
+            h, scale, 32, blk, checkpoint_every=4, checkpoint_path=p,
+            backend="numpy",
+        )
+        resumed = checkpointed_eta(
+            h, scale, 32, blk, resume_from=p, backend="native"
+        )
+        # prefix up to the interruption point is carried over verbatim;
+        # the remainder agrees to reduction-order tolerance
+        ck = KpmCheckpoint.load(p)
+        assert np.array_equal(resumed[:, : 2 * ck.next_m],
+                              full[:, : 2 * ck.next_m])
+        assert np.allclose(resumed, full, atol=1e-9)
+
+    @pytest.mark.parametrize("dist_engine", ["sim", "mp"])
+    def test_matches_distributed_engines(self, system, dist_engine):
+        """Resumed serial moments equal the sim/mp distributed runs."""
+        from repro.dist.comm import SimWorld
+        from repro.dist.kpm_parallel import distributed_eta
+        from repro.dist.mp import MpWorld
+        from repro.dist.partition import RowPartition
+
+        h, scale, blk, _ = system
+        eta_ck = checkpointed_eta(h, scale, 32, blk)
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        world = MpWorld(2) if dist_engine == "mp" else SimWorld(2)
+        eta_dist = distributed_eta(h, part, scale, 32, blk, world)
+        assert np.allclose(eta_dist, eta_ck, atol=1e-9)
 
 
 class TestValidation:

@@ -1,0 +1,262 @@
+"""Differential tests: multiprocess engine vs SPMD simulator vs serial.
+
+The three executions of the same KPM problem — serial ``compute_eta``,
+the sequential :class:`SimWorld` simulator, and real worker processes
+over shared memory (:class:`MpWorld`) — must agree on the moments to
+reduction-order tolerance, and the mp engine must charge its
+:class:`MessageLog` record-for-record like the simulator, so the network
+cost model prices both identically.  Failure handling is differential
+too: a crashing worker must surface as a clean ``SimulationError`` with
+no hang and no leaked shared-memory segments.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.moments import compute_eta
+from repro.core.scaling import lanczos_scale
+from repro.core.stochastic import make_block_vector
+from repro.dist.comm import SimWorld
+from repro.dist.halo import partition_matrix
+from repro.dist.kpm_parallel import distributed_eta
+from repro.dist.mp import MpWorld, mp_eta
+from repro.dist.partition import RowPartition
+from repro.dist.shm import segment_exists
+from repro.sparse.backend.native import native_available
+from repro.util.errors import SimulationError
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="no C compiler for the native kernels"
+)
+
+M = 24  # moments for the standard parity runs
+
+
+@pytest.fixture(scope="module")
+def system():
+    from repro.physics import build_topological_insulator
+
+    h, _ = build_topological_insulator(8, 6, 4)
+    scale = lanczos_scale(h, seed=1)
+    blk = make_block_vector(h.n_rows, 4, seed=2)
+    ref = compute_eta(h, scale, M, blk, "aug_spmmv")
+    return h, scale, blk, ref
+
+
+def run_pair(h, scale, blk, part, m=M, **kw):
+    """The same problem through MpWorld and SimWorld; returns both."""
+    mw = MpWorld(part.n_ranks)
+    eta_mp = distributed_eta(h, part, scale, m, blk, mw, **kw)
+    sw = SimWorld(part.n_ranks)
+    eta_sim = distributed_eta(h, part, scale, m, blk, sw, **kw)
+    return eta_mp, eta_sim, mw, sw
+
+
+class TestParity:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_matches_serial_and_sim(self, system, n_workers):
+        h, scale, blk, ref = system
+        part = RowPartition.equal(h.n_rows, n_workers, align=4)
+        eta_mp, eta_sim, mw, sw = run_pair(h, scale, blk, part)
+        assert np.allclose(eta_mp, ref, atol=1e-9)
+        # mp and sim run the identical per-rank arithmetic and the same
+        # reduction order, so they agree far tighter than either vs serial
+        assert np.allclose(eta_mp, eta_sim, atol=1e-12, rtol=0)
+        # ... and charge the message log record-for-record identically
+        assert mw.log.records == sw.log.records
+
+    def test_skewed_weights(self, system):
+        h, scale, blk, ref = system
+        part = RowPartition.from_weights(h.n_rows, [0.6, 0.1, 0.3], align=4)
+        eta_mp, eta_sim, mw, sw = run_pair(h, scale, blk, part)
+        assert np.allclose(eta_mp, ref, atol=1e-9)
+        assert np.allclose(eta_mp, eta_sim, atol=1e-12, rtol=0)
+        assert mw.log.records == sw.log.records
+
+    @pytest.mark.parametrize("r", [1, 8, 32])
+    def test_block_widths(self, system, r):
+        h, scale, _, _ = system
+        m = 8  # keep the R=32 case cheap
+        blk = make_block_vector(h.n_rows, r, seed=7)
+        ref = compute_eta(h, scale, m, blk, "aug_spmmv")
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        eta_mp, eta_sim, mw, sw = run_pair(h, scale, blk, part, m=m)
+        assert eta_mp.shape == (r, m)
+        assert np.allclose(eta_mp, ref, atol=1e-9)
+        assert np.allclose(eta_mp, eta_sim, atol=1e-12, rtol=0)
+        assert mw.log.records == sw.log.records
+
+    def test_numpy_backend(self, system):
+        h, scale, blk, ref = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        eta_mp, eta_sim, _, _ = run_pair(
+            h, scale, blk, part, backend="numpy"
+        )
+        assert np.allclose(eta_mp, ref, atol=1e-9)
+        assert np.allclose(eta_mp, eta_sim, atol=1e-12, rtol=0)
+
+    @needs_native
+    def test_native_backend(self, system):
+        h, scale, blk, ref = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        eta_mp, eta_sim, _, _ = run_pair(
+            h, scale, blk, part, backend="native"
+        )
+        assert np.allclose(eta_mp, ref, atol=1e-9)
+        assert np.allclose(eta_mp, eta_sim, atol=1e-12, rtol=0)
+
+    @needs_native
+    def test_per_rank_backend_mix(self, system):
+        """Heterogeneous worlds: one rank native, one numpy."""
+        h, scale, blk, ref = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2, backend=["native", "numpy"])
+        eta = distributed_eta(h, part, scale, M, blk, mw)
+        assert np.allclose(eta, ref, atol=1e-9)
+
+    def test_reduction_every(self, system):
+        h, scale, blk, ref = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        eta_mp, eta_sim, mw, sw = run_pair(
+            h, scale, blk, part, reduction="every"
+        )
+        assert np.allclose(eta_mp, ref, atol=1e-9)
+        assert np.allclose(eta_mp, eta_sim, atol=1e-12, rtol=0)
+        assert mw.log.records == sw.log.records
+        # every rank performed the per-iteration reduction events
+        assert (mw.last_acct[:, 2] == 2 * (M // 2)).all()
+
+    def test_spawn_start_method(self, system):
+        """Spawned workers (fresh interpreters) produce the fork result."""
+        if "spawn" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        h, scale, _, _ = system
+        blk = make_block_vector(h.n_rows, 2, seed=3)
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2, start_method="spawn", timeout=300.0)
+        eta = distributed_eta(h, part, scale, 8, blk, mw)
+        ref = compute_eta(h, scale, 8, blk, "aug_spmmv")
+        assert np.allclose(eta, ref, atol=1e-9)
+
+
+class TestAccounting:
+    def test_halo_acct_matches_pattern(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 3, align=4)
+        dist = partition_matrix(h, part)
+        mw = MpWorld(3)
+        distributed_eta(dist, None, scale, M, blk, mw)
+        itemsize = np.dtype(np.complex128).itemsize
+        # workers count the bytes they actually copy into send windows;
+        # over the run that is M/2 exchanges of the pattern volume
+        total = mw.last_acct[:, 1].sum()
+        assert total == (M // 2) * dist.pattern.bytes_per_exchange(r=4)
+        assert mw.last_acct[:, 1].sum() % itemsize == 0
+
+    def test_single_rank_no_messages(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 1)
+        mw = MpWorld(1)
+        distributed_eta(h, part, scale, M, blk, mw)
+        assert mw.log.n_messages == 0
+        assert mw.last_acct[:, :2].sum() == 0
+
+    def test_segments_unlinked_after_success(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2)
+        distributed_eta(h, part, scale, M, blk, mw)
+        assert mw.last_segment_names  # the run did use shared memory
+        assert not any(segment_exists(nm) for nm in mw.last_segment_names)
+
+
+class TestFailure:
+    def test_worker_exception_raises_cleanly(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 3, align=4)
+        mw = MpWorld(3)
+        t0 = time.monotonic()
+        with pytest.raises(SimulationError, match="injected fault in rank 1"):
+            mp_eta(h, part, scale, M, blk, mw, _fault=(1, 3, "raise"))
+        # the aborted barrier unblocks peers immediately — no timeout wait
+        assert time.monotonic() - t0 < mw.timeout / 2
+        assert not any(segment_exists(nm) for nm in mw.last_segment_names)
+
+    def test_worker_hard_death_raises_cleanly(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2)
+        t0 = time.monotonic()
+        with pytest.raises(SimulationError, match="exit code"):
+            mp_eta(h, part, scale, M, blk, mw, _fault=(0, 2, "exit"))
+        assert time.monotonic() - t0 < mw.timeout / 2
+        assert not any(segment_exists(nm) for nm in mw.last_segment_names)
+
+
+class TestValidation:
+    def test_world_size_mismatch(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        with pytest.raises(SimulationError):
+            distributed_eta(h, part, scale, M, blk, MpWorld(3))
+
+    def test_bad_reduction(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 1)
+        with pytest.raises(ValueError):
+            distributed_eta(
+                h, part, scale, M, blk, MpWorld(1), reduction="sometimes"
+            )
+
+    def test_bad_device_label(self):
+        with pytest.raises(SimulationError):
+            MpWorld(2, devices=["cpu", "tpu"])
+
+    def test_backend_list_wrong_length(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        with pytest.raises(SimulationError):
+            distributed_eta(
+                h, part, scale, M, blk, MpWorld(2, backend=["numpy"])
+            )
+
+    def test_partition_required(self, system):
+        h, scale, blk, _ = system
+        with pytest.raises(ValueError):
+            distributed_eta(h, None, scale, M, blk, MpWorld(1))
+
+
+class TestSolverFacade:
+    def test_solver_dist_engines_agree(self, system):
+        from repro.core.solver import KPMSolver
+
+        h, scale, _, _ = system
+        kw = dict(n_moments=16, n_vectors=2, seed=9, scale=scale)
+        mu_serial = KPMSolver(h, **kw).moments()
+        s_sim = KPMSolver(h, dist_engine="sim", workers=2, **kw)
+        s_mp = KPMSolver(h, dist_engine="mp", workers=2, **kw)
+        mu_sim = s_sim.moments()
+        mu_mp = s_mp.moments()
+        assert np.allclose(mu_sim, mu_serial, atol=1e-9)
+        assert np.allclose(mu_mp, mu_sim, atol=1e-12, rtol=0)
+        # the facade exposes the communicator of the last solve
+        assert s_mp.world is not None and s_mp.world.log.n_messages > 0
+        assert s_mp.world.log.records == s_sim.world.log.records
+
+    def test_solver_rejects_bad_engine(self, system):
+        from repro.core.solver import KPMSolver
+
+        h, _, _, _ = system
+        with pytest.raises(ValueError):
+            KPMSolver(h, dist_engine="mpi")
+
+    def test_solver_rejects_sell_for_distributed(self, system):
+        from repro.core.solver import KPMSolver
+        from repro.sparse.sell import SellMatrix
+
+        h, _, _, _ = system
+        s = SellMatrix(h, chunk_height=8, sigma=16)
+        with pytest.raises(ValueError, match="CSR"):
+            KPMSolver(s, dist_engine="sim")

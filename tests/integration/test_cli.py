@@ -22,6 +22,34 @@ class TestDos:
                    "--vectors", "1", "--engine", "naive"])
         assert rc == 0
 
+    @pytest.mark.parametrize("engine", ["sim", "mp"])
+    def test_distributed_engines(self, engine, capsys):
+        rc = main(["dos", "--nx", "4", "--nz", "2", "--moments", "32",
+                   "--vectors", "2", "--engine", engine, "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"distributed engine: {engine} (2 workers)" in out
+        assert "communication:" in out
+        assert "halo" in out and "allreduce_final" in out
+
+    def test_distributed_matches_serial(self, capsys):
+        argv = ["dos", "--nx", "4", "--nz", "2", "--moments", "32",
+                "--vectors", "2", "--seed", "5"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--engine", "sim", "--workers", "3",
+                            "--weights", "1,2,1"]) == 0
+        sim = capsys.readouterr().out
+        # same integral line => same moments end to end
+        pick = [l for l in serial.splitlines() if "DOS integral" in l]
+        assert pick and pick[0] in sim
+
+    def test_bad_weights_rejected(self, capsys):
+        rc = main(["dos", "--nx", "4", "--nz", "2", "--moments", "32",
+                   "--vectors", "1", "--engine", "sim", "--weights", "a,b"])
+        assert rc == 1
+        assert "--weights" in capsys.readouterr().err
+
     def test_from_mtx(self, tmp_path, capsys):
         rng = np.random.default_rng(0)
         d = rng.normal(size=(30, 30))
