@@ -37,7 +37,9 @@ def _load_matrix(args):
 def cmd_dos(args) -> int:
     from repro.core.reconstruct import integrate_density
     from repro.core.solver import KPMSolver
+    from repro.obs import NULL_METRICS, MetricsRegistry, Trace
     from repro.sparse.backend import get_backend
+    from repro.util.counters import NULL_COUNTERS, PerfCounters
     from repro.util.errors import BackendError
 
     h = _load_matrix(args)
@@ -56,6 +58,13 @@ def cmd_dos(args) -> int:
             print(f"error: --weights must be comma-separated numbers, "
                   f"got {args.weights!r}", file=sys.stderr)
             return 1
+    # --metrics / --trace turn on the observability layer: counters for
+    # the Table-I traffic accounting, a registry for per-kernel spans,
+    # and (with --trace) one JSONL record per span.
+    observe = args.metrics or args.trace
+    trace = Trace(args.trace) if args.trace else None
+    counters = PerfCounters() if observe else NULL_COUNTERS
+    metrics = MetricsRegistry(trace=trace) if observe else NULL_METRICS
     # sim/mp select a *distributed* engine; the rank-local kernels are
     # always the stage-2 blocked ones (the paper's production scheme).
     distributed = args.engine in ("sim", "mp")
@@ -64,10 +73,15 @@ def cmd_dos(args) -> int:
         engine="aug_spmmv" if distributed else args.engine, backend=backend,
         dist_engine=args.engine if distributed else None,
         workers=args.workers, weights=weights,
+        counters=counters, metrics=metrics,
     )
     if distributed:
         print(f"distributed engine: {args.engine} ({args.workers} workers)")
-    dos = solver.dos()
+    try:
+        dos = solver.dos()
+    finally:
+        if trace is not None:
+            trace.close()
     if distributed and solver.world is not None:
         log = solver.world.log
         phases = ", ".join(
@@ -81,6 +95,20 @@ def cmd_dos(args) -> int:
     print(f"{'E':>12} {'rho(E)':>14}")
     for e, r in zip(dos.energies[::step], dos.rho[::step]):
         print(f"{e:>12.4f} {r:>14.5g}")
+    if observe:
+        from repro.perf.report import measured_vs_model_section
+
+        # Distributed runs use the stage-2 kernels and their merged
+        # counters equal the serial charge, so the same model applies.
+        eng = "aug_spmmv" if distributed else args.engine
+        print("\n== MEASURED vs MODEL ==")
+        print(measured_vs_model_section(
+            h, counters, args.moments, args.vectors, eng, metrics=metrics,
+        ), end="")
+        print("\n== METRICS ==")
+        print(metrics.summary())
+    if trace is not None:
+        print(f"\ntrace: {trace.n_records} spans -> {trace.path}")
     return 0
 
 
@@ -170,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kernel backend (auto: native C kernels when a "
                         "compiler is available, else numpy)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metrics", action="store_true",
+                   help="record per-kernel wall-time spans and Table-I "
+                        "traffic; print the measured-vs-model report")
+    p.add_argument("--trace", type=str, default=None, metavar="FILE",
+                   help="write one JSONL record per instrumented span to "
+                        "FILE (implies the --metrics instrumentation)")
     p.set_defaults(fn=cmd_dos)
 
     p = sub.add_parser("info", help="analyze matrix structure")

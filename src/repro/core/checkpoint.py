@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.scaling import SpectralScale
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.fused import _col_dots
@@ -25,6 +26,18 @@ from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import FormatError
 
 _FORMAT_VERSION = 1
+
+
+def _npz_path(path: str | Path) -> Path:
+    """The on-disk path of a checkpoint: always carries the .npz suffix.
+
+    ``np.savez_compressed`` silently appends ``.npz`` to any other
+    suffix, so both :meth:`KpmCheckpoint.save` and
+    :meth:`KpmCheckpoint.load` must normalize the same way or a
+    ``save("state.ckpt")`` / ``load("state.ckpt")`` round trip fails.
+    """
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
 
 
 @dataclass
@@ -39,18 +52,24 @@ class KpmCheckpoint:
     a: float
     b: float
 
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path) -> Path:
+        """Write the state; returns the actual (suffix-normalized) path."""
+        path = _npz_path(path)
         np.savez_compressed(
-            Path(path),
+            path,
             version=_FORMAT_VERSION,
             v=self.v, w=self.w, eta=self.eta,
             next_m=self.next_m, n_moments=self.n_moments,
             a=self.a, b=self.b,
         )
+        return path
 
     @classmethod
     def load(cls, path: str | Path) -> "KpmCheckpoint":
-        with np.load(Path(path)) as data:
+        path = Path(path)
+        if not path.exists():
+            path = _npz_path(path)
+        with np.load(path) as data:
             if int(data["version"]) != _FORMAT_VERSION:
                 raise FormatError(
                     f"checkpoint version {int(data['version'])} not supported"
@@ -74,6 +93,7 @@ def checkpointed_eta(
     resume_from: KpmCheckpoint | str | Path | None = None,
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Stage-2 eta computation with optional checkpoint/restart.
 
@@ -86,7 +106,8 @@ def checkpointed_eta(
     bit-exact under any one ``backend``; checkpoints themselves are
     backend-agnostic (plain recurrence state), so a run interrupted on
     one backend can resume on another, matching to floating-point
-    reduction-order tolerance.
+    reduction-order tolerance.  ``metrics`` records per-kernel spans
+    plus ``checkpoint_save`` / ``checkpoint_load`` I/O spans.
     """
     if n_moments % 2 or n_moments < 2:
         raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
@@ -96,11 +117,11 @@ def checkpointed_eta(
     bk = get_backend(backend)
 
     if resume_from is not None:
-        ck = (
-            resume_from
-            if isinstance(resume_from, KpmCheckpoint)
-            else KpmCheckpoint.load(resume_from)
-        )
+        if isinstance(resume_from, KpmCheckpoint):
+            ck = resume_from
+        else:
+            with metrics.span("checkpoint_load", phase="ckpt"):
+                ck = KpmCheckpoint.load(resume_from)
         if ck.n_moments != n_moments:
             raise FormatError(
                 f"checkpoint was taken for M={ck.n_moments}, "
@@ -114,7 +135,7 @@ def checkpointed_eta(
         first_m = ck.next_m
     else:
         v = start_block.astype(DTYPE, copy=True)
-        w = bk.spmmv(H, v, counters=counters)
+        w = bk.spmmv(H, v, counters=counters, metrics=metrics)
         w -= b * v
         w *= a
         r = v.shape[1]
@@ -128,14 +149,16 @@ def checkpointed_eta(
     for m in range(first_m, n_moments // 2):
         v, w = w, v
         ee, eo = bk.aug_spmmv_step(H, v, w, a, b, plan=plan,
-                                   counters=counters)
+                                   counters=counters, metrics=metrics)
         eta[:, 2 * m] = ee
         eta[:, 2 * m + 1] = eo
         if checkpoint_every and (m - first_m + 1) % checkpoint_every == 0:
             # after the step: w holds nu_{m+1}, v holds nu_m; the next
             # iteration's swap expects exactly (v, w) in these roles
-            KpmCheckpoint(
-                v=v, w=w, eta=eta, next_m=m + 1,
-                n_moments=n_moments, a=a, b=b,
-            ).save(checkpoint_path)
+            with metrics.span("checkpoint_save", phase="ckpt") as sp:
+                saved = KpmCheckpoint(
+                    v=v, w=w, eta=eta, next_m=m + 1,
+                    n_moments=n_moments, a=a, b=b,
+                ).save(checkpoint_path)
+                sp.note(file_bytes=saved.stat().st_size)
     return eta

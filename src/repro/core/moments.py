@@ -33,6 +33,7 @@ from enum import Enum
 import numpy as np
 
 from repro.core.scaling import SpectralScale
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.fused import _col_dots
@@ -68,6 +69,7 @@ def _eta_single(
     step_fn,
     plan,
     counters: PerfCounters,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Shared single-vector driver for the NAIVE and AUG_SPMV engines.
 
@@ -79,7 +81,7 @@ def _eta_single(
     v = start.astype(DTYPE, copy=True)  # nu_0
     # nu_1 = a (H nu_0 - b nu_0)
     w = np.empty_like(v)
-    bk.spmv(H, v, out=w, counters=counters)
+    bk.spmv(H, v, out=w, counters=counters, metrics=metrics)
     np.multiply(v, b, out=plan.work)
     w -= plan.work
     w *= a
@@ -87,7 +89,9 @@ def _eta_single(
     eta[1] = np.vdot(w, v)
     for m in range(1, n_moments // 2):
         v, w = w, v  # v = nu_m, w = nu_{m-1}
-        eta_even, eta_odd = step_fn(H, v, w, a, b, plan=plan, counters=counters)
+        eta_even, eta_odd = step_fn(
+            H, v, w, a, b, plan=plan, counters=counters, metrics=metrics
+        )
         eta[2 * m] = eta_even
         eta[2 * m + 1] = eta_odd
     return eta
@@ -101,6 +105,7 @@ def compute_eta(
     engine: MomentEngine | str = MomentEngine.AUG_SPMMV,
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Compute the raw scalar products eta for every start vector.
 
@@ -120,6 +125,10 @@ def compute_eta(
     backend:
         Kernel backend: ``'auto'`` (native when compilable, else numpy),
         ``'numpy'``, ``'native'``, or a :class:`KernelBackend` instance.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; when live, every
+        kernel invocation records a wall-time span with the counters'
+        traffic/flop delta attached (free with the null default).
 
     Returns
     -------
@@ -142,7 +151,7 @@ def compute_eta(
         for i in range(r):
             eta[i] = _eta_single(
                 H, scale, n_moments, start_block[:, i], bk, step_fn, plan,
-                counters,
+                counters, metrics,
             )
         return eta
 
@@ -150,7 +159,7 @@ def compute_eta(
     a, b = scale.a, scale.b
     plan = bk.plan(H, r)
     V = start_block.astype(DTYPE, copy=True)  # nu_0 block (private copy)
-    W = bk.spmmv(H, V, counters=counters)  # nu_1 block
+    W = bk.spmmv(H, V, counters=counters, metrics=metrics)  # nu_1 block
     np.multiply(V, b, out=plan.work_block)
     W -= plan.work_block
     W *= a
@@ -158,7 +167,7 @@ def compute_eta(
     for m in range(1, n_moments // 2):
         V, W = W, V
         eta_even, eta_odd = bk.aug_spmmv_step(
-            H, V, W, a, b, plan=plan, counters=counters
+            H, V, W, a, b, plan=plan, counters=counters, metrics=metrics
         )
         eta[:, 2 * m] = eta_even
         eta[:, 2 * m + 1] = eta_odd
@@ -191,6 +200,7 @@ def compute_dos_moments(
     engine: MomentEngine | str = MomentEngine.AUG_SPMMV,
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Stochastic-trace DOS moments mu_m ~= tr[T_m(H~)].
 
@@ -199,7 +209,8 @@ def compute_dos_moments(
     E[v v^H] = Identity (paper Section II). Returns a real (M,) array.
     """
     eta = compute_eta(
-        H, scale, n_moments, start_block, engine, counters, backend=backend
+        H, scale, n_moments, start_block, engine, counters, backend=backend,
+        metrics=metrics,
     )
     mu = eta_to_moments(eta)
     return mu.mean(axis=0).real

@@ -24,6 +24,7 @@ from repro.core.moments import MomentEngine, compute_eta, eta_to_moments
 from repro.core.reconstruct import integrate_density, reconstruct_dos
 from repro.core.scaling import SpectralScale, gershgorin_scale, lanczos_scale
 from repro.core.stochastic import ldos_moments, make_block_vector, unit_block_vector
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.physics.hamiltonian import plane_wave_vector
 from repro.physics.lattice import Lattice3D
 from repro.sparse.backend import KernelBackend
@@ -111,6 +112,11 @@ class KPMSolver:
         RNG seed for the stochastic vectors.
     counters:
         Optional traffic/flop accounting sink.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` recording per-kernel
+        wall-time spans (with the counters' traffic attributed span by
+        span) and, when built with a :class:`~repro.obs.Trace`, a JSONL
+        trace of every span.  Free with the null default.
     backend:
         Kernel backend executing the inner iterations — ``'auto'``
         (native C kernels when compilable, else numpy), ``'numpy'``,
@@ -142,6 +148,7 @@ class KPMSolver:
         vector_kind: str = "phase",
         seed: int | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
         backend: KernelBackend | str = "auto",
         dist_engine: str | None = None,
         workers: int = 2,
@@ -158,6 +165,7 @@ class KPMSolver:
         self.vector_kind = vector_kind
         self.seed = seed
         self.counters = counters
+        self.metrics = metrics
         if dist_engine not in (None, "sim", "mp"):
             raise ValueError(
                 f"dist_engine must be None, 'sim' or 'mp', got {dist_engine!r}"
@@ -219,7 +227,8 @@ class KPMSolver:
         self.world = self._make_world()
         return distributed_eta(
             self.H, part, self.scale, self.n_moments, self._start_block(),
-            self.world, backend=self.backend,
+            self.world, backend=self.backend, counters=self.counters,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------
@@ -237,6 +246,7 @@ class KPMSolver:
             eta = compute_eta(
                 self.H, self.scale, self.n_moments, self._start_block(),
                 self.engine, self.counters, backend=self.backend,
+                metrics=self.metrics,
             )
         return eta_to_moments(eta).mean(axis=0).real
 
@@ -253,9 +263,11 @@ class KPMSolver:
         """
         mu = self.moments()
         pts = n_points if n_points is not None else max(2 * self.n_moments, 256)
-        e_grid, rho = reconstruct_dos(
-            mu, self.scale, energies=energies, n_points=pts, kernel=self.kernel
-        )
+        with self.metrics.span("reconstruct", phase="solver"):
+            e_grid, rho = reconstruct_dos(
+                mu, self.scale, energies=energies, n_points=pts,
+                kernel=self.kernel,
+            )
         return DOSResult(e_grid, rho, mu, self.scale, self.n_vectors, self.kernel)
 
     def ldos(

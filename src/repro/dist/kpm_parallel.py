@@ -28,9 +28,11 @@ from repro.core.scaling import SpectralScale
 from repro.dist.comm import SimWorld
 from repro.dist.halo import DistributedMatrix, partition_matrix
 from repro.dist.partition import RowPartition
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
 from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import SimulationError
 from repro.util.validation import check_block_vector
 
@@ -72,6 +74,8 @@ def distributed_eta(
     *,
     reduction: str = "end",
     backend: KernelBackend | str = "auto",
+    counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Distributed equivalent of :func:`repro.core.moments.compute_eta`.
 
@@ -98,6 +102,15 @@ def distributed_eta(
         Kernel backend for each rank's local augmented SpMMV (the fused
         block kernels accept the rectangular local+halo column layout,
         so native and numpy run the identical distributed algorithm).
+    counters:
+        Traffic/flop sink.  Every rank's kernel charges accumulate here
+        (the mp engine merges per-worker counters in), so the numeric
+        totals equal the serial run on the same problem — only the
+        per-kernel ``calls`` tallies are rank-multiplied.
+    metrics:
+        Span registry.  The sim world records kernel spans inline plus
+        ``halo_exchange``/``allreduce`` phase spans; the mp engine ships
+        per-worker snapshots back and merges them ``rank<p>.``-prefixed.
 
     Returns
     -------
@@ -109,7 +122,8 @@ def distributed_eta(
     if isinstance(world, MpWorld):
         return mp_eta(
             A, partition, scale, n_moments, start_block, world,
-            reduction=reduction, backend=backend,
+            reduction=reduction, backend=backend, counters=counters,
+            metrics=metrics,
         )
     _check_moments(n_moments)
     if reduction not in ("end", "every"):
@@ -142,10 +156,11 @@ def distributed_eta(
     plans = [bk.plan(blk.matrix, r) for blk in dist.blocks]
 
     # nu_1 = a (H nu_0 - b nu_0), distributed
-    _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo_init")
+    with metrics.span("halo_exchange", phase="dist"):
+        _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo_init")
     w_loc = []
     for blk, v, xbuf, plan in zip(dist.blocks, v_loc, xbufs, plans):
-        u = bk.spmmv(blk.matrix, xbuf)
+        u = bk.spmmv(blk.matrix, xbuf, counters=counters, metrics=metrics)
         np.multiply(v, b, out=plan.work_block)
         u -= plan.work_block
         u *= a
@@ -156,30 +171,40 @@ def distributed_eta(
         eta_acc[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
         eta_acc[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
     if reduction == "every":
-        reduced = [
-            world.allreduce_sum(list(eta_acc[:, m_i]), phase="allreduce_iter")
-            for m_i in (0, 1)
-        ]
+        with metrics.span("allreduce", phase="dist"):
+            reduced = [
+                world.allreduce_sum(list(eta_acc[:, m_i]), phase="allreduce_iter")
+                for m_i in (0, 1)
+            ]
 
     for m in range(1, n_moments // 2):
         v_loc, w_loc = w_loc, v_loc
-        _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo")
+        with metrics.span("halo_exchange", phase="dist"):
+            _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo")
         for rank, blk in enumerate(dist.blocks):
             # The rectangular fused kernel runs the update and the dots
             # over the first n_local rows of x — the rank's partial etas.
             ee, eo = bk.aug_spmmv_step(
-                blk.matrix, xbufs[rank], w_loc[rank], a, b, plan=plans[rank]
+                blk.matrix, xbufs[rank], w_loc[rank], a, b, plan=plans[rank],
+                counters=counters, metrics=metrics,
             )
             eta_acc[rank, 2 * m] = ee
             eta_acc[rank, 2 * m + 1] = eo
         if reduction == "every":
-            world.allreduce_sum(list(eta_acc[:, 2 * m]), phase="allreduce_iter")
-            world.allreduce_sum(list(eta_acc[:, 2 * m + 1]), phase="allreduce_iter")
+            with metrics.span("allreduce", phase="dist"):
+                world.allreduce_sum(
+                    list(eta_acc[:, 2 * m]), phase="allreduce_iter"
+                )
+                world.allreduce_sum(
+                    list(eta_acc[:, 2 * m + 1]), phase="allreduce_iter"
+                )
 
     # final reduction over ranks: one collective for the whole eta array
-    eta_global = world.allreduce_sum(
-        [eta_acc[rank] for rank in range(world.n_ranks)], phase="allreduce_final"
-    )
+    with metrics.span("allreduce", phase="dist"):
+        eta_global = world.allreduce_sum(
+            [eta_acc[rank] for rank in range(world.n_ranks)],
+            phase="allreduce_final",
+        )
     return eta_global.T.copy()  # (R, M)
 
 
@@ -196,6 +221,8 @@ def distributed_dos(
     n_points: int | None = None,
     reduction: str = "end",
     backend: KernelBackend | str = "auto",
+    counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
 ):
     """Full distributed KPM-DOS application: the paper's production code.
 
@@ -229,7 +256,7 @@ def distributed_dos(
     block = make_block_vector(n, n_vectors, seed=seed)
     eta = distributed_eta(
         A, partition, scale, n_moments, block, world, reduction=reduction,
-        backend=backend,
+        backend=backend, counters=counters, metrics=metrics,
     )
     mu = eta_to_moments(eta).mean(axis=0).real
     pts = n_points if n_points is not None else max(2 * n_moments, 256)
@@ -249,12 +276,14 @@ def distributed_dos_moments(
     *,
     reduction: str = "end",
     backend: KernelBackend | str = "auto",
+    counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Distributed stochastic-trace moments (mean over the R vectors)."""
     from repro.core.moments import eta_to_moments
 
     eta = distributed_eta(
         A, partition, scale, n_moments, start_block, world, reduction=reduction,
-        backend=backend,
+        backend=backend, counters=counters, metrics=metrics,
     )
     return eta_to_moments(eta).mean(axis=0).real

@@ -41,7 +41,9 @@ unlinks all shared memory, and raises
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import struct
 import sys
 import time
 from threading import BrokenBarrierError
@@ -54,15 +56,43 @@ from repro.dist.comm import MessageLog, log_allreduce
 from repro.dist.halo import DistributedMatrix, RankBlock, partition_matrix
 from repro.dist.partition import RowPartition
 from repro.dist.shm import ShmArena, ShmAttachment
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.backend import KernelBackend
 from repro.sparse.csr import CSRMatrix
 from repro.util.constants import DTYPE
+from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import SimulationError
 from repro.util.validation import check_block_vector, check_positive
 
 #: acct columns maintained by each worker (its row; no locking needed):
 #: actual halo messages/bytes it packed, actual reduction events/bytes.
 _ACCT_COLS = 4
+
+#: Per-rank capacity of the observability return channel: one row of the
+#: ``obs`` shared segment holds an 8-byte length prefix plus a JSON blob
+#: of the worker's PerfCounters dump and MetricsRegistry snapshot (a few
+#: KB in practice — the metric namespace is the fixed kernel vocabulary).
+_OBS_BLOB_SIZE = 1 << 16
+
+
+def _pack_obs_blob(row: np.ndarray, payload: dict) -> None:
+    """Serialize ``payload`` into one length-prefixed ``obs`` row."""
+    blob = json.dumps(payload, separators=(",", ":")).encode()
+    if len(blob) > row.size - 8:
+        raise RuntimeError(
+            f"observability blob ({len(blob)} B) exceeds the shared "
+            f"channel capacity ({row.size - 8} B)"
+        )
+    row[:8] = np.frombuffer(struct.pack("<q", len(blob)), dtype=np.uint8)
+    row[8 : 8 + len(blob)] = np.frombuffer(blob, dtype=np.uint8)
+
+
+def _unpack_obs_blob(row: np.ndarray) -> dict | None:
+    """Parse one worker's length-prefixed JSON blob (None when empty)."""
+    (length,) = struct.unpack("<q", row[:8].tobytes())
+    if length <= 0:
+        return None
+    return json.loads(row[8 : 8 + length].tobytes().decode())
 
 
 def _default_start_method() -> str:
@@ -130,6 +160,10 @@ class MpWorld:
         #: per-rank (halo_msgs, halo_bytes, reduce_events, reduce_bytes)
         #: actually performed by the workers in the most recent run.
         self.last_acct: np.ndarray | None = None
+        #: per-rank observability snapshots of the most recent run
+        #: (``{"counters": ..., "metrics": ...}`` dicts); None until a
+        #: run with live counters/metrics completes.
+        self.last_obs: list[dict | None] | None = None
 
     def __repr__(self) -> str:
         return (
@@ -172,6 +206,7 @@ def _worker(
     backend_name: str,
     timeout: float,
     fault: tuple | None,
+    want_obs: bool = False,
 ) -> None:
     """One rank's full KPM loop (module-level: spawn-picklable)."""
     att = None
@@ -184,6 +219,17 @@ def _worker(
         start, eta, acct = att["start"], att["eta"], att["acct"]
         lo, hi = blk.row_start, blk.row_stop
         n_local = hi - lo
+
+        # Local observability state: the parent cannot share its own
+        # counters/metrics across the process boundary, so each worker
+        # accumulates privately and ships a snapshot back through the
+        # ``obs`` shared segment after its loop completes.
+        if want_obs:
+            w_counters: PerfCounters = PerfCounters()
+            w_metrics: MetricsRegistry = MetricsRegistry()
+        else:
+            w_counters = NULL_COUNTERS
+            w_metrics = NULL_METRICS
 
         v = np.ascontiguousarray(start[lo:hi, :], dtype=DTYPE)
         xbuf = np.empty((blk.matrix.n_cols, r), dtype=DTYPE)
@@ -205,32 +251,34 @@ def _worker(
                 raise RuntimeError(f"injected fault in rank {rank} at m={m}")
 
         def exchange(vec: np.ndarray) -> None:
-            for _q, rows, win in wins_out:
-                win[...] = vec[rows, :]  # buffer assembly at the source
-                acct[rank, 0] += 1
-                acct[rank, 1] += win.nbytes
-            barrier.wait(timeout)  # all windows packed
-            xbuf[:n_local] = vec
-            pos = n_local
-            for cnt, win in wins_in:
-                xbuf[pos : pos + cnt] = win
-                pos += cnt
-            barrier.wait(timeout)  # all windows consumed, reusable
+            with w_metrics.span("halo_exchange", phase="dist"):
+                for _q, rows, win in wins_out:
+                    win[...] = vec[rows, :]  # buffer assembly at the source
+                    acct[rank, 0] += 1
+                    acct[rank, 1] += win.nbytes
+                barrier.wait(timeout)  # all windows packed
+                xbuf[:n_local] = vec
+                pos = n_local
+                for cnt, win in wins_in:
+                    xbuf[pos : pos + cnt] = win
+                    pos += cnt
+                barrier.wait(timeout)  # all windows consumed, reusable
 
         def reduce_now(m: int) -> None:
             # The contributions already sit in the shared eta array; a
             # barrier makes every rank's slice visible, then each rank
             # forms the global sum locally (allreduce semantics).
-            acct[rank, 2] += 2
-            acct[rank, 3] += 2 * eta[rank, 2 * m].nbytes
-            barrier.wait(timeout)
-            eta[:, 2 * m].sum(axis=0)
-            eta[:, 2 * m + 1].sum(axis=0)
+            with w_metrics.span("allreduce", phase="dist"):
+                acct[rank, 2] += 2
+                acct[rank, 3] += 2 * eta[rank, 2 * m].nbytes
+                barrier.wait(timeout)
+                eta[:, 2 * m].sum(axis=0)
+                eta[:, 2 * m + 1].sum(axis=0)
 
         maybe_fault(0)
         exchange(v)
         # nu_1 = a (H nu_0 - b nu_0) on the local rows
-        w = bk.spmmv(blk.matrix, xbuf)
+        w = bk.spmmv(blk.matrix, xbuf, counters=w_counters, metrics=w_metrics)
         np.multiply(v, b, out=plan.work_block)
         w -= plan.work_block
         w *= a
@@ -243,11 +291,23 @@ def _worker(
             maybe_fault(m)
             v, w = w, v
             exchange(v)
-            ee, eo = bk.aug_spmmv_step(blk.matrix, xbuf, w, a, b, plan=plan)
+            ee, eo = bk.aug_spmmv_step(
+                blk.matrix, xbuf, w, a, b, plan=plan,
+                counters=w_counters, metrics=w_metrics,
+            )
             eta[rank, 2 * m] = ee
             eta[rank, 2 * m + 1] = eo
             if reduction == "every":
                 reduce_now(m)
+
+        if want_obs:
+            _pack_obs_blob(
+                att["obs"][rank],
+                {
+                    "counters": w_counters.to_dict(),
+                    "metrics": w_metrics.snapshot(),
+                },
+            )
     except BrokenBarrierError:
         code = 2  # a peer died; the parent reports the root cause
     except Exception as exc:  # noqa: BLE001 - forwarded to the parent
@@ -328,6 +388,8 @@ def mp_eta(
     *,
     reduction: str = "end",
     backend: KernelBackend | str = "auto",
+    counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
     _fault: tuple | None = None,
 ) -> np.ndarray:
     """Multiprocess equivalent of :func:`repro.dist.kpm_parallel.distributed_eta`.
@@ -335,6 +397,14 @@ def mp_eta(
     Same signature and same result (to reduction-order tolerance) with a
     :class:`MpWorld` in place of the :class:`SimWorld`; ``_fault`` is a
     test-only ``(rank, iteration, mode)`` crash injector.
+
+    With a live ``counters`` or ``metrics``, every worker accumulates its
+    own :class:`PerfCounters` / :class:`MetricsRegistry` and ships a JSON
+    snapshot back through the ``obs`` shared segment; the parent merges
+    worker counters into ``counters`` (numeric totals then equal a serial
+    run of the same problem) and worker metrics into ``metrics`` under a
+    ``rank<p>.`` prefix.  The raw per-rank snapshots stay available as
+    ``world.last_obs``.
     """
     _check_moments(n_moments)
     if reduction not in ("end", "every"):
@@ -362,6 +432,7 @@ def mp_eta(
         if rows.size:
             send_edges[p].append((q, rows))
 
+    want_obs = bool(counters.enabled or metrics.enabled)
     errors: list[tuple[int, str]] = []
     procs: list = []
     with ShmArena() as arena:
@@ -369,6 +440,12 @@ def mp_eta(
         start[...] = start_block
         eta_shared = arena.create("eta", (world.n_ranks, n_moments, r))
         acct = arena.create("acct", (world.n_ranks, _ACCT_COLS), dtype="int64")
+        obs = None
+        if want_obs:
+            obs = arena.create(
+                "obs", (world.n_ranks, _OBS_BLOB_SIZE), dtype="uint8"
+            )
+            obs[...] = 0
         for p, edges in enumerate(send_edges):
             for q, rows in edges:
                 arena.create(f"w{p}_{q}", (rows.size, r))
@@ -384,7 +461,7 @@ def mp_eta(
                         rank, dist.blocks[rank], send_edges[rank],
                         arena.specs, barrier, errq, scale.a, scale.b,
                         n_moments, r, reduction, names[rank],
-                        world.timeout, _fault,
+                        world.timeout, _fault, want_obs,
                     ),
                     daemon=True,
                 )
@@ -428,6 +505,11 @@ def mp_eta(
 
         # Pull results out of shared memory before the arena unlinks.
         world.last_acct = acct.copy()
+        obs_snaps: list[dict | None] = []
+        if want_obs:
+            obs_snaps = [
+                _unpack_obs_blob(obs[p]) for p in range(world.n_ranks)
+            ]
         eta_global = eta_shared.sum(axis=0)  # the single deferred reduction
 
         exp_msgs, exp_bytes = _expected_halo_acct(dist, r, n_moments)
@@ -440,6 +522,17 @@ def mp_eta(
                 f"{world.last_acct[:, 1].tolist()} bytes, pattern predicts "
                 f"{exp_bytes.tolist()}"
             )
+
+    if want_obs:
+        world.last_obs = obs_snaps
+        for p, snap in enumerate(obs_snaps):
+            if snap is None:
+                raise SimulationError(
+                    f"rank {p} finished without shipping its observability "
+                    "snapshot"
+                )
+            counters.merge(PerfCounters.from_dict(snap["counters"]))
+            metrics.merge_snapshot(snap["metrics"], prefix=f"rank{p}.")
 
     _charge_log(world.log, dist, r, n_moments, reduction)
     return eta_global.T.copy()  # (R, M), as the serial/sim engines

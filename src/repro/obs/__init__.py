@@ -1,0 +1,22 @@
+"""Runtime observability: structured metrics and span tracing.
+
+The measurement side of the paper's methodology at runtime — wall-clock
+spans, byte/flop attribution per kernel, JSONL traces — with a free
+no-op default so the hot paths stay uninstrumented unless asked.
+
+See :mod:`repro.obs.metrics` and :mod:`repro.obs.trace`; the validation
+side (measured vs. analytic model) lives in :mod:`repro.perf.report`
+and ``tools/check_metrics.py``.
+"""
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, TimerStat
+from repro.obs.trace import Trace, aggregate_spans, read_trace
+
+__all__ = [
+    "NULL_METRICS",
+    "MetricsRegistry",
+    "TimerStat",
+    "Trace",
+    "aggregate_spans",
+    "read_trace",
+]

@@ -5,6 +5,16 @@ problem configuration — Table-I accounting, code balances, per-device
 rooflines, node prediction, cluster prediction — the way a performance
 engineer would write it up. Used by the CLI (``python -m repro report``)
 and handy in notebooks.
+
+The *validation* half of the module closes the loop on measurement:
+:func:`expected_counters` re-charges a serial moment computation purely
+analytically (the same Table-I ``charge_*`` helpers the kernels call at
+runtime), :func:`measured_vs_model_section` diffs a run's measured
+:class:`~repro.util.counters.PerfCounters` against that minimum and the
+Eq. (4)-(7) aggregate models, and :func:`trace_section` folds a span
+trace (see :mod:`repro.obs`) into per-kernel wall time and achieved
+bytes/flop — the paper's "validate the model against the measurement"
+methodology as executable code.
 """
 
 from __future__ import annotations
@@ -19,6 +29,10 @@ from repro.perf.roofline import (
     gpu_kernel_performance,
     node_performance,
 )
+from repro.sparse.fused import _slots, charge_aug_spmmv, charge_aug_spmv
+from repro.sparse.spmv import _charge_spmv
+from repro.util.constants import F_ADD, F_MUL, S_D
+from repro.util.counters import PerfCounters
 from repro.util.validation import check_positive
 
 
@@ -110,6 +124,186 @@ def cluster_section(domain: tuple[int, int, int], nodes: int, m: int, r: int) ->
         nh = cm.node_hours(domain, nodes, m, variant=variant)
         out.write(f"  {variant:>11}: {tf:8.2f} Tflop/s, "
                   f"{nh:8.1f} node-hours\n")
+    return out.getvalue()
+
+
+def _charge_naive_iteration(A, c: PerfCounters) -> None:
+    """Analytic charge of one naive inner iteration (Fig. 3 call chain)."""
+    n = A.n_rows
+    _charge_spmv(A, 1, c, "spmv")
+    for _ in range(2):  # two axpy calls
+        c.charge("axpy", loads=2 * n * S_D, stores=n * S_D,
+                 flops=n * (F_ADD + F_MUL))
+    c.charge("scal", loads=n * S_D, stores=n * S_D, flops=n * F_MUL)
+    c.charge("nrm2", loads=n * S_D, flops=n * (F_ADD // 2 + F_MUL // 2))
+    c.charge("dot", loads=2 * n * S_D, flops=n * (F_ADD + F_MUL))
+
+
+def expected_counters(
+    A, n_moments: int, n_vectors: int, engine: str = "aug_spmmv"
+) -> PerfCounters:
+    """Analytic minimum-traffic counters of one serial moment computation.
+
+    Re-charges, call for call, exactly what
+    :func:`repro.core.moments.compute_eta` charges at runtime for the
+    given engine — the bootstrap Sp(M)MV plus M/2 - 1 inner-iteration
+    kernels (per vector for the single-vector engines).  A measured
+    :class:`PerfCounters` from an instrumented run must equal this
+    *exactly* (integer bytes and flops); any drift means a kernel's
+    accounting diverged from Table I.
+    """
+    if n_moments % 2 or n_moments < 2:
+        raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
+    check_positive("n_vectors", n_vectors)
+    c = PerfCounters()
+    half = n_moments // 2
+    if engine == "aug_spmmv":
+        _charge_spmv(A, n_vectors, c, "spmmv")  # bootstrap nu_1 block
+        for _ in range(half - 1):
+            charge_aug_spmmv(A, n_vectors, c)
+    elif engine == "aug_spmv":
+        for _ in range(n_vectors):
+            _charge_spmv(A, 1, c, "spmv")  # bootstrap nu_1
+            for _ in range(half - 1):
+                charge_aug_spmv(A, c)
+    elif engine == "naive":
+        for _ in range(n_vectors):
+            _charge_spmv(A, 1, c, "spmv")  # bootstrap nu_1
+            for _ in range(half - 1):
+                _charge_naive_iteration(A, c)
+    else:
+        raise ValueError(
+            f"engine must be 'naive', 'aug_spmv' or 'aug_spmmv', "
+            f"got {engine!r}"
+        )
+    return c
+
+
+def _kernel_model_balance(A, name: str, r: int) -> float | None:
+    """Model bytes/flop of one kernel invocation (None when unmodeled)."""
+    c = PerfCounters()
+    if name == "aug_spmmv":
+        charge_aug_spmmv(A, r, c)
+    elif name == "aug_spmv":
+        charge_aug_spmv(A, c)
+    elif name == "spmv":
+        _charge_spmv(A, 1, c, name)
+    elif name == "spmmv":
+        _charge_spmv(A, r, c, name)
+    elif name == "naive_step":
+        _charge_naive_iteration(A, c)
+    else:
+        return None
+    return c.code_balance
+
+
+def measured_vs_model_section(
+    A,
+    counters: PerfCounters,
+    n_moments: int,
+    n_vectors: int,
+    engine: str = "aug_spmmv",
+    metrics=None,
+) -> str:
+    """Measured counters vs. the analytic minimum and the Eq. (4) model.
+
+    ``counters`` is the live :class:`PerfCounters` a serial
+    ``compute_eta`` run charged; ``metrics`` optionally the
+    :class:`~repro.obs.MetricsRegistry` of the same run, adding a
+    per-kernel achieved-vs-model code-balance table (with wall-clock
+    Gflop/s where the spans carried time).
+    """
+    exp = expected_counters(A, n_moments, n_vectors, engine)
+    slots = _slots(A)
+    nnzr = slots / A.n_rows
+    out = StringIO()
+    out.write(
+        f"engine {engine}, M = {n_moments}, R = {n_vectors}, "
+        f"N = {A.n_rows:,}, streamed slots = {slots:,} ({nnzr:.2f}/row)\n"
+    )
+    out.write(
+        f"  measured: {counters.bytes_total:,} B  {counters.flops:,} F  "
+        f"balance {counters.code_balance:.4f} B/F\n"
+    )
+    out.write(
+        f"  analytic: {exp.bytes_total:,} B  {exp.flops:,} F  "
+        f"balance {exp.code_balance:.4f} B/F\n"
+    )
+    exact = (
+        counters.bytes_loaded == exp.bytes_loaded
+        and counters.bytes_stored == exp.bytes_stored
+        and counters.flops == exp.flops
+    )
+    if exact:
+        out.write("  exact match: yes\n")
+    else:
+        out.write(
+            "  exact match: NO  "
+            f"(d_loads {counters.bytes_loaded - exp.bytes_loaded:+,}, "
+            f"d_stores {counters.bytes_stored - exp.bytes_stored:+,}, "
+            f"d_flops {counters.flops - exp.flops:+,})\n"
+        )
+    # Eq. (4) aggregate: all M/2 iterations priced as the stage kernel
+    # (the bootstrap Sp(M)MV is slightly cheaper, so measured <= model).
+    v_model = kpm_min_traffic(A.n_rows, slots, n_vectors, n_moments, engine)
+    f_model = kpm_flops(A.n_rows, slots, n_vectors, n_moments)
+    out.write(
+        f"  Eq.(4) V_KPM[{engine}]: {v_model:.4e} B "
+        f"(measured/model = {counters.bytes_total / v_model:.4f})\n"
+    )
+    out.write(
+        f"  Table-I flops:        {f_model:.4e} F "
+        f"(measured/model = {counters.flops / f_model:.4f})\n"
+    )
+    out.write(
+        f"  model balances: naive {naive_balance(nnzr):.3f}, "
+        f"stage1 {bmin(1, nnzr):.3f}, stage2(R={n_vectors}) "
+        f"{bmin(n_vectors, nnzr):.3f}, limit {bmin_limit(nnzr):.3f} B/F\n"
+    )
+    if metrics is not None and metrics.timers:
+        out.write(
+            f"  {'kernel':>12} {'calls':>7} {'wall ms':>10} "
+            f"{'B/F meas':>9} {'B/F model':>10} {'Gflop/s':>8}\n"
+        )
+        for name, t in sorted(
+            metrics.timers.items(), key=lambda kv: kv[1].total, reverse=True
+        ):
+            nbytes, nflops = metrics.span_traffic(name)
+            if not nflops:
+                continue
+            # rank-tagged entries (merged mp metrics) model against the
+            # kernel's leaf name; per-call balance depends on nnz/row,
+            # which the row partition preserves.
+            model_bf = _kernel_model_balance(
+                A, name.rpartition(".")[2], n_vectors
+            )
+            model_s = f"{model_bf:10.4f}" if model_bf is not None else f"{'-':>10}"
+            gfs = nflops / t.total / 1e9 if t.total > 0 else float("nan")
+            out.write(
+                f"  {name:>12} {t.count:>7} {t.total * 1e3:>10.3f} "
+                f"{nbytes / nflops:>9.4f} {model_s} {gfs:>8.2f}\n"
+            )
+    return out.getvalue()
+
+
+def trace_section(records: list[dict]) -> str:
+    """Per-span-name totals of a parsed JSONL trace (see repro.obs.trace)."""
+    from repro.obs import aggregate_spans
+
+    agg = aggregate_spans(records)
+    out = StringIO()
+    out.write(
+        f"{'span':>16} {'count':>7} {'wall ms':>10} {'bytes':>14} "
+        f"{'flops':>14} {'B/F':>7}\n"
+    )
+    for name, e in sorted(
+        agg.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+    ):
+        bf = f"{e['bytes'] / e['flops']:7.3f}" if e["flops"] else f"{'-':>7}"
+        out.write(
+            f"{name:>16} {e['count']:>7} {e['seconds'] * 1e3:>10.3f} "
+            f"{e['bytes']:>14,} {e['flops']:>14,} {bf}\n"
+        )
     return out.getvalue()
 
 

@@ -36,6 +36,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import BackendError
@@ -77,6 +78,12 @@ class KernelBackend(ABC):
     (N, R) complex128.  The ``*_step`` kernels update ``w``/``W`` in
     place with ``w_new = 2a(H - b)v - w`` and return
     ``(eta_even, eta_odd)`` — see :mod:`repro.sparse.fused`.
+
+    Every kernel accepts, besides the Table-I ``counters`` sink, a
+    :class:`~repro.obs.MetricsRegistry`; implementations must record one
+    span named after the kernel per invocation (with the counters
+    attached, so measured wall time and charged traffic line up span by
+    span).  Both are free when the null defaults are used.
     """
 
     name: str = "?"
@@ -90,17 +97,20 @@ class KernelBackend(ABC):
         return KernelPlan(A, r)
 
     @abstractmethod
-    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS):
+    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS,
+             metrics: MetricsRegistry = NULL_METRICS):
         """``out = A @ x`` for a single vector."""
 
     @abstractmethod
-    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS):
+    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS,
+              metrics: MetricsRegistry = NULL_METRICS):
         """``out = A @ X`` for a row-major (N, R) block vector."""
 
     @abstractmethod
     def naive_step(
         self, A, v, w, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         """Paper Fig. 3: SpMV + separate BLAS-1 calls."""
 
@@ -108,6 +118,7 @@ class KernelBackend(ABC):
     def aug_spmv_step(
         self, A, v, w, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         """Paper Fig. 4 (stage 1): fused single-vector update + dots."""
 
@@ -115,6 +126,7 @@ class KernelBackend(ABC):
     def aug_spmmv_step(
         self, A, V, W, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         """Paper Fig. 5 (stage 2): fused block update + column dots."""
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.backend import KernelBackend, KernelPlan
 from repro.sparse.backend.native import _pc, _pi32, _pi64, load_library
 from repro.sparse.csr import CSRMatrix
@@ -96,7 +97,8 @@ class NativeBackend(KernelBackend):
         return args
 
     # -- kernels -------------------------------------------------------
-    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS):
+    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS,
+             metrics: MetricsRegistry = NULL_METRICS):
         lib = self._lib()
         x = _as_kernel_vector("x", x, A.n_cols)
         if out is None:
@@ -105,17 +107,21 @@ class NativeBackend(KernelBackend):
             raise ShapeError(
                 f"out must have shape ({A.n_rows},), got {out.shape}"
             )
-        if isinstance(A, CSRMatrix):
-            lib.repro_csr_spmv(A.n_rows, *self._csr_args(A), _pc(x), _pc(out))
-        elif isinstance(A, SellMatrix):
-            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-            lib.repro_sell_spmv(n, nc, c, *rest, _pc(x), _pc(out))
-        else:
-            raise TypeError(f"unsupported matrix type {type(A).__name__}")
-        _charge_spmv(A, 1, counters, "spmv")
+        with metrics.span("spmv", counters=counters):
+            if isinstance(A, CSRMatrix):
+                lib.repro_csr_spmv(
+                    A.n_rows, *self._csr_args(A), _pc(x), _pc(out)
+                )
+            elif isinstance(A, SellMatrix):
+                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+                lib.repro_sell_spmv(n, nc, c, *rest, _pc(x), _pc(out))
+            else:
+                raise TypeError(f"unsupported matrix type {type(A).__name__}")
+            _charge_spmv(A, 1, counters, "spmv")
         return out
 
-    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS):
+    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS,
+              metrics: MetricsRegistry = NULL_METRICS):
         lib = self._lib()
         X = _as_kernel_block("X", X, A.n_cols)
         r = X.shape[1]
@@ -125,21 +131,23 @@ class NativeBackend(KernelBackend):
             raise ShapeError(
                 f"out must have shape ({A.n_rows}, {r}), got {out.shape}"
             )
-        if isinstance(A, CSRMatrix):
-            lib.repro_csr_spmmv(
-                A.n_rows, r, *self._csr_args(A), _pc(X), _pc(out)
-            )
-        elif isinstance(A, SellMatrix):
-            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-            lib.repro_sell_spmmv(n, nc, c, r, *rest, _pc(X), _pc(out))
-        else:
-            raise TypeError(f"unsupported matrix type {type(A).__name__}")
-        _charge_spmv(A, r, counters, "spmmv")
+        with metrics.span("spmmv", counters=counters):
+            if isinstance(A, CSRMatrix):
+                lib.repro_csr_spmmv(
+                    A.n_rows, r, *self._csr_args(A), _pc(X), _pc(out)
+                )
+            elif isinstance(A, SellMatrix):
+                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+                lib.repro_sell_spmmv(n, nc, c, r, *rest, _pc(X), _pc(out))
+            else:
+                raise TypeError(f"unsupported matrix type {type(A).__name__}")
+            _charge_spmv(A, r, counters, "spmmv")
         return out
 
     def naive_step(
         self, A, v, w, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         # The naive algorithm *is* the library-call structure of paper
         # Fig. 3 — an optimized SpMV plus separate BLAS-1 passes. Only
@@ -151,17 +159,21 @@ class NativeBackend(KernelBackend):
         w = _as_kernel_vector("w", w, n)
         u = plan.u if plan is not None else np.empty(n, dtype=DTYPE)
         work = plan.work if plan is not None else None
-        self.spmv(A, v, out=u, counters=counters)
-        axpy(u, -b, v, counters=counters, work=work)
-        scal(-1.0, w, counters=counters)
-        axpy(w, 2.0 * a, u, counters=counters, work=work)
-        eta_even = nrm2_sq(v, counters=counters)
-        eta_odd = dot(w, v, counters=counters)
+        # one span for the whole library-call chain (same shape as the
+        # NumPy fused.naive_kpm_step span); the inner spmv stays unspanned
+        with metrics.span("naive_step", counters=counters):
+            self.spmv(A, v, out=u, counters=counters)
+            axpy(u, -b, v, counters=counters, work=work)
+            scal(-1.0, w, counters=counters)
+            axpy(w, 2.0 * a, u, counters=counters, work=work)
+            eta_even = nrm2_sq(v, counters=counters)
+            eta_odd = dot(w, v, counters=counters)
         return eta_even, eta_odd
 
     def aug_spmv_step(
         self, A, v, w, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         lib = self._lib()
         v = _as_kernel_vector("v", v, A.n_cols)
@@ -171,25 +183,27 @@ class NativeBackend(KernelBackend):
         else:
             ee = np.empty(1, dtype=np.float64)
             eo = np.empty(1, dtype=DTYPE)
-        if isinstance(A, CSRMatrix):
-            lib.repro_csr_aug_spmv(
-                A.n_rows, *self._csr_args(A), _pc(v), _pc(w), a, b,
-                _pc(ee), _pc(eo),
-            )
-        elif isinstance(A, SellMatrix):
-            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-            lib.repro_sell_aug_spmv(
-                n, nc, c, *rest, _pc(v), _pc(w), a, b,
-                _pc(ee), _pc(eo),
-            )
-        else:
-            raise TypeError(f"unsupported matrix type {type(A).__name__}")
-        charge_aug_spmv(A, counters)
+        with metrics.span("aug_spmv", counters=counters):
+            if isinstance(A, CSRMatrix):
+                lib.repro_csr_aug_spmv(
+                    A.n_rows, *self._csr_args(A), _pc(v), _pc(w), a, b,
+                    _pc(ee), _pc(eo),
+                )
+            elif isinstance(A, SellMatrix):
+                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+                lib.repro_sell_aug_spmv(
+                    n, nc, c, *rest, _pc(v), _pc(w), a, b,
+                    _pc(ee), _pc(eo),
+                )
+            else:
+                raise TypeError(f"unsupported matrix type {type(A).__name__}")
+            charge_aug_spmv(A, counters)
         return float(ee[0]), complex(eo[0])
 
     def aug_spmmv_step(
         self, A, V, W, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         lib = self._lib()
         V = _as_kernel_block("V", V, A.n_cols)
@@ -204,18 +218,19 @@ class NativeBackend(KernelBackend):
         else:
             ee = np.empty(r, dtype=np.float64)
             eo = np.empty(r, dtype=DTYPE)
-        if isinstance(A, CSRMatrix):
-            lib.repro_csr_aug_spmmv(
-                A.n_rows, r, *self._csr_args(A), _pc(V), _pc(W), a, b,
-                _pc(ee), _pc(eo),
-            )
-        elif isinstance(A, SellMatrix):
-            n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-            lib.repro_sell_aug_spmmv(
-                n, nc, c, r, *rest, _pc(V), _pc(W), a, b,
-                _pc(ee), _pc(eo),
-            )
-        else:
-            raise TypeError(f"unsupported matrix type {type(A).__name__}")
-        charge_aug_spmmv(A, r, counters)
+        with metrics.span("aug_spmmv", counters=counters):
+            if isinstance(A, CSRMatrix):
+                lib.repro_csr_aug_spmmv(
+                    A.n_rows, r, *self._csr_args(A), _pc(V), _pc(W), a, b,
+                    _pc(ee), _pc(eo),
+                )
+            elif isinstance(A, SellMatrix):
+                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
+                lib.repro_sell_aug_spmmv(
+                    n, nc, c, r, *rest, _pc(V), _pc(W), a, b,
+                    _pc(ee), _pc(eo),
+                )
+            else:
+                raise TypeError(f"unsupported matrix type {type(A).__name__}")
+            charge_aug_spmmv(A, r, counters)
         return ee.copy(), eo.copy()

@@ -10,6 +10,7 @@ in-place passes through the plan's scratch buffers).
 
 from __future__ import annotations
 
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse import fused
 from repro.sparse.backend import KernelBackend, KernelPlan
 from repro.sparse.spmv import spmmv as _spmmv
@@ -18,43 +19,55 @@ from repro.util.counters import NULL_COUNTERS, PerfCounters
 
 
 class NumpyBackend(KernelBackend):
-    """Pure NumPy/SciPy kernels — always available."""
+    """Pure NumPy/SciPy kernels — always available.
+
+    Span recording is delegated to the underlying kernels in
+    :mod:`repro.sparse.spmv` / :mod:`repro.sparse.fused` (which span
+    themselves), so direct kernel calls and backend-dispatched calls
+    produce identical metrics.
+    """
 
     name = "numpy"
 
     def available(self) -> bool:
         return True
 
-    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS):
-        return _spmv(A, x, out=out, counters=counters)
+    def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS,
+             metrics: MetricsRegistry = NULL_METRICS):
+        return _spmv(A, x, out=out, counters=counters, metrics=metrics)
 
-    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS):
-        return _spmmv(A, X, out=out, counters=counters)
+    def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS,
+              metrics: MetricsRegistry = NULL_METRICS):
+        return _spmmv(A, X, out=out, counters=counters, metrics=metrics)
 
     def naive_step(
         self, A, v, w, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         scratch = plan.u if plan is not None else None
         work = plan.work if plan is not None else None
         return fused.naive_kpm_step(
-            A, v, w, a, b, scratch=scratch, counters=counters, scratch2=work
+            A, v, w, a, b, scratch=scratch, counters=counters, scratch2=work,
+            metrics=metrics,
         )
 
     def aug_spmv_step(
         self, A, v, w, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         scratch = plan.u if plan is not None else None
         return fused.aug_spmv_step(
-            A, v, w, a, b, scratch=scratch, counters=counters
+            A, v, w, a, b, scratch=scratch, counters=counters, metrics=metrics
         )
 
     def aug_spmmv_step(
         self, A, V, W, a, b, plan: KernelPlan | None = None,
         counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         scratch = plan.u_block if plan is not None else None
         return fused.aug_spmmv_step(
-            A, V, W, a, b, scratch=scratch, counters=counters
+            A, V, W, a, b, scratch=scratch, counters=counters, metrics=metrics
         )

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.blas1 import axpy, dot, nrm2_sq, scal
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.sell import SellMatrix
@@ -125,6 +126,7 @@ def naive_kpm_step(
     scratch: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
     scratch2: np.ndarray | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> tuple[float, complex]:
     """One inner iteration of the *naive* algorithm (paper Fig. 3).
 
@@ -142,12 +144,13 @@ def naive_kpm_step(
     v = check_vector("v", v, n)
     w = check_vector("w", w, n)
     u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
-    spmv(A, v, out=u, counters=counters)
-    axpy(u, -b, v, counters=counters, work=scratch2)
-    scal(-1.0, w, counters=counters)
-    axpy(w, 2.0 * a, u, counters=counters, work=scratch2)
-    eta_even = nrm2_sq(v, counters=counters)
-    eta_odd = dot(w, v, counters=counters)
+    with metrics.span("naive_step", counters=counters):
+        spmv(A, v, out=u, counters=counters)
+        axpy(u, -b, v, counters=counters, work=scratch2)
+        scal(-1.0, w, counters=counters)
+        axpy(w, 2.0 * a, u, counters=counters, work=scratch2)
+        eta_even = nrm2_sq(v, counters=counters)
+        eta_odd = dot(w, v, counters=counters)
     return eta_even, eta_odd
 
 
@@ -159,6 +162,7 @@ def aug_spmv_step(
     b: float,
     scratch: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> tuple[float, complex]:
     """Optimization stage 1 (paper Fig. 4): the augmented SpMV.
 
@@ -170,11 +174,12 @@ def aug_spmv_step(
     v = check_vector("v", v, n)
     w = check_vector("w", w, n)
     u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
-    spmv(A, v, out=u, counters=NULL_COUNTERS)
-    _recombine(w, u, v, a, b)
-    eta_even = float(np.vdot(v, v).real)
-    eta_odd = complex(np.vdot(w, v))
-    charge_aug_spmv(A, counters)
+    with metrics.span("aug_spmv", counters=counters):
+        spmv(A, v, out=u, counters=NULL_COUNTERS)
+        _recombine(w, u, v, a, b)
+        eta_even = float(np.vdot(v, v).real)
+        eta_odd = complex(np.vdot(w, v))
+        charge_aug_spmv(A, counters)
     return eta_even, eta_odd
 
 
@@ -186,6 +191,7 @@ def aug_spmmv_step(
     b: float,
     scratch: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Optimization stage 2 (paper Fig. 5): the augmented SpMMV.
 
@@ -199,11 +205,12 @@ def aug_spmmv_step(
     n = A.n_rows
     V, W, r = _check_block_pair(A, V, W)
     U = scratch if scratch is not None else np.empty((n, r), dtype=DTYPE)
-    spmmv(A, V, out=U, counters=NULL_COUNTERS)
-    Vn = V[:n]
-    _recombine(W, U, Vn, a, b)
-    eta_even, eta_odd = _col_dots(Vn, W)
-    charge_aug_spmmv(A, r, counters)
+    with metrics.span("aug_spmmv", counters=counters):
+        spmmv(A, V, out=U, counters=NULL_COUNTERS)
+        Vn = V[:n]
+        _recombine(W, U, Vn, a, b)
+        eta_even, eta_odd = _col_dots(Vn, W)
+        charge_aug_spmmv(A, r, counters)
     return eta_even, eta_odd
 
 

@@ -28,6 +28,7 @@ try:  # allocation-free compiled CSR products (y += A x into caller storage)
 except ImportError:  # pragma: no cover - very old scipy
     _sparsetools = None
 
+from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.csr import CSRMatrix, segment_sum
 from repro.sparse.sell import SellMatrix
 from repro.util.constants import DTYPE, F_ADD, F_MUL, S_D, S_I
@@ -123,6 +124,7 @@ def spmv(
     x: np.ndarray,
     out: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Compute ``y = A @ x`` for a single vector.
 
@@ -145,18 +147,19 @@ def spmv(
     elif out.shape != (A.n_rows,):
         raise ShapeError(f"out must have shape ({A.n_rows},), got {out.shape}")
 
-    if _FAST_BACKEND:
-        _fast_product(A, x, out)
-    elif isinstance(A, CSRMatrix):
-        products = A.data * x[A.indices.astype(np.int64)]
-        out[:] = segment_sum(products, A.indptr)
-    else:
-        n_padded, lmax = A._ell_data.shape
-        acc = np.zeros(n_padded, dtype=DTYPE)
-        for l in range(lmax):
-            acc += A._ell_data[:, l] * x[A._ell_idx[:, l].astype(np.int64)]
-        out[:] = acc[A.inv_perm[: A.n_rows]]
-    _charge_spmv(A, 1, counters, "spmv")
+    with metrics.span("spmv", counters=counters):
+        if _FAST_BACKEND:
+            _fast_product(A, x, out)
+        elif isinstance(A, CSRMatrix):
+            products = A.data * x[A.indices.astype(np.int64)]
+            out[:] = segment_sum(products, A.indptr)
+        else:
+            n_padded, lmax = A._ell_data.shape
+            acc = np.zeros(n_padded, dtype=DTYPE)
+            for l in range(lmax):
+                acc += A._ell_data[:, l] * x[A._ell_idx[:, l].astype(np.int64)]
+            out[:] = acc[A.inv_perm[: A.n_rows]]
+        _charge_spmv(A, 1, counters, "spmv")
     return out
 
 
@@ -165,6 +168,7 @@ def spmmv(
     X: np.ndarray,
     out: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> np.ndarray:
     """Compute ``Y = A @ X`` for a row-major block vector ``X`` of width R.
 
@@ -180,13 +184,14 @@ def spmmv(
     elif out.shape != (A.n_rows, r):
         raise ShapeError(f"out must have shape ({A.n_rows}, {r}), got {out.shape}")
 
-    if _FAST_BACKEND:
-        _fast_product(A, X, out)
-    elif isinstance(A, CSRMatrix):
-        _csr_spmmv_blocked(A, X, out)
-    else:
-        _sell_spmmv_blocked(A, X, out)
-    _charge_spmv(A, r, counters, "spmmv")
+    with metrics.span("spmmv", counters=counters):
+        if _FAST_BACKEND:
+            _fast_product(A, X, out)
+        elif isinstance(A, CSRMatrix):
+            _csr_spmmv_blocked(A, X, out)
+        else:
+            _sell_spmmv_blocked(A, X, out)
+        _charge_spmv(A, r, counters, "spmmv")
     return out
 
 

@@ -14,6 +14,7 @@ cache simulator in :mod:`repro.perf.cachesim`, not from these counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 
 @dataclass
@@ -85,6 +86,25 @@ class PerfCounters:
             self.calls[k] = self.calls.get(k, 0) + v
         return self
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dump (e.g. for shipping between processes)."""
+        return {
+            "bytes_loaded": self.bytes_loaded,
+            "bytes_stored": self.bytes_stored,
+            "flops": self.flops,
+            "calls": dict(self.calls),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerfCounters":
+        """Rebuild a counter set from :meth:`to_dict` output."""
+        return cls(
+            bytes_loaded=int(d.get("bytes_loaded", 0)),
+            bytes_stored=int(d.get("bytes_stored", 0)),
+            flops=int(d.get("flops", 0)),
+            calls={str(k): int(v) for k, v in d.get("calls", {}).items()},
+        )
+
     def summary(self) -> str:
         """Human-readable one-line summary."""
         return (
@@ -94,12 +114,37 @@ class PerfCounters:
 
 
 class _NullCounters(PerfCounters):
-    """A disabled counter sink; `charge` is a no-op. Shared singleton."""
+    """The disabled counter sink — a shared, *immutable* singleton.
+
+    Because :data:`NULL_COUNTERS` is the process-wide default of every
+    kernel, any mutation would silently poison every later read (e.g.
+    ``code_balance`` of a run that never asked for accounting).  Every
+    mutating operation is therefore overridden: ``charge``, ``merge``
+    and ``reset`` are no-ops (``merge`` notably must not fall through to
+    :meth:`PerfCounters.merge`, which accumulates into ``self``), and
+    direct attribute assignment raises.
+    """
 
     def __init__(self) -> None:
         super().__init__(enabled=False)
+        self.calls = MappingProxyType({})  # even calls[...] = 1 raises
+        self._frozen = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError(
+                "NULL_COUNTERS is a shared immutable sentinel; create a "
+                "PerfCounters() to accumulate measurements"
+            )
+        super().__setattr__(name, value)
 
     def charge(self, name: str, *, loads: int = 0, stores: int = 0, flops: int = 0) -> None:
+        return
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        return self
+
+    def reset(self) -> None:
         return
 
 

@@ -50,6 +50,26 @@ class TestEquivalence:
         assert np.array_equal(resumed[:, -2:], full[:, -2:])
         assert np.allclose(resumed, ref, atol=0)
 
+    def test_ckpt_suffix_round_trip(self, system, tmp_path):
+        """Regression: save('state.ckpt') must be loadable by the same name.
+
+        ``np.savez_compressed`` silently appends ``.npz`` to any other
+        suffix; save/load used to normalize differently, so a non-.npz
+        checkpoint path saved fine but could never be loaded back.
+        """
+        h, scale, blk, _ = system
+        p = tmp_path / "state.ckpt"
+        full = checkpointed_eta(
+            h, scale, 16, blk, checkpoint_every=3, checkpoint_path=p
+        )
+        ck = KpmCheckpoint.load(p)  # the path the user passed
+        assert ck.n_moments == 16
+        on_disk = ck.save(p)
+        assert on_disk.suffix == ".npz"
+        resumed = checkpointed_eta(h, scale, 16, blk, resume_from=p)
+        assert np.array_equal(resumed[:, : 2 * ck.next_m],
+                              full[:, : 2 * ck.next_m])
+
     def test_roundtrip_object(self, system, tmp_path):
         h, scale, blk, _ = system
         p = tmp_path / "s.npz"

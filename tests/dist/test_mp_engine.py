@@ -172,6 +172,63 @@ class TestAccounting:
         assert not any(segment_exists(nm) for nm in mw.last_segment_names)
 
 
+class TestObservability:
+    """Per-worker counters/metrics shipped back and merged in the parent."""
+
+    def test_mp_counters_equal_serial(self, system):
+        from repro.obs import MetricsRegistry
+        from repro.util.counters import PerfCounters
+
+        h, scale, blk, _ = system
+        serial = PerfCounters()
+        compute_eta(h, scale, M, blk, "aug_spmmv", serial)
+
+        part = RowPartition.equal(h.n_rows, 3, align=4)
+        merged = PerfCounters()
+        metrics = MetricsRegistry()
+        mw = MpWorld(3)
+        distributed_eta(h, part, scale, M, blk, mw,
+                        counters=merged, metrics=metrics)
+
+        # local nnz and rows partition the global ones exactly, so the
+        # merged minimum-traffic charges equal the serial run to the byte
+        assert merged.bytes_loaded == serial.bytes_loaded
+        assert merged.bytes_stored == serial.bytes_stored
+        assert merged.flops == serial.flops
+        # only the call tallies scale with the rank count
+        assert merged.calls["spmmv"] == 3 * serial.calls["spmmv"]
+        # per-worker metrics arrive rank-tagged with matching traffic
+        for p in range(3):
+            t = metrics.timers[f"rank{p}.aug_spmmv"]
+            assert t.count == M // 2 - 1
+            nbytes, nflops = metrics.span_traffic(f"rank{p}.aug_spmmv")
+            assert nbytes and nflops
+        # the raw per-rank snapshots stay inspectable on the world
+        assert mw.last_obs is not None and len(mw.last_obs) == 3
+
+    def test_mp_counters_equal_sim_counters(self, system):
+        from repro.obs import MetricsRegistry
+        from repro.util.counters import PerfCounters
+
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        c_mp, c_sim = PerfCounters(), PerfCounters()
+        distributed_eta(h, part, scale, M, blk, MpWorld(2),
+                        counters=c_mp, metrics=MetricsRegistry())
+        distributed_eta(h, part, scale, M, blk, SimWorld(2),
+                        counters=c_sim)
+        assert (c_mp.bytes_loaded, c_mp.bytes_stored, c_mp.flops) == (
+            c_sim.bytes_loaded, c_sim.bytes_stored, c_sim.flops)
+        assert c_mp.calls == c_sim.calls
+
+    def test_null_sentinels_skip_obs_shipping(self, system):
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2)
+        distributed_eta(h, part, scale, M, blk, mw)
+        assert mw.last_obs is None
+
+
 class TestFailure:
     def test_worker_exception_raises_cleanly(self, system):
         h, scale, blk, _ = system

@@ -44,6 +44,39 @@ class TestDos:
         pick = [l for l in serial.splitlines() if "DOS integral" in l]
         assert pick and pick[0] in sim
 
+    def test_metrics_flag(self, capsys):
+        rc = main(["dos", "--nx", "4", "--nz", "2", "--moments", "16",
+                   "--vectors", "2", "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MEASURED vs MODEL" in out
+        assert "exact match: yes" in out
+        assert "METRICS" in out and "aug_spmmv" in out
+
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import aggregate_spans, read_trace
+
+        path = tmp_path / "run.jsonl"
+        rc = main(["dos", "--nx", "4", "--nz", "2", "--moments", "16",
+                   "--vectors", "2", "--trace", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and str(path) in out
+        records = read_trace(path)
+        assert records
+        agg = aggregate_spans(records)
+        assert "aug_spmmv" in agg and agg["aug_spmmv"]["flops"] > 0
+
+    def test_metrics_with_mp_engine(self, capsys):
+        rc = main(["dos", "--nx", "4", "--nz", "2", "--moments", "16",
+                   "--vectors", "2", "--engine", "mp", "--workers", "2",
+                   "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # merged worker counters still equal the serial analytic charge
+        assert "exact match: yes" in out
+        assert "rank0.aug_spmmv" in out and "rank1.aug_spmmv" in out
+
     def test_bad_weights_rejected(self, capsys):
         rc = main(["dos", "--nx", "4", "--nz", "2", "--moments", "32",
                    "--vectors", "1", "--engine", "sim", "--weights", "a,b"])

@@ -1,0 +1,206 @@
+"""The observability layer: MetricsRegistry spans and the JSONL Trace."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    TimerStat,
+    Trace,
+    aggregate_spans,
+    read_trace,
+)
+from repro.util.counters import PerfCounters
+
+
+class TestTimerStat:
+    def test_record_accumulates(self):
+        t = TimerStat()
+        t.record(2.0)
+        t.record(4.0)
+        assert t.count == 2
+        assert t.total == 6.0
+        assert t.min == 2.0 and t.max == 4.0
+        assert t.mean == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert TimerStat().mean == 0.0
+
+    def test_dict_round_trip(self):
+        t = TimerStat()
+        t.record(1.5)
+        t2 = TimerStat.from_dict(t.to_dict())
+        assert t2 == t
+
+    def test_merge(self):
+        a, b = TimerStat(), TimerStat()
+        a.record(1.0)
+        b.record(3.0)
+        b.record(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 9.0
+        assert a.min == 1.0 and a.max == 5.0
+
+
+class TestSpans:
+    def test_span_records_timer(self):
+        m = MetricsRegistry()
+        with m.span("work"):
+            pass
+        assert m.timers["work"].count == 1
+        assert m.timers["work"].total >= 0.0
+
+    def test_span_attributes_counter_traffic(self):
+        m = MetricsRegistry()
+        c = PerfCounters()
+        with m.span("spmv", counters=c):
+            c.charge("spmv", loads=100, stores=20, flops=60)
+        assert m.counters["bytes.spmv"] == 120
+        assert m.counters["flops.spmv"] == 60
+        assert m.span_traffic("spmv") == (120, 60)
+
+    def test_span_only_charges_inside_the_span(self):
+        m = MetricsRegistry()
+        c = PerfCounters()
+        c.charge("before", loads=1000, flops=1000)
+        with m.span("k", counters=c):
+            c.charge("k", loads=8, flops=2)
+        c.charge("after", loads=1000, flops=1000)
+        assert m.counters["bytes.k"] == 8
+        assert m.counters["flops.k"] == 2
+
+    def test_span_traffic_resolves_rank_prefix(self):
+        m = MetricsRegistry()
+        m.count("rank0.bytes.spmv", 40)
+        m.count("rank0.flops.spmv", 10)
+        assert m.span_traffic("rank0.spmv") == (40, 10)
+
+    def test_disabled_registry_records_nothing(self):
+        m = MetricsRegistry(enabled=False)
+        with m.span("k"):
+            pass
+        m.count("c")
+        m.gauge("g", 1.0)
+        assert not m.timers and not m.counters and not m.gauges
+
+    def test_counters_and_gauges(self):
+        m = MetricsRegistry()
+        m.count("iters")
+        m.count("iters", 4)
+        m.gauge("ranks", 3)
+        m.gauge("ranks", 5)
+        assert m.counters["iters"] == 5
+        assert m.gauges["ranks"] == 5
+
+    def test_summary_mentions_balance(self):
+        m = MetricsRegistry()
+        c = PerfCounters()
+        with m.span("k", counters=c):
+            c.charge("k", loads=10, flops=5)
+        s = m.summary()
+        assert "k" in s and "B/F" in s
+
+
+class TestMerge:
+    def test_merge_snapshot_prefixed(self):
+        w = MetricsRegistry()
+        c = PerfCounters()
+        with w.span("spmv", counters=c):
+            c.charge("spmv", loads=16, flops=4)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(w.snapshot(), prefix="rank2.")
+        assert parent.timers["rank2.spmv"].count == 1
+        assert parent.counters["rank2.bytes.spmv"] == 16
+        assert parent.span_traffic("rank2.spmv") == (16, 4)
+
+    def test_merge_accumulates(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for m in (a, b):
+            with m.span("k"):
+                pass
+            m.count("n", 2)
+        a.merge(b)
+        assert a.timers["k"].count == 2
+        assert a.counters["n"] == 4
+
+    def test_snapshot_is_json_serializable(self):
+        m = MetricsRegistry()
+        with m.span("k"):
+            pass
+        m.count("n", 3)
+        m.gauge("g", 1.5)
+        snap = json.loads(json.dumps(m.snapshot()))
+        m2 = MetricsRegistry()
+        m2.merge_snapshot(snap)
+        assert m2.timers["k"].count == 1
+        assert m2.counters["n"] == 3
+        assert m2.gauges["g"] == 1.5
+
+
+class TestNullMetrics:
+    def test_is_disabled_and_frozen(self):
+        assert not NULL_METRICS.enabled
+        with pytest.raises(AttributeError):
+            NULL_METRICS.enabled = True
+        with pytest.raises(AttributeError):
+            NULL_METRICS.trace = object()
+
+    def test_merge_cannot_corrupt(self):
+        donor = MetricsRegistry()
+        with donor.span("k"):
+            pass
+        donor.count("n", 99)
+        NULL_METRICS.merge(donor)
+        NULL_METRICS.merge_snapshot(donor.snapshot(), prefix="rank0.")
+        assert NULL_METRICS.timers == {}
+        assert NULL_METRICS.counters == {}
+
+    def test_span_and_count_are_noops(self):
+        with NULL_METRICS.span("k", phase="p") as sp:
+            sp.note(anything=1)
+        NULL_METRICS.count("c", 7)
+        NULL_METRICS.gauge("g", 7)
+        assert NULL_METRICS.counters == {}
+        assert NULL_METRICS.gauges == {}
+
+
+class TestTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Trace(path) as tr:
+            tr.emit({"name": "a", "dt": 0.5, "bytes": 10, "flops": 4})
+            tr.emit({"name": "a", "dt": 0.5, "bytes": 10, "flops": 4})
+            tr.emit({"name": "b", "dt": 1.0})
+        assert tr.n_records == 3
+        records = read_trace(path)
+        assert len(records) == 3
+        assert all("ts" in r for r in records)
+
+    def test_aggregate_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Trace(path) as tr:
+            tr.emit({"name": "a", "dt": 0.5, "bytes": 10, "flops": 4})
+            tr.emit({"name": "a", "dt": 0.25, "bytes": 6, "flops": 2})
+        agg = aggregate_spans(read_trace(path))
+        assert agg["a"]["count"] == 2
+        assert agg["a"]["seconds"] == 0.75
+        assert agg["a"]["bytes"] == 16
+        assert agg["a"]["flops"] == 6
+
+    def test_registry_emits_span_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        c = PerfCounters()
+        with Trace(path) as tr:
+            m = MetricsRegistry(trace=tr)
+            with m.span("spmv", phase="moments", counters=c) as sp:
+                c.charge("spmv", loads=80, stores=16, flops=24)
+                sp.note(rows=12)
+        (rec,) = read_trace(path)
+        assert rec["name"] == "spmv"
+        assert rec["phase"] == "moments"
+        assert rec["bytes"] == 96 and rec["flops"] == 24
+        assert rec["rows"] == 12
+        assert rec["dt"] >= 0.0

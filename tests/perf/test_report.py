@@ -8,8 +8,11 @@ from repro.perf.report import (
     balance_section,
     cluster_section,
     device_section,
+    expected_counters,
     full_report,
+    measured_vs_model_section,
     node_section,
+    trace_section,
 )
 
 
@@ -41,6 +44,84 @@ class TestSections:
         for variant in ("aug_spmv", "aug_spmmv*", "aug_spmmv"):
             assert variant in text
         assert "node-hours" in text
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    from repro.core.scaling import lanczos_scale
+    from repro.physics import build_topological_insulator
+
+    h, _ = build_topological_insulator(5, 4, 3)
+    return h, lanczos_scale(h, seed=0)
+
+
+class TestExpectedCounters:
+    """The analytic re-charge must equal the measured runtime charge."""
+
+    @pytest.mark.parametrize("engine", ["naive", "aug_spmv", "aug_spmmv"])
+    @pytest.mark.parametrize("r", [1, 4])
+    def test_matches_measured_exactly(self, small_system, engine, r):
+        from repro.core.moments import compute_eta
+        from repro.core.stochastic import make_block_vector
+        from repro.util.counters import PerfCounters
+
+        h, scale = small_system
+        blk = make_block_vector(h.n_rows, r, seed=3)
+        measured = PerfCounters()
+        compute_eta(h, scale, 8, blk, engine, measured, backend="numpy")
+        exp = expected_counters(h, 8, r, engine)
+        assert measured.bytes_loaded == exp.bytes_loaded
+        assert measured.bytes_stored == exp.bytes_stored
+        assert measured.flops == exp.flops
+
+    def test_rejects_odd_moments(self, small_system):
+        with pytest.raises(ValueError):
+            expected_counters(small_system[0], 7, 2)
+
+    def test_rejects_unknown_engine(self, small_system):
+        with pytest.raises(ValueError):
+            expected_counters(small_system[0], 8, 2, "warp")
+
+
+class TestMeasuredVsModel:
+    def test_exact_match_reported(self, small_system):
+        from repro.core.moments import compute_eta
+        from repro.core.stochastic import make_block_vector
+        from repro.obs import MetricsRegistry
+        from repro.util.counters import PerfCounters
+
+        h, scale = small_system
+        blk = make_block_vector(h.n_rows, 4, seed=3)
+        counters = PerfCounters()
+        metrics = MetricsRegistry()
+        compute_eta(h, scale, 8, blk, "aug_spmmv", counters,
+                    backend="numpy", metrics=metrics)
+        text = measured_vs_model_section(
+            h, counters, 8, 4, "aug_spmmv", metrics=metrics)
+        assert "exact match: yes" in text
+        assert "V_KPM" in text
+        assert "aug_spmmv" in text  # the per-kernel table
+
+    def test_divergence_flagged(self, small_system):
+        from repro.util.counters import PerfCounters
+
+        h, _ = small_system
+        skewed = PerfCounters()
+        skewed.charge("spmmv", loads=1, stores=1, flops=1)
+        text = measured_vs_model_section(h, skewed, 8, 4, "aug_spmmv")
+        assert "exact match: NO" in text
+
+
+class TestTraceSection:
+    def test_table_from_records(self):
+        records = [
+            {"name": "spmv", "dt": 0.25, "bytes": 100, "flops": 50},
+            {"name": "spmv", "dt": 0.25, "bytes": 100, "flops": 50},
+            {"name": "reconstruct", "dt": 0.1},
+        ]
+        text = trace_section(records)
+        assert "spmv" in text and "reconstruct" in text
+        assert "2.000" in text or "2 " in text  # B/F of the spmv rows
 
 
 class TestFullReport:

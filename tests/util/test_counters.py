@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 
 
@@ -43,6 +45,30 @@ class TestNullCounters:
         assert NULL_COUNTERS.bytes_total == 0
         assert NULL_COUNTERS.flops == 0
         assert NULL_COUNTERS.calls == {}
+
+    def test_merge_cannot_corrupt_singleton(self):
+        # regression: merging a live counter into the shared sentinel used
+        # to accumulate into it, poisoning every later uncounted call site
+        donor = PerfCounters()
+        donor.charge("x", loads=1 << 30, stores=1 << 30, flops=1 << 30)
+        NULL_COUNTERS.merge(donor)
+        assert NULL_COUNTERS.bytes_total == 0
+        assert NULL_COUNTERS.flops == 0
+        assert NULL_COUNTERS.calls == {}
+
+    def test_reset_is_noop(self):
+        NULL_COUNTERS.reset()
+        assert NULL_COUNTERS.bytes_total == 0
+
+    def test_attribute_mutation_raises(self):
+        with pytest.raises(AttributeError):
+            NULL_COUNTERS.bytes_loaded = 1
+        with pytest.raises(AttributeError):
+            NULL_COUNTERS.enabled = True
+
+    def test_calls_mapping_is_read_only(self):
+        with pytest.raises(TypeError):
+            NULL_COUNTERS.calls["x"] = 1
 
 
 class TestResetMerge:
