@@ -65,6 +65,33 @@ def cmd_dos(args) -> int:
     trace = Trace(args.trace) if args.trace else None
     counters = PerfCounters() if observe else NULL_COUNTERS
     metrics = MetricsRegistry(trace=trace) if observe else NULL_METRICS
+    # --retries / --fault-plan / --checkpoint-every turn on the
+    # resilience supervisor: supervised retries, checkpoint recovery,
+    # and graceful engine degradation.
+    resil = None
+    if (args.retries or args.fault_plan or args.checkpoint_every
+            or args.stall_timeout is not None):
+        from repro.resil import FaultPlan, Resilience, RetryPolicy
+
+        try:
+            plan = (FaultPlan.parse(args.fault_plan, seed=args.seed)
+                    if args.fault_plan else None)
+        except ValueError as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 1
+        mp_timeouts = None
+        if args.stall_timeout is not None:
+            from repro.dist.mp import MpTimeouts
+
+            mp_timeouts = MpTimeouts(stall=args.stall_timeout)
+        resil = Resilience(
+            policy=RetryPolicy(max_attempts=args.retries + 1),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+            degrade=args.degrade,
+            fault_plan=plan,
+            mp_timeouts=mp_timeouts,
+        )
     # sim/mp select a *distributed* engine; the rank-local kernels are
     # always the stage-2 blocked ones (the paper's production scheme).
     distributed = args.engine in ("sim", "mp")
@@ -73,15 +100,29 @@ def cmd_dos(args) -> int:
         engine="aug_spmmv" if distributed else args.engine, backend=backend,
         dist_engine=args.engine if distributed else None,
         workers=args.workers, weights=weights,
-        counters=counters, metrics=metrics,
+        counters=counters, metrics=metrics, resilience=resil,
     )
     if distributed:
         print(f"distributed engine: {args.engine} ({args.workers} workers)")
+    if resil is not None:
+        bits = [f"retries={args.retries}"]
+        if args.checkpoint_every:
+            bits.append(f"checkpoint every {args.checkpoint_every} iterations")
+        if args.fault_plan:
+            bits.append(f"fault plan '{args.fault_plan}'")
+        print("resilience: supervised (" + ", ".join(bits) + ")")
     try:
         dos = solver.dos()
+    except Exception as exc:
+        if resil is None:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if trace is not None:
             trace.close()
+    if solver.resilience_report is not None:
+        print(solver.resilience_report.summary())
     if distributed and solver.world is not None:
         log = solver.world.log
         phases = ", ".join(
@@ -198,6 +239,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kernel backend (auto: native C kernels when a "
                         "compiler is available, else numpy)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--retries", type=int, default=0,
+                   help="supervised retries per engine before degrading "
+                        "(any value > 0 turns the resilience supervisor on)")
+    p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN",
+                   help="inject planned faults, e.g. 'crash:rank=1,m=8' or "
+                        "'stall:rank=0,m=4;corrupt-ckpt:attempt=2' "
+                        "(kinds: crash, raise, stall, slow, corrupt-halo, "
+                        "corrupt-ckpt)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="checkpoint the recurrence state every K inner "
+                        "iterations (atomic .npz; enables crash recovery)")
+    p.add_argument("--checkpoint-path", type=str, default=None, metavar="FILE",
+                   help="checkpoint file (default: a temporary file removed "
+                        "on success)")
+    p.add_argument("--stall-timeout", type=float, default=None, metavar="S",
+                   help="declare an mp worker wedged after S seconds "
+                        "without a heartbeat (default: 120)")
+    p.add_argument("--no-degrade", dest="degrade", action="store_false",
+                   help="fail instead of degrading mp -> sim -> serial "
+                        "(and native -> numpy) after exhausted retries")
     p.add_argument("--metrics", action="store_true",
                    help="record per-kernel wall-time spans and Table-I "
                         "traffic; print the measured-vs-model report")

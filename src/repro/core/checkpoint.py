@@ -10,6 +10,9 @@ deterministic given (v, w).
 
 from __future__ import annotations
 
+import hashlib
+import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -23,7 +26,7 @@ from repro.sparse.fused import _col_dots
 from repro.sparse.sell import SellMatrix
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
-from repro.util.errors import FormatError
+from repro.util.errors import CheckpointError, FormatError
 
 _FORMAT_VERSION = 1
 
@@ -52,34 +55,111 @@ class KpmCheckpoint:
     a: float
     b: float
 
+    def _digest(self) -> str:
+        """Integrity digest over the state that resuming actually reads.
+
+        Only the filled eta prefix is hashed — the tail of the array is
+        scratch whose bytes legitimately differ between a serial run
+        (``np.empty``) and the distributed engines (zero-filled shared
+        memory).
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.next_m}:{self.n_moments}:{self.a!r}:{self.b!r}:".encode())
+        for arr in (self.v, self.w, self.eta[:, : 2 * self.next_m]):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
+
     def save(self, path: str | Path) -> Path:
-        """Write the state; returns the actual (suffix-normalized) path."""
+        """Atomically write the state; returns the suffix-normalized path.
+
+        The archive is written to a ``*.tmp.npz`` sibling and moved into
+        place with ``os.replace``, so a crash mid-write (or a concurrent
+        reader) never observes a truncated checkpoint — the previous one
+        stays intact until the new one is durable.
+        """
         path = _npz_path(path)
-        np.savez_compressed(
-            path,
-            version=_FORMAT_VERSION,
-            v=self.v, w=self.w, eta=self.eta,
-            next_m=self.next_m, n_moments=self.n_moments,
-            a=self.a, b=self.b,
-        )
+        tmp = path.with_name(path.stem + f".tmp.{os.getpid()}.npz")
+        try:
+            np.savez_compressed(
+                tmp,
+                version=_FORMAT_VERSION,
+                v=self.v, w=self.w, eta=self.eta,
+                next_m=self.next_m, n_moments=self.n_moments,
+                a=self.a, b=self.b,
+                digest=self._digest(),
+            )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path
 
     @classmethod
     def load(cls, path: str | Path) -> "KpmCheckpoint":
-        path = Path(path)
+        """Load a checkpoint, verifying its integrity digest.
+
+        Raises :class:`~repro.util.errors.CheckpointError` on a missing,
+        truncated, or corrupt file (never the raw ``zipfile`` /
+        ``KeyError`` NumPy produces) and :class:`FormatError` on a valid
+        file of an unsupported version.
+        """
+        orig = Path(path)
+        path = orig if orig.exists() else _npz_path(orig)
         if not path.exists():
-            path = _npz_path(path)
-        with np.load(path) as data:
-            if int(data["version"]) != _FORMAT_VERSION:
-                raise FormatError(
-                    f"checkpoint version {int(data['version'])} not supported"
+            raise CheckpointError(f"checkpoint file not found: {orig}")
+        try:
+            with np.load(path) as data:
+                if int(data["version"]) != _FORMAT_VERSION:
+                    raise FormatError(
+                        f"checkpoint version {int(data['version'])} not supported"
+                    )
+                ck = cls(
+                    v=data["v"], w=data["w"], eta=data["eta"],
+                    next_m=int(data["next_m"]),
+                    n_moments=int(data["n_moments"]),
+                    a=float(data["a"]), b=float(data["b"]),
                 )
-            return cls(
-                v=data["v"], w=data["w"], eta=data["eta"],
-                next_m=int(data["next_m"]),
-                n_moments=int(data["n_moments"]),
-                a=float(data["a"]), b=float(data["b"]),
+                stored = str(data["digest"]) if "digest" in data.files else None
+        except FormatError:
+            raise
+        except (zipfile.BadZipFile, KeyError, OSError, ValueError, EOFError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is truncated or corrupt: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        if stored is not None and stored != ck._digest():
+            raise CheckpointError(
+                f"checkpoint {path} failed its integrity check "
+                "(stored digest does not match the state)"
             )
+        return ck
+
+
+def resolve_resume(
+    resume_from: "KpmCheckpoint | str | Path",
+    n_moments: int,
+    a: float,
+    b: float,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> KpmCheckpoint:
+    """Load (if needed) and validate a resume checkpoint against the run.
+
+    Shared by the serial, simulated, and multiprocess engines so every
+    entry point enforces the same compatibility rules: matching moment
+    count and matching spectral map.
+    """
+    if isinstance(resume_from, KpmCheckpoint):
+        ck = resume_from
+    else:
+        with metrics.span("checkpoint_load", phase="ckpt"):
+            ck = KpmCheckpoint.load(resume_from)
+    if ck.n_moments != n_moments:
+        raise FormatError(
+            f"checkpoint was taken for M={ck.n_moments}, "
+            f"requested M={n_moments}"
+        )
+    if not (np.isclose(ck.a, a) and np.isclose(ck.b, b)):
+        raise FormatError("checkpoint spectral map mismatch")
+    return ck
 
 
 def checkpointed_eta(
@@ -94,6 +174,7 @@ def checkpointed_eta(
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
     metrics: MetricsRegistry = NULL_METRICS,
+    fault=None,
 ) -> np.ndarray:
     """Stage-2 eta computation with optional checkpoint/restart.
 
@@ -108,6 +189,9 @@ def checkpointed_eta(
     one backend can resume on another, matching to floating-point
     reduction-order tolerance.  ``metrics`` records per-kernel spans
     plus ``checkpoint_save`` / ``checkpoint_load`` I/O spans.
+    ``fault`` is an optional :class:`~repro.resil.FaultInjector` probed
+    at the top of every inner iteration (the in-process equivalent of
+    the multiprocess engine's injected crashes).
     """
     if n_moments % 2 or n_moments < 2:
         raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
@@ -117,18 +201,7 @@ def checkpointed_eta(
     bk = get_backend(backend)
 
     if resume_from is not None:
-        if isinstance(resume_from, KpmCheckpoint):
-            ck = resume_from
-        else:
-            with metrics.span("checkpoint_load", phase="ckpt"):
-                ck = KpmCheckpoint.load(resume_from)
-        if ck.n_moments != n_moments:
-            raise FormatError(
-                f"checkpoint was taken for M={ck.n_moments}, "
-                f"requested M={n_moments}"
-            )
-        if not (np.isclose(ck.a, a) and np.isclose(ck.b, b)):
-            raise FormatError("checkpoint spectral map mismatch")
+        ck = resolve_resume(resume_from, n_moments, a, b, metrics)
         v = ck.v.astype(DTYPE, copy=True)
         w = ck.w.astype(DTYPE, copy=True)
         eta = ck.eta.astype(DTYPE, copy=True)
@@ -147,6 +220,8 @@ def checkpointed_eta(
 
     plan = bk.plan(H, v.shape[1])
     for m in range(first_m, n_moments // 2):
+        if fault is not None:
+            fault.at_iteration(m)
         v, w = w, v
         ee, eo = bk.aug_spmmv_step(H, v, w, a, b, plan=plan,
                                    counters=counters, metrics=metrics)

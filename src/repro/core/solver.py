@@ -133,6 +133,15 @@ class KPMSolver:
     weights:
         Optional per-rank partition weights (heterogeneous nodes,
         paper Section VI-B); equal split by default.
+    resilience:
+        Optional :class:`~repro.resil.Resilience` configuration.  When
+        set, every moment computation runs under a
+        :class:`~repro.resil.Supervisor`: failed attempts are retried
+        under its policy, resumed from the latest checkpoint, and
+        degraded ``mp → sim → serial`` (and ``native → numpy``) instead
+        of failing the solve.  The last run's
+        :class:`~repro.resil.ResilienceReport` is exposed as
+        ``solver.resilience_report``.
     """
 
     def __init__(
@@ -153,6 +162,7 @@ class KPMSolver:
         dist_engine: str | None = None,
         workers: int = 2,
         weights: list[float] | None = None,
+        resilience=None,
     ) -> None:
         check_positive("n_moments", n_moments)
         check_positive("n_vectors", n_vectors)
@@ -180,9 +190,13 @@ class KPMSolver:
         self.dist_engine = dist_engine
         self.workers = int(workers)
         self.weights = list(weights) if weights is not None else None
+        self.resilience = resilience
         #: the communicator of the most recent distributed solve
         #: (message log, per-rank accounting); None until one runs.
         self.world = None
+        #: the ResilienceReport of the most recent supervised solve;
+        #: None until one runs (or when resilience is not configured).
+        self.resilience_report = None
         if scale is not None:
             self.scale = scale
         elif bounds == "gershgorin":
@@ -231,6 +245,22 @@ class KPMSolver:
             metrics=self.metrics,
         )
 
+    def _supervised_eta(self) -> np.ndarray:
+        from repro.resil import Supervisor
+
+        sup = Supervisor.from_config(
+            self.resilience, metrics=self.metrics, counters=self.counters,
+            seed=self.seed,
+        )
+        eta = sup.run_eta(
+            self.H, self.scale, self.n_moments, self._start_block(),
+            engine=self.dist_engine or "serial", workers=self.workers,
+            weights=self.weights, backend=self.backend,
+        )
+        self.world = sup.last_world
+        self.resilience_report = sup.report
+        return eta
+
     # ------------------------------------------------------------------
     def moments(self) -> np.ndarray:
         """Raw stochastic-trace Chebyshev moments mu_m ~= tr[T_m(H~)].
@@ -238,9 +268,13 @@ class KPMSolver:
         With ``dist_engine`` set, the moments come from the distributed
         stage-2 driver (simulated or real processes); otherwise from the
         serial engine selected at construction.  Identical values either
-        way, up to floating-point reduction order.
+        way, up to floating-point reduction order.  With ``resilience``
+        configured the computation runs under the fault-tolerance
+        supervisor (retries, checkpoint recovery, engine degradation).
         """
-        if self.dist_engine is not None:
+        if self.resilience is not None:
+            eta = self._supervised_eta()
+        elif self.dist_engine is not None:
             eta = self._distributed_eta()
         else:
             eta = compute_eta(

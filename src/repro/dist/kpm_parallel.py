@@ -21,14 +21,18 @@ test suite asserts this.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.core.checkpoint import KpmCheckpoint, resolve_resume
 from repro.core.moments import _check_moments
 from repro.core.scaling import SpectralScale
 from repro.dist.comm import SimWorld
 from repro.dist.halo import DistributedMatrix, partition_matrix
 from repro.dist.partition import RowPartition
 from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.resil.faults import FaultInjector, FaultPlan
 from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
 from repro.util.constants import DTYPE
@@ -76,6 +80,11 @@ def distributed_eta(
     backend: KernelBackend | str = "auto",
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    checkpoint_every: int = 0,
+    checkpoint_path: str | Path | None = None,
+    resume_from: KpmCheckpoint | str | Path | None = None,
+    fault_plan: FaultPlan | None = None,
+    attempt: int = 1,
 ) -> np.ndarray:
     """Distributed equivalent of :func:`repro.core.moments.compute_eta`.
 
@@ -111,6 +120,22 @@ def distributed_eta(
         Span registry.  The sim world records kernel spans inline plus
         ``halo_exchange``/``allreduce`` phase spans; the mp engine ships
         per-worker snapshots back and merges them ``rank<p>.``-prefixed.
+    checkpoint_every / checkpoint_path:
+        With ``checkpoint_every = k > 0`` the global recurrence state is
+        saved atomically to ``checkpoint_path`` after every k inner
+        iterations (in the mp engine by the *parent*, which survives
+        worker crashes).
+    resume_from:
+        A :class:`KpmCheckpoint` (or path) to continue from;
+        ``start_block`` is then ignored (and may be None).  A resumed
+        run is bitwise equal to an uninterrupted one on the same world
+        type and partition.
+    fault_plan / attempt:
+        Optional :class:`~repro.resil.FaultPlan` injected at the same
+        probe points in both engines (the sim world surfaces
+        process-level faults as
+        :class:`~repro.util.errors.FaultInjected`); ``attempt`` selects
+        which of the plan's faults are armed.
 
     Returns
     -------
@@ -123,11 +148,15 @@ def distributed_eta(
         return mp_eta(
             A, partition, scale, n_moments, start_block, world,
             reduction=reduction, backend=backend, counters=counters,
-            metrics=metrics,
+            metrics=metrics, checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path, resume_from=resume_from,
+            fault_plan=fault_plan, attempt=attempt,
         )
     _check_moments(n_moments)
     if reduction not in ("end", "every"):
         raise ValueError(f"reduction must be 'end' or 'every', got {reduction!r}")
+    if checkpoint_every and checkpoint_path is None:
+        raise ValueError("checkpoint_every requires checkpoint_path")
     if isinstance(A, DistributedMatrix):
         dist = A
     else:
@@ -139,45 +168,104 @@ def distributed_eta(
             f"world has {world.n_ranks} ranks, partition has {dist.n_ranks}"
         )
     n = dist.n_global
-    start_block = check_block_vector("start_block", start_block, n)
-    r = start_block.shape[1]
     a, b = scale.a, scale.b
     bk = get_backend(backend)
+
+    ck = None
+    if resume_from is not None:
+        ck = resolve_resume(resume_from, n_moments, a, b, metrics)
+        if ck.v.shape[0] != n:
+            raise SimulationError(
+                f"checkpoint holds {ck.v.shape[0]} rows, matrix has {n}"
+            )
+        r = ck.v.shape[1]
+        first_m = ck.next_m
+        base_eta = ck.eta[:, : 2 * first_m].astype(DTYPE, copy=True)
+    else:
+        start_block = check_block_vector("start_block", start_block, n)
+        r = start_block.shape[1]
+        first_m = 1
+        base_eta = None
+
+    injectors = None
+    if fault_plan is not None and fault_plan:
+        injectors = [
+            FaultInjector(fault_plan, rank=rank, attempt=attempt,
+                          in_process=True)
+            for rank in range(world.n_ranks)
+        ]
+
+    def probe_faults(m: int) -> None:
+        if injectors is not None:
+            for inj in injectors:
+                inj.at_iteration(m)
 
     # Per-rank persistent state, sized once: the local block of the
     # current vector, the rectangular x = [v_loc; halo] kernel input, and
     # each rank's workspace plan for the fused kernel.
-    v_loc = [
-        start_block[blk.row_start : blk.row_stop, :].copy() for blk in dist.blocks
-    ]
+    if ck is not None:
+        v_loc = [
+            ck.v[blk.row_start : blk.row_stop, :].astype(DTYPE, copy=True)
+            for blk in dist.blocks
+        ]
+        w_loc = [
+            ck.w[blk.row_start : blk.row_stop, :].astype(DTYPE, copy=True)
+            for blk in dist.blocks
+        ]
+    else:
+        v_loc = [
+            start_block[blk.row_start : blk.row_stop, :].copy()
+            for blk in dist.blocks
+        ]
     xbufs = [
         np.empty((blk.matrix.n_cols, r), dtype=DTYPE) for blk in dist.blocks
     ]
     plans = [bk.plan(blk.matrix, r) for blk in dist.blocks]
-
-    # nu_1 = a (H nu_0 - b nu_0), distributed
-    with metrics.span("halo_exchange", phase="dist"):
-        _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo_init")
-    w_loc = []
-    for blk, v, xbuf, plan in zip(dist.blocks, v_loc, xbufs, plans):
-        u = bk.spmmv(blk.matrix, xbuf, counters=counters, metrics=metrics)
-        np.multiply(v, b, out=plan.work_block)
-        u -= plan.work_block
-        u *= a
-        w_loc.append(u)
-
     eta_acc = np.zeros((world.n_ranks, n_moments, r), dtype=DTYPE)
-    for rank, (v, w) in enumerate(zip(v_loc, w_loc)):
-        eta_acc[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
-        eta_acc[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
-    if reduction == "every":
-        with metrics.span("allreduce", phase="dist"):
-            reduced = [
-                world.allreduce_sum(list(eta_acc[:, m_i]), phase="allreduce_iter")
-                for m_i in (0, 1)
-            ]
 
-    for m in range(1, n_moments // 2):
+    def save_checkpoint(m: int) -> None:
+        # State after iteration m, exactly as the serial engine saves it:
+        # (v, w) post-step, eta prefix [0 : 2(m+1)) globally reduced.
+        eta_full = np.zeros((r, n_moments), dtype=DTYPE)
+        col0 = 2 * first_m if base_eta is not None else 0
+        if base_eta is not None:
+            eta_full[:, :col0] = base_eta
+        eta_full[:, col0 : 2 * (m + 1)] = (
+            eta_acc[:, col0 : 2 * (m + 1)].sum(axis=0).T
+        )
+        with metrics.span("checkpoint_save", phase="ckpt") as sp:
+            saved = KpmCheckpoint(
+                v=np.concatenate(v_loc, axis=0),
+                w=np.concatenate(w_loc, axis=0),
+                eta=eta_full, next_m=m + 1, n_moments=n_moments, a=a, b=b,
+            ).save(checkpoint_path)
+            sp.note(file_bytes=saved.stat().st_size, next_m=m + 1)
+
+    if ck is None:
+        # nu_1 = a (H nu_0 - b nu_0), distributed
+        probe_faults(0)
+        with metrics.span("halo_exchange", phase="dist"):
+            _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo_init")
+        w_loc = []
+        for blk, v, xbuf, plan in zip(dist.blocks, v_loc, xbufs, plans):
+            u = bk.spmmv(blk.matrix, xbuf, counters=counters, metrics=metrics)
+            np.multiply(v, b, out=plan.work_block)
+            u -= plan.work_block
+            u *= a
+            w_loc.append(u)
+
+        for rank, (v, w) in enumerate(zip(v_loc, w_loc)):
+            eta_acc[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
+            eta_acc[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+        if reduction == "every":
+            with metrics.span("allreduce", phase="dist"):
+                for m_i in (0, 1):
+                    world.allreduce_sum(
+                        list(eta_acc[:, m_i]), phase="allreduce_iter"
+                    )
+
+    for m in range(first_m, n_moments // 2):
+        probe_faults(m)
         v_loc, w_loc = w_loc, v_loc
         with metrics.span("halo_exchange", phase="dist"):
             _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo")
@@ -198,6 +286,8 @@ def distributed_eta(
                 world.allreduce_sum(
                     list(eta_acc[:, 2 * m + 1]), phase="allreduce_iter"
                 )
+        if checkpoint_every and (m - first_m + 1) % checkpoint_every == 0:
+            save_checkpoint(m)
 
     # final reduction over ranks: one collective for the whole eta array
     with metrics.span("allreduce", phase="dist"):
@@ -205,6 +295,10 @@ def distributed_eta(
             [eta_acc[rank] for rank in range(world.n_ranks)],
             phase="allreduce_final",
         )
+    if first_m > 1:
+        # Splice the checkpointed prefix in verbatim (never re-reduced),
+        # matching the mp engine's resumed composition bitwise.
+        eta_global[: 2 * first_m] = base_eta.T
     return eta_global.T.copy()  # (R, M)
 
 

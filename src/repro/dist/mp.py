@@ -34,9 +34,24 @@ working on real runs, and a worker that skipped communication is caught.
 
 Failure model: any worker exception (or hard death) aborts the shared
 barrier, which unblocks every peer; the parent terminates the world,
-unlinks all shared memory, and raises
-:class:`~repro.util.errors.SimulationError` — no hang, no leaked
-``/dev/shm`` segments (asserted by the test suite).
+unlinks all shared memory, and raises a structured
+:class:`~repro.util.errors.WorkerFailure` (a ``SimulationError``) — no
+hang, no leaked ``/dev/shm`` segments (asserted by the test suite).
+Liveness is supervised by a shared *heartbeat* array each worker bumps
+every iteration: the parent declares the world wedged when no heartbeat
+advances within :attr:`MpTimeouts.stall`, instead of capping the whole
+run with one fixed deadline.
+
+Checkpoint/restart: with ``checkpoint_every > 0`` the workers
+double-buffer their recurrence state into shared *checkpoint slots*
+after every k-th iteration; rank 0 publishes the slot with a single
+atomic state word after a barrier, and the **parent** — which survives
+worker crashes — autosaves the published state to ``checkpoint_path``
+via the atomic :class:`~repro.core.checkpoint.KpmCheckpoint` writer, and
+salvages the latest published state even when the run fails.  Passing
+``resume_from`` re-enters the loop at the checkpointed iteration;
+resumed runs are bitwise equal to uninterrupted ones on the same
+partition (asserted by ``tests/resil/``).
 """
 
 from __future__ import annotations
@@ -46,10 +61,13 @@ import multiprocessing
 import struct
 import sys
 import time
+from dataclasses import dataclass
+from pathlib import Path
 from threading import BrokenBarrierError
 
 import numpy as np
 
+from repro.core.checkpoint import KpmCheckpoint, resolve_resume
 from repro.core.moments import _check_moments
 from repro.core.scaling import SpectralScale
 from repro.dist.comm import MessageLog, log_allreduce
@@ -57,11 +75,12 @@ from repro.dist.halo import DistributedMatrix, RankBlock, partition_matrix
 from repro.dist.partition import RowPartition
 from repro.dist.shm import ShmArena, ShmAttachment
 from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.resil.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sparse.backend import KernelBackend
 from repro.sparse.csr import CSRMatrix
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
-from repro.util.errors import SimulationError
+from repro.util.errors import SimulationError, WorkerFailure, WorkerFault
 from repro.util.validation import check_block_vector, check_positive
 
 #: acct columns maintained by each worker (its row; no locking needed):
@@ -73,6 +92,53 @@ _ACCT_COLS = 4
 #: of the worker's PerfCounters dump and MetricsRegistry snapshot (a few
 #: KB in practice — the metric namespace is the fixed kernel vocabulary).
 _OBS_BLOB_SIZE = 1 << 16
+
+
+@dataclass(frozen=True)
+class MpTimeouts:
+    """The engine's liveness knobs, gathered in one declarative object.
+
+    Parameters
+    ----------
+    barrier:
+        Seconds any worker may wait at a barrier before declaring its
+        peers gone (``BrokenBarrierError`` → clean exit code 2).
+    join:
+        Seconds the parent waits for each worker to join after the run
+        (or an abort) before escalating to ``terminate()``.
+    stall:
+        Heartbeat window: the parent tears the world down when *no*
+        worker's per-iteration heartbeat advances for this long.  This
+        replaces the old whole-run deadline — a long healthy run is
+        fine, a wedged one is caught within one window.
+    run:
+        Optional whole-run wall-clock budget (None: unlimited).  Kept
+        for callers that genuinely want a hard cap, e.g. a
+        :class:`~repro.resil.RetryPolicy` per-attempt deadline.
+    """
+
+    barrier: float = 120.0
+    join: float = 5.0
+    stall: float = 120.0
+    run: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("barrier", "join", "stall"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"MpTimeouts.{name} must be positive")
+        if self.run is not None and self.run <= 0:
+            raise ValueError("MpTimeouts.run must be positive (or None)")
+
+    @classmethod
+    def from_legacy(cls, timeout: float) -> "MpTimeouts":
+        """The semantics of the old single ``timeout=X`` knob."""
+        return cls(barrier=float(timeout), stall=float(timeout),
+                   run=float(timeout))
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
 
 
 def _pack_obs_blob(row: np.ndarray, payload: dict) -> None:
@@ -93,11 +159,6 @@ def _unpack_obs_blob(row: np.ndarray) -> dict | None:
     if length <= 0:
         return None
     return json.loads(row[8 : 8 + length].tobytes().decode())
-
-
-def _default_start_method() -> str:
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
 
 
 class MpWorld:
@@ -121,9 +182,13 @@ class MpWorld:
         argument for every rank), a single name, or one name per rank —
         heterogeneous worlds can run native kernels on "fast" ranks and
         numpy on others.
+    timeouts:
+        An :class:`MpTimeouts`; None uses the defaults.
     timeout:
-        Seconds any worker may wait at a barrier (and the parent for the
-        whole run) before the world is declared wedged and torn down.
+        Legacy single knob: ``timeout=X`` is ``MpTimeouts(barrier=X,
+        stall=X, run=X)`` — the old behaviour of one number governing
+        both the barriers and the whole run.  Mutually exclusive with
+        ``timeouts``.
     start_method:
         ``'fork'``/``'spawn'``/``'forkserver'``; default prefers fork
         (zero-copy matrix inheritance) where the platform offers it.
@@ -135,7 +200,8 @@ class MpWorld:
         devices: list[str] | None = None,
         *,
         backend=None,
-        timeout: float = 120.0,
+        timeout: float | None = None,
+        timeouts: MpTimeouts | None = None,
         start_method: str | None = None,
     ) -> None:
         check_positive("n_workers", n_workers)
@@ -152,7 +218,14 @@ class MpWorld:
                 raise SimulationError(f"unknown device label {d!r}")
         self.devices = list(devices)
         self.backend = backend
-        self.timeout = float(timeout)
+        if timeouts is not None and timeout is not None:
+            raise ValueError("pass either timeouts= or the legacy timeout=")
+        if timeouts is not None:
+            self.timeouts = timeouts
+        elif timeout is not None:
+            self.timeouts = MpTimeouts.from_legacy(timeout)
+        else:
+            self.timeouts = MpTimeouts()
         self.start_method = start_method or _default_start_method()
         self.log = MessageLog()
         #: OS segment names of the most recent run (leak checks in tests).
@@ -164,6 +237,15 @@ class MpWorld:
         #: (``{"counters": ..., "metrics": ...}`` dicts); None until a
         #: run with live counters/metrics completes.
         self.last_obs: list[dict | None] | None = None
+        #: latest checkpoint state the parent captured from shared memory
+        #: in the most recent run (autosaved or salvaged); None when the
+        #: run did not checkpoint.
+        self.last_checkpoint: KpmCheckpoint | None = None
+
+    @property
+    def timeout(self) -> float:
+        """Back-compat view of the barrier timeout (the old single knob)."""
+        return self.timeouts.barrier
 
     def __repr__(self) -> str:
         return (
@@ -187,6 +269,23 @@ def _backend_names(world: MpWorld, backend) -> list[str]:
     return names
 
 
+@dataclass(frozen=True)
+class _RunConfig:
+    """Picklable per-run parameters shared by every worker."""
+
+    a: float
+    b: float
+    n_moments: int
+    r: int
+    reduction: str
+    timeouts: MpTimeouts
+    fault_plan: FaultPlan | None
+    attempt: int
+    want_obs: bool
+    first_m: int  # 1 for a fresh run, checkpoint.next_m when resuming
+    checkpoint_every: int
+
+
 # ---------------------------------------------------------------------
 # worker
 # ---------------------------------------------------------------------
@@ -198,15 +297,8 @@ def _worker(
     specs: dict,
     barrier,
     errq,
-    a: float,
-    b: float,
-    n_moments: int,
-    r: int,
-    reduction: str,
     backend_name: str,
-    timeout: float,
-    fault: tuple | None,
-    want_obs: bool = False,
+    cfg: _RunConfig,
 ) -> None:
     """One rank's full KPM loop (module-level: spawn-picklable)."""
     att = None
@@ -217,21 +309,26 @@ def _worker(
         bk = get_backend(backend_name)
         att = ShmAttachment(specs)
         start, eta, acct = att["start"], att["eta"], att["acct"]
+        hb = att["hb"]
         lo, hi = blk.row_start, blk.row_stop
         n_local = hi - lo
+        a, b, r = cfg.a, cfg.b, cfg.r
+        bt = cfg.timeouts.barrier
+        inj = None
+        if cfg.fault_plan is not None:
+            inj = FaultInjector(cfg.fault_plan, rank=rank, attempt=cfg.attempt)
 
         # Local observability state: the parent cannot share its own
         # counters/metrics across the process boundary, so each worker
         # accumulates privately and ships a snapshot back through the
         # ``obs`` shared segment after its loop completes.
-        if want_obs:
+        if cfg.want_obs:
             w_counters: PerfCounters = PerfCounters()
             w_metrics: MetricsRegistry = MetricsRegistry()
         else:
             w_counters = NULL_COUNTERS
             w_metrics = NULL_METRICS
 
-        v = np.ascontiguousarray(start[lo:hi, :], dtype=DTYPE)
         xbuf = np.empty((blk.matrix.n_cols, r), dtype=DTYPE)
         plan = bk.plan(blk.matrix, r)
         wins_out = [(q, rows, att[f"w{rank}_{q}"]) for q, rows in send_edges]
@@ -241,28 +338,25 @@ def _worker(
                 blk.halo_sources.tolist(), blk.halo_counts.tolist()
             )
         ]
+        ck_on = cfg.checkpoint_every > 0
+        if ck_on:
+            ckv, ckw, ckst = att["ckv"], att["ckw"], att["ckst"]
 
-        def maybe_fault(m: int) -> None:
-            if fault is not None and fault[0] == rank and fault[1] == m:
-                if fault[2] == "exit":  # simulated hard crash (SIGKILL-like)
-                    import os
-
-                    os._exit(3)
-                raise RuntimeError(f"injected fault in rank {rank} at m={m}")
-
-        def exchange(vec: np.ndarray) -> None:
+        def exchange(m: int, vec: np.ndarray) -> None:
             with w_metrics.span("halo_exchange", phase="dist"):
                 for _q, rows, win in wins_out:
                     win[...] = vec[rows, :]  # buffer assembly at the source
+                    if inj is not None:
+                        inj.corrupt_window(m, win)
                     acct[rank, 0] += 1
                     acct[rank, 1] += win.nbytes
-                barrier.wait(timeout)  # all windows packed
+                barrier.wait(bt)  # all windows packed
                 xbuf[:n_local] = vec
                 pos = n_local
                 for cnt, win in wins_in:
                     xbuf[pos : pos + cnt] = win
                     pos += cnt
-                barrier.wait(timeout)  # all windows consumed, reusable
+                barrier.wait(bt)  # all windows consumed, reusable
 
         def reduce_now(m: int) -> None:
             # The contributions already sit in the shared eta array; a
@@ -271,36 +365,64 @@ def _worker(
             with w_metrics.span("allreduce", phase="dist"):
                 acct[rank, 2] += 2
                 acct[rank, 3] += 2 * eta[rank, 2 * m].nbytes
-                barrier.wait(timeout)
+                barrier.wait(bt)
                 eta[:, 2 * m].sum(axis=0)
                 eta[:, 2 * m + 1].sum(axis=0)
 
-        maybe_fault(0)
-        exchange(v)
-        # nu_1 = a (H nu_0 - b nu_0) on the local rows
-        w = bk.spmmv(blk.matrix, xbuf, counters=w_counters, metrics=w_metrics)
-        np.multiply(v, b, out=plan.work_block)
-        w -= plan.work_block
-        w *= a
-        eta[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
-        eta[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
-        if reduction == "every":
-            reduce_now(0)
+        def publish_checkpoint(m: int, v: np.ndarray, w: np.ndarray) -> None:
+            # Double-buffered: the k-th checkpoint of this run writes
+            # slot k % 2, so the previously *published* slot stays
+            # intact while this one is being filled — a crash mid-write
+            # can never damage a state the parent might be saving.
+            slot = ((m - cfg.first_m + 1) // cfg.checkpoint_every) % 2
+            ckv[slot, lo:hi] = v
+            ckw[slot, lo:hi] = w
+            barrier.wait(bt)  # every rank's slice is in the slot
+            if rank == 0:
+                # One aligned int64 store publishes (next_m, slot).
+                ckst[0] = (m + 1) * 2 + slot
 
-        for m in range(1, n_moments // 2):
-            maybe_fault(m)
+        if cfg.first_m == 1:
+            v = np.ascontiguousarray(start[lo:hi, :], dtype=DTYPE)
+            if inj is not None:
+                inj.at_iteration(0)
+            hb[rank] += 1
+            exchange(0, v)
+            # nu_1 = a (H nu_0 - b nu_0) on the local rows
+            w = bk.spmmv(
+                blk.matrix, xbuf, counters=w_counters, metrics=w_metrics
+            )
+            np.multiply(v, b, out=plan.work_block)
+            w -= plan.work_block
+            w *= a
+            eta[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
+            eta[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+            if cfg.reduction == "every":
+                reduce_now(0)
+        else:
+            # Resume: the parent seeded the checkpointed (v, w) blocks
+            # into the ``start`` / ``rw`` segments; no bootstrap.
+            v = np.ascontiguousarray(start[lo:hi, :], dtype=DTYPE)
+            w = np.ascontiguousarray(att["rw"][lo:hi, :], dtype=DTYPE)
+
+        for m in range(cfg.first_m, cfg.n_moments // 2):
+            if inj is not None:
+                inj.at_iteration(m)
+            hb[rank] += 1
             v, w = w, v
-            exchange(v)
+            exchange(m, v)
             ee, eo = bk.aug_spmmv_step(
                 blk.matrix, xbuf, w, a, b, plan=plan,
                 counters=w_counters, metrics=w_metrics,
             )
             eta[rank, 2 * m] = ee
             eta[rank, 2 * m + 1] = eo
-            if reduction == "every":
+            if cfg.reduction == "every":
                 reduce_now(m)
+            if ck_on and (m - cfg.first_m + 1) % cfg.checkpoint_every == 0:
+                publish_checkpoint(m, v, w)
 
-        if want_obs:
+        if cfg.want_obs:
             _pack_obs_blob(
                 att["obs"][rank],
                 {
@@ -311,8 +433,9 @@ def _worker(
     except BrokenBarrierError:
         code = 2  # a peer died; the parent reports the root cause
     except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+        kind = getattr(exc, "kind", None) or "exception"
         try:
-            errq.put((rank, f"{type(exc).__name__}: {exc}"))
+            errq.put((rank, kind, f"{type(exc).__name__}: {exc}"))
         except Exception:  # pragma: no cover - queue already torn down
             pass
         try:
@@ -332,12 +455,13 @@ def _worker(
 
 def _charge_log(
     log: MessageLog, dist: DistributedMatrix, r: int, n_moments: int,
-    reduction: str,
+    reduction: str, first_m: int = 1,
 ) -> None:
     """Charge the run to ``log`` exactly as :class:`SimWorld` would.
 
     Record-for-record equivalent to the simulator executing the same
-    partition/reduction — asserted by the differential tests, and the
+    partition/reduction (and, with ``first_m > 1``, the same *resumed*
+    iteration range) — asserted by the differential tests, and the
     contract that keeps :mod:`repro.dist.network` pricing mp runs.
     """
     itemsize = np.dtype(DTYPE).itemsize
@@ -349,11 +473,12 @@ def _charge_log(
             ):
                 log.add(src, block.rank, cnt * r * itemsize, phase)
 
-    halo("halo_init")
-    if reduction == "every":
-        for _ in range(2):
-            log_allreduce(log, dist.n_ranks, r * itemsize, "allreduce_iter")
-    for _m in range(1, n_moments // 2):
+    if first_m == 1:
+        halo("halo_init")
+        if reduction == "every":
+            for _ in range(2):
+                log_allreduce(log, dist.n_ranks, r * itemsize, "allreduce_iter")
+    for _m in range(first_m, n_moments // 2):
         halo("halo")
         if reduction == "every":
             for _ in range(2):
@@ -364,9 +489,14 @@ def _charge_log(
 
 
 def _expected_halo_acct(
-    dist: DistributedMatrix, r: int, n_moments: int
+    dist: DistributedMatrix, r: int, n_moments: int, first_m: int = 1
 ) -> tuple[np.ndarray, np.ndarray]:
-    """(messages, bytes) per source rank over all M/2 halo exchanges."""
+    """(messages, bytes) per source rank over the run's halo exchanges.
+
+    A fresh run exchanges M/2 times (one bootstrap + M/2 − 1 loop
+    iterations); a run resumed at ``first_m`` skips the bootstrap and
+    the first ``first_m − 1`` loop exchanges.
+    """
     itemsize = np.dtype(DTYPE).itemsize
     msgs = np.zeros(dist.n_ranks, dtype=np.int64)
     nbytes = np.zeros(dist.n_ranks, dtype=np.int64)
@@ -374,8 +504,67 @@ def _expected_halo_acct(
         if rows.size:
             msgs[p] += 1
             nbytes[p] += rows.size * r * itemsize
-    n_exchanges = n_moments // 2
+    n_exchanges = n_moments // 2 - first_m + (1 if first_m == 1 else 0)
     return msgs * n_exchanges, nbytes * n_exchanges
+
+
+def _legacy_fault_plan(_fault: tuple | None) -> FaultPlan | None:
+    """The old test-only ``(rank, m, 'raise'|'exit')`` tuple as a plan."""
+    if _fault is None:
+        return None
+    rank, m, mode = _fault
+    kind = "crash" if mode == "exit" else "raise"
+    return FaultPlan((FaultSpec(kind, rank=int(rank), m=int(m)),))
+
+
+class _CheckpointChannel:
+    """Parent-side reader of the shared double-buffered checkpoint slots.
+
+    ``capture()`` performs a stable read: the state word is sampled
+    before and after copying the slot, and the copy is discarded when it
+    changed in between (the workers published a newer checkpoint while
+    we were reading — the next poll picks it up).  The eta prefix
+    ``[:, :2·next_m]`` is final once the state is published (every rank
+    passed the checkpoint barrier after writing it), so summing it while
+    workers fill later columns is safe.
+    """
+
+    def __init__(
+        self, eta_shared, ckv, ckw, ckst, base_eta, first_m: int,
+        n_moments: int, r: int, a: float, b: float,
+    ) -> None:
+        self._eta = eta_shared
+        self._ckv, self._ckw, self._ckst = ckv, ckw, ckst
+        self._base = base_eta  # (R, 2·first_m) resumed prefix, or None
+        self._first_m = first_m
+        self._m_tot = n_moments
+        self._r = r
+        self._a, self._b = a, b
+        self.saved_state = 0
+
+    def capture(self) -> KpmCheckpoint | None:
+        s1 = int(self._ckst[0])
+        if s1 <= self.saved_state:
+            return None
+        next_m, slot = s1 // 2, s1 % 2
+        # Fresh runs reduce every filled column; resumed runs only the
+        # columns computed this run — the inherited prefix is spliced in
+        # verbatim (never re-reduced, preserving bitwise equality).
+        col0 = 2 * self._first_m if self._base is not None else 0
+        v = self._ckv[slot].copy()
+        w = self._ckw[slot].copy()
+        prefix = self._eta[:, col0 : 2 * next_m].sum(axis=0)
+        if int(self._ckst[0]) != s1:
+            return None  # torn read: a newer state landed mid-copy
+        eta = np.zeros((self._r, self._m_tot), dtype=DTYPE)
+        if self._base is not None:
+            eta[:, :col0] = self._base
+        eta[:, col0 : 2 * next_m] = prefix.T
+        self.saved_state = s1
+        return KpmCheckpoint(
+            v=v, w=w, eta=eta, next_m=next_m,
+            n_moments=self._m_tot, a=self._a, b=self._b,
+        )
 
 
 def mp_eta(
@@ -383,20 +572,30 @@ def mp_eta(
     partition: RowPartition | None,
     scale: SpectralScale,
     n_moments: int,
-    start_block: np.ndarray,
+    start_block: np.ndarray | None,
     world: MpWorld,
     *,
     reduction: str = "end",
     backend: KernelBackend | str = "auto",
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    checkpoint_every: int = 0,
+    checkpoint_path: str | Path | None = None,
+    resume_from: KpmCheckpoint | str | Path | None = None,
+    fault_plan: FaultPlan | None = None,
+    attempt: int = 1,
     _fault: tuple | None = None,
 ) -> np.ndarray:
     """Multiprocess equivalent of :func:`repro.dist.kpm_parallel.distributed_eta`.
 
     Same signature and same result (to reduction-order tolerance) with a
-    :class:`MpWorld` in place of the :class:`SimWorld`; ``_fault`` is a
-    test-only ``(rank, iteration, mode)`` crash injector.
+    :class:`MpWorld` in place of the :class:`SimWorld`, plus the
+    fault-tolerance surface: ``checkpoint_every``/``checkpoint_path``
+    enable the parent-side autosave described in the module docstring,
+    ``resume_from`` continues an interrupted run (``start_block`` is then
+    ignored and may be None), and ``fault_plan``/``attempt`` inject
+    planned faults into the workers (``_fault`` is the legacy test-only
+    ``(rank, iteration, mode)`` form of the same thing).
 
     With a live ``counters`` or ``metrics``, every worker accumulates its
     own :class:`PerfCounters` / :class:`MetricsRegistry` and ships a JSON
@@ -409,6 +608,10 @@ def mp_eta(
     _check_moments(n_moments)
     if reduction not in ("end", "every"):
         raise ValueError(f"reduction must be 'end' or 'every', got {reduction!r}")
+    if checkpoint_every and checkpoint_path is None:
+        raise ValueError("checkpoint_every requires checkpoint_path")
+    if fault_plan is None:
+        fault_plan = _legacy_fault_plan(_fault)
     if isinstance(A, DistributedMatrix):
         dist = A
     else:
@@ -420,8 +623,24 @@ def mp_eta(
             f"world has {world.n_ranks} ranks, partition has {dist.n_ranks}"
         )
     n = dist.n_global
-    start_block = check_block_vector("start_block", start_block, n)
-    r = start_block.shape[1]
+    timeouts = world.timeouts
+
+    ck = None
+    if resume_from is not None:
+        ck = resolve_resume(resume_from, n_moments, scale.a, scale.b, metrics)
+        if ck.v.shape[0] != n:
+            raise SimulationError(
+                f"checkpoint holds {ck.v.shape[0]} rows, matrix has {n}"
+            )
+        r = ck.v.shape[1]
+        first_m = ck.next_m
+        base_eta = ck.eta[:, : 2 * first_m].astype(DTYPE, copy=True)
+    else:
+        start_block = check_block_vector("start_block", start_block, n)
+        r = start_block.shape[1]
+        first_m = 1
+        base_eta = None
+
     names = _backend_names(world, backend)
     ctx = multiprocessing.get_context(world.start_method)
 
@@ -433,19 +652,37 @@ def mp_eta(
             send_edges[p].append((q, rows))
 
     want_obs = bool(counters.enabled or metrics.enabled)
-    errors: list[tuple[int, str]] = []
+    cfg = _RunConfig(
+        a=scale.a, b=scale.b, n_moments=n_moments, r=r, reduction=reduction,
+        timeouts=timeouts, fault_plan=fault_plan, attempt=int(attempt),
+        want_obs=want_obs, first_m=first_m,
+        checkpoint_every=int(checkpoint_every),
+    )
+    errors: list[tuple[int, str, str]] = []
     procs: list = []
+    world.last_checkpoint = None
     with ShmArena() as arena:
         start = arena.create("start", (n, r))
-        start[...] = start_block
+        start[...] = ck.v if ck is not None else start_block
+        if ck is not None:
+            arena.create("rw", (n, r))[...] = ck.w
         eta_shared = arena.create("eta", (world.n_ranks, n_moments, r))
         acct = arena.create("acct", (world.n_ranks, _ACCT_COLS), dtype="int64")
+        hb = arena.create("hb", (world.n_ranks,), dtype="int64")
         obs = None
         if want_obs:
             obs = arena.create(
                 "obs", (world.n_ranks, _OBS_BLOB_SIZE), dtype="uint8"
             )
-            obs[...] = 0
+        channel = None
+        if checkpoint_every > 0:
+            ckv = arena.create("ckv", (2, n, r))
+            ckw = arena.create("ckw", (2, n, r))
+            ckst = arena.create("ckst", (1,), dtype="int64")
+            channel = _CheckpointChannel(
+                eta_shared, ckv, ckw, ckst, base_eta, first_m,
+                n_moments, r, scale.a, scale.b,
+            )
         for p, edges in enumerate(send_edges):
             for q, rows in edges:
                 arena.create(f"w{p}_{q}", (rows.size, r))
@@ -459,9 +696,7 @@ def mp_eta(
                     target=_worker,
                     args=(
                         rank, dist.blocks[rank], send_edges[rank],
-                        arena.specs, barrier, errq, scale.a, scale.b,
-                        n_moments, r, reduction, names[rank],
-                        world.timeout, _fault, want_obs,
+                        arena.specs, barrier, errq, names[rank], cfg,
                     ),
                     daemon=True,
                 )
@@ -469,39 +704,67 @@ def mp_eta(
         for p in procs:
             p.start()
 
+        def autosave() -> None:
+            if channel is None:
+                return
+            saved = channel.capture()
+            if saved is not None:
+                world.last_checkpoint = saved
+                with metrics.span("checkpoint_save", phase="ckpt") as sp:
+                    out = saved.save(checkpoint_path)
+                    sp.note(file_bytes=out.stat().st_size, next_m=saved.next_m)
+
         # Monitor: a worker death aborts the barrier so peers unblock
-        # instead of waiting out their timeout; a wedged world is torn
-        # down at the deadline.
-        deadline = time.monotonic() + world.timeout
-        timed_out = False
+        # instead of waiting out their timeout; liveness is judged by the
+        # heartbeat array (stall window), optionally capped by a whole-run
+        # deadline; published checkpoints are autosaved as they appear.
+        t0 = time.monotonic()
+        deadline = None if timeouts.run is None else t0 + timeouts.run
+        hb_last = hb.copy()
+        hb_t = t0
+        stalled = timed_out = False
         while any(p.is_alive() for p in procs):
             if any(p.exitcode not in (None, 0) for p in procs):
                 barrier.abort()
                 break
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            hb_now = hb.copy()
+            if not np.array_equal(hb_now, hb_last):
+                hb_last = hb_now
+                hb_t = now
+            elif now - hb_t >= timeouts.stall:
+                stalled = True
+                barrier.abort()
+                break
+            if deadline is not None and now >= deadline:
                 timed_out = True
                 barrier.abort()
                 break
+            autosave()
             time.sleep(0.005)
         for p in procs:
-            p.join(timeout=5.0)
-            if p.is_alive():  # pragma: no cover - last-resort cleanup
+            p.join(timeout=timeouts.join)
+            if p.is_alive():
                 p.terminate()
-                p.join(timeout=5.0)
+                p.join(timeout=timeouts.join)
         while not errq.empty():
             errors.append(errq.get())
 
+        # Workers are gone: one last capture salvages any checkpoint
+        # published after the monitor's final poll (or, on failure, the
+        # state the supervisor will resume from).
+        autosave()
+
         exit_codes = [p.exitcode for p in procs]
-        if timed_out or errors or any(c != 0 for c in exit_codes):
-            detail = "; ".join(f"rank {rk}: {msg}" for rk, msg in errors)
-            if timed_out and not detail:
-                detail = f"no progress within {world.timeout:.0f}s"
-            if not detail:
-                dead = [i for i, c in enumerate(exit_codes) if c not in (0, 2)]
-                detail = f"worker(s) {dead} died with exit codes " + str(
-                    [exit_codes[i] for i in dead]
-                )
-            raise SimulationError(f"multiprocess KPM run failed: {detail}")
+        failed = (
+            stalled or timed_out or errors
+            or any(c != 0 for c in exit_codes)
+        )
+        if failed:
+            raise _worker_failure(
+                errors, exit_codes, stalled, timed_out, hb_last,
+                timeouts, world.last_checkpoint,
+            )
 
         # Pull results out of shared memory before the arena unlinks.
         world.last_acct = acct.copy()
@@ -510,9 +773,16 @@ def mp_eta(
             obs_snaps = [
                 _unpack_obs_blob(obs[p]) for p in range(world.n_ranks)
             ]
-        eta_global = eta_shared.sum(axis=0)  # the single deferred reduction
+        if first_m > 1:
+            # Splice: checkpointed prefix verbatim (never re-reduced, so
+            # resumed == uninterrupted bitwise), freshly computed suffix.
+            eta_global = np.empty((n_moments, r), dtype=DTYPE)
+            eta_global[: 2 * first_m] = base_eta.T
+            eta_global[2 * first_m :] = eta_shared[:, 2 * first_m :].sum(axis=0)
+        else:
+            eta_global = eta_shared.sum(axis=0)  # the single deferred reduction
 
-        exp_msgs, exp_bytes = _expected_halo_acct(dist, r, n_moments)
+        exp_msgs, exp_bytes = _expected_halo_acct(dist, r, n_moments, first_m)
         if not (
             np.array_equal(world.last_acct[:, 0], exp_msgs)
             and np.array_equal(world.last_acct[:, 1], exp_bytes)
@@ -534,5 +804,64 @@ def mp_eta(
             counters.merge(PerfCounters.from_dict(snap["counters"]))
             metrics.merge_snapshot(snap["metrics"], prefix=f"rank{p}.")
 
-    _charge_log(world.log, dist, r, n_moments, reduction)
+    _charge_log(world.log, dist, r, n_moments, reduction, first_m)
     return eta_global.T.copy()  # (R, M), as the serial/sim engines
+
+
+def _worker_failure(
+    errors: list[tuple[int, str, str]],
+    exit_codes: list[int | None],
+    stalled: bool,
+    timed_out: bool,
+    heartbeats: np.ndarray,
+    timeouts: MpTimeouts,
+    salvaged: KpmCheckpoint | None,
+) -> WorkerFailure:
+    """Assemble the structured failure for a dead/wedged world."""
+    faults: list[WorkerFault] = []
+    details: list[str] = []
+    errored = set()
+    for rank, kind, msg in errors:
+        errored.add(rank)
+        faults.append(WorkerFault(
+            rank=rank, kind="stall" if kind == "stall" else "exception",
+            detail=msg,
+        ))
+        details.append(f"rank {rank}: {msg}")
+    dead = [
+        i for i, c in enumerate(exit_codes)
+        if c not in (0, 2) and i not in errored
+    ]
+    if dead:
+        for i in dead:
+            faults.append(WorkerFault(
+                rank=i, kind="death", exit_code=exit_codes[i],
+                detail=f"died with exit code {exit_codes[i]}",
+            ))
+        details.append(
+            f"worker(s) {dead} died with exit codes "
+            + str([exit_codes[i] for i in dead])
+        )
+    if stalled:
+        suspect = int(np.argmin(heartbeats))
+        faults.append(WorkerFault(
+            rank=suspect, kind="stall",
+            detail=f"no heartbeat progress within {timeouts.stall:.1f}s",
+        ))
+        details.append(
+            f"no heartbeat progress within {timeouts.stall:.1f}s "
+            f"(slowest: rank {suspect})"
+        )
+    if timed_out:
+        faults.append(WorkerFault(
+            rank=int(np.argmin(heartbeats)), kind="timeout",
+            detail=f"run deadline of {timeouts.run:.1f}s expired",
+        ))
+        details.append(f"no progress within {timeouts.run:.0f}s")
+    if not details:  # pragma: no cover - defensive
+        details.append("unknown worker failure")
+    return WorkerFailure(
+        "multiprocess KPM run failed: " + "; ".join(details),
+        failures=faults,
+        resume_m=salvaged.next_m if salvaged is not None else None,
+    )

@@ -9,10 +9,11 @@ side (measured vs. analytic model) lives in :mod:`repro.perf.report`
 and ``tools/check_metrics.py``.
 """
 
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry, TimerStat
+from repro.obs.metrics import GLOBAL_METRICS, NULL_METRICS, MetricsRegistry, TimerStat
 from repro.obs.trace import Trace, aggregate_spans, read_trace
 
 __all__ = [
+    "GLOBAL_METRICS",
     "NULL_METRICS",
     "MetricsRegistry",
     "TimerStat",

@@ -305,3 +305,10 @@ class _NullMetrics(MetricsRegistry):
 
 #: Shared no-op registry used as the default everywhere.
 NULL_METRICS = _NullMetrics()
+
+#: Process-wide registry for rare runtime health events that happen
+#: outside any per-run registry — backend compile failures, quarantines,
+#: fallback decisions.  Always enabled (the events are rare enough that
+#: the cost is irrelevant); callers wanting these events in a run report
+#: merge it into their own registry.
+GLOBAL_METRICS = MetricsRegistry()

@@ -1,0 +1,49 @@
+"""Fault-tolerant KPM execution: retries, recovery, degradation.
+
+Public surface of the resilience layer:
+
+* :class:`RetryPolicy` — declarative retry schedule (attempts, backoff,
+  deterministic jitter, per-attempt deadline);
+* :class:`FaultPlan` / :class:`FaultSpec` / :class:`FaultInjector` —
+  first-class seedable fault injection (crash / raise / stall / slow /
+  corrupt-halo / corrupt-ckpt) shared by every engine and the CLI;
+* :class:`Supervisor` — runs an eta computation to completion despite
+  faults: classify, checkpoint-resume, retry, degrade
+  ``mp → sim → serial`` and ``native → numpy``;
+* :class:`Resilience` — the configuration object consumed by
+  ``KPMSolver(resilience=...)``.
+"""
+
+from repro.resil.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    as_fault_plan,
+    corrupt_checkpoint_file,
+)
+from repro.resil.policy import RetryPolicy
+from repro.resil.supervisor import (
+    ENGINE_LADDERS,
+    AttemptRecord,
+    Resilience,
+    ResilienceReport,
+    Supervisor,
+    classify_error,
+)
+
+__all__ = [
+    "ENGINE_LADDERS",
+    "FAULT_KINDS",
+    "AttemptRecord",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "Resilience",
+    "ResilienceReport",
+    "RetryPolicy",
+    "Supervisor",
+    "as_fault_plan",
+    "classify_error",
+    "corrupt_checkpoint_file",
+]

@@ -1,0 +1,81 @@
+"""Declarative retry policies for supervised KPM execution.
+
+A :class:`RetryPolicy` is plain data — the supervisor interprets it.
+Backoff is exponential with *deterministic* jitter: the jitter factor is
+drawn from a counter-based RNG keyed on ``(seed, attempt)``, so two runs
+of the same seed back off on the identical schedule.  Determinism
+matters here for the same reason it does in the moment engines: the
+differential test suites replay failure scenarios, and a retry schedule
+that depends on wall clock or global RNG state would make those replays
+flaky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and how patiently, to retry a failed attempt.
+
+    Parameters
+    ----------
+    max_attempts:
+        Attempts per ladder rung (so ``retries = max_attempts - 1``
+        before the supervisor degrades to the next engine or gives up).
+    base_delay:
+        Seconds before the first retry; 0 (default) disables sleeping
+        entirely — right for tests and for failures where waiting buys
+        nothing (a deterministic injected fault).
+    backoff_factor:
+        Multiplier applied per further retry (exponential backoff).
+    max_delay:
+        Cap on any single backoff sleep.
+    jitter:
+        Fractional symmetric jitter (0.1 = ±10%) applied to each delay,
+        drawn deterministically from ``(seed, attempt)``.
+    attempt_deadline:
+        Optional wall-clock budget (seconds) for one attempt.  Enforced
+        by the multiprocess engine's run deadline; the in-process engines
+        cannot be preempted and treat it as advisory.
+    seed:
+        Jitter seed; the supervisor overrides it with the run seed so
+        the whole failure/recovery schedule is a function of the run.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    backoff_factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    attempt_deadline: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        for name in ("base_delay", "backoff_factor", "max_delay", "jitter"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.attempt_deadline is not None and self.attempt_deadline <= 0:
+            raise ValueError("attempt_deadline must be positive (or None)")
+
+    def backoff(self, retry: int, seed: int | None = None) -> float:
+        """Sleep before the ``retry``-th retry (1-based); deterministic.
+
+        ``backoff(1)`` is the delay after the first failure.  Returns 0.0
+        whenever ``base_delay`` is 0.
+        """
+        if retry < 1:
+            raise ValueError(f"retry index must be >= 1, got {retry}")
+        if self.base_delay <= 0:
+            return 0.0
+        delay = min(self.max_delay, self.base_delay * self.backoff_factor ** (retry - 1))
+        if self.jitter > 0:
+            s = self.seed if seed is None else seed
+            u = np.random.default_rng([abs(int(s)) % 2**32, retry]).random()
+            delay *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return float(min(delay, self.max_delay * (1.0 + self.jitter)))

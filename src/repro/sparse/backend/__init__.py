@@ -141,6 +141,56 @@ class KernelBackend(ABC):
 _REGISTRY: dict[str, type[KernelBackend]] = {}
 _INSTANCES: dict[str, KernelBackend] = {}
 
+#: Runtime health ledger: failures observed against each backend *after*
+#: it loaded fine (compile crashes mid-run, repeated kernel errors, ...).
+#: A quarantined backend is skipped by the ``auto`` selector until
+#: :func:`reset_backend_health` — asking for it *by name* still works, so
+#: an operator can always override the quarantine deliberately.
+_HEALTH: dict[str, dict] = {}
+
+
+def _health_entry(name: str) -> dict:
+    if name not in _HEALTH:
+        _HEALTH[name] = {"failures": 0, "quarantined": False, "last_error": None}
+    return _HEALTH[name]
+
+
+def report_backend_failure(
+    name: str, reason: str = "", *, quarantine: bool = True
+) -> None:
+    """Record a runtime failure against a backend (see ``_HEALTH``).
+
+    Called by the resilience supervisor when it classifies an engine
+    failure as backend-induced; with ``quarantine=True`` (default) the
+    ``auto`` selector stops handing the backend out.
+    """
+    from repro.obs import GLOBAL_METRICS
+
+    entry = _health_entry(name)
+    entry["failures"] += 1
+    entry["last_error"] = reason or entry["last_error"]
+    if quarantine:
+        entry["quarantined"] = True
+    GLOBAL_METRICS.count(f"backend.{name}.failures")
+
+
+def backend_health() -> dict[str, dict]:
+    """A copy of the runtime health ledger (for reports and tests)."""
+    return {name: dict(entry) for name, entry in _HEALTH.items()}
+
+
+def backend_quarantined(name: str) -> bool:
+    """Whether the ``auto`` selector currently avoids this backend."""
+    return bool(_HEALTH.get(name, {}).get("quarantined"))
+
+
+def reset_backend_health(name: str | None = None) -> None:
+    """Clear the health ledger (one backend, or all with ``None``)."""
+    if name is None:
+        _HEALTH.clear()
+    else:
+        _HEALTH.pop(name, None)
+
 
 def register_backend(name: str, cls: type[KernelBackend]) -> None:
     """Register a backend class under ``name`` (replaces any previous)."""
@@ -173,7 +223,9 @@ def get_backend(name: str | KernelBackend | None = "auto") -> KernelBackend:
     name = (name or "auto").lower()
     if name == "auto":
         native = _instance("native")
-        return native if native.available() else _instance("numpy")
+        if native.available() and not backend_quarantined("native"):
+            return native
+        return _instance("numpy")
     backend = _instance(name)
     if not backend.available():
         from repro.sparse.backend.native import native_error
@@ -203,6 +255,10 @@ __all__ = [
     "NativeBackend",
     "NumpyBackend",
     "available_backends",
+    "backend_health",
+    "backend_quarantined",
     "get_backend",
     "register_backend",
+    "report_backend_failure",
+    "reset_backend_health",
 ]

@@ -31,6 +31,27 @@ _SOURCE = Path(__file__).with_name("_kernels.c")
 #: kernels use plain real arithmetic, so fp semantics match NumPy's.
 _CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-std=c11", "-fPIC", "-shared"]
 
+
+def _compile_timeout() -> float:
+    """Seconds the compiler subprocess may run before we give up.
+
+    ``REPRO_NATIVE_COMPILE_TIMEOUT`` overrides the default (a malformed
+    value falls back rather than crashing — the whole point of this knob
+    is that a compile problem must never take the run down with it).
+    """
+    raw = os.environ.get("REPRO_NATIVE_COMPILE_TIMEOUT")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return COMPILE_TIMEOUT
+
+
+#: Default compiler-subprocess timeout (seconds); see
+#: :envvar:`REPRO_NATIVE_COMPILE_TIMEOUT`.
+COMPILE_TIMEOUT = 120.0
+
 _lib: ctypes.CDLL | None = None
 _load_attempted = False
 _load_error: str | None = None
@@ -119,7 +140,14 @@ def compile_library(verbose: bool = False) -> Path:
     cmd = [cc, *_CFLAGS, "-o", str(tmp), str(_SOURCE), "-lm"]
     if verbose:
         print("$ " + " ".join(cmd))
-    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    timeout = _compile_timeout()
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+    except subprocess.TimeoutExpired:
+        tmp.unlink(missing_ok=True)
+        raise RuntimeError(
+            f"native kernel compilation timed out after {timeout:.0f}s ({cc})"
+        ) from None
     if proc.returncode != 0:
         tmp.unlink(missing_ok=True)
         raise RuntimeError(
@@ -146,6 +174,21 @@ def load_library(force_reload: bool = False) -> ctypes.CDLL | None:
         _lib = _declare(ctypes.CDLL(str(compile_library())))
     except (RuntimeError, OSError) as exc:
         _load_error = str(exc)
+        if _load_error.startswith("native kernel compilation"):
+            # A compiler exists but failed (or timed out): this is worth
+            # one loud warning and a health counter — unlike the silent
+            # no-compiler / disabled cases, something on this host is
+            # broken, yet the run must proceed on the numpy kernels.
+            import warnings
+
+            from repro.obs import GLOBAL_METRICS
+
+            GLOBAL_METRICS.count("backend.native.compile_failures")
+            warnings.warn(
+                f"falling back to the numpy kernels: {_load_error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return None
     return _lib
 

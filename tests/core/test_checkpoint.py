@@ -8,7 +8,7 @@ from repro.core.moments import compute_eta
 from repro.core.scaling import lanczos_scale
 from repro.core.stochastic import make_block_vector
 from repro.sparse.backend.native import native_available
-from repro.util.errors import FormatError
+from repro.util.errors import CheckpointError, FormatError
 
 needs_native = pytest.mark.skipif(
     not native_available(), reason="no C compiler for the native kernels"
@@ -193,3 +193,70 @@ class TestValidation:
         np.savez_compressed(p, **bad)
         with pytest.raises(FormatError, match="version"):
             KpmCheckpoint.load(p)
+
+
+class TestIntegrity:
+    """Atomic writes and loud failures on damaged checkpoints."""
+
+    def _save_one(self, system, path):
+        h, scale, blk, _ = system
+        checkpointed_eta(
+            h, scale, 16, blk, checkpoint_every=3, checkpoint_path=path
+        )
+        return path if path.suffix == ".npz" else path.with_name(
+            path.name + ".npz"
+        )
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            KpmCheckpoint.load(tmp_path / "nope.npz")
+
+    def test_truncated_file_raises_checkpoint_error(self, system, tmp_path):
+        p = self._save_one(system, tmp_path / "s.npz")
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            KpmCheckpoint.load(p)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        p.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError):
+            KpmCheckpoint.load(p)
+
+    def test_digest_detects_bit_flip(self, system, tmp_path):
+        """A state mutation that keeps the zip intact still fails loudly."""
+        p = self._save_one(system, tmp_path / "s.npz")
+        ck = KpmCheckpoint.load(p)
+        ck.v[0, 0] += 1.0  # silent data corruption
+        np.savez_compressed(
+            p, version=1, v=ck.v, w=ck.w, eta=ck.eta, next_m=ck.next_m,
+            n_moments=ck.n_moments, a=ck.a, b=ck.b,
+            digest="0" * 64,  # stale digest from "before" the flip
+        )
+        with pytest.raises(CheckpointError, match="integrity"):
+            KpmCheckpoint.load(p)
+
+    def test_corruption_drill_helper(self, system, tmp_path):
+        from repro.resil import corrupt_checkpoint_file
+
+        p = self._save_one(system, tmp_path / "s.npz")
+        assert corrupt_checkpoint_file(p, seed=3)
+        with pytest.raises(CheckpointError):
+            KpmCheckpoint.load(p)
+        assert not corrupt_checkpoint_file(tmp_path / "absent.npz")
+
+    def test_atomic_write_leaves_no_temp_files(self, system, tmp_path):
+        self._save_one(system, tmp_path / "s.npz")
+        leftovers = [f.name for f in tmp_path.iterdir() if "tmp" in f.name]
+        assert leftovers == []
+        assert (tmp_path / "s.npz").exists()
+
+    def test_save_replaces_previous_atomically(self, system, tmp_path):
+        """Re-saving over an existing checkpoint keeps it loadable."""
+        p = self._save_one(system, tmp_path / "s.npz")
+        ck = KpmCheckpoint.load(p)
+        ck.save(p)
+        again = KpmCheckpoint.load(p)
+        assert np.array_equal(again.v, ck.v)
+        assert again.next_m == ck.next_m

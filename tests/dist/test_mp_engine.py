@@ -252,6 +252,122 @@ class TestFailure:
         assert not any(segment_exists(nm) for nm in mw.last_segment_names)
 
 
+class TestTimeouts:
+    """The MpTimeouts knob and its legacy single-number mapping."""
+
+    def test_defaults(self):
+        from repro.dist.mp import MpTimeouts
+
+        t = MpTimeouts()
+        assert t.barrier == 120.0 and t.stall == 120.0
+        assert t.join == 5.0 and t.run is None
+
+    def test_legacy_timeout_maps_onto_all_knobs(self):
+        from repro.dist.mp import MpTimeouts
+
+        mw = MpWorld(2, timeout=33.0)
+        assert mw.timeouts == MpTimeouts(barrier=33.0, stall=33.0, run=33.0)
+        assert mw.timeout == 33.0  # the back-compat property
+
+    def test_timeout_and_timeouts_are_mutually_exclusive(self):
+        from repro.dist.mp import MpTimeouts
+
+        with pytest.raises(ValueError, match="either timeouts"):
+            MpWorld(2, timeout=10.0, timeouts=MpTimeouts())
+
+    @pytest.mark.parametrize("kw", [
+        {"barrier": 0.0}, {"join": -1.0}, {"stall": 0.0}, {"run": 0.0},
+    ])
+    def test_rejects_non_positive(self, kw):
+        from repro.dist.mp import MpTimeouts
+
+        with pytest.raises(ValueError):
+            MpTimeouts(**kw)
+
+    def test_stall_detected_by_heartbeat(self, system):
+        from repro.dist.mp import MpTimeouts
+        from repro.resil import FaultPlan
+        from repro.util.errors import WorkerFailure
+
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2, timeouts=MpTimeouts(stall=1.0))
+        t0 = time.monotonic()
+        with pytest.raises(WorkerFailure) as ei:
+            mp_eta(h, part, scale, M, blk, mw,
+                   fault_plan=FaultPlan.parse("stall:rank=1,m=3"))
+        # the heartbeat monitor fires on the stall budget, not the (much
+        # longer) barrier timeout
+        assert time.monotonic() - t0 < 30.0
+        assert "stall" in ei.value.kinds
+        assert not any(segment_exists(nm) for nm in mw.last_segment_names)
+
+
+class TestCheckpointing:
+    """Parent-side salvage and bitwise resume of the mp engine."""
+
+    def test_structured_failure_carries_resume_state(self, system, tmp_path):
+        from repro.resil import FaultPlan
+        from repro.util.errors import WorkerFailure
+
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2)
+        with pytest.raises(WorkerFailure) as ei:
+            mp_eta(h, part, scale, M, blk, mw,
+                   fault_plan=FaultPlan.parse("crash:rank=1,m=7"),
+                   checkpoint_every=3, checkpoint_path=tmp_path / "ck.npz")
+        exc = ei.value
+        # machine-readable payload: who died, how, and where to resume
+        assert exc.kinds == {"death"}
+        assert any(f.rank == 1 and f.exit_code == 3 for f in exc.failures)
+        # checkpoints land at m=3 and m=6; the crash at m=7 salvages m=6
+        assert exc.resume_m == 7
+        assert mw.last_checkpoint is not None
+        assert mw.last_checkpoint.next_m == 7
+        assert (tmp_path / "ck.npz").exists()
+
+    def test_resume_is_bitwise(self, system, tmp_path):
+        from repro.core.checkpoint import KpmCheckpoint
+        from repro.resil import FaultPlan
+        from repro.util.errors import WorkerFailure
+
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        ref = distributed_eta(h, part, scale, M, blk, MpWorld(2))
+        p = tmp_path / "ck.npz"
+        with pytest.raises(WorkerFailure):
+            mp_eta(h, part, scale, M, blk, MpWorld(2),
+                   fault_plan=FaultPlan.parse("crash:rank=0,m=8"),
+                   checkpoint_every=3, checkpoint_path=p)
+        ck = KpmCheckpoint.load(p)
+        assert 1 < ck.next_m < M // 2
+        resumed = distributed_eta(h, part, scale, M, blk, MpWorld(2),
+                                  resume_from=ck)
+        assert np.array_equal(resumed, ref)
+
+    def test_completed_run_checkpoints_match_full(self, system, tmp_path):
+        """Checkpointing a healthy run neither perturbs nor loses moments."""
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        ref = distributed_eta(h, part, scale, M, blk, MpWorld(2))
+        mw = MpWorld(2)
+        eta = distributed_eta(h, part, scale, M, blk, mw,
+                              checkpoint_every=4,
+                              checkpoint_path=tmp_path / "ck.npz")
+        assert np.array_equal(eta, ref)
+        assert mw.last_checkpoint is not None
+        assert not any(segment_exists(nm) for nm in mw.last_segment_names)
+
+    def test_legacy_fault_tuple_still_works(self, system):
+        """The old test-only ``_fault`` hook maps onto the fault plan."""
+        h, scale, blk, _ = system
+        part = RowPartition.equal(h.n_rows, 2, align=4)
+        mw = MpWorld(2)
+        with pytest.raises(SimulationError, match="injected fault in rank 1"):
+            mp_eta(h, part, scale, M, blk, mw, _fault=(1, 3, "raise"))
+
+
 class TestValidation:
     def test_world_size_mismatch(self, system):
         h, scale, blk, _ = system

@@ -1,0 +1,139 @@
+"""FaultPlan parsing, the per-rank injector, and corruption drills."""
+
+import numpy as np
+import pytest
+
+from repro.resil import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    as_fault_plan,
+)
+from repro.util.errors import FaultInjected
+
+
+class TestSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode")
+
+    @pytest.mark.parametrize("kw", [
+        {"rank": -1}, {"m": -2}, {"attempt": 0}, {"delay": -1.0},
+    ])
+    def test_invalid_fields_rejected(self, kw):
+        with pytest.raises(ValueError):
+            FaultSpec("crash", **kw)
+
+    def test_attempt_defaults_to_first(self):
+        # faults fire on attempt 1 only, so retries can succeed
+        assert FaultSpec("crash").attempt == 1
+
+
+class TestParse:
+    def test_single_entry(self):
+        plan = FaultPlan.parse("crash:rank=1,m=8")
+        assert plan.specs == (FaultSpec("crash", rank=1, m=8),)
+
+    def test_multi_entry(self):
+        plan = FaultPlan.parse("stall:rank=0,m=4;corrupt-ckpt:attempt=2")
+        assert len(plan.specs) == 2
+        assert plan.specs[1] == FaultSpec("corrupt-ckpt", attempt=2)
+
+    def test_bare_kind(self):
+        plan = FaultPlan.parse("raise")
+        assert plan.specs == (FaultSpec("raise"),)
+
+    @pytest.mark.parametrize("text", [
+        "crash:rank",            # missing =value
+        "crash:speed=3",         # unknown parameter
+        "meteor:rank=0",         # unknown kind
+        "crash:rank=one",        # non-integer
+    ])
+    def test_malformed_input_fails_loudly(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_roundtrip(self):
+        text = "crash:rank=1,m=8;slow:rank=2,m=3,delay=0.5;corrupt-ckpt:attempt=2"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(str(plan)) == plan
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert FaultPlan.parse("crash")
+
+    def test_checkpoint_faults_filtered_by_attempt(self):
+        plan = FaultPlan.parse("corrupt-ckpt:attempt=2;crash:m=3")
+        assert plan.checkpoint_faults(1) == ()
+        assert len(plan.checkpoint_faults(2)) == 1
+
+    def test_as_fault_plan_coercions(self):
+        assert as_fault_plan(None) is None
+        plan = FaultPlan.parse("crash")
+        assert as_fault_plan(plan) is plan
+        assert as_fault_plan("crash:m=2", seed=5).seed == 5
+        with pytest.raises(TypeError):
+            as_fault_plan(42)
+
+    def test_all_kinds_parse(self):
+        for kind in FAULT_KINDS:
+            assert FaultPlan.parse(kind).specs[0].kind == kind
+
+
+class TestInjector:
+    def test_filters_by_rank(self):
+        plan = FaultPlan.parse("raise:rank=1,m=3")
+        assert not FaultInjector(plan, rank=0, attempt=1)
+        inj = FaultInjector(plan, rank=1, attempt=1)
+        assert inj
+        inj.at_iteration(2)  # wrong iteration: no-op
+        with pytest.raises(FaultInjected, match="rank 1 at m=3"):
+            inj.at_iteration(3)
+
+    def test_filters_by_attempt(self):
+        plan = FaultPlan.parse("raise:m=3")
+        assert FaultInjector(plan, rank=0, attempt=1)
+        # the fault does not chase the job across retries
+        inj = FaultInjector(plan, rank=0, attempt=2)
+        assert not inj
+        inj.at_iteration(3)
+
+    def test_none_plan_is_inert(self):
+        inj = FaultInjector(None, rank=0, attempt=1)
+        assert not inj
+        inj.at_iteration(0)
+
+    def test_in_process_crash_raises_instead_of_exiting(self):
+        inj = FaultInjector(FaultPlan.parse("crash:m=1"), rank=0,
+                            attempt=1, in_process=True)
+        with pytest.raises(FaultInjected):
+            inj.at_iteration(1)
+
+    def test_in_process_stall_raises_with_kind(self):
+        inj = FaultInjector(FaultPlan.parse("stall:m=1,delay=0.01"),
+                            rank=0, attempt=1, in_process=True)
+        with pytest.raises(FaultInjected) as ei:
+            inj.at_iteration(1)
+        assert ei.value.kind == "stall"
+
+    def test_slow_returns_after_sleeping(self):
+        inj = FaultInjector(FaultPlan.parse("slow:m=1,delay=0.01"),
+                            rank=0, attempt=1, in_process=True)
+        inj.at_iteration(1)  # must not raise
+
+    def test_corrupt_window_is_seeded_and_targeted(self):
+        plan = FaultPlan.parse("corrupt-halo:rank=0,m=2", seed=9)
+        inj = FaultInjector(plan, rank=0, attempt=1)
+        win1 = np.ones(8, dtype=np.complex128)
+        win2 = np.ones(8, dtype=np.complex128)
+        assert inj.corrupt_window(2, win1)
+        assert not np.array_equal(win1, np.ones(8))
+        # deterministic: a second injector scribbles identical noise
+        inj2 = FaultInjector(plan, rank=0, attempt=1)
+        assert inj2.corrupt_window(2, win2)
+        assert np.array_equal(win1, win2)
+        # untouched at other iterations
+        win3 = np.ones(8, dtype=np.complex128)
+        assert not inj.corrupt_window(3, win3)
+        assert np.array_equal(win3, np.ones(8))

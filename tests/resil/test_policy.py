@@ -1,0 +1,72 @@
+"""RetryPolicy: validation and deterministic backoff."""
+
+import pytest
+
+from repro.resil import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 3
+        assert p.base_delay == 0.0
+
+    @pytest.mark.parametrize("kw", [
+        {"max_attempts": 0},
+        {"max_attempts": -1},
+        {"base_delay": -0.1},
+        {"backoff_factor": -1.0},
+        {"max_delay": -1.0},
+        {"jitter": -0.5},
+        {"attempt_deadline": 0.0},
+        {"attempt_deadline": -5.0},
+    ])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kw)
+
+    def test_frozen(self):
+        p = RetryPolicy()
+        with pytest.raises(Exception):
+            p.max_attempts = 5
+
+
+class TestBackoff:
+    def test_zero_base_delay_never_sleeps(self):
+        p = RetryPolicy(base_delay=0.0, jitter=0.5)
+        assert all(p.backoff(k) == 0.0 for k in range(1, 6))
+
+    def test_retry_index_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+    def test_exponential_growth_without_jitter(self):
+        p = RetryPolicy(base_delay=1.0, backoff_factor=2.0, jitter=0.0,
+                        max_delay=100.0)
+        assert p.backoff(1) == 1.0
+        assert p.backoff(2) == 2.0
+        assert p.backoff(3) == 4.0
+
+    def test_max_delay_caps_the_schedule(self):
+        p = RetryPolicy(base_delay=1.0, backoff_factor=10.0, jitter=0.0,
+                        max_delay=5.0)
+        assert p.backoff(4) == 5.0
+
+    def test_jitter_is_deterministic_in_seed(self):
+        p = RetryPolicy(base_delay=1.0, jitter=0.2, seed=7)
+        q = RetryPolicy(base_delay=1.0, jitter=0.2, seed=7)
+        assert [p.backoff(k) for k in range(1, 5)] == \
+               [q.backoff(k) for k in range(1, 5)]
+
+    def test_jitter_varies_with_seed(self):
+        p = RetryPolicy(base_delay=1.0, jitter=0.2)
+        d1 = p.backoff(1, seed=1)
+        d2 = p.backoff(1, seed=2)
+        assert d1 != d2
+
+    def test_jitter_stays_within_band(self):
+        p = RetryPolicy(base_delay=1.0, backoff_factor=1.0, jitter=0.1,
+                        max_delay=1.0)
+        for k in range(1, 20):
+            d = p.backoff(k, seed=k)
+            assert 0.9 <= d <= 1.1 + 1e-12

@@ -241,6 +241,37 @@ class TestFallback:
             load_library(force_reload=True)
         np.testing.assert_array_equal(reference, fallback)
 
+    def test_compile_timeout_env_knob(self, monkeypatch):
+        from repro.sparse.backend import native
+
+        assert native._compile_timeout() == native.COMPILE_TIMEOUT
+        monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", "7.5")
+        assert native._compile_timeout() == 7.5
+        # a malformed value must not take the run down with it
+        monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", "soon")
+        assert native._compile_timeout() == native.COMPILE_TIMEOUT
+
+    def test_compile_failure_warns_and_falls_back(self, monkeypatch,
+                                                  tmp_path):
+        """A broken compiler degrades to numpy with one warning, no crash."""
+        from repro.obs import GLOBAL_METRICS
+
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))  # no .so cache
+        monkeypatch.setenv("CC", "/bin/false")
+        before = GLOBAL_METRICS.counters.get(
+            "backend.native.compile_failures", 0)
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                assert load_library(force_reload=True) is None
+            assert get_backend("auto").name == "numpy"
+        finally:
+            monkeypatch.delenv("CC")
+            monkeypatch.delenv("REPRO_NATIVE_CACHE")
+            load_library(force_reload=True)
+        after = GLOBAL_METRICS.counters.get(
+            "backend.native.compile_failures", 0)
+        assert after == before + 1
+
 
 @pytest.mark.parametrize("backend", ["numpy", "auto"])
 class TestNoPerIterationAllocation:
