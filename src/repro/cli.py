@@ -99,11 +99,15 @@ def cmd_dos(args) -> int:
         h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed,
         engine="aug_spmmv" if distributed else args.engine, backend=backend,
         dist_engine=args.engine if distributed else None,
-        workers=args.workers, weights=weights,
+        workers=args.workers, weights=weights, overlap=args.overlap,
         counters=counters, metrics=metrics, resilience=resil,
     )
     if distributed:
-        print(f"distributed engine: {args.engine} ({args.workers} workers)")
+        from repro.dist.overlap import resolve_overlap
+
+        mode = "on" if resolve_overlap(args.overlap, args.workers) else "off"
+        print(f"distributed engine: {args.engine} ({args.workers} workers, "
+              f"overlap {mode})")
     if resil is not None:
         bits = [f"retries={args.retries}"]
         if args.checkpoint_every:
@@ -210,6 +214,7 @@ def cmd_scaling(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.dist.overlap import OVERLAP_CHOICES
     from repro.sparse.backend import BACKEND_CHOICES
 
     parser = argparse.ArgumentParser(
@@ -232,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "shared memory")
     p.add_argument("--workers", type=int, default=2,
                    help="rank count for --engine sim|mp")
+    p.add_argument("--overlap", default="auto", choices=list(OVERLAP_CHOICES),
+                   help="communication/computation overlap for sim|mp "
+                        "(task-mode pipelining); auto = on with >1 rank")
     p.add_argument("--weights", type=str, default=None,
                    help="comma-separated per-rank partition weights "
                         "(default: equal split)")

@@ -133,6 +133,13 @@ class KPMSolver:
     weights:
         Optional per-rank partition weights (heterogeneous nodes,
         paper Section VI-B); equal split by default.
+    overlap:
+        Communication/computation overlap for the distributed engines
+        (task-mode pipelining): ``'on'``/``True``, ``'off'``/``False``,
+        or ``'auto'`` (the default — on whenever more than one rank
+        runs).  Ignored in serial solves.  Overlapped and synchronous
+        schedules agree to reduction-order tolerance; the two engines
+        agree *bitwise* with each other per schedule.
     resilience:
         Optional :class:`~repro.resil.Resilience` configuration.  When
         set, every moment computation runs under a
@@ -162,6 +169,7 @@ class KPMSolver:
         dist_engine: str | None = None,
         workers: int = 2,
         weights: list[float] | None = None,
+        overlap: bool | str | None = "auto",
         resilience=None,
     ) -> None:
         check_positive("n_moments", n_moments)
@@ -190,6 +198,12 @@ class KPMSolver:
         self.dist_engine = dist_engine
         self.workers = int(workers)
         self.weights = list(weights) if weights is not None else None
+        # validate eagerly: a typo'd overlap= fails at construction, not
+        # deep inside a worker process
+        from repro.dist.overlap import resolve_overlap
+
+        resolve_overlap(overlap, self.workers)
+        self.overlap = overlap
         self.resilience = resilience
         #: the communicator of the most recent distributed solve
         #: (message log, per-rank accounting); None until one runs.
@@ -242,7 +256,7 @@ class KPMSolver:
         return distributed_eta(
             self.H, part, self.scale, self.n_moments, self._start_block(),
             self.world, backend=self.backend, counters=self.counters,
-            metrics=self.metrics,
+            metrics=self.metrics, overlap=self.overlap,
         )
 
     def _supervised_eta(self) -> np.ndarray:
@@ -256,6 +270,7 @@ class KPMSolver:
             self.H, self.scale, self.n_moments, self._start_block(),
             engine=self.dist_engine or "serial", workers=self.workers,
             weights=self.weights, backend=self.backend,
+            overlap=self.overlap,
         )
         self.world = sup.last_world
         self.resilience_report = sup.report

@@ -80,6 +80,7 @@ def distributed_eta(
     backend: KernelBackend | str = "auto",
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    overlap: bool | str | None = False,
     checkpoint_every: int = 0,
     checkpoint_path: str | Path | None = None,
     resume_from: KpmCheckpoint | str | Path | None = None,
@@ -120,6 +121,17 @@ def distributed_eta(
         Span registry.  The sim world records kernel spans inline plus
         ``halo_exchange``/``allreduce`` phase spans; the mp engine ships
         per-worker snapshots back and merges them ``rank<p>.``-prefixed.
+    overlap:
+        Task-mode pipelined schedule: ``True``/``'on'``, ``False``/
+        ``'off'``, or ``'auto'``/None (on when the world has more than
+        one rank).  Each rank updates its interior (halo-free) rows with
+        the split kernels while the halo exchange is in flight, then
+        finishes the boundary rows — in the mp engine the exchange is
+        genuinely asynchronous (per-edge events, double-buffered
+        windows); the sim world executes the same task-mode schedule
+        sequentially, with *bitwise identical* moments (the per-phase
+        eta partials are combined in the fixed order interior +
+        boundary, making the result schedule-independent).
     checkpoint_every / checkpoint_path:
         With ``checkpoint_every = k > 0`` the global recurrence state is
         saved atomically to ``checkpoint_path`` after every k inner
@@ -148,11 +160,15 @@ def distributed_eta(
         return mp_eta(
             A, partition, scale, n_moments, start_block, world,
             reduction=reduction, backend=backend, counters=counters,
-            metrics=metrics, checkpoint_every=checkpoint_every,
+            metrics=metrics, overlap=overlap,
+            checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path, resume_from=resume_from,
             fault_plan=fault_plan, attempt=attempt,
         )
     _check_moments(n_moments)
+    from repro.dist.overlap import resolve_overlap, task_split
+
+    overlap = resolve_overlap(overlap, world.n_ranks)
     if reduction not in ("end", "every"):
         raise ValueError(f"reduction must be 'end' or 'every', got {reduction!r}")
     if checkpoint_every and checkpoint_path is None:
@@ -221,6 +237,12 @@ def distributed_eta(
         np.empty((blk.matrix.n_cols, r), dtype=DTYPE) for blk in dist.blocks
     ]
     plans = [bk.plan(blk.matrix, r) for blk in dist.blocks]
+    splans = None
+    if overlap:
+        splans = [
+            bk.split_plan(blk.matrix, task_split(blk), r)
+            for blk in dist.blocks
+        ]
     eta_acc = np.zeros((world.n_ranks, n_moments, r), dtype=DTYPE)
 
     def save_checkpoint(m: int) -> None:
@@ -272,10 +294,21 @@ def distributed_eta(
         for rank, blk in enumerate(dist.blocks):
             # The rectangular fused kernel runs the update and the dots
             # over the first n_local rows of x — the rank's partial etas.
-            ee, eo = bk.aug_spmmv_step(
-                blk.matrix, xbufs[rank], w_loc[rank], a, b, plan=plans[rank],
-                counters=counters, metrics=metrics,
-            )
+            # Task mode runs the same update as interior + boundary split
+            # phases: the interior rows reference local columns only, so
+            # the values are independent of when the halo tail of x
+            # landed — bitwise what the mp engine's genuinely overlapped
+            # schedule computes.
+            if overlap:
+                ee, eo = bk.aug_spmmv_split_step(
+                    blk.matrix, xbufs[rank], w_loc[rank], a, b,
+                    plan=splans[rank], counters=counters, metrics=metrics,
+                )
+            else:
+                ee, eo = bk.aug_spmmv_step(
+                    blk.matrix, xbufs[rank], w_loc[rank], a, b,
+                    plan=plans[rank], counters=counters, metrics=metrics,
+                )
             eta_acc[rank, 2 * m] = ee
             eta_acc[rank, 2 * m + 1] = eo
         if reduction == "every":
@@ -317,6 +350,7 @@ def distributed_dos(
     backend: KernelBackend | str = "auto",
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    overlap: bool | str | None = False,
 ):
     """Full distributed KPM-DOS application: the paper's production code.
 
@@ -350,7 +384,7 @@ def distributed_dos(
     block = make_block_vector(n, n_vectors, seed=seed)
     eta = distributed_eta(
         A, partition, scale, n_moments, block, world, reduction=reduction,
-        backend=backend, counters=counters, metrics=metrics,
+        backend=backend, counters=counters, metrics=metrics, overlap=overlap,
     )
     mu = eta_to_moments(eta).mean(axis=0).real
     pts = n_points if n_points is not None else max(2 * n_moments, 256)
@@ -372,12 +406,13 @@ def distributed_dos_moments(
     backend: KernelBackend | str = "auto",
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    overlap: bool | str | None = False,
 ) -> np.ndarray:
     """Distributed stochastic-trace moments (mean over the R vectors)."""
     from repro.core.moments import eta_to_moments
 
     eta = distributed_eta(
         A, partition, scale, n_moments, start_block, world, reduction=reduction,
-        backend=backend, counters=counters, metrics=metrics,
+        backend=backend, counters=counters, metrics=metrics, overlap=overlap,
     )
     return eta_to_moments(eta).mean(axis=0).real

@@ -18,6 +18,17 @@ Communication structure (paper Section VI-A, mapped onto one node):
   input from the windows it receives from, a barrier ("the assembly of
   communication buffers ... only the elements which need to be
   transferred are copied");
+* with ``overlap=True`` the exchange is *asynchronous* (task mode,
+  paper Section VII's pipelining outlook): the windows are
+  double-buffered (slot ``m % 2``) and signalled per directed edge with
+  ready/free event pairs instead of the global barrier; each worker
+  posts its outgoing halo, computes the **interior** rows (the
+  contiguous halo-free range of :func:`repro.dist.overlap.task_split`)
+  with the split kernels while the exchange is in flight, then waits
+  for its incoming windows and finishes the **boundary** rows.  The
+  per-phase eta partials are combined in the fixed order interior +
+  boundary, so the overlapped moments are bitwise equal to the
+  simulator running the same task-mode schedule;
 * per-rank eta contributions accumulate in a shared ``(P, M, R)`` array
   and are reduced **once** after the workers join — the single deferred
   global reduction of Section II.  ``reduction='every'`` instead
@@ -284,11 +295,27 @@ class _RunConfig:
     want_obs: bool
     first_m: int  # 1 for a fresh run, checkpoint.next_m when resuming
     checkpoint_every: int
+    overlap: bool = False
 
 
 # ---------------------------------------------------------------------
 # worker
 # ---------------------------------------------------------------------
+
+def _pack_halo(vec: np.ndarray, rows: np.ndarray, win: np.ndarray) -> int:
+    """Assemble one edge's send window, allocation-free.
+
+    The gather writes straight into the (shared-memory) window — no
+    temporary is materialized, so the steady-state iteration loop does
+    not allocate per exchange (tested with tracemalloc).  ``mode='clip'``
+    is what makes ``np.take`` buffer-free; it is safe because the row
+    lists come from the communication pattern, validated in range at
+    construction.  Returns the window byte count for the traffic
+    accounting.
+    """
+    np.take(vec, rows, axis=0, out=win, mode="clip")
+    return win.nbytes
+
 
 def _worker(
     rank: int,
@@ -296,12 +323,14 @@ def _worker(
     send_edges: list[tuple[int, np.ndarray]],
     specs: dict,
     barrier,
+    events,
     errq,
     backend_name: str,
     cfg: _RunConfig,
 ) -> None:
     """One rank's full KPM loop (module-level: spawn-picklable)."""
     att = None
+    abort = None
     code = 0
     try:
         from repro.sparse.backend import get_backend
@@ -310,6 +339,7 @@ def _worker(
         att = ShmAttachment(specs)
         start, eta, acct = att["start"], att["eta"], att["acct"]
         hb = att["hb"]
+        abort = att["abort"]
         lo, hi = blk.row_start, blk.row_stop
         n_local = hi - lo
         a, b, r = cfg.a, cfg.b, cfg.r
@@ -331,9 +361,14 @@ def _worker(
 
         xbuf = np.empty((blk.matrix.n_cols, r), dtype=DTYPE)
         plan = bk.plan(blk.matrix, r)
+        splan = None
+        if cfg.overlap:
+            from repro.dist.overlap import task_split
+
+            splan = bk.split_plan(blk.matrix, task_split(blk), r)
         wins_out = [(q, rows, att[f"w{rank}_{q}"]) for q, rows in send_edges]
         wins_in = [
-            (int(cnt), att[f"w{src}_{rank}"])
+            (src, int(cnt), att[f"w{src}_{rank}"])
             for src, cnt in zip(
                 blk.halo_sources.tolist(), blk.halo_counts.tolist()
             )
@@ -342,21 +377,66 @@ def _worker(
         if ck_on:
             ckv, ckw, ckst = att["ckv"], att["ckw"], att["ckst"]
 
+        def ev_wait(ev) -> None:
+            # Poll so a dead peer (parent sets the shared abort flag and
+            # breaks the barrier) unblocks this wait too — events have no
+            # abort() of their own.
+            deadline = time.monotonic() + bt
+            while not ev.wait(0.05):
+                if abort[0]:
+                    raise BrokenBarrierError
+                if time.monotonic() > deadline:
+                    raise BrokenBarrierError
+
         def exchange(m: int, vec: np.ndarray) -> None:
             with w_metrics.span("halo_exchange", phase="dist"):
                 for _q, rows, win in wins_out:
-                    win[...] = vec[rows, :]  # buffer assembly at the source
+                    # buffer assembly at the source, allocation-free
+                    nbytes = _pack_halo(vec, rows, win)
                     if inj is not None:
                         inj.corrupt_window(m, win)
                     acct[rank, 0] += 1
-                    acct[rank, 1] += win.nbytes
+                    acct[rank, 1] += nbytes
                 barrier.wait(bt)  # all windows packed
                 xbuf[:n_local] = vec
                 pos = n_local
-                for cnt, win in wins_in:
+                for _src, cnt, win in wins_in:
                     xbuf[pos : pos + cnt] = win
                     pos += cnt
                 barrier.wait(bt)  # all windows consumed, reusable
+
+        def post_exchange(m: int, vec: np.ndarray) -> None:
+            # Task mode, send side: claim this iteration's window slot
+            # (free once the receiver has drained its previous use),
+            # pack, and signal readiness — no global synchronization.
+            slot = m % 2
+            with w_metrics.span("halo_pack", phase="dist"):
+                for q, rows, win in wins_out:
+                    ready, free = events[(rank, q)][slot]
+                    ev_wait(free)
+                    free.clear()
+                    nbytes = _pack_halo(vec, rows, win[slot])
+                    if inj is not None:
+                        inj.corrupt_window(m, win[slot])
+                    acct[rank, 0] += 1
+                    acct[rank, 1] += nbytes
+                    ready.set()
+                xbuf[:n_local] = vec
+
+        def complete_exchange(m: int) -> None:
+            # Task mode, receive side: runs *after* the interior phase;
+            # any time still spent blocking here is exposed (un-hidden)
+            # communication — the ``halo_wait`` span measures exactly it.
+            slot = m % 2
+            with w_metrics.span("halo_wait", phase="dist"):
+                pos = n_local
+                for src, cnt, win in wins_in:
+                    ready, free = events[(src, rank)][slot]
+                    ev_wait(ready)
+                    xbuf[pos : pos + cnt] = win[slot]
+                    ready.clear()
+                    free.set()
+                    pos += cnt
 
         def reduce_now(m: int) -> None:
             # The contributions already sit in the shared eta array; a
@@ -387,7 +467,13 @@ def _worker(
             if inj is not None:
                 inj.at_iteration(0)
             hb[rank] += 1
-            exchange(0, v)
+            if cfg.overlap:
+                # Bootstrap has no prior compute to hide the exchange
+                # behind: post and complete back to back.
+                post_exchange(0, v)
+                complete_exchange(0)
+            else:
+                exchange(0, v)
             # nu_1 = a (H nu_0 - b nu_0) on the local rows
             w = bk.spmmv(
                 blk.matrix, xbuf, counters=w_counters, metrics=w_metrics
@@ -410,11 +496,30 @@ def _worker(
                 inj.at_iteration(m)
             hb[rank] += 1
             v, w = w, v
-            exchange(m, v)
-            ee, eo = bk.aug_spmmv_step(
-                blk.matrix, xbuf, w, a, b, plan=plan,
-                counters=w_counters, metrics=w_metrics,
-            )
+            if cfg.overlap:
+                # Task mode: publish the outgoing halo, update the
+                # interior rows while the exchange is in flight (they
+                # reference local columns only), then finish the
+                # boundary rows once the halo has landed.  The fixed
+                # interior + boundary combine keeps the moments
+                # schedule-independent.
+                post_exchange(m, v)
+                ee_i, eo_i = bk.aug_spmmv_interior(
+                    blk.matrix, xbuf, w, a, b, plan=splan,
+                    counters=w_counters, metrics=w_metrics,
+                )
+                complete_exchange(m)
+                ee_b, eo_b = bk.aug_spmmv_boundary(
+                    blk.matrix, xbuf, w, a, b, plan=splan,
+                    counters=w_counters, metrics=w_metrics,
+                )
+                ee, eo = ee_i + ee_b, eo_i + eo_b
+            else:
+                exchange(m, v)
+                ee, eo = bk.aug_spmmv_step(
+                    blk.matrix, xbuf, w, a, b, plan=plan,
+                    counters=w_counters, metrics=w_metrics,
+                )
             eta[rank, 2 * m] = ee
             eta[rank, 2 * m + 1] = eo
             if cfg.reduction == "every":
@@ -438,6 +543,8 @@ def _worker(
             errq.put((rank, kind, f"{type(exc).__name__}: {exc}"))
         except Exception:  # pragma: no cover - queue already torn down
             pass
+        if abort is not None:
+            abort[0] = 1  # unblock peers parked on halo events
         try:
             barrier.abort()  # unblock every waiting peer immediately
         except Exception:  # pragma: no cover
@@ -579,6 +686,7 @@ def mp_eta(
     backend: KernelBackend | str = "auto",
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    overlap: bool | str | None = False,
     checkpoint_every: int = 0,
     checkpoint_path: str | Path | None = None,
     resume_from: KpmCheckpoint | str | Path | None = None,
@@ -597,6 +705,14 @@ def mp_eta(
     planned faults into the workers (``_fault`` is the legacy test-only
     ``(rank, iteration, mode)`` form of the same thing).
 
+    ``overlap`` selects the task-mode pipelined schedule (see the module
+    docstring): ``True``/``'on'``, ``False``/``'off'``, or
+    ``'auto'``/None (on when the world has more than one rank).  The
+    overlapped moments are bitwise equal to the simulator's task-mode
+    schedule; against ``overlap=False`` they agree to reduction-order
+    tolerance (the per-iteration dots are summed as interior + boundary
+    partials instead of one pass).
+
     With a live ``counters`` or ``metrics``, every worker accumulates its
     own :class:`PerfCounters` / :class:`MetricsRegistry` and ships a JSON
     snapshot back through the ``obs`` shared segment; the parent merges
@@ -606,6 +722,9 @@ def mp_eta(
     ``world.last_obs``.
     """
     _check_moments(n_moments)
+    from repro.dist.overlap import resolve_overlap
+
+    overlap = resolve_overlap(overlap, world.n_ranks)
     if reduction not in ("end", "every"):
         raise ValueError(f"reduction must be 'end' or 'every', got {reduction!r}")
     if checkpoint_every and checkpoint_path is None:
@@ -656,7 +775,7 @@ def mp_eta(
         a=scale.a, b=scale.b, n_moments=n_moments, r=r, reduction=reduction,
         timeouts=timeouts, fault_plan=fault_plan, attempt=int(attempt),
         want_obs=want_obs, first_m=first_m,
-        checkpoint_every=int(checkpoint_every),
+        checkpoint_every=int(checkpoint_every), overlap=overlap,
     )
     errors: list[tuple[int, str, str]] = []
     procs: list = []
@@ -669,6 +788,7 @@ def mp_eta(
         eta_shared = arena.create("eta", (world.n_ranks, n_moments, r))
         acct = arena.create("acct", (world.n_ranks, _ACCT_COLS), dtype="int64")
         hb = arena.create("hb", (world.n_ranks,), dtype="int64")
+        abort_flag = arena.create("abort", (1,), dtype="int64")
         obs = None
         if want_obs:
             obs = arena.create(
@@ -683,9 +803,21 @@ def mp_eta(
                 eta_shared, ckv, ckw, ckst, base_eta, first_m,
                 n_moments, r, scale.a, scale.b,
             )
+        # Halo windows: task mode double-buffers each directed edge (slot
+        # m % 2) and pairs every (edge, slot) with ready/free events —
+        # free initially set (both slots start drained).
+        events: dict[tuple[int, int], list] = {}
         for p, edges in enumerate(send_edges):
             for q, rows in edges:
-                arena.create(f"w{p}_{q}", (rows.size, r))
+                shape = (2, rows.size, r) if overlap else (rows.size, r)
+                arena.create(f"w{p}_{q}", shape)
+                if overlap:
+                    slots = []
+                    for _slot in range(2):
+                        ready, free = ctx.Event(), ctx.Event()
+                        free.set()
+                        slots.append((ready, free))
+                    events[(p, q)] = slots
         world.last_segment_names = list(arena.names)
 
         barrier = ctx.Barrier(world.n_ranks)
@@ -696,13 +828,19 @@ def mp_eta(
                     target=_worker,
                     args=(
                         rank, dist.blocks[rank], send_edges[rank],
-                        arena.specs, barrier, errq, names[rank], cfg,
+                        arena.specs, barrier, events, errq, names[rank], cfg,
                     ),
                     daemon=True,
                 )
             )
         for p in procs:
             p.start()
+
+        def abort_world() -> None:
+            # Both wake-up channels: the shared flag unblocks event
+            # waits (task mode), barrier.abort() unblocks barrier waits.
+            abort_flag[0] = 1
+            barrier.abort()
 
         def autosave() -> None:
             if channel is None:
@@ -725,7 +863,7 @@ def mp_eta(
         stalled = timed_out = False
         while any(p.is_alive() for p in procs):
             if any(p.exitcode not in (None, 0) for p in procs):
-                barrier.abort()
+                abort_world()
                 break
             now = time.monotonic()
             hb_now = hb.copy()
@@ -734,11 +872,11 @@ def mp_eta(
                 hb_t = now
             elif now - hb_t >= timeouts.stall:
                 stalled = True
-                barrier.abort()
+                abort_world()
                 break
             if deadline is not None and now >= deadline:
                 timed_out = True
-                barrier.abort()
+                abort_world()
                 break
             autosave()
             time.sleep(0.005)

@@ -7,6 +7,19 @@ exchange is in flight; only the *boundary* rows must wait for remote
 data. This module computes the split for a partitioned matrix, provides
 a two-phase local SpMMV that exploits it, and models the hidden time.
 
+Two split representations serve two purposes:
+
+* :class:`OverlapSplit` (:func:`split_for_overlap`) — the *analysis*
+  split: scattered interior/boundary index sets with extracted
+  sub-matrices, feeding the time model and the two-phase reference
+  product.
+* :class:`TaskSplit` (:func:`task_split`) — the *execution* split the
+  task-mode engines run: the interior is the largest **contiguous** run
+  of halo-free rows (so the split kernels index the original local
+  matrix in place, no extraction), everything else is a gathered
+  boundary row list.  Both kernel backends consume it through their
+  ``aug_spm(m)v_interior`` / ``..._boundary`` split kernels.
+
 The functional result is identical to the plain local product (tested);
 the benefit appears in the time model: per iteration, the exposed
 communication shrinks from ``t_halo`` to ``max(0, t_halo - t_interior)``.
@@ -87,6 +100,114 @@ def split_for_overlap(block: RankBlock) -> OverlapSplit:
         boundary_matrix=extract(boundary, mat.n_cols),
         n_local=n_local,
     )
+
+
+@dataclass(frozen=True)
+class TaskSplit:
+    """Execution-level interior/boundary split of one rank's local matrix.
+
+    Unlike :class:`OverlapSplit` (scattered index sets plus extracted
+    sub-matrices, for analysis), this is the shape the task-mode engines
+    actually run: ``[row0, row1)`` is the largest *contiguous* run of
+    halo-free rows — the split kernels traverse it on the original local
+    matrix with absolute indexing — and ``boundary`` gathers every other
+    local row (sorted ascending).  Halo-free rows that fall outside the
+    contiguous run are deliberately classified as boundary: they could
+    run early, but a contiguous interior keeps the hot phase a single
+    streaming pass (and the loss is small on banded partitions, where
+    the halo-touching rows cluster at the block edges).
+
+    ``nnz_interior`` / ``nnz_boundary`` drive the overlap time model
+    with the *same* split the kernels execute, so the model's hidden
+    fraction and the measured one are comparable.
+    """
+
+    row0: int
+    row1: int
+    boundary: np.ndarray
+    n_rows: int
+    nnz_interior: int
+    nnz_boundary: int
+
+    @property
+    def n_interior(self) -> int:
+        return self.row1 - self.row0
+
+    @property
+    def n_boundary(self) -> int:
+        return int(self.boundary.size)
+
+    @property
+    def interior_fraction(self) -> float:
+        """Interior share of the local compute, weighted by nnz.
+
+        The split kernels stream matrix slots, so nnz (not rows) is the
+        proxy for phase-1 compute time in
+        :func:`exposed_communication_time`.
+        """
+        total = self.nnz_interior + self.nnz_boundary
+        return self.nnz_interior / total if total else 1.0
+
+
+def task_split(block: RankBlock) -> TaskSplit:
+    """Compute the execution split the task-mode engines run.
+
+    Interior = the largest contiguous run of rows whose entries reference
+    only local columns (``< n_local``); boundary = every other row,
+    gathered sorted.  Degenerate blocks are handled: no halo at all
+    yields an all-interior split (empty boundary), an all-halo block an
+    empty interior (``row0 == row1``).
+    """
+    mat = block.matrix
+    n_local = block.n_local
+    rows = np.repeat(np.arange(mat.n_rows), mat.nnz_per_row)
+    touches_halo = np.zeros(mat.n_rows, dtype=bool)
+    np.logical_or.at(
+        touches_halo, rows, mat.indices.astype(np.int64) >= n_local
+    )
+    free = ~touches_halo
+    # longest run of True in ``free``: diff of the padded mask gives the
+    # run starts (+1) and stops (-1)
+    row0 = row1 = 0
+    if free.any():
+        edges = np.diff(np.concatenate(([False], free, [False])).astype(np.int8))
+        starts = np.nonzero(edges == 1)[0]
+        stops = np.nonzero(edges == -1)[0]
+        k = int(np.argmax(stops - starts))
+        row0, row1 = int(starts[k]), int(stops[k])
+    in_interior = np.zeros(mat.n_rows, dtype=bool)
+    in_interior[row0:row1] = True
+    boundary = np.nonzero(~in_interior)[0].astype(np.int64)
+    per_row = mat.nnz_per_row
+    nnz_interior = int(per_row[row0:row1].sum())
+    return TaskSplit(
+        row0=row0, row1=row1, boundary=boundary, n_rows=mat.n_rows,
+        nnz_interior=nnz_interior,
+        nnz_boundary=int(mat.nnz - nnz_interior),
+    )
+
+
+#: Valid values of the user-facing ``overlap=`` knob.
+OVERLAP_CHOICES = ("off", "on", "auto")
+
+
+def resolve_overlap(overlap: str | bool | None, n_ranks: int) -> bool:
+    """Turn the user-facing ``overlap`` knob into an execution decision.
+
+    ``'auto'`` (or None) enables task mode whenever there is more than
+    one rank — a single rank has no halo to hide.  Booleans pass
+    through so programmatic callers can skip the string vocabulary.
+    """
+    if isinstance(overlap, bool):
+        return overlap
+    choice = "auto" if overlap is None else str(overlap).lower()
+    if choice not in OVERLAP_CHOICES:
+        raise ValueError(
+            f"overlap must be one of {OVERLAP_CHOICES}, got {overlap!r}"
+        )
+    if choice == "auto":
+        return n_ranks > 1
+    return choice == "on"
 
 
 def two_phase_spmmv(

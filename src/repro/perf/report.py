@@ -29,9 +29,14 @@ from repro.perf.roofline import (
     gpu_kernel_performance,
     node_performance,
 )
-from repro.sparse.fused import _slots, charge_aug_spmmv, charge_aug_spmv
+from repro.sparse.fused import (
+    _slots,
+    charge_aug_spmmv,
+    charge_aug_spmmv_part,
+    charge_aug_spmv,
+)
 from repro.sparse.spmv import _charge_spmv
-from repro.util.constants import F_ADD, F_MUL, S_D
+from repro.util.constants import F_ADD, F_MUL, S_D, S_I
 from repro.util.counters import PerfCounters
 from repro.util.validation import check_positive
 
@@ -140,7 +145,8 @@ def _charge_naive_iteration(A, c: PerfCounters) -> None:
 
 
 def expected_counters(
-    A, n_moments: int, n_vectors: int, engine: str = "aug_spmmv"
+    A, n_moments: int, n_vectors: int, engine: str = "aug_spmmv",
+    splits=None,
 ) -> PerfCounters:
     """Analytic minimum-traffic counters of one serial moment computation.
 
@@ -151,13 +157,51 @@ def expected_counters(
     :class:`PerfCounters` from an instrumented run must equal this
     *exactly* (integer bytes and flops); any drift means a kernel's
     accounting diverged from Table I.
+
+    ``splits`` models the overlapped (task-mode) distributed schedule:
+    a sequence of per-rank :class:`repro.dist.overlap.TaskSplit`-like
+    objects (``n_interior``/``nnz_interior``/``n_boundary``/
+    ``nnz_boundary``).  Each rank then charges its bootstrap ``spmmv``
+    on its local block and every inner iteration as an
+    ``aug_spmmv_int`` + ``aug_spmmv_bnd`` pair.  By the exact-sum
+    property of :func:`repro.sparse.fused.charge_aug_spmmv_part` the
+    byte/flop totals are identical to the serial charge — only the
+    per-kernel call attribution differs — so measured == analytic
+    stays exact under overlap.  Only valid with ``engine='aug_spmmv'``.
     """
     if n_moments % 2 or n_moments < 2:
         raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
     check_positive("n_vectors", n_vectors)
+    if splits is not None and engine != "aug_spmmv":
+        raise ValueError(
+            f"splits= is only meaningful for engine='aug_spmmv', "
+            f"got {engine!r}"
+        )
     c = PerfCounters()
     half = n_moments // 2
-    if engine == "aug_spmmv":
+    if splits is not None:
+        for sp in splits:
+            n_loc = sp.n_interior + sp.n_boundary
+            slots_loc = sp.nnz_interior + sp.nnz_boundary
+            # Bootstrap nu_1 block on the rank's local rows — identical
+            # per-row charge to _charge_spmv of the local matrix.
+            c.charge(
+                "spmmv",
+                loads=slots_loc * (S_D + S_I) + n_vectors * n_loc * S_D,
+                stores=n_vectors * n_loc * S_D,
+                flops=n_vectors * slots_loc * (F_ADD + F_MUL),
+            )
+        for _ in range(half - 1):
+            for sp in splits:
+                charge_aug_spmmv_part(
+                    sp.n_interior, sp.nnz_interior, n_vectors, c,
+                    "aug_spmmv_int",
+                )
+                charge_aug_spmmv_part(
+                    sp.n_boundary, sp.nnz_boundary, n_vectors, c,
+                    "aug_spmmv_bnd",
+                )
+    elif engine == "aug_spmmv":
         _charge_spmv(A, n_vectors, c, "spmmv")  # bootstrap nu_1 block
         for _ in range(half - 1):
             charge_aug_spmmv(A, n_vectors, c)

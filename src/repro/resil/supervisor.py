@@ -232,6 +232,7 @@ class Supervisor:
         weights: list[float] | None = None,
         backend="auto",
         reduction: str = "end",
+        overlap: bool | str | None = False,
     ) -> np.ndarray:
         """Compute eta under supervision; the engine's usual return value.
 
@@ -278,7 +279,7 @@ class Supervisor:
                             eta = self._run_once(
                                 eng, backend_cur, resume, attempt, ckpt_path,
                                 H, scale, n_moments, start_block,
-                                workers, weights, reduction,
+                                workers, weights, reduction, overlap,
                             )
                     except Exception as exc:  # noqa: BLE001 - classified below
                         last_exc = exc
@@ -370,6 +371,7 @@ class Supervisor:
     def _run_once(
         self, eng: str, backend, resume, attempt: int, ckpt_path,
         H, scale, n_moments, start_block, workers, weights, reduction,
+        overlap=False,
     ) -> np.ndarray:
         every = self.checkpoint_every
         path = ckpt_path if every > 0 else None
@@ -406,7 +408,7 @@ class Supervisor:
         return distributed_eta(
             H, part, scale, n_moments, start_block, world,
             reduction=reduction, backend=backend, counters=self.counters,
-            metrics=self.metrics, checkpoint_every=every,
+            metrics=self.metrics, overlap=overlap, checkpoint_every=every,
             checkpoint_path=path, resume_from=resume,
             fault_plan=self.fault_plan, attempt=attempt,
         )

@@ -70,6 +70,96 @@ class KernelPlan:
         self.eta_odd = np.empty(self.r, dtype=DTYPE)
 
 
+class SplitKernelPlan:
+    """Workspaces for the two-phase (task-mode) split kernels.
+
+    Built once per ``(A, split, R)`` by :meth:`KernelBackend.split_plan`
+    and reused across all inner iterations.  ``split`` is an execution
+    split in the shape of :class:`repro.dist.overlap.TaskSplit` (duck
+    typed — ``row0``/``row1``/``boundary`` — so this layer stays free of
+    a dependency on the distributed package): a contiguous interior row
+    range plus a sorted gathered boundary row list.
+
+    The plan holds everything either backend needs allocation-free in
+    the steady state: the extracted interior/boundary sub-matrices (full
+    local+halo column range, for the NumPy phase kernels), gather/scatter
+    scratch for the boundary rows, the contiguous int64 row list (for
+    the native gathered kernel), and per-phase eta partial buffers.
+    Split kernels are CSR-only: the distributed engines partition CSR
+    operators, so a SELL split has no consumer.
+    """
+
+    def __init__(self, A, split, r: int = 1) -> None:
+        from repro.sparse.csr import CSRMatrix
+
+        if not isinstance(A, CSRMatrix):
+            raise BackendError(
+                "split (task-mode) kernels support CSR matrices only — the "
+                "distributed engines partition CSR operators; got "
+                f"{type(A).__name__}"
+            )
+        self.matrix = A
+        self.split = split
+        self.r = int(r)
+        self.row0 = int(split.row0)
+        self.row1 = int(split.row1)
+        self.rows = np.ascontiguousarray(split.boundary, dtype=np.int64)
+        if self.rows.size and (
+            self.rows[0] < 0 or self.rows[-1] >= A.n_rows
+        ):
+            raise BackendError(
+                f"boundary rows outside [0, {A.n_rows}): "
+                f"[{self.rows.min()}, {self.rows.max()}]"
+            )
+        if not (0 <= self.row0 <= self.row1 <= A.n_rows):
+            raise BackendError(
+                f"interior range [{self.row0}, {self.row1}) outside "
+                f"[0, {A.n_rows})"
+            )
+        self.n_interior = self.row1 - self.row0
+        self.n_boundary = int(self.rows.size)
+        if self.n_interior + self.n_boundary != A.n_rows:
+            raise BackendError(
+                f"split covers {self.n_interior} + {self.n_boundary} rows, "
+                f"matrix has {A.n_rows}"
+            )
+        self.nnz_interior = int(A.indptr[self.row1] - A.indptr[self.row0])
+        self.nnz_boundary = int(A.nnz - self.nnz_interior)
+        # phase sub-matrices (full column range — the NumPy kernels run
+        # them against the whole [local | halo] input block)
+        self.interior_matrix = A.extract_rows(self.row0, self.row1)
+        self.boundary_matrix = self._gather_rows(A, self.rows)
+        # steady-state scratch: SpMMV outputs per phase plus boundary
+        # gather/scatter buffers (the boundary rows are non-contiguous)
+        shape_i = (self.n_interior, self.r)
+        shape_b = (self.n_boundary, self.r)
+        self.u_interior = np.empty(shape_i, dtype=DTYPE)
+        self.u_boundary = np.empty(shape_b, dtype=DTYPE)
+        self.v_boundary = np.empty(shape_b, dtype=DTYPE)
+        self.w_boundary = np.empty(shape_b, dtype=DTYPE)
+        # per-phase eta partials (native kernels write these in place)
+        self.ee_interior = np.empty(self.r, dtype=np.float64)
+        self.eo_interior = np.empty(self.r, dtype=DTYPE)
+        self.ee_boundary = np.empty(self.r, dtype=np.float64)
+        self.eo_boundary = np.empty(self.r, dtype=DTYPE)
+
+    @staticmethod
+    def _gather_rows(A, rows: np.ndarray):
+        """Extract a gathered-row CSR sub-matrix (full column range)."""
+        from repro.sparse.csr import CSRMatrix
+
+        counts = A.nnz_per_row[rows] if rows.size else np.empty(0, np.int64)
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=A.indices.dtype)
+        data = np.empty(int(indptr[-1]), dtype=DTYPE)
+        for k, i in enumerate(rows.tolist()):
+            lo, hi = A.indptr[i], A.indptr[i + 1]
+            indices[indptr[k] : indptr[k + 1]] = A.indices[lo:hi]
+            data[indptr[k] : indptr[k + 1]] = A.data[lo:hi]
+        return CSRMatrix(indptr, indices, data, (rows.size, A.n_cols))
+
+
 class KernelBackend(ABC):
     """Interface every kernel backend implements.
 
@@ -129,6 +219,88 @@ class KernelBackend(ABC):
         metrics: MetricsRegistry = NULL_METRICS,
     ):
         """Paper Fig. 5 (stage 2): fused block update + column dots."""
+
+    # -- split (task-mode) kernels -------------------------------------
+    # Two-phase variants of the augmented kernels for overlapped
+    # execution: the *interior* phase updates a contiguous halo-free row
+    # range (runnable while the halo exchange is in flight), the
+    # *boundary* phase the remaining gathered rows.  Each phase returns
+    # its own eta partials; callers combine them in the fixed order
+    # interior + boundary, which makes the result independent of the
+    # execution schedule (sync == overlapped, bitwise).  The W update is
+    # row-local, hence bitwise identical to the plain kernel.
+
+    def split_plan(self, A, split, r: int = 1) -> SplitKernelPlan:
+        """Allocate the split-kernel workspaces for ``(A, split, r)``."""
+        return SplitKernelPlan(A, split, r)
+
+    def aug_spmv_interior(
+        self, A, v, w, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        """Interior phase of the split augmented SpMV."""
+        raise BackendError(
+            f"backend {self.name!r} does not implement split kernels"
+        )
+
+    def aug_spmv_boundary(
+        self, A, v, w, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        """Boundary phase of the split augmented SpMV."""
+        raise BackendError(
+            f"backend {self.name!r} does not implement split kernels"
+        )
+
+    def aug_spmmv_interior(
+        self, A, V, W, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        """Interior phase of the split augmented SpMMV."""
+        raise BackendError(
+            f"backend {self.name!r} does not implement split kernels"
+        )
+
+    def aug_spmmv_boundary(
+        self, A, V, W, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        """Boundary phase of the split augmented SpMMV."""
+        raise BackendError(
+            f"backend {self.name!r} does not implement split kernels"
+        )
+
+    def aug_spmv_split_step(
+        self, A, v, w, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        """Both phases back to back; the synchronous task-mode step."""
+        ee_i, eo_i = self.aug_spmv_interior(
+            A, v, w, a, b, plan, counters=counters, metrics=metrics
+        )
+        ee_b, eo_b = self.aug_spmv_boundary(
+            A, v, w, a, b, plan, counters=counters, metrics=metrics
+        )
+        return ee_i + ee_b, eo_i + eo_b
+
+    def aug_spmmv_split_step(
+        self, A, V, W, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        """Both phases back to back; the synchronous task-mode step."""
+        ee_i, eo_i = self.aug_spmmv_interior(
+            A, V, W, a, b, plan, counters=counters, metrics=metrics
+        )
+        ee_b, eo_b = self.aug_spmmv_boundary(
+            A, V, W, a, b, plan, counters=counters, metrics=metrics
+        )
+        return ee_i + ee_b, eo_i + eo_b
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -252,6 +424,7 @@ __all__ = [
     "BACKEND_CHOICES",
     "KernelBackend",
     "KernelPlan",
+    "SplitKernelPlan",
     "NativeBackend",
     "NumpyBackend",
     "available_backends",

@@ -195,6 +195,201 @@ EXPORT void repro_csr_aug_spmmv(
 }
 
 /* ------------------------------------------------------------------ */
+/* CSR split kernels (task-mode overlapped execution)                  */
+/*                                                                     */
+/* The distributed engines hide the halo exchange by running the KPM   */
+/* update in two phases: a contiguous *interior* row range [row0,row1) */
+/* whose entries reference only local columns (computable before the   */
+/* halo arrives), then the gathered *boundary* rows.  Both variants    */
+/* index the ORIGINAL local matrix absolutely — no row extraction —    */
+/* and the per-row arithmetic is byte-for-byte the plain kernel's, so  */
+/* the W update is bitwise identical to a single-phase call for any    */
+/* split.  Each phase zeroes and returns its OWN eta partials; the     */
+/* caller combines them in a fixed order (interior + boundary), which  */
+/* makes the combined dots independent of the execution schedule.      */
+/* ------------------------------------------------------------------ */
+
+EXPORT void repro_csr_aug_spmv_range(
+    int64_t row0,
+    int64_t row1,
+    const int64_t *restrict indptr,
+    const int32_t *restrict indices,
+    const double *restrict data,
+    const double *restrict v,
+    double *restrict w,
+    double a,
+    double b,
+    double *restrict eta_even,     /* 1 double: this phase's partial  */
+    double *restrict eta_odd)      /* 2 doubles                       */
+{
+    const double ta = 2.0 * a, tab = 2.0 * a * b;
+    double ee = 0.0, eor = 0.0, eoi = 0.0;
+    for (int64_t i = row0; i < row1; ++i) {
+        double sr = 0.0, si = 0.0;
+        const int64_t p0 = indptr[i], p1 = indptr[i + 1];
+        for (int64_t p = p0; p < p1; ++p) {
+            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const int64_t j = (int64_t)indices[p];
+            const double xr = v[2 * j], xi = v[2 * j + 1];
+            sr += ar * xr - ai * xi;
+            si += ar * xi + ai * xr;
+        }
+        const double vr = v[2 * i], vi = v[2 * i + 1];
+        const double wr = ta * sr - tab * vr - w[2 * i];
+        const double wi = ta * si - tab * vi - w[2 * i + 1];
+        w[2 * i] = wr;
+        w[2 * i + 1] = wi;
+        ee += vr * vr + vi * vi;
+        eor += wr * vr + wi * vi;
+        eoi += wr * vi - wi * vr;
+    }
+    *eta_even = ee;
+    eta_odd[0] = eor;
+    eta_odd[1] = eoi;
+}
+
+EXPORT void repro_csr_aug_spmv_rows(
+    int64_t n_sub,
+    const int64_t *restrict rows,  /* gathered local row indices      */
+    const int64_t *restrict indptr,
+    const int32_t *restrict indices,
+    const double *restrict data,
+    const double *restrict v,
+    double *restrict w,
+    double a,
+    double b,
+    double *restrict eta_even,
+    double *restrict eta_odd)
+{
+    const double ta = 2.0 * a, tab = 2.0 * a * b;
+    double ee = 0.0, eor = 0.0, eoi = 0.0;
+    for (int64_t t = 0; t < n_sub; ++t) {
+        const int64_t i = rows[t];
+        double sr = 0.0, si = 0.0;
+        const int64_t p0 = indptr[i], p1 = indptr[i + 1];
+        for (int64_t p = p0; p < p1; ++p) {
+            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const int64_t j = (int64_t)indices[p];
+            const double xr = v[2 * j], xi = v[2 * j + 1];
+            sr += ar * xr - ai * xi;
+            si += ar * xi + ai * xr;
+        }
+        const double vr = v[2 * i], vi = v[2 * i + 1];
+        const double wr = ta * sr - tab * vr - w[2 * i];
+        const double wi = ta * si - tab * vi - w[2 * i + 1];
+        w[2 * i] = wr;
+        w[2 * i + 1] = wi;
+        ee += vr * vr + vi * vi;
+        eor += wr * vr + wi * vi;
+        eoi += wr * vi - wi * vr;
+    }
+    *eta_even = ee;
+    eta_odd[0] = eor;
+    eta_odd[1] = eoi;
+}
+
+EXPORT void repro_csr_aug_spmmv_range(
+    int64_t row0,
+    int64_t row1,
+    int64_t r,
+    const int64_t *restrict indptr,
+    const int32_t *restrict indices,
+    const double *restrict data,
+    const double *restrict V,
+    double *restrict W,
+    double a,
+    double b,
+    double *restrict eta_even,     /* r doubles: this phase's partials */
+    double *restrict eta_odd)      /* 2*r doubles                      */
+{
+    const double ta = 2.0 * a, tab = 2.0 * a * b;
+    double *acc = (double *)malloc((size_t)(2 * r) * sizeof(double));
+    if (!acc)
+        return;
+    memset(eta_even, 0, (size_t)r * sizeof(double));
+    memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    for (int64_t i = row0; i < row1; ++i) {
+        memset(acc, 0, (size_t)(2 * r) * sizeof(double));
+        const int64_t p0 = indptr[i], p1 = indptr[i + 1];
+        for (int64_t p = p0; p < p1; ++p) {
+            if (p + 1 < p1)
+                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r, 2 * r);
+            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const double *restrict xj = V + 2 * (int64_t)indices[p] * r;
+            for (int64_t k = 0; k < r; ++k) {
+                const double xr = xj[2 * k], xi = xj[2 * k + 1];
+                acc[2 * k] += ar * xr - ai * xi;
+                acc[2 * k + 1] += ar * xi + ai * xr;
+            }
+        }
+        const double *restrict vi_ = V + 2 * i * r;
+        double *restrict wi_ = W + 2 * i * r;
+        for (int64_t k = 0; k < r; ++k) {
+            const double vr = vi_[2 * k], vi = vi_[2 * k + 1];
+            const double wr = ta * acc[2 * k] - tab * vr - wi_[2 * k];
+            const double wi = ta * acc[2 * k + 1] - tab * vi - wi_[2 * k + 1];
+            wi_[2 * k] = wr;
+            wi_[2 * k + 1] = wi;
+            eta_even[k] += vr * vr + vi * vi;
+            eta_odd[2 * k] += wr * vr + wi * vi;
+            eta_odd[2 * k + 1] += wr * vi - wi * vr;
+        }
+    }
+    free(acc);
+}
+
+EXPORT void repro_csr_aug_spmmv_rows(
+    int64_t n_sub,
+    const int64_t *restrict rows,
+    int64_t r,
+    const int64_t *restrict indptr,
+    const int32_t *restrict indices,
+    const double *restrict data,
+    const double *restrict V,
+    double *restrict W,
+    double a,
+    double b,
+    double *restrict eta_even,
+    double *restrict eta_odd)
+{
+    const double ta = 2.0 * a, tab = 2.0 * a * b;
+    double *acc = (double *)malloc((size_t)(2 * r) * sizeof(double));
+    if (!acc)
+        return;
+    memset(eta_even, 0, (size_t)r * sizeof(double));
+    memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    for (int64_t t = 0; t < n_sub; ++t) {
+        const int64_t i = rows[t];
+        memset(acc, 0, (size_t)(2 * r) * sizeof(double));
+        const int64_t p0 = indptr[i], p1 = indptr[i + 1];
+        for (int64_t p = p0; p < p1; ++p) {
+            if (p + 1 < p1)
+                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r, 2 * r);
+            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const double *restrict xj = V + 2 * (int64_t)indices[p] * r;
+            for (int64_t k = 0; k < r; ++k) {
+                const double xr = xj[2 * k], xi = xj[2 * k + 1];
+                acc[2 * k] += ar * xr - ai * xi;
+                acc[2 * k + 1] += ar * xi + ai * xr;
+            }
+        }
+        const double *restrict vi_ = V + 2 * i * r;
+        double *restrict wi_ = W + 2 * i * r;
+        for (int64_t k = 0; k < r; ++k) {
+            const double vr = vi_[2 * k], vi = vi_[2 * k + 1];
+            const double wr = ta * acc[2 * k] - tab * vr - wi_[2 * k];
+            const double wi = ta * acc[2 * k + 1] - tab * vi - wi_[2 * k + 1];
+            wi_[2 * k] = wr;
+            wi_[2 * k + 1] = wi;
+            eta_even[k] += vr * vr + vi * vi;
+            eta_odd[2 * k] += wr * vr + wi * vi;
+            eta_odd[2 * k + 1] += wr * vi - wi * vr;
+        }
+    }
+    free(acc);
+}
+
+/* ------------------------------------------------------------------ */
 /* SELL-C-sigma                                                        */
 /*                                                                     */
 /* Flat layout: chunk ci of height C and length L = chunk_len[ci]      */

@@ -97,6 +97,24 @@ def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
         i64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
         _P_F64, _P_F64,
     ]
+    # split (task-mode) variants: a contiguous [row0, row1) range and a
+    # gathered row list, both absolute on the original CSR arrays
+    lib.repro_csr_aug_spmv_range.argtypes = [
+        i64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
+        _P_F64, _P_F64,
+    ]
+    lib.repro_csr_aug_spmv_rows.argtypes = [
+        i64, _P_I64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
+        _P_F64, _P_F64,
+    ]
+    lib.repro_csr_aug_spmmv_range.argtypes = [
+        i64, i64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
+        _P_F64, _P_F64,
+    ]
+    lib.repro_csr_aug_spmmv_rows.argtypes = [
+        i64, _P_I64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
+        _P_F64, _P_F64,
+    ]
     lib.repro_sell_spmv.argtypes = [
         i64, i64, i64, _P_I64, _P_I64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64,
     ]
@@ -114,7 +132,9 @@ def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
     ]
     for name in (
         "repro_csr_spmv", "repro_csr_spmmv", "repro_csr_aug_spmv",
-        "repro_csr_aug_spmmv", "repro_sell_spmv", "repro_sell_spmmv",
+        "repro_csr_aug_spmmv", "repro_csr_aug_spmv_range",
+        "repro_csr_aug_spmv_rows", "repro_csr_aug_spmmv_range",
+        "repro_csr_aug_spmmv_rows", "repro_sell_spmv", "repro_sell_spmmv",
         "repro_sell_aug_spmv", "repro_sell_aug_spmmv",
     ):
         getattr(lib, name).restype = None

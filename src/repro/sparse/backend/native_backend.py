@@ -17,10 +17,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs import NULL_METRICS, MetricsRegistry
-from repro.sparse.backend import KernelBackend, KernelPlan
+from repro.sparse.backend import KernelBackend, KernelPlan, SplitKernelPlan
 from repro.sparse.backend.native import _pc, _pi32, _pi64, load_library
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.fused import charge_aug_spmmv, charge_aug_spmv
+from repro.sparse.fused import (
+    charge_aug_spmmv,
+    charge_aug_spmmv_part,
+    charge_aug_spmv,
+    charge_aug_spmv_part,
+)
 from repro.sparse.sell import SellMatrix
 from repro.sparse.spmv import _charge_spmv
 from repro.util.constants import DTYPE
@@ -233,4 +238,102 @@ class NativeBackend(KernelBackend):
             else:
                 raise TypeError(f"unsupported matrix type {type(A).__name__}")
             charge_aug_spmmv(A, r, counters)
+        return ee.copy(), eo.copy()
+
+    # -- split (task-mode) kernels -------------------------------------
+    # The range/rows C kernels traverse the ORIGINAL local CSR arrays
+    # with absolute row indexing (no extraction), write the phase's
+    # rows of W with byte-for-byte the plain kernel's per-row
+    # arithmetic, and return the phase's own eta partials.  CSR only:
+    # SplitKernelPlan already rejects SELL at plan time.
+
+    def _require_csr(self, A) -> None:
+        if not isinstance(A, CSRMatrix):
+            raise BackendError(
+                "split (task-mode) kernels support CSR matrices only, got "
+                f"{type(A).__name__}"
+            )
+
+    def aug_spmv_interior(
+        self, A, v, w, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        lib = self._lib()
+        self._require_csr(A)
+        v = _as_kernel_vector("v", v, A.n_cols)
+        w = _as_kernel_vector("w", w, A.n_rows)
+        ee, eo = plan.ee_interior[:1], plan.eo_interior[:1]
+        with metrics.span("aug_spmv_int", counters=counters):
+            lib.repro_csr_aug_spmv_range(
+                plan.row0, plan.row1, *self._csr_args(A), _pc(v), _pc(w),
+                a, b, _pc(ee), _pc(eo),
+            )
+            charge_aug_spmv_part(
+                plan.n_interior, plan.nnz_interior, counters, "aug_spmv_int"
+            )
+        return float(ee[0]), complex(eo[0])
+
+    def aug_spmv_boundary(
+        self, A, v, w, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        lib = self._lib()
+        self._require_csr(A)
+        v = _as_kernel_vector("v", v, A.n_cols)
+        w = _as_kernel_vector("w", w, A.n_rows)
+        ee, eo = plan.ee_boundary[:1], plan.eo_boundary[:1]
+        with metrics.span("aug_spmv_bnd", counters=counters):
+            lib.repro_csr_aug_spmv_rows(
+                plan.n_boundary, _pi64(plan.rows), *self._csr_args(A),
+                _pc(v), _pc(w), a, b, _pc(ee), _pc(eo),
+            )
+            charge_aug_spmv_part(
+                plan.n_boundary, plan.nnz_boundary, counters, "aug_spmv_bnd"
+            )
+        return float(ee[0]), complex(eo[0])
+
+    def aug_spmmv_interior(
+        self, A, V, W, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        lib = self._lib()
+        self._require_csr(A)
+        V = _as_kernel_block("V", V, A.n_cols)
+        W = _as_kernel_block("W", W, A.n_rows)
+        r = V.shape[1]
+        ee, eo = plan.ee_interior, plan.eo_interior
+        with metrics.span("aug_spmmv_int", counters=counters):
+            lib.repro_csr_aug_spmmv_range(
+                plan.row0, plan.row1, r, *self._csr_args(A), _pc(V), _pc(W),
+                a, b, _pc(ee), _pc(eo),
+            )
+            charge_aug_spmmv_part(
+                plan.n_interior, plan.nnz_interior, r, counters,
+                "aug_spmmv_int",
+            )
+        return ee.copy(), eo.copy()
+
+    def aug_spmmv_boundary(
+        self, A, V, W, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        lib = self._lib()
+        self._require_csr(A)
+        V = _as_kernel_block("V", V, A.n_cols)
+        W = _as_kernel_block("W", W, A.n_rows)
+        r = V.shape[1]
+        ee, eo = plan.ee_boundary, plan.eo_boundary
+        with metrics.span("aug_spmmv_bnd", counters=counters):
+            lib.repro_csr_aug_spmmv_rows(
+                plan.n_boundary, _pi64(plan.rows), r, *self._csr_args(A),
+                _pc(V), _pc(W), a, b, _pc(ee), _pc(eo),
+            )
+            charge_aug_spmmv_part(
+                plan.n_boundary, plan.nnz_boundary, r, counters,
+                "aug_spmmv_bnd",
+            )
         return ee.copy(), eo.copy()

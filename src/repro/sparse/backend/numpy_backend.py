@@ -10,9 +10,11 @@ in-place passes through the plan's scratch buffers).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse import fused
-from repro.sparse.backend import KernelBackend, KernelPlan
+from repro.sparse.backend import KernelBackend, KernelPlan, SplitKernelPlan
 from repro.sparse.spmv import spmmv as _spmmv
 from repro.sparse.spmv import spmv as _spmv
 from repro.util.counters import NULL_COUNTERS, PerfCounters
@@ -71,3 +73,94 @@ class NumpyBackend(KernelBackend):
         return fused.aug_spmmv_step(
             A, V, W, a, b, scratch=scratch, counters=counters, metrics=metrics
         )
+
+    # -- split (task-mode) kernels -------------------------------------
+    # The phase update is the plain kernel restricted to a row subset:
+    # the SpMMV runs on the extracted phase sub-matrix (per-row data
+    # order preserved, so the per-row sums — and hence the W update —
+    # are bitwise the single-phase values), the recombination and dots
+    # on contiguous views (interior) or gathered scratch (boundary).
+
+    def aug_spmv_interior(
+        self, A, v, w, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        with metrics.span("aug_spmv_int", counters=counters):
+            u = plan.u_interior.reshape(plan.n_interior)
+            _spmv(plan.interior_matrix, v, out=u, counters=NULL_COUNTERS)
+            vn = v[plan.row0 : plan.row1]
+            wn = w[plan.row0 : plan.row1]
+            fused._recombine(wn, u, vn, a, b)
+            ee = float(np.vdot(vn, vn).real)
+            eo = complex(np.vdot(wn, vn))
+            fused.charge_aug_spmv_part(
+                plan.n_interior, plan.nnz_interior, counters, "aug_spmv_int"
+            )
+        return ee, eo
+
+    def aug_spmv_boundary(
+        self, A, v, w, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        with metrics.span("aug_spmv_bnd", counters=counters):
+            rows = plan.rows
+            u = plan.u_boundary.reshape(plan.n_boundary)
+            vb = plan.v_boundary.reshape(plan.n_boundary)
+            wb = plan.w_boundary.reshape(plan.n_boundary)
+            _spmv(plan.boundary_matrix, v, out=u, counters=NULL_COUNTERS)
+            # mode='clip' keeps the gather buffer-free (the default
+            # 'raise' materializes a temporary); rows are validated in
+            # range when the split plan is built
+            np.take(v, rows, axis=0, out=vb, mode="clip")
+            np.take(w, rows, axis=0, out=wb, mode="clip")
+            fused._recombine(wb, u, vb, a, b)
+            w[rows] = wb
+            ee = float(np.vdot(vb, vb).real)
+            eo = complex(np.vdot(wb, vb))
+            fused.charge_aug_spmv_part(
+                plan.n_boundary, plan.nnz_boundary, counters, "aug_spmv_bnd"
+            )
+        return ee, eo
+
+    def aug_spmmv_interior(
+        self, A, V, W, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        with metrics.span("aug_spmmv_int", counters=counters):
+            u = plan.u_interior
+            _spmmv(plan.interior_matrix, V, out=u, counters=NULL_COUNTERS)
+            vn = V[plan.row0 : plan.row1]
+            wn = W[plan.row0 : plan.row1]
+            fused._recombine(wn, u, vn, a, b)
+            ee, eo = fused._col_dots(vn, wn)
+            fused.charge_aug_spmmv_part(
+                plan.n_interior, plan.nnz_interior, plan.r, counters,
+                "aug_spmmv_int",
+            )
+        return ee, eo
+
+    def aug_spmmv_boundary(
+        self, A, V, W, a, b, plan: SplitKernelPlan,
+        counters: PerfCounters = NULL_COUNTERS,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
+        with metrics.span("aug_spmmv_bnd", counters=counters):
+            rows = plan.rows
+            u = plan.u_boundary
+            vb = plan.v_boundary
+            wb = plan.w_boundary
+            _spmmv(plan.boundary_matrix, V, out=u, counters=NULL_COUNTERS)
+            # see aug_spmv_boundary: clip mode == allocation-free gather
+            np.take(V, rows, axis=0, out=vb, mode="clip")
+            np.take(W, rows, axis=0, out=wb, mode="clip")
+            fused._recombine(wb, u, vb, a, b)
+            W[rows] = wb
+            ee, eo = fused._col_dots(vb, wb)
+            fused.charge_aug_spmmv_part(
+                plan.n_boundary, plan.nnz_boundary, plan.r, counters,
+                "aug_spmmv_bnd",
+            )
+        return ee, eo

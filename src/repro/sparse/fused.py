@@ -82,6 +82,38 @@ def charge_aug_spmmv(A, r: int, counters: PerfCounters) -> None:
     )
 
 
+def charge_aug_spmv_part(
+    n_rows: int, slots: int, counters: PerfCounters, name: str
+) -> None:
+    """Table-I charge of one *phase* of a split augmented SpMV.
+
+    Linear in (rows, slots): charging the interior phase with
+    ``(n_int, nnz_int)`` and the boundary phase with ``(n_bnd, nnz_bnd)``
+    sums to exactly :func:`charge_aug_spmv` of the whole matrix, so the
+    split kernels keep the measured == analytic invariant while the
+    per-kernel attribution reflects the two phases.
+    """
+    counters.charge(
+        name,
+        loads=slots * (S_D + S_I) + 2 * n_rows * S_D,
+        stores=n_rows * S_D,
+        flops=slots * (F_ADD + F_MUL) + n_rows * _ROW_FLOPS,
+    )
+
+
+def charge_aug_spmmv_part(
+    n_rows: int, slots: int, r: int, counters: PerfCounters, name: str
+) -> None:
+    """Table-I charge of one phase of a split augmented SpMMV (see
+    :func:`charge_aug_spmv_part` for the exact-sum property)."""
+    counters.charge(
+        name,
+        loads=slots * (S_D + S_I) + 2 * r * n_rows * S_D,
+        stores=r * n_rows * S_D,
+        flops=r * (slots * (F_ADD + F_MUL) + n_rows * _ROW_FLOPS),
+    )
+
+
 def _recombine(W, U, V, a: float, b: float) -> None:
     """In-place ``W <- 2a U - 2ab V - W`` with zero temporaries.
 

@@ -28,7 +28,7 @@ class TestDos:
                    "--vectors", "2", "--engine", engine, "--workers", "2"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert f"distributed engine: {engine} (2 workers)" in out
+        assert f"distributed engine: {engine} (2 workers, overlap on)" in out
         assert "communication:" in out
         assert "halo" in out and "allreduce_final" in out
 

@@ -12,7 +12,12 @@ lattice with live :class:`~repro.util.counters.PerfCounters` and a
 2. the per-kernel achieved code balance from the metrics layer equals
    the per-call model balance;
 3. a JSONL trace written during one run parses back and its aggregated
-   per-kernel bytes/flops agree with the counters.
+   per-kernel bytes/flops agree with the counters;
+4. the overlapped (task-mode) distributed schedule, whose iterations
+   run as split ``aug_spmmv_int``/``aug_spmmv_bnd`` kernel pairs,
+   still matches ``expected_counters(..., splits=...)`` exactly —
+   byte/flop totals equal the serial minima and the per-kernel call
+   attribution reflects the two phases.
 
 Exit status 0 means the measurement layer and the models tell the same
 story; 1 pinpoints the first divergence.  Intended for CI (fast: a few
@@ -132,6 +137,51 @@ def main(argv: list[str] | None = None) -> int:
         print(trace_section(records))
         print(f"trace round-trip: {len(records)} records, totals match "
               "counters exactly")
+
+    # -- 4. overlap split-kernel attribution ---------------------------
+    from repro.dist.comm import SimWorld
+    from repro.dist.halo import partition_matrix
+    from repro.dist.kpm_parallel import distributed_eta
+    from repro.dist.overlap import task_split
+    from repro.dist.partition import RowPartition
+
+    n_ranks = 3
+    part = RowPartition.equal(H.n_rows, n_ranks)
+    dist = partition_matrix(H, part)
+    splits = [task_split(blk) for blk in dist.blocks]
+    print()
+    for r in (1, 8):
+        block = make_block_vector(H.n_rows, r, seed=2)
+        serial = PerfCounters()
+        compute_eta(H, scale, m, block, "aug_spmmv", serial,
+                    backend=backend)
+        counters = PerfCounters()
+        distributed_eta(dist, None, scale, m, block,
+                        SimWorld(n_ranks), backend=backend,
+                        counters=counters, overlap=True)
+        exp = expected_counters(H, m, r, "aug_spmmv", splits=splits)
+        label = f"overlap {n_ranks} ranks R={r}"
+        if (counters.bytes_loaded, counters.bytes_stored,
+                counters.flops) != (exp.bytes_loaded,
+                                    exp.bytes_stored, exp.flops):
+            return _fail(
+                f"{label}: measured {counters.summary()} != "
+                f"analytic {exp.summary()}"
+            )
+        if (counters.bytes_loaded, counters.bytes_stored,
+                counters.flops) != (serial.bytes_loaded,
+                                    serial.bytes_stored, serial.flops):
+            return _fail(
+                f"{label}: split totals drifted from the serial minima"
+            )
+        if counters.calls != exp.calls:
+            return _fail(
+                f"{label}: call attribution {counters.calls} != "
+                f"analytic {exp.calls}"
+            )
+        print(f"  ok: {label:24s} "
+              f"{counters.bytes_total:>12,} B exact, "
+              f"calls {dict(sorted(counters.calls.items()))}")
 
     print("\nall metric/model cross-checks passed")
     return 0

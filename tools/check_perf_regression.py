@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Kernel perf-regression gate against the committed baseline.
+
+Re-times the native kernels with the same protocol as
+``benchmarks/bench_kernels_measured.py`` (best-of-reps wall clock on a
+64k-row TI operator, Table-I minimum-traffic bytes -> GB/s) and
+compares against the committed ``benchmarks/results/BENCH_kernels.json``.
+Exit 1 if any native stage's throughput regressed by more than
+``--max-regress`` (default 15%).
+
+Because CI machines differ from the host that produced the baseline,
+the default comparison is *normalized*: each backend's GB/s is divided
+by the numpy GB/s of the same (stage, format) measured in the same run,
+so host speed cancels and the gate tracks the native kernels' advantage
+over the numpy reference.  ``--absolute`` compares raw GB/s instead
+(meaningful only on the baseline host).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_perf_regression.py [--max-regress 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parents[1] / (
+    "benchmarks/results/BENCH_kernels.json"
+)
+
+
+def _vectors(n, r, seed=1):
+    import numpy as np
+
+    from repro.util.constants import DTYPE
+
+    rng = np.random.default_rng(seed)
+    v = np.ascontiguousarray(
+        rng.normal(size=(n, r)) + 1j * rng.normal(size=(n, r))
+    ).astype(DTYPE)
+    w = np.ascontiguousarray(
+        rng.normal(size=(n, r)) + 1j * rng.normal(size=(n, r))
+    ).astype(DTYPE)
+    return v, w
+
+
+def _time_backend_step(bk, A, scale, stage, r, reps=5):
+    """Best-of-reps seconds + minimum-traffic bytes (bench protocol)."""
+    from repro.util.counters import PerfCounters
+
+    n = A.n_rows
+    plan = bk.plan(A, r)
+    step = {
+        "naive": bk.naive_step,
+        "aug_spmv": bk.aug_spmv_step,
+        "aug_spmmv": bk.aug_spmmv_step,
+    }[stage]
+    if r == 1:
+        v, w = _vectors(n, 1)
+        v, w = v[:, 0].copy(), w[:, 0].copy()
+    else:
+        v, w = _vectors(n, r)
+    counters = PerfCounters()
+    step(A, v, w, scale.a, scale.b, plan=plan, counters=counters)  # warm-up
+    nbytes = counters.bytes_total
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        step(A, v, w, scale.a, scale.b, plan=plan)
+        best = min(best, time.perf_counter() - t0)
+    return best, nbytes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-regress", type=float, default=0.15,
+                        help="tolerated fractional throughput loss "
+                             "(default 0.15)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw GB/s instead of normalizing by "
+                             "the numpy backend measured in the same run")
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--trials", type=int, default=3,
+                        help="measurement trials per kernel; the gate "
+                             "takes the most favorable (default 3)")
+    args = parser.parse_args(argv)
+
+    from repro.core.scaling import SpectralScale
+    from repro.physics import build_topological_insulator
+    from repro.sparse.backend import get_backend
+    from repro.sparse.sell import SellMatrix
+
+    baseline = json.loads(args.baseline.read_text())
+    if not baseline.get("native_available"):
+        print("baseline was recorded without native kernels; nothing to gate")
+        return 0
+    native = get_backend("native")
+    if not native.available():
+        print("FAIL: native kernels unavailable on this host, cannot gate")
+        return 1
+    numpy_bk = get_backend("numpy")
+
+    # the baseline problem: same lattice as the bench
+    nx, nz = 40, 10
+    h, _ = build_topological_insulator(nx, nx, nz)
+    assert h.n_rows == baseline["n_rows"], "baseline problem size changed"
+    s = SellMatrix(h, chunk_height=32, sigma=128)
+    scale = SpectralScale.from_bounds(*h.gershgorin_bounds())
+    mats = {"csr": h, "sell": s}
+
+    def base_gbps(stage, fmt, backend):
+        for row in baseline["series"]:
+            if (row["stage"], row["format"], row["backend"]) == (
+                    stage, fmt, backend):
+                return row["gbps"]
+        raise KeyError((stage, fmt, backend))
+
+    failures = []
+    print(f"{'kernel':>16} {'base':>8} {'now':>8} {'ratio':>7}   "
+          f"({'normalized by numpy' if not args.absolute else 'raw GB/s'})")
+    for row in baseline["series"]:
+        if row["backend"] != "native":
+            continue
+        stage, fmt, r = row["stage"], row["format"], row["r"]
+        base = row["gbps"]
+        if not args.absolute:
+            base = base / base_gbps(stage, fmt, "numpy")
+        # a genuine regression shows up in every trial; timer noise on a
+        # loaded host does not — gate on the most favorable of a few
+        now = 0.0
+        for _ in range(args.trials):
+            secs, nbytes = _time_backend_step(
+                native, mats[fmt], scale, stage, r)
+            trial = nbytes / secs / 1e9
+            if not args.absolute:
+                np_secs, np_bytes = _time_backend_step(
+                    numpy_bk, mats[fmt], scale, stage, r)
+                trial = trial / (np_bytes / np_secs / 1e9)
+            now = max(now, trial)
+            if now / base >= 1.0 - args.max_regress:
+                break  # already within budget, no need for more trials
+        ratio = now / base
+        label = f"{stage}/{fmt}"
+        print(f"{label:>16} {base:8.3f} {now:8.3f} {ratio:7.3f}")
+        if ratio < 1.0 - args.max_regress:
+            failures.append(
+                f"{label}: native throughput {ratio:.2f}x of baseline "
+                f"(allowed >= {1.0 - args.max_regress:.2f}x)"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"native kernel throughput within {args.max_regress:.0%} "
+          "of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
