@@ -9,9 +9,40 @@ run. ``EXPERIMENTS.md`` summarizes these outputs against the paper.
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def host_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def warn_if_single_core(bench: str) -> int:
+    """Record — and loudly flag — a single-core host.
+
+    Parallel speedup benches are meaningless on one core: the mp engine
+    can only tie or lose to the sequential simulator.  Every bench whose
+    numbers depend on core count calls this, stores the returned count in
+    its payload, and the warning makes the limitation visible in the
+    pytest run itself rather than only in a JSON field.
+    """
+    cores = host_cores()
+    if cores == 1:
+        warnings.warn(
+            f"{bench}: host exposes a single core; parallel speedups "
+            "cannot materialize here and the recorded numbers only "
+            "establish correctness/overhead, not scaling "
+            "(payload records cpu_count=1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return cores
 
 
 def emit(name: str, text: str) -> None:

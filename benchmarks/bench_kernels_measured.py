@@ -147,10 +147,13 @@ def test_stage_speedups_summary(benchmark, system):
 R_BLOCK = 32  # the paper's production block width
 
 
-def _time_backend_step(bk, A, scale, stage, r, reps=5):
+def _time_backend_step(bk, A, scale, stage, r, reps=5, precision="fp64"):
     """Best-of-reps seconds for one inner iteration, plus min-traffic bytes."""
+    from repro.util.precision import get_precision
+
+    prec = get_precision(precision)
     n = A.n_rows
-    plan = bk.plan(A, r)
+    plan = bk.plan(A, r, precision=prec)
     step = {
         "naive": bk.naive_step,
         "aug_spmv": bk.aug_spmv_step,
@@ -161,6 +164,11 @@ def _time_backend_step(bk, A, scale, stage, r, reps=5):
         v, w = v[:, 0].copy(), w[:, 0].copy()
     else:
         v, w = _vectors(n, r, seed=1)
+    if prec.half_vectors:
+        v, w = prec.encode(v), prec.encode(w)
+    elif prec.vector_dtype != v.dtype:
+        v = np.ascontiguousarray(v.astype(prec.vector_dtype))
+        w = np.ascontiguousarray(w.astype(prec.vector_dtype))
     counters = PerfCounters()
     step(A, v, w, scale.a, scale.b, plan=plan, counters=counters)  # warm-up
     nbytes = counters.bytes_total
@@ -189,18 +197,29 @@ def test_backend_speedups_json(benchmark, system):
     if native_ok:
         backends["native"] = native
 
-    stages = [("naive", 1), ("aug_spmv", 1), ("aug_spmmv", R_BLOCK)]
+    # fp64 covers every stage; the reduced storage profiles ride on the
+    # headline blocked stage (where the bytes dominate and the fp32
+    # acceptance bar lives — see bench_precision.py for the full sweep)
+    stages = [
+        ("naive", 1, "fp64"),
+        ("aug_spmv", 1, "fp64"),
+        ("aug_spmmv", R_BLOCK, "fp64"),
+        ("aug_spmmv", R_BLOCK, "fp32"),
+        ("aug_spmmv", R_BLOCK, "fp16v"),
+    ]
     series = []
     for fmt, A in (("csr", h), ("sell", s)):
-        for stage, r in stages:
+        for stage, r, precision in stages:
             for bk_name, bk in backends.items():
-                secs, nbytes = _time_backend_step(bk, A, scale, stage, r)
+                secs, nbytes = _time_backend_step(
+                    bk, A, scale, stage, r, precision=precision)
                 series.append(
                     {
                         "stage": stage,
                         "format": fmt,
                         "backend": bk_name,
                         "r": r,
+                        "precision": precision,
                         "seconds": secs,
                         "ms_per_vector": secs / r * 1e3,
                         "bytes_min": nbytes,
@@ -208,16 +227,16 @@ def test_backend_speedups_json(benchmark, system):
                     }
                 )
 
-    def lookup(stage, fmt, backend):
+    def lookup(stage, fmt, backend, precision="fp64"):
         for row in series:
-            if (row["stage"], row["format"], row["backend"]) == (
-                stage, fmt, backend,
-            ):
+            if (row["stage"], row["format"], row["backend"],
+                    row["precision"]) == (stage, fmt, backend, precision):
                 return row
-        raise KeyError((stage, fmt, backend))
+        raise KeyError((stage, fmt, backend, precision))
 
     for row in series:
-        base = lookup(row["stage"], row["format"], "numpy")
+        base = lookup(row["stage"], row["format"], "numpy",
+                      row["precision"])
         row["speedup_vs_numpy"] = base["seconds"] / row["seconds"]
 
     payload = {
@@ -235,18 +254,23 @@ def test_backend_speedups_json(benchmark, system):
     rows = [
         [
             f"{r['stage']}/{r['format']}", r["backend"], r["r"],
-            r["seconds"] * 1e3, r["gbps"], r["speedup_vs_numpy"],
+            r["precision"], r["seconds"] * 1e3, r["gbps"],
+            r["speedup_vs_numpy"],
         ]
         for r in series
     ]
     emit(
         "kernels_backends",
         format_table(
-            ["kernel", "backend", "R", "ms/call", "GB/s (min)", "speedup"],
+            ["kernel", "backend", "R", "prec", "ms/call", "GB/s (min)",
+             "speedup"],
             rows,
         )
-        + "\n(GB/s uses the Table-I minimum-traffic byte count; the"
-        "\n native column is the compiled single-pass C kernel.)",
+        + "\n(GB/s uses the Table-I minimum-traffic byte count under the"
+        "\n row's storage profile; the native column is the compiled"
+        "\n single-pass C kernel. fp32 halves the streamed bytes and the"
+        "\n work; fp16v quarters the vector bytes but pays a software"
+        "\n float16 decode on CPUs without hardware f16 conversion.)",
     )
 
     if native_ok:

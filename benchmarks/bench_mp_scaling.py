@@ -16,12 +16,11 @@ precisely so the numbers are interpretable.
 """
 
 import json
-import os
 import time
 
 import pytest
 
-from _support import RESULTS_DIR, emit, format_table
+from _support import RESULTS_DIR, emit, format_table, warn_if_single_core
 from repro.core.scaling import lanczos_scale
 from repro.core.stochastic import make_block_vector
 from repro.dist.comm import SimWorld
@@ -33,13 +32,6 @@ from repro.physics import build_topological_insulator
 NX, NZ = 32, 8   # N = 32,768 rows
 M, R = 512, 8    # sized so compute dwarfs the ~0.1 s process startup
 WORKER_COUNTS = [1, 2, 4]
-
-
-def _cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 @pytest.mark.slow
@@ -71,10 +63,11 @@ def test_mp_scaling_vs_sim():
             }
         )
 
-    cores = _cores()
+    cores = warn_if_single_core("mp_scaling")
     payload = {
         "bench": "mp_scaling",
         "cpu_count": cores,
+        "single_core_host": cores == 1,
         "matrix": {"n_rows": h.n_rows, "nnz": h.nnz, "nx": NX, "nz": NZ},
         "n_moments": M,
         "r": R,

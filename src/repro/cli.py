@@ -35,6 +35,8 @@ def _load_matrix(args):
 
 
 def cmd_dos(args) -> int:
+    import numpy as np
+
     from repro.core.reconstruct import integrate_density
     from repro.core.solver import KPMSolver
     from repro.obs import NULL_METRICS, MetricsRegistry, Trace
@@ -95,13 +97,23 @@ def cmd_dos(args) -> int:
     # sim/mp select a *distributed* engine; the rank-local kernels are
     # always the stage-2 blocked ones (the paper's production scheme).
     distributed = args.engine in ("sim", "mp")
-    solver = KPMSolver(
-        h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed,
-        engine="aug_spmmv" if distributed else args.engine, backend=backend,
-        dist_engine=args.engine if distributed else None,
-        workers=args.workers, weights=weights, overlap=args.overlap,
-        counters=counters, metrics=metrics, resilience=resil,
-    )
+    try:
+        solver = KPMSolver(
+            h, n_moments=args.moments, n_vectors=args.vectors, seed=args.seed,
+            engine="aug_spmmv" if distributed else args.engine, backend=backend,
+            dist_engine=args.engine if distributed else None,
+            workers=args.workers, weights=weights, overlap=args.overlap,
+            counters=counters, metrics=metrics, resilience=resil,
+            precision=args.precision,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.precision != "fp64":
+        prec = solver.precision
+        print(f"precision: {prec.name} (values {np.dtype(prec.value_dtype).name}, "
+              f"vectors {np.dtype(prec.vector_dtype).name}"
+              f"{' pairs' if prec.half_vectors else ''}, fp64 dot accumulation)")
     if distributed:
         from repro.dist.overlap import resolve_overlap
 
@@ -149,6 +161,7 @@ def cmd_dos(args) -> int:
         print("\n== MEASURED vs MODEL ==")
         print(measured_vs_model_section(
             h, counters, args.moments, args.vectors, eng, metrics=metrics,
+            precision=args.precision,
         ), end="")
         print("\n== METRICS ==")
         print(metrics.summary())
@@ -216,6 +229,7 @@ def cmd_scaling(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     from repro.dist.overlap import OVERLAP_CHOICES
     from repro.sparse.backend import BACKEND_CHOICES
+    from repro.util.precision import PRECISION_CHOICES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -246,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="auto", choices=list(BACKEND_CHOICES),
                    help="kernel backend (auto: native C kernels when a "
                         "compiler is available, else numpy)")
+    p.add_argument("--precision", default="fp64",
+                   choices=list(PRECISION_CHOICES),
+                   help="storage profile: fp64 (baseline), fp32 (complex64 "
+                        "values+vectors, compressed indices, fp64 dot "
+                        "accumulation), fp16v (float16 pair vectors, fp32 "
+                        "compute)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--retries", type=int, default=0,
                    help="supervised retries per engine before degrading "

@@ -27,6 +27,7 @@ from repro.sparse.sell import SellMatrix
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import CheckpointError, FormatError
+from repro.util.precision import FP64, Precision, get_precision
 
 _FORMAT_VERSION = 1
 
@@ -45,7 +46,16 @@ def _npz_path(path: str | Path) -> Path:
 
 @dataclass
 class KpmCheckpoint:
-    """Complete state of an interrupted stage-2 moment computation."""
+    """Complete state of an interrupted stage-2 moment computation.
+
+    ``v``/``w`` are stored in the active precision profile's vector
+    *storage* dtype (complex128 / complex64 / float16 pairs), so a
+    checkpoint ships exactly the bytes the kernels would stream — a
+    resume under the same profile is bit-exact, and a narrow-profile
+    checkpoint is 2x (fp32) or 4x (fp16v) smaller on disk before
+    compression.  ``eta`` is always complex128 (the accumulation is fp64
+    in every profile).
+    """
 
     v: np.ndarray  # nu_m block
     w: np.ndarray  # nu_{m+1} block (post-update storage)
@@ -54,6 +64,7 @@ class KpmCheckpoint:
     n_moments: int
     a: float
     b: float
+    precision: str = "fp64"
 
     def _digest(self) -> str:
         """Integrity digest over the state that resuming actually reads.
@@ -61,10 +72,14 @@ class KpmCheckpoint:
         Only the filled eta prefix is hashed — the tail of the array is
         scratch whose bytes legitimately differ between a serial run
         (``np.empty``) and the distributed engines (zero-filled shared
-        memory).
+        memory).  The precision tag enters the digest only when it is
+        not the fp64 baseline, so digests of pre-precision checkpoints
+        keep verifying unchanged.
         """
         h = hashlib.sha256()
         h.update(f"{self.next_m}:{self.n_moments}:{self.a!r}:{self.b!r}:".encode())
+        if self.precision != "fp64":
+            h.update(f"{self.precision}:".encode())
         for arr in (self.v, self.w, self.eta[:, : 2 * self.next_m]):
             h.update(np.ascontiguousarray(arr).tobytes())
         return h.hexdigest()
@@ -86,6 +101,7 @@ class KpmCheckpoint:
                 v=self.v, w=self.w, eta=self.eta,
                 next_m=self.next_m, n_moments=self.n_moments,
                 a=self.a, b=self.b,
+                precision=self.precision,
                 digest=self._digest(),
             )
             os.replace(tmp, path)
@@ -117,6 +133,11 @@ class KpmCheckpoint:
                     next_m=int(data["next_m"]),
                     n_moments=int(data["n_moments"]),
                     a=float(data["a"]), b=float(data["b"]),
+                    # pre-precision checkpoints carry no tag: fp64
+                    precision=(
+                        str(data["precision"])
+                        if "precision" in data.files else "fp64"
+                    ),
                 )
                 stored = str(data["digest"]) if "digest" in data.files else None
         except FormatError:
@@ -140,12 +161,15 @@ def resolve_resume(
     a: float,
     b: float,
     metrics: MetricsRegistry = NULL_METRICS,
+    precision: Precision | str | None = None,
 ) -> KpmCheckpoint:
     """Load (if needed) and validate a resume checkpoint against the run.
 
     Shared by the serial, simulated, and multiprocess engines so every
     entry point enforces the same compatibility rules: matching moment
-    count and matching spectral map.
+    count, matching spectral map, and matching precision profile — a
+    cross-precision resume would silently re-round (or worse, re-expand)
+    the recurrence state, so it is refused outright.
     """
     if isinstance(resume_from, KpmCheckpoint):
         ck = resume_from
@@ -159,6 +183,15 @@ def resolve_resume(
         )
     if not (np.isclose(ck.a, a) and np.isclose(ck.b, b)):
         raise FormatError("checkpoint spectral map mismatch")
+    prec = get_precision(precision)
+    if ck.precision != prec.name:
+        raise CheckpointError(
+            f"checkpoint was taken under precision {ck.precision!r} but "
+            f"this run uses {prec.name!r}; resume with "
+            f"precision={ck.precision!r} (the recurrence state cannot be "
+            "converted across storage profiles without silently changing "
+            "the results)"
+        )
     return ck
 
 
@@ -175,6 +208,7 @@ def checkpointed_eta(
     backend: KernelBackend | str = "auto",
     metrics: MetricsRegistry = NULL_METRICS,
     fault=None,
+    precision: Precision | str | None = None,
 ) -> np.ndarray:
     """Stage-2 eta computation with optional checkpoint/restart.
 
@@ -191,23 +225,49 @@ def checkpointed_eta(
     plus ``checkpoint_save`` / ``checkpoint_load`` I/O spans.
     ``fault`` is an optional :class:`~repro.resil.FaultInjector` probed
     at the top of every inner iteration (the in-process equivalent of
-    the multiprocess engine's injected crashes).
+    the multiprocess engine's injected crashes).  ``precision`` selects
+    the storage profile; checkpoints record it and a resume under a
+    different profile raises :class:`CheckpointError`.
     """
     if n_moments % 2 or n_moments < 2:
         raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
     if checkpoint_every and checkpoint_path is None:
         raise ValueError("checkpoint_every requires checkpoint_path")
     a, b = scale.a, scale.b
+    prec = get_precision(precision)
     bk = get_backend(backend)
 
     if resume_from is not None:
-        ck = resolve_resume(resume_from, n_moments, a, b, metrics)
-        v = ck.v.astype(DTYPE, copy=True)
-        w = ck.w.astype(DTYPE, copy=True)
+        ck = resolve_resume(resume_from, n_moments, a, b, metrics, prec)
+        # storage-dtype copies: the resumed state streams exactly the
+        # bytes the interrupted run held, so the resume is bit-exact
+        v = ck.v.astype(prec.vector_dtype, copy=True)
+        w = ck.w.astype(prec.vector_dtype, copy=True)
         eta = ck.eta.astype(DTYPE, copy=True)
         first_m = ck.next_m
+        r = int(prec.logical_shape(v)[1])
+        plan = bk.plan(H, r, precision=prec)
+    elif prec.half_vectors:
+        # mirror compute_eta's half bootstrap: SpMMV in f16 storage, one
+        # fp32 recombination through the plan's decode scratch
+        if start_block.dtype == np.float16:
+            v = np.ascontiguousarray(start_block)
+        else:
+            v = prec.encode(start_block)
+        r = v.shape[1]
+        plan = bk.plan(H, r, precision=prec)
+        w = bk.spmmv(H, v, counters=counters, metrics=metrics)
+        vc, wc = plan.vc[: H.n_rows], plan.wc
+        prec.decode(v, out=vc)
+        prec.decode(w, out=wc)
+        wc -= b * vc
+        wc *= a
+        prec.encode(wc, out=w)
+        eta = np.empty((r, n_moments), dtype=DTYPE)
+        eta[:, 0], eta[:, 1] = _col_dots(vc, wc)
+        first_m = 1
     else:
-        v = start_block.astype(DTYPE, copy=True)
+        v = start_block.astype(prec.vector_dtype, copy=True)
         w = bk.spmmv(H, v, counters=counters, metrics=metrics)
         w -= b * v
         w *= a
@@ -217,8 +277,8 @@ def checkpointed_eta(
         # moments whichever entry point ran the computation
         eta[:, 0], eta[:, 1] = _col_dots(v, w)
         first_m = 1
+        plan = bk.plan(H, r, precision=prec)
 
-    plan = bk.plan(H, v.shape[1])
     for m in range(first_m, n_moments // 2):
         if fault is not None:
             fault.at_iteration(m)
@@ -233,7 +293,7 @@ def checkpointed_eta(
             with metrics.span("checkpoint_save", phase="ckpt") as sp:
                 saved = KpmCheckpoint(
                     v=v, w=w, eta=eta, next_m=m + 1,
-                    n_moments=n_moments, a=a, b=b,
+                    n_moments=n_moments, a=a, b=b, precision=prec.name,
                 ).save(checkpoint_path)
                 sp.note(file_bytes=saved.stat().st_size)
     return eta

@@ -36,10 +36,11 @@ from repro.core.scaling import SpectralScale
 from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.fused import _col_dots
+from repro.sparse.fused import _col_dots, vec_dots
 from repro.sparse.sell import SellMatrix
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.precision import FP64, Precision, get_precision
 from repro.util.validation import check_block_vector, check_positive
 
 
@@ -70,6 +71,7 @@ def _eta_single(
     plan,
     counters: PerfCounters,
     metrics: MetricsRegistry = NULL_METRICS,
+    prec: Precision = FP64,
 ) -> np.ndarray:
     """Shared single-vector driver for the NAIVE and AUG_SPMV engines.
 
@@ -78,15 +80,33 @@ def _eta_single(
     """
     a, b = scale.a, scale.b
     eta = np.empty(n_moments, dtype=DTYPE)
-    v = start.astype(DTYPE, copy=True)  # nu_0
-    # nu_1 = a (H nu_0 - b nu_0)
-    w = np.empty_like(v)
-    bk.spmv(H, v, out=w, counters=counters, metrics=metrics)
-    np.multiply(v, b, out=plan.work)
-    w -= plan.work
-    w *= a
-    eta[0] = np.vdot(v, v).real
-    eta[1] = np.vdot(w, v)
+    if prec.half_vectors:
+        # nu_0/nu_1 live in half pair storage; the bootstrap recombination
+        # runs once in fp32 through the plan's decode scratch, then the
+        # result is rounded back — exactly the per-step kernel contract.
+        if start.dtype == np.float16:
+            v = np.ascontiguousarray(start)
+        else:
+            v = prec.encode(start)
+        w = bk.spmv(H, v, counters=counters, metrics=metrics)
+        vc, wc = plan.vc[:, 0], plan.wc[:, 0]
+        prec.decode(v, out=vc)
+        prec.decode(w, out=wc)
+        np.multiply(vc, b, out=plan.work)
+        wc -= plan.work
+        wc *= a
+        prec.encode(wc, out=w)
+        eta[0], eta[1] = vec_dots(vc, wc)
+    else:
+        v = start.astype(prec.vector_dtype, copy=True)  # nu_0
+        # nu_1 = a (H nu_0 - b nu_0)
+        w = np.empty_like(v)
+        bk.spmv(H, v, out=w, counters=counters, metrics=metrics)
+        np.multiply(v, b, out=plan.work)
+        w -= plan.work
+        w *= a
+        # fp64-accumulated dots; bitwise np.vdot for the fp64 profile
+        eta[0], eta[1] = vec_dots(v, w)
     for m in range(1, n_moments // 2):
         v, w = w, v  # v = nu_m, w = nu_{m-1}
         eta_even, eta_odd = step_fn(
@@ -106,6 +126,7 @@ def compute_eta(
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
     metrics: MetricsRegistry = NULL_METRICS,
+    precision: Precision | str | None = None,
 ) -> np.ndarray:
     """Compute the raw scalar products eta for every start vector.
 
@@ -129,6 +150,11 @@ def compute_eta(
         Optional :class:`~repro.obs.MetricsRegistry`; when live, every
         kernel invocation records a wall-time span with the counters'
         traffic/flop delta attached (free with the null default).
+    precision:
+        Storage profile (:mod:`repro.util.precision`): ``'fp64'``
+        (default, bitwise the historical path), ``'fp32'``, or
+        ``'fp16v'``.  The eta accumulation is fp64 in every profile; the
+        naive engine supports fp64/fp32 only.
 
     Returns
     -------
@@ -137,9 +163,22 @@ def compute_eta(
     """
     _check_moments(n_moments)
     engine = MomentEngine(engine)
+    prec = get_precision(precision)
+    if prec.half_vectors and engine is MomentEngine.NAIVE:
+        raise ValueError(
+            "the naive engine does not support the fp16v profile (its "
+            "BLAS-1 decomposition has no decode scratch); use the "
+            "aug_spmv or aug_spmmv engine"
+        )
     bk = get_backend(backend)
     n = H.n_rows
     start_block = check_block_vector("start_block", start_block, n)
+    if start_block.dtype == np.float16 and not prec.half_vectors:
+        raise TypeError(
+            "start_block uses float16 pair storage but precision is "
+            f"{prec.name!r}; pass precision='fp16v'"
+        )
+    # (n, r) complex or (n, r, 2) f16 pair storage: r is axis 1 either way
     r = start_block.shape[1]
     eta = np.empty((r, n_moments), dtype=DTYPE)
 
@@ -147,23 +186,42 @@ def compute_eta(
         step_fn = (
             bk.naive_step if engine is MomentEngine.NAIVE else bk.aug_spmv_step
         )
-        plan = bk.plan(H, 1)
+        plan = bk.plan(H, 1, precision=prec)
         for i in range(r):
             eta[i] = _eta_single(
                 H, scale, n_moments, start_block[:, i], bk, step_fn, plan,
-                counters, metrics,
+                counters, metrics, prec,
             )
         return eta
 
     # --- stage 2: blocked ---------------------------------------------
     a, b = scale.a, scale.b
-    plan = bk.plan(H, r)
-    V = start_block.astype(DTYPE, copy=True)  # nu_0 block (private copy)
-    W = bk.spmmv(H, V, counters=counters, metrics=metrics)  # nu_1 block
-    np.multiply(V, b, out=plan.work_block)
-    W -= plan.work_block
-    W *= a
-    eta[:, 0], eta[:, 1] = _col_dots(V, W)
+    plan = bk.plan(H, r, precision=prec)
+    if prec.half_vectors:
+        # Block bootstrap in half storage: the SpMMV streams the f16
+        # layout, then the one-off recombination runs in fp32 through the
+        # plan's decode scratch and is rounded back to storage.
+        if start_block.dtype == np.float16:
+            V = np.ascontiguousarray(start_block)
+        else:
+            V = prec.encode(start_block)
+        W = bk.spmmv(H, V, counters=counters, metrics=metrics)
+        Vc, Wc = plan.vc[: H.n_rows], plan.wc
+        prec.decode(V, out=Vc)
+        prec.decode(W, out=Wc)
+        np.multiply(Vc, b, out=plan.work_block)
+        Wc -= plan.work_block
+        Wc *= a
+        prec.encode(Wc, out=W)
+        eta[:, 0], eta[:, 1] = _col_dots(Vc, Wc)
+    else:
+        # nu_0 block (private copy; complex128 fp64 / complex64 fp32)
+        V = start_block.astype(prec.vector_dtype, copy=True)
+        W = bk.spmmv(H, V, counters=counters, metrics=metrics)  # nu_1 block
+        np.multiply(V, b, out=plan.work_block)
+        W -= plan.work_block
+        W *= a
+        eta[:, 0], eta[:, 1] = _col_dots(V, W)
     for m in range(1, n_moments // 2):
         V, W = W, V
         eta_even, eta_odd = bk.aug_spmmv_step(
@@ -201,6 +259,7 @@ def compute_dos_moments(
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
     metrics: MetricsRegistry = NULL_METRICS,
+    precision: Precision | str | None = None,
 ) -> np.ndarray:
     """Stochastic-trace DOS moments mu_m ~= tr[T_m(H~)].
 
@@ -210,7 +269,7 @@ def compute_dos_moments(
     """
     eta = compute_eta(
         H, scale, n_moments, start_block, engine, counters, backend=backend,
-        metrics=metrics,
+        metrics=metrics, precision=precision,
     )
     mu = eta_to_moments(eta)
     return mu.mean(axis=0).real

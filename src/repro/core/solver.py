@@ -31,6 +31,7 @@ from repro.sparse.backend import KernelBackend
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.sell import SellMatrix
 from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.precision import Precision, get_precision
 from repro.util.validation import check_positive
 
 
@@ -149,6 +150,14 @@ class KPMSolver:
         of failing the solve.  The last run's
         :class:`~repro.resil.ResilienceReport` is exposed as
         ``solver.resilience_report``.
+    precision:
+        Storage profile (:mod:`repro.util.precision`): ``'fp64'``
+        (default — bitwise the historical path), ``'fp32'`` (complex64
+        values and vectors, fp64 dot accumulation, compressed column
+        indices), or ``'fp16v'`` (float16 pair vectors, fp32 compute).
+        Threaded through every engine — serial, distributed, supervised
+        — and recorded in checkpoints.  LDOS supports fp64/fp32; the
+        naive engine and ``fp16v`` are mutually exclusive.
     """
 
     def __init__(
@@ -171,9 +180,11 @@ class KPMSolver:
         weights: list[float] | None = None,
         overlap: bool | str | None = "auto",
         resilience=None,
+        precision: Precision | str | None = None,
     ) -> None:
         check_positive("n_moments", n_moments)
         check_positive("n_vectors", n_vectors)
+        self.precision = get_precision(precision)
         self.H = H
         self.n_moments = int(n_moments)
         self.n_vectors = int(n_vectors)
@@ -257,6 +268,7 @@ class KPMSolver:
             self.H, part, self.scale, self.n_moments, self._start_block(),
             self.world, backend=self.backend, counters=self.counters,
             metrics=self.metrics, overlap=self.overlap,
+            precision=self.precision,
         )
 
     def _supervised_eta(self) -> np.ndarray:
@@ -270,7 +282,7 @@ class KPMSolver:
             self.H, self.scale, self.n_moments, self._start_block(),
             engine=self.dist_engine or "serial", workers=self.workers,
             weights=self.weights, backend=self.backend,
-            overlap=self.overlap,
+            overlap=self.overlap, precision=self.precision,
         )
         self.world = sup.last_world
         self.resilience_report = sup.report
@@ -295,7 +307,7 @@ class KPMSolver:
             eta = compute_eta(
                 self.H, self.scale, self.n_moments, self._start_block(),
                 self.engine, self.counters, backend=self.backend,
-                metrics=self.metrics,
+                metrics=self.metrics, precision=self.precision,
             )
         return eta_to_moments(eta).mean(axis=0).real
 
@@ -341,7 +353,7 @@ class KPMSolver:
             block = self._start_block()
         mu = ldos_moments(
             self.H, self.scale, self.n_moments, block, rows, self.counters,
-            backend=self.backend,
+            backend=self.backend, precision=self.precision,
         )
         pts = n_points if n_points is not None else max(2 * self.n_moments, 256)
         e_grid, rho = reconstruct_dos(
@@ -376,6 +388,7 @@ class KPMSolver:
             eta = compute_eta(
                 self.H, self.scale, self.n_moments, block,
                 self.engine, self.counters, backend=self.backend,
+                precision=self.precision,
             )
             mu = eta_to_moments(eta).sum(axis=0).real  # sum over orbitals
             e_grid, rho = reconstruct_dos(

@@ -19,6 +19,7 @@ from repro.sparse.sell import SellMatrix
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import ShapeError
+from repro.util.precision import Precision, get_precision
 from repro.util.rng import (
     gaussian_vector,
     make_rng,
@@ -110,6 +111,7 @@ def ldos_moments(
     rows: np.ndarray,
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
+    precision: Precision | str | None = None,
 ) -> np.ndarray:
     """Stochastic diagonal (LDOS) moments for selected matrix rows.
 
@@ -123,29 +125,43 @@ def ldos_moments(
     With ``start_block`` = unit vectors on ``rows`` (R == len(rows)), the
     same loop returns the *exact* LDOS instead (used in tests).
 
+    ``precision`` narrows the block-vector storage to complex64
+    (``'fp32'``); the per-site products are accumulated in fp64 either
+    way.  The ``'fp16v'`` profile is refused: this M-iteration recurrence
+    keeps three live blocks and has no per-step decode pass.
+
     Returns real (len(rows), M).
     """
     if n_moments < 2:
         raise ValueError(f"n_moments must be >= 2, got {n_moments}")
+    prec = get_precision(precision)
+    if prec.half_vectors:
+        raise ValueError(
+            "ldos_moments does not support the fp16v profile; use "
+            "precision='fp32' or 'fp64'"
+        )
     rows = np.asarray(rows, dtype=np.int64)
     r = start_block.shape[1]
     a, b = scale.a, scale.b
     bk = get_backend(backend)
-    plan = bk.plan(H, r)
+    plan = bk.plan(H, r, precision=prec)
 
     exact = _is_unit_block(start_block, rows)
     out = np.zeros((rows.size, n_moments))
 
-    v_prev = start_block.astype(DTYPE, copy=True)  # nu_0
+    v_prev = start_block.astype(prec.vector_dtype, copy=True)  # nu_0
     v_cur = bk.spmmv(H, v_prev, counters=counters)  # nu_1
     np.multiply(v_prev, b, out=plan.work_block)
     v_cur -= plan.work_block
     v_cur *= a
 
-    conj0 = np.conj(v_prev[rows, :])
+    g0 = v_prev[rows, :]
+    conj0 = np.conj(g0 if g0.dtype == DTYPE else g0.astype(DTYPE))
 
     def accumulate(m: int, v_m: np.ndarray) -> None:
-        prod = conj0 * v_m[rows, :]
+        # gather-then-widen: the dot accumulation is fp64 per profile
+        gm = v_m[rows, :]
+        prod = conj0 * (gm if gm.dtype == DTYPE else gm.astype(DTYPE))
         if exact:
             out[:, m] = prod[np.arange(rows.size), np.arange(rows.size)].real
         else:

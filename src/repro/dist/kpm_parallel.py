@@ -35,9 +35,11 @@ from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.resil.faults import FaultInjector, FaultPlan
 from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.fused import _col_dots
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import SimulationError
+from repro.util.precision import Precision, get_precision
 from repro.util.validation import check_block_vector
 
 
@@ -86,6 +88,7 @@ def distributed_eta(
     resume_from: KpmCheckpoint | str | Path | None = None,
     fault_plan: FaultPlan | None = None,
     attempt: int = 1,
+    precision: Precision | str | None = None,
 ) -> np.ndarray:
     """Distributed equivalent of :func:`repro.core.moments.compute_eta`.
 
@@ -148,6 +151,12 @@ def distributed_eta(
         process-level faults as
         :class:`~repro.util.errors.FaultInjected`); ``attempt`` selects
         which of the plan's faults are armed.
+    precision:
+        Storage profile (:mod:`repro.util.precision`).  The halo
+        exchange ships the profile's narrow vector storage — the wire
+        bytes per exchanged row drop with ``s_vector`` exactly as the
+        kernels' memory traffic does — and checkpoints record the
+        profile (cross-precision resume is refused).
 
     Returns
     -------
@@ -163,7 +172,7 @@ def distributed_eta(
             metrics=metrics, overlap=overlap,
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path, resume_from=resume_from,
-            fault_plan=fault_plan, attempt=attempt,
+            fault_plan=fault_plan, attempt=attempt, precision=precision,
         )
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap, task_split
@@ -185,11 +194,12 @@ def distributed_eta(
         )
     n = dist.n_global
     a, b = scale.a, scale.b
+    prec = get_precision(precision)
     bk = get_backend(backend)
 
     ck = None
     if resume_from is not None:
-        ck = resolve_resume(resume_from, n_moments, a, b, metrics)
+        ck = resolve_resume(resume_from, n_moments, a, b, metrics, prec)
         if ck.v.shape[0] != n:
             raise SimulationError(
                 f"checkpoint holds {ck.v.shape[0]} rows, matrix has {n}"
@@ -219,28 +229,40 @@ def distributed_eta(
     # Per-rank persistent state, sized once: the local block of the
     # current vector, the rectangular x = [v_loc; halo] kernel input, and
     # each rank's workspace plan for the fused kernel.
+    def _to_storage(sl: np.ndarray) -> np.ndarray:
+        """Private storage-dtype copy of a global-array row slice."""
+        if sl.dtype == np.float16 or prec.is_fp64:
+            return np.array(sl, copy=True, order="C")
+        if prec.half_vectors:
+            return prec.encode(sl)
+        return sl.astype(prec.vector_dtype)
+
     if ck is not None:
         v_loc = [
-            ck.v[blk.row_start : blk.row_stop, :].astype(DTYPE, copy=True)
+            ck.v[blk.row_start : blk.row_stop, :].astype(
+                prec.vector_dtype, copy=True)
             for blk in dist.blocks
         ]
         w_loc = [
-            ck.w[blk.row_start : blk.row_stop, :].astype(DTYPE, copy=True)
+            ck.w[blk.row_start : blk.row_stop, :].astype(
+                prec.vector_dtype, copy=True)
             for blk in dist.blocks
         ]
     else:
         v_loc = [
-            start_block[blk.row_start : blk.row_stop, :].copy()
+            _to_storage(start_block[blk.row_start : blk.row_stop, :])
             for blk in dist.blocks
         ]
     xbufs = [
-        np.empty((blk.matrix.n_cols, r), dtype=DTYPE) for blk in dist.blocks
+        np.empty(prec.vec_shape(blk.matrix.n_cols, r),
+                 dtype=prec.vector_dtype)
+        for blk in dist.blocks
     ]
-    plans = [bk.plan(blk.matrix, r) for blk in dist.blocks]
+    plans = [bk.plan(blk.matrix, r, precision=prec) for blk in dist.blocks]
     splans = None
     if overlap:
         splans = [
-            bk.split_plan(blk.matrix, task_split(blk), r)
+            bk.split_plan(blk.matrix, task_split(blk), r, precision=prec)
             for blk in dist.blocks
         ]
     eta_acc = np.zeros((world.n_ranks, n_moments, r), dtype=DTYPE)
@@ -260,6 +282,7 @@ def distributed_eta(
                 v=np.concatenate(v_loc, axis=0),
                 w=np.concatenate(w_loc, axis=0),
                 eta=eta_full, next_m=m + 1, n_moments=n_moments, a=a, b=b,
+                precision=prec.name,
             ).save(checkpoint_path)
             sp.note(file_bytes=saved.stat().st_size, next_m=m + 1)
 
@@ -269,16 +292,36 @@ def distributed_eta(
         with metrics.span("halo_exchange", phase="dist"):
             _halo_exchange_into(world, dist, v_loc, xbufs, phase="halo_init")
         w_loc = []
-        for blk, v, xbuf, plan in zip(dist.blocks, v_loc, xbufs, plans):
+        for rank, (blk, v, xbuf, plan) in enumerate(
+            zip(dist.blocks, v_loc, xbufs, plans)
+        ):
             u = bk.spmmv(blk.matrix, xbuf, counters=counters, metrics=metrics)
-            np.multiply(v, b, out=plan.work_block)
-            u -= plan.work_block
-            u *= a
+            if prec.half_vectors:
+                # one-off fp32 recombination through the plan's decode
+                # scratch, rounded back to half storage; the bootstrap
+                # dots read the pre-rounding fp32 values, exactly as the
+                # per-step kernels accumulate theirs in registers
+                nr = blk.matrix.n_rows
+                vn = plan.vc[:nr]
+                prec.decode(v, out=vn)
+                un = plan.wc
+                prec.decode(u, out=un)
+                np.multiply(vn, b, out=plan.work_block)
+                un -= plan.work_block
+                un *= a
+                eta_acc[rank, 0], eta_acc[rank, 1] = _col_dots(vn, un)
+                prec.encode(un, out=u)
+            else:
+                np.multiply(v, b, out=plan.work_block)
+                u -= plan.work_block
+                u *= a
+                if prec.is_fp64:
+                    eta_acc[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
+                    eta_acc[rank, 1] = np.einsum("nr,nr->r", np.conj(u), v)
+                else:
+                    # fp64-accumulated dots on the compute-dtype blocks
+                    eta_acc[rank, 0], eta_acc[rank, 1] = _col_dots(v, u)
             w_loc.append(u)
-
-        for rank, (v, w) in enumerate(zip(v_loc, w_loc)):
-            eta_acc[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
-            eta_acc[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
         if reduction == "every":
             with metrics.span("allreduce", phase="dist"):
                 for m_i in (0, 1):
@@ -351,6 +394,7 @@ def distributed_dos(
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
     overlap: bool | str | None = False,
+    precision: Precision | str | None = None,
 ):
     """Full distributed KPM-DOS application: the paper's production code.
 
@@ -385,6 +429,7 @@ def distributed_dos(
     eta = distributed_eta(
         A, partition, scale, n_moments, block, world, reduction=reduction,
         backend=backend, counters=counters, metrics=metrics, overlap=overlap,
+        precision=precision,
     )
     mu = eta_to_moments(eta).mean(axis=0).real
     pts = n_points if n_points is not None else max(2 * n_moments, 256)
@@ -407,6 +452,7 @@ def distributed_dos_moments(
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
     overlap: bool | str | None = False,
+    precision: Precision | str | None = None,
 ) -> np.ndarray:
     """Distributed stochastic-trace moments (mean over the R vectors)."""
     from repro.core.moments import eta_to_moments
@@ -414,5 +460,6 @@ def distributed_dos_moments(
     eta = distributed_eta(
         A, partition, scale, n_moments, start_block, world, reduction=reduction,
         backend=backend, counters=counters, metrics=metrics, overlap=overlap,
+        precision=precision,
     )
     return eta_to_moments(eta).mean(axis=0).real

@@ -89,9 +89,11 @@ from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.resil.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sparse.backend import KernelBackend
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.fused import _col_dots
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import SimulationError, WorkerFailure, WorkerFault
+from repro.util.precision import Precision, get_precision
 from repro.util.validation import check_block_vector, check_positive
 
 #: acct columns maintained by each worker (its row; no locking needed):
@@ -296,6 +298,7 @@ class _RunConfig:
     first_m: int  # 1 for a fresh run, checkpoint.next_m when resuming
     checkpoint_every: int
     overlap: bool = False
+    precision: str = "fp64"  # storage profile name (picklable)
 
 
 # ---------------------------------------------------------------------
@@ -343,6 +346,7 @@ def _worker(
         lo, hi = blk.row_start, blk.row_stop
         n_local = hi - lo
         a, b, r = cfg.a, cfg.b, cfg.r
+        prec = get_precision(cfg.precision)
         bt = cfg.timeouts.barrier
         inj = None
         if cfg.fault_plan is not None:
@@ -359,13 +363,15 @@ def _worker(
             w_counters = NULL_COUNTERS
             w_metrics = NULL_METRICS
 
-        xbuf = np.empty((blk.matrix.n_cols, r), dtype=DTYPE)
-        plan = bk.plan(blk.matrix, r)
+        xbuf = np.empty(prec.vec_shape(blk.matrix.n_cols, r),
+                        dtype=prec.vector_dtype)
+        plan = bk.plan(blk.matrix, r, precision=prec)
         splan = None
         if cfg.overlap:
             from repro.dist.overlap import task_split
 
-            splan = bk.split_plan(blk.matrix, task_split(blk), r)
+            splan = bk.split_plan(blk.matrix, task_split(blk), r,
+                                  precision=prec)
         wins_out = [(q, rows, att[f"w{rank}_{q}"]) for q, rows in send_edges]
         wins_in = [
             (src, int(cnt), att[f"w{src}_{rank}"])
@@ -463,7 +469,7 @@ def _worker(
                 ckst[0] = (m + 1) * 2 + slot
 
         if cfg.first_m == 1:
-            v = np.ascontiguousarray(start[lo:hi, :], dtype=DTYPE)
+            v = np.ascontiguousarray(start[lo:hi], dtype=prec.vector_dtype)
             if inj is not None:
                 inj.at_iteration(0)
             hb[rank] += 1
@@ -478,18 +484,35 @@ def _worker(
             w = bk.spmmv(
                 blk.matrix, xbuf, counters=w_counters, metrics=w_metrics
             )
-            np.multiply(v, b, out=plan.work_block)
-            w -= plan.work_block
-            w *= a
-            eta[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
-            eta[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+            if prec.half_vectors:
+                # one-off fp32 recombination through the plan's decode
+                # scratch (dots read the pre-rounding values, like the
+                # kernels' in-register accumulation), rounded back
+                vn = plan.vc[:n_local]
+                prec.decode(v, out=vn)
+                wn = plan.wc
+                prec.decode(w, out=wn)
+                np.multiply(vn, b, out=plan.work_block)
+                wn -= plan.work_block
+                wn *= a
+                eta[rank, 0], eta[rank, 1] = _col_dots(vn, wn)
+                prec.encode(wn, out=w)
+            else:
+                np.multiply(v, b, out=plan.work_block)
+                w -= plan.work_block
+                w *= a
+                if prec.is_fp64:
+                    eta[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
+                    eta[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+                else:
+                    eta[rank, 0], eta[rank, 1] = _col_dots(v, w)
             if cfg.reduction == "every":
                 reduce_now(0)
         else:
             # Resume: the parent seeded the checkpointed (v, w) blocks
             # into the ``start`` / ``rw`` segments; no bootstrap.
-            v = np.ascontiguousarray(start[lo:hi, :], dtype=DTYPE)
-            w = np.ascontiguousarray(att["rw"][lo:hi, :], dtype=DTYPE)
+            v = np.ascontiguousarray(start[lo:hi], dtype=prec.vector_dtype)
+            w = np.ascontiguousarray(att["rw"][lo:hi], dtype=prec.vector_dtype)
 
         for m in range(cfg.first_m, cfg.n_moments // 2):
             if inj is not None:
@@ -562,7 +585,7 @@ def _worker(
 
 def _charge_log(
     log: MessageLog, dist: DistributedMatrix, r: int, n_moments: int,
-    reduction: str, first_m: int = 1,
+    reduction: str, first_m: int = 1, s_vector: int | None = None,
 ) -> None:
     """Charge the run to ``log`` exactly as :class:`SimWorld` would.
 
@@ -570,15 +593,19 @@ def _charge_log(
     partition/reduction (and, with ``first_m > 1``, the same *resumed*
     iteration range) — asserted by the differential tests, and the
     contract that keeps :mod:`repro.dist.network` pricing mp runs.
+    ``s_vector`` is the bytes per exchanged vector element (the
+    precision profile's storage width; default fp64).  Reductions always
+    move fp64 eta scalars regardless of profile.
     """
     itemsize = np.dtype(DTYPE).itemsize
+    s_vec = itemsize if s_vector is None else int(s_vector)
 
     def halo(phase: str) -> None:
         for block in dist.blocks:
             for src, cnt in zip(
                 block.halo_sources.tolist(), block.halo_counts.tolist()
             ):
-                log.add(src, block.rank, cnt * r * itemsize, phase)
+                log.add(src, block.rank, cnt * r * s_vec, phase)
 
     if first_m == 1:
         halo("halo_init")
@@ -596,21 +623,23 @@ def _charge_log(
 
 
 def _expected_halo_acct(
-    dist: DistributedMatrix, r: int, n_moments: int, first_m: int = 1
+    dist: DistributedMatrix, r: int, n_moments: int, first_m: int = 1,
+    s_vector: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """(messages, bytes) per source rank over the run's halo exchanges.
 
     A fresh run exchanges M/2 times (one bootstrap + M/2 − 1 loop
     iterations); a run resumed at ``first_m`` skips the bootstrap and
-    the first ``first_m − 1`` loop exchanges.
+    the first ``first_m − 1`` loop exchanges.  ``s_vector`` is the
+    profile's bytes per exchanged vector element (default fp64).
     """
-    itemsize = np.dtype(DTYPE).itemsize
+    s_vec = np.dtype(DTYPE).itemsize if s_vector is None else int(s_vector)
     msgs = np.zeros(dist.n_ranks, dtype=np.int64)
     nbytes = np.zeros(dist.n_ranks, dtype=np.int64)
     for (p, _q), rows in dist.pattern.send_rows.items():
         if rows.size:
             msgs[p] += 1
-            nbytes[p] += rows.size * r * itemsize
+            nbytes[p] += rows.size * r * s_vec
     n_exchanges = n_moments // 2 - first_m + (1 if first_m == 1 else 0)
     return msgs * n_exchanges, nbytes * n_exchanges
 
@@ -639,6 +668,7 @@ class _CheckpointChannel:
     def __init__(
         self, eta_shared, ckv, ckw, ckst, base_eta, first_m: int,
         n_moments: int, r: int, a: float, b: float,
+        precision: str = "fp64",
     ) -> None:
         self._eta = eta_shared
         self._ckv, self._ckw, self._ckst = ckv, ckw, ckst
@@ -647,6 +677,7 @@ class _CheckpointChannel:
         self._m_tot = n_moments
         self._r = r
         self._a, self._b = a, b
+        self._precision = precision
         self.saved_state = 0
 
     def capture(self) -> KpmCheckpoint | None:
@@ -671,6 +702,7 @@ class _CheckpointChannel:
         return KpmCheckpoint(
             v=v, w=w, eta=eta, next_m=next_m,
             n_moments=self._m_tot, a=self._a, b=self._b,
+            precision=self._precision,
         )
 
 
@@ -693,6 +725,7 @@ def mp_eta(
     fault_plan: FaultPlan | None = None,
     attempt: int = 1,
     _fault: tuple | None = None,
+    precision: Precision | str | None = None,
 ) -> np.ndarray:
     """Multiprocess equivalent of :func:`repro.dist.kpm_parallel.distributed_eta`.
 
@@ -743,10 +776,12 @@ def mp_eta(
         )
     n = dist.n_global
     timeouts = world.timeouts
+    prec = get_precision(precision)
 
     ck = None
     if resume_from is not None:
-        ck = resolve_resume(resume_from, n_moments, scale.a, scale.b, metrics)
+        ck = resolve_resume(resume_from, n_moments, scale.a, scale.b, metrics,
+                            prec)
         if ck.v.shape[0] != n:
             raise SimulationError(
                 f"checkpoint holds {ck.v.shape[0]} rows, matrix has {n}"
@@ -776,15 +811,23 @@ def mp_eta(
         timeouts=timeouts, fault_plan=fault_plan, attempt=int(attempt),
         want_obs=want_obs, first_m=first_m,
         checkpoint_every=int(checkpoint_every), overlap=overlap,
+        precision=prec.name,
     )
     errors: list[tuple[int, str, str]] = []
     procs: list = []
     world.last_checkpoint = None
     with ShmArena() as arena:
-        start = arena.create("start", (n, r))
-        start[...] = ck.v if ck is not None else start_block
+        vec_dt = np.dtype(prec.vector_dtype).str
+        start = arena.create("start", prec.vec_shape(n, r), dtype=vec_dt)
         if ck is not None:
-            arena.create("rw", (n, r))[...] = ck.w
+            start[...] = ck.v
+            arena.create("rw", prec.vec_shape(n, r), dtype=vec_dt)[...] = ck.w
+        elif start_block.dtype == np.float16 or prec.is_fp64:
+            start[...] = start_block
+        elif prec.half_vectors:
+            prec.encode(start_block, out=start)
+        else:
+            start[...] = start_block.astype(prec.vector_dtype)
         eta_shared = arena.create("eta", (world.n_ranks, n_moments, r))
         acct = arena.create("acct", (world.n_ranks, _ACCT_COLS), dtype="int64")
         hb = arena.create("hb", (world.n_ranks,), dtype="int64")
@@ -796,12 +839,12 @@ def mp_eta(
             )
         channel = None
         if checkpoint_every > 0:
-            ckv = arena.create("ckv", (2, n, r))
-            ckw = arena.create("ckw", (2, n, r))
+            ckv = arena.create("ckv", (2, *prec.vec_shape(n, r)), dtype=vec_dt)
+            ckw = arena.create("ckw", (2, *prec.vec_shape(n, r)), dtype=vec_dt)
             ckst = arena.create("ckst", (1,), dtype="int64")
             channel = _CheckpointChannel(
                 eta_shared, ckv, ckw, ckst, base_eta, first_m,
-                n_moments, r, scale.a, scale.b,
+                n_moments, r, scale.a, scale.b, prec.name,
             )
         # Halo windows: task mode double-buffers each directed edge (slot
         # m % 2) and pairs every (edge, slot) with ready/free events —
@@ -809,8 +852,9 @@ def mp_eta(
         events: dict[tuple[int, int], list] = {}
         for p, edges in enumerate(send_edges):
             for q, rows in edges:
-                shape = (2, rows.size, r) if overlap else (rows.size, r)
-                arena.create(f"w{p}_{q}", shape)
+                wshape = prec.vec_shape(rows.size, r)
+                shape = (2, *wshape) if overlap else wshape
+                arena.create(f"w{p}_{q}", shape, dtype=vec_dt)
                 if overlap:
                     slots = []
                     for _slot in range(2):
@@ -920,7 +964,9 @@ def mp_eta(
         else:
             eta_global = eta_shared.sum(axis=0)  # the single deferred reduction
 
-        exp_msgs, exp_bytes = _expected_halo_acct(dist, r, n_moments, first_m)
+        exp_msgs, exp_bytes = _expected_halo_acct(
+            dist, r, n_moments, first_m, prec.s_vector
+        )
         if not (
             np.array_equal(world.last_acct[:, 0], exp_msgs)
             and np.array_equal(world.last_acct[:, 1], exp_bytes)
@@ -942,7 +988,8 @@ def mp_eta(
             counters.merge(PerfCounters.from_dict(snap["counters"]))
             metrics.merge_snapshot(snap["metrics"], prefix=f"rank{p}.")
 
-    _charge_log(world.log, dist, r, n_moments, reduction, first_m)
+    _charge_log(world.log, dist, r, n_moments, reduction, first_m,
+                prec.s_vector)
     return eta_global.T.copy()  # (R, M), as the serial/sim engines
 
 

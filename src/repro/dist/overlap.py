@@ -119,7 +119,11 @@ class TaskSplit:
 
     ``nnz_interior`` / ``nnz_boundary`` drive the overlap time model
     with the *same* split the kernels execute, so the model's hidden
-    fraction and the measured one are comparable.
+    fraction and the measured one are comparable.  ``n_cols`` is the
+    local+halo column count of the rank's matrix — the analytic charge
+    model (:func:`repro.perf.report.expected_counters`) needs it to
+    price this rank's index stream under a narrow precision profile
+    (uint16 iff ``n_cols`` fits).
     """
 
     row0: int
@@ -128,6 +132,7 @@ class TaskSplit:
     n_rows: int
     nnz_interior: int
     nnz_boundary: int
+    n_cols: int = 0
 
     @property
     def n_interior(self) -> int:
@@ -184,6 +189,7 @@ def task_split(block: RankBlock) -> TaskSplit:
         row0=row0, row1=row1, boundary=boundary, n_rows=mat.n_rows,
         nnz_interior=nnz_interior,
         nnz_boundary=int(mat.nnz - nnz_interior),
+        n_cols=mat.n_cols,
     )
 
 
@@ -224,9 +230,10 @@ def two_phase_spmmv(
     is identical to the single-phase product (tested), and the split
     sizes feed :func:`exposed_communication_time`.
     """
-    r = v_local.shape[1]
+    # storage-dtype generic: (n, r) complex or (n, r, 2) f16 pair layout
     if out is None:
-        out = np.empty((split.n_local, r), dtype=DTYPE)
+        out = np.empty((split.n_local, *v_local.shape[1:]),
+                       dtype=v_local.dtype)
     if split.interior.size:
         out[split.interior] = spmmv(
             split.interior_matrix, np.ascontiguousarray(v_local),

@@ -14,6 +14,16 @@ Everything is parameterized exactly as in the paper:
 The same formulas are charged at runtime by the instrumented kernels in
 :mod:`repro.sparse`, so the test suite can verify Table I against actual
 kernel executions entry by entry.
+
+Mixed precision splits ``S_d`` in two: the matrix-value stream width
+``s_d`` and the vector storage width ``s_v`` (they differ in the fp16v
+profile: complex64 values but float16 pair vectors).  Every formula
+below takes an optional ``s_v`` (defaulting to ``s_d``, which keeps the
+paper's single-S_d notation for the uniform profiles), and
+:func:`precision_widths` resolves the three stream widths of a
+:class:`~repro.util.precision.Precision` profile in one call.  The
+flops never change — precision moves bytes only, exactly like the
+paper's blocking optimizations.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.util.constants import F_ADD, F_MUL, S_D, S_I
+from repro.util.precision import S_I_NARROW, get_precision
 
 #: Flops per matrix row and inner iteration beyond the SpMV:
 #: the paper's 7 F_a / 2 + 9 F_m / 2 (= 34 for complex arithmetic).
@@ -46,6 +57,25 @@ class TrafficFlops:
         return TrafficFlops(self.bytes * k, self.flops * k)
 
     __rmul__ = __mul__
+
+
+def precision_widths(
+    precision=None, n_cols: int | None = None
+) -> tuple[int, int, int]:
+    """``(s_d, s_v, s_i)`` stream widths of a storage profile.
+
+    ``n_cols`` decides uint16 index eligibility for the narrow profiles;
+    when omitted, eligibility is assumed — the distributed partition
+    renumbers rank-local columns into [local | halo] order, so
+    production narrow runs stream uint16 indices.  The fp64 profile
+    always returns the paper's (16, 16, 4).
+    """
+    prec = get_precision(precision)
+    if n_cols is None:
+        s_i = S_I_NARROW if prec.narrow_indices else S_I
+    else:
+        s_i = prec.index_bytes(n_cols)
+    return prec.s_value, prec.s_vector, s_i
 
 
 def table1_min_bytes(
@@ -111,24 +141,29 @@ def kpm_min_traffic(
     stage: str = "aug_spmmv",
     s_d: int = S_D,
     s_i: int = S_I,
+    s_v: int | None = None,
 ) -> float:
     """Total minimum solver traffic V_KPM in bytes — paper Eq. (4).
 
     =============  =================================================
     stage          V_KPM
     =============  =================================================
-    ``naive``      R M/2 [N_nz (S_d + S_i) + 13 S_d N]
-    ``aug_spmv``   R M/2 [N_nz (S_d + S_i) + 3 S_d N]
-    ``aug_spmmv``    M/2 [N_nz (S_d + S_i) + 3 R S_d N]
+    ``naive``      R M/2 [N_nz (S_d + S_i) + 13 S_v N]
+    ``aug_spmv``   R M/2 [N_nz (S_d + S_i) + 3 S_v N]
+    ``aug_spmmv``    M/2 [N_nz (S_d + S_i) + 3 R S_v N]
     =============  =================================================
+
+    ``s_v`` (vector storage width) defaults to ``s_d``, the paper's
+    uniform-precision notation; the fp16v profile passes s_d=8, s_v=4.
     """
+    s_x = s_d if s_v is None else s_v
     matrix = nnz * (s_d + s_i)
     if stage == "naive":
-        return r * m / 2 * (matrix + 13 * s_d * n)
+        return r * m / 2 * (matrix + 13 * s_x * n)
     if stage == "aug_spmv":
-        return r * m / 2 * (matrix + 3 * s_d * n)
+        return r * m / 2 * (matrix + 3 * s_x * n)
     if stage == "aug_spmmv":
-        return m / 2 * (matrix + 3 * r * s_d * n)
+        return m / 2 * (matrix + 3 * r * s_x * n)
     raise ValueError(
         f"stage must be 'naive', 'aug_spmv' or 'aug_spmmv', got {stage!r}"
     )
@@ -149,18 +184,23 @@ def bmin(
     s_i: int = S_I,
     f_a: int = F_ADD,
     f_m: int = F_MUL,
+    s_v: int | None = None,
 ) -> float:
     """Minimum code balance of the blocked solver — paper Eq. (5).
 
-    B_min(R) = [N_nzr / R (S_d + S_i) + 3 S_d]
+    B_min(R) = [N_nzr / R (S_d + S_i) + 3 S_v]
                / [N_nzr (F_a + F_m) + 7 F_a/2 + 9 F_m/2]
 
-    With the paper's parameters this is (260/R + 48) / 138 bytes/flop:
-    ~2.23 at R = 1 (Eq. (6)) and -> ~0.35 for R -> inf (Eq. (7)).
+    With the paper's parameters (S_v = S_d = 16) this is
+    (260/R + 48) / 138 bytes/flop: ~2.23 at R = 1 (Eq. (6)) and
+    -> ~0.35 for R -> inf (Eq. (7)).  The narrow profiles pass their
+    own widths (fp32: 8/8/2 -> half the balance at every R; fp16v:
+    8/4/2 -> the R -> inf limit drops 4x to ~0.087).
     """
     if r < 1:
         raise ValueError(f"block width R must be >= 1, got {r}")
-    num = nnzr / r * (s_d + s_i) + 3 * s_d
+    s_x = s_d if s_v is None else s_v
+    num = nnzr / r * (s_d + s_i) + 3 * s_x
     den = nnzr * (f_a + f_m) + (7 * f_a / 2 + 9 * f_m / 2)
     return num / den
 
@@ -171,7 +211,12 @@ def bmin_limit(
     f_a: int = F_ADD,
     f_m: int = F_MUL,
 ) -> float:
-    """R -> infinity limit of the code balance — paper Eq. (7) (~0.35)."""
+    """R -> infinity limit of the code balance — paper Eq. (7) (~0.35).
+
+    Only the three block-vector streams survive the limit, so ``s_d``
+    here is the *vector* storage width: narrow profiles pass their
+    ``s_vector`` (8 for fp32, 4 for fp16v).
+    """
     den = nnzr * (f_a + f_m) + (7 * f_a / 2 + 9 * f_m / 2)
     return 3 * s_d / den
 
@@ -182,8 +227,10 @@ def naive_balance(
     s_i: int = S_I,
     f_a: int = F_ADD,
     f_m: int = F_MUL,
+    s_v: int | None = None,
 ) -> float:
     """Code balance of the naive algorithm (13 vector transfers/iter)."""
-    num = nnzr * (s_d + s_i) + 13 * s_d
+    s_x = s_d if s_v is None else s_v
+    num = nnzr * (s_d + s_i) + 13 * s_x
     den = nnzr * (f_a + f_m) + (7 * f_a / 2 + 9 * f_m / 2)
     return num / den

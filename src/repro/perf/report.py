@@ -22,7 +22,14 @@ from __future__ import annotations
 from io import StringIO
 
 from repro.perf.arch import ARCHITECTURES, PIZ_DAINT_NODE, NodeConfig
-from repro.perf.balance import bmin, bmin_limit, kpm_flops, kpm_min_traffic, naive_balance
+from repro.perf.balance import (
+    bmin,
+    bmin_limit,
+    kpm_flops,
+    kpm_min_traffic,
+    naive_balance,
+    precision_widths,
+)
 from repro.perf.roofline import (
     cpu_kernel_performance,
     custom_roofline,
@@ -36,8 +43,9 @@ from repro.sparse.fused import (
     charge_aug_spmv,
 )
 from repro.sparse.spmv import _charge_spmv
-from repro.util.constants import F_ADD, F_MUL, S_D, S_I
+from repro.util.constants import F_ADD, F_MUL
 from repro.util.counters import PerfCounters
+from repro.util.precision import FP64, PRECISIONS, Precision, get_precision
 from repro.util.validation import check_positive
 
 
@@ -72,6 +80,31 @@ def balance_section(n: int, nnzr: float, r: int, m: int) -> str:
         f"stage1 {bmin(1, nnzr):.3f}, stage2(R={r}) {bmin(r, nnzr):.3f}, "
         f"limit {bmin_limit(nnzr):.3f} bytes/flop\n"
     )
+    return out.getvalue()
+
+
+def precision_balance_section(r: int, nnzr: float = 13.0) -> str:
+    """Eq. (5)-(7) code balances under each storage profile.
+
+    One row per profile with its stream widths (matrix value, vector
+    storage, index — uint16 eligibility assumed for the narrow
+    profiles) and the resulting naive / stage-1 / stage-2 / limit
+    balances.  fp32 halves every balance; fp16v drops the R -> inf
+    limit 4x below the paper's Eq. (7).
+    """
+    out = StringIO()
+    out.write(f"{'profile':>8} {'S_d':>4} {'S_v':>4} {'S_i':>4} "
+              f"{'naive':>7} {'B_min(1)':>9} {f'B_min({r})':>9} "
+              f"{'limit':>7}\n")
+    for name in PRECISIONS:
+        s_d, s_v, s_i = precision_widths(name)
+        out.write(
+            f"{name:>8} {s_d:>4} {s_v:>4} {s_i:>4} "
+            f"{naive_balance(nnzr, s_d=s_d, s_i=s_i, s_v=s_v):>7.3f} "
+            f"{bmin(1, nnzr, s_d=s_d, s_i=s_i, s_v=s_v):>9.3f} "
+            f"{bmin(r, nnzr, s_d=s_d, s_i=s_i, s_v=s_v):>9.3f} "
+            f"{bmin_limit(nnzr, s_d=s_v):>7.3f}\n"
+        )
     return out.getvalue()
 
 
@@ -132,21 +165,24 @@ def cluster_section(domain: tuple[int, int, int], nodes: int, m: int, r: int) ->
     return out.getvalue()
 
 
-def _charge_naive_iteration(A, c: PerfCounters) -> None:
+def _charge_naive_iteration(
+    A, c: PerfCounters, prec: Precision = FP64
+) -> None:
     """Analytic charge of one naive inner iteration (Fig. 3 call chain)."""
     n = A.n_rows
-    _charge_spmv(A, 1, c, "spmv")
+    s_x = prec.s_vector
+    _charge_spmv(A, 1, c, "spmv", prec)
     for _ in range(2):  # two axpy calls
-        c.charge("axpy", loads=2 * n * S_D, stores=n * S_D,
+        c.charge("axpy", loads=2 * n * s_x, stores=n * s_x,
                  flops=n * (F_ADD + F_MUL))
-    c.charge("scal", loads=n * S_D, stores=n * S_D, flops=n * F_MUL)
-    c.charge("nrm2", loads=n * S_D, flops=n * (F_ADD // 2 + F_MUL // 2))
-    c.charge("dot", loads=2 * n * S_D, flops=n * (F_ADD + F_MUL))
+    c.charge("scal", loads=n * s_x, stores=n * s_x, flops=n * F_MUL)
+    c.charge("nrm2", loads=n * s_x, flops=n * (F_ADD // 2 + F_MUL // 2))
+    c.charge("dot", loads=2 * n * s_x, flops=n * (F_ADD + F_MUL))
 
 
 def expected_counters(
     A, n_moments: int, n_vectors: int, engine: str = "aug_spmmv",
-    splits=None,
+    splits=None, precision: Precision | str | None = None,
 ) -> PerfCounters:
     """Analytic minimum-traffic counters of one serial moment computation.
 
@@ -168,6 +204,12 @@ def expected_counters(
     byte/flop totals are identical to the serial charge — only the
     per-kernel call attribution differs — so measured == analytic
     stays exact under overlap.  Only valid with ``engine='aug_spmmv'``.
+
+    ``precision`` re-prices every stream with the profile's widths —
+    including, in the splits path, each rank's *own* index width: a
+    rank whose local+halo column count (``sp.n_cols``) fits uint16
+    charges S_i = 2 under a narrow profile even when the global
+    operator does not.
     """
     if n_moments % 2 or n_moments < 2:
         raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
@@ -177,44 +219,50 @@ def expected_counters(
             f"splits= is only meaningful for engine='aug_spmmv', "
             f"got {engine!r}"
         )
+    prec = get_precision(precision)
     c = PerfCounters()
     half = n_moments // 2
     if splits is not None:
         for sp in splits:
             n_loc = sp.n_interior + sp.n_boundary
             slots_loc = sp.nnz_interior + sp.nnz_boundary
+            # per-rank index width: locality decides uint16 eligibility
+            s_i = prec.index_bytes(getattr(sp, "n_cols", 0) or A.n_cols)
+            s_x = prec.s_vector
             # Bootstrap nu_1 block on the rank's local rows — identical
             # per-row charge to _charge_spmv of the local matrix.
             c.charge(
                 "spmmv",
-                loads=slots_loc * (S_D + S_I) + n_vectors * n_loc * S_D,
-                stores=n_vectors * n_loc * S_D,
+                loads=slots_loc * (prec.s_value + s_i)
+                + n_vectors * n_loc * s_x,
+                stores=n_vectors * n_loc * s_x,
                 flops=n_vectors * slots_loc * (F_ADD + F_MUL),
             )
         for _ in range(half - 1):
             for sp in splits:
+                s_i = prec.index_bytes(getattr(sp, "n_cols", 0) or A.n_cols)
                 charge_aug_spmmv_part(
                     sp.n_interior, sp.nnz_interior, n_vectors, c,
-                    "aug_spmmv_int",
+                    "aug_spmmv_int", prec, s_index=s_i,
                 )
                 charge_aug_spmmv_part(
                     sp.n_boundary, sp.nnz_boundary, n_vectors, c,
-                    "aug_spmmv_bnd",
+                    "aug_spmmv_bnd", prec, s_index=s_i,
                 )
     elif engine == "aug_spmmv":
-        _charge_spmv(A, n_vectors, c, "spmmv")  # bootstrap nu_1 block
+        _charge_spmv(A, n_vectors, c, "spmmv", prec)  # bootstrap nu_1 block
         for _ in range(half - 1):
-            charge_aug_spmmv(A, n_vectors, c)
+            charge_aug_spmmv(A, n_vectors, c, prec)
     elif engine == "aug_spmv":
         for _ in range(n_vectors):
-            _charge_spmv(A, 1, c, "spmv")  # bootstrap nu_1
+            _charge_spmv(A, 1, c, "spmv", prec)  # bootstrap nu_1
             for _ in range(half - 1):
-                charge_aug_spmv(A, c)
+                charge_aug_spmv(A, c, prec)
     elif engine == "naive":
         for _ in range(n_vectors):
-            _charge_spmv(A, 1, c, "spmv")  # bootstrap nu_1
+            _charge_spmv(A, 1, c, "spmv", prec)  # bootstrap nu_1
             for _ in range(half - 1):
-                _charge_naive_iteration(A, c)
+                _charge_naive_iteration(A, c, prec)
     else:
         raise ValueError(
             f"engine must be 'naive', 'aug_spmv' or 'aug_spmmv', "
@@ -223,19 +271,21 @@ def expected_counters(
     return c
 
 
-def _kernel_model_balance(A, name: str, r: int) -> float | None:
+def _kernel_model_balance(
+    A, name: str, r: int, prec: Precision = FP64
+) -> float | None:
     """Model bytes/flop of one kernel invocation (None when unmodeled)."""
     c = PerfCounters()
     if name == "aug_spmmv":
-        charge_aug_spmmv(A, r, c)
+        charge_aug_spmmv(A, r, c, prec)
     elif name == "aug_spmv":
-        charge_aug_spmv(A, c)
+        charge_aug_spmv(A, c, prec)
     elif name == "spmv":
-        _charge_spmv(A, 1, c, name)
+        _charge_spmv(A, 1, c, name, prec)
     elif name == "spmmv":
-        _charge_spmv(A, r, c, name)
+        _charge_spmv(A, r, c, name, prec)
     elif name == "naive_step":
-        _charge_naive_iteration(A, c)
+        _charge_naive_iteration(A, c, prec)
     else:
         return None
     return c.code_balance
@@ -248,6 +298,7 @@ def measured_vs_model_section(
     n_vectors: int,
     engine: str = "aug_spmmv",
     metrics=None,
+    precision: Precision | str | None = None,
 ) -> str:
     """Measured counters vs. the analytic minimum and the Eq. (4) model.
 
@@ -255,15 +306,21 @@ def measured_vs_model_section(
     ``compute_eta`` run charged; ``metrics`` optionally the
     :class:`~repro.obs.MetricsRegistry` of the same run, adding a
     per-kernel achieved-vs-model code-balance table (with wall-clock
-    Gflop/s where the spans carried time).
+    Gflop/s where the spans carried time).  ``precision`` must match
+    the run's profile for the exact-match line to hold.
     """
-    exp = expected_counters(A, n_moments, n_vectors, engine)
+    prec = get_precision(precision)
+    exp = expected_counters(A, n_moments, n_vectors, engine, precision=prec)
     slots = _slots(A)
     nnzr = slots / A.n_rows
+    s_d, s_x, s_i = prec.s_value, prec.s_vector, prec.index_bytes(A.n_cols)
     out = StringIO()
     out.write(
         f"engine {engine}, M = {n_moments}, R = {n_vectors}, "
-        f"N = {A.n_rows:,}, streamed slots = {slots:,} ({nnzr:.2f}/row)\n"
+        f"N = {A.n_rows:,}, streamed slots = {slots:,} ({nnzr:.2f}/row)"
+        + ("" if prec.is_fp64 else
+           f", precision {prec.name} (S_d={s_d}, S_v={s_x}, S_i={s_i})")
+        + "\n"
     )
     out.write(
         f"  measured: {counters.bytes_total:,} B  {counters.flops:,} F  "
@@ -289,7 +346,8 @@ def measured_vs_model_section(
         )
     # Eq. (4) aggregate: all M/2 iterations priced as the stage kernel
     # (the bootstrap Sp(M)MV is slightly cheaper, so measured <= model).
-    v_model = kpm_min_traffic(A.n_rows, slots, n_vectors, n_moments, engine)
+    v_model = kpm_min_traffic(A.n_rows, slots, n_vectors, n_moments, engine,
+                              s_d=s_d, s_i=s_i, s_v=s_x)
     f_model = kpm_flops(A.n_rows, slots, n_vectors, n_moments)
     out.write(
         f"  Eq.(4) V_KPM[{engine}]: {v_model:.4e} B "
@@ -300,9 +358,11 @@ def measured_vs_model_section(
         f"(measured/model = {counters.flops / f_model:.4f})\n"
     )
     out.write(
-        f"  model balances: naive {naive_balance(nnzr):.3f}, "
-        f"stage1 {bmin(1, nnzr):.3f}, stage2(R={n_vectors}) "
-        f"{bmin(n_vectors, nnzr):.3f}, limit {bmin_limit(nnzr):.3f} B/F\n"
+        f"  model balances: naive {naive_balance(nnzr, s_d=s_d, s_i=s_i, s_v=s_x):.3f}, "
+        f"stage1 {bmin(1, nnzr, s_d=s_d, s_i=s_i, s_v=s_x):.3f}, "
+        f"stage2(R={n_vectors}) "
+        f"{bmin(n_vectors, nnzr, s_d=s_d, s_i=s_i, s_v=s_x):.3f}, "
+        f"limit {bmin_limit(nnzr, s_d=s_x):.3f} B/F\n"
     )
     if metrics is not None and metrics.timers:
         out.write(
@@ -319,7 +379,7 @@ def measured_vs_model_section(
             # kernel's leaf name; per-call balance depends on nnz/row,
             # which the row partition preserves.
             model_bf = _kernel_model_balance(
-                A, name.rpartition(".")[2], n_vectors
+                A, name.rpartition(".")[2], n_vectors, prec
             )
             model_s = f"{model_bf:10.4f}" if model_bf is not None else f"{'-':>10}"
             gfs = nflops / t.total / 1e9 if t.total > 0 else float("nan")
@@ -368,6 +428,8 @@ def full_report(
         ("ARCHITECTURES (paper Table II)", architecture_table()),
         ("ACCOUNTING (paper Table I, Eqs. (4)-(7))",
          balance_section(n, 13.0, r, m)),
+        ("PRECISION PROFILES (Eqs. (5)-(7) per storage profile)",
+         precision_balance_section(r, 13.0)),
         ("DEVICE ROOFLINES (paper Figs. 7, 8, 10)", device_section(r, 13.0)),
         ("NODE LEVEL (paper Fig. 11)", node_section(node, r)),
         ("CLUSTER (paper Fig. 12, Table III)",

@@ -13,7 +13,12 @@
 from __future__ import annotations
 
 from repro.perf.arch import Architecture, NodeConfig
-from repro.perf.balance import KPM_FLOPS_PER_ROW, bmin, naive_balance
+from repro.perf.balance import (
+    KPM_FLOPS_PER_ROW,
+    bmin,
+    naive_balance,
+    precision_widths,
+)
 from repro.perf.traffic import gpu_level_traffic, omega_parametric
 from repro.util.constants import BYTES_PER_GB, F_ADD, F_MUL, S_D, S_I
 
@@ -43,6 +48,7 @@ def llc_code_balance(
     s_i: int = S_I,
     f_a: int = F_ADD,
     f_m: int = F_MUL,
+    s_v: int | None = None,
 ) -> float:
     """Cache-level code balance B_LLC(R) of the blocked fused kernel.
 
@@ -56,7 +62,8 @@ def llc_code_balance(
     """
     if r < 1:
         raise ValueError(f"R must be >= 1, got {r}")
-    bytes_per_row = nnzr * (s_d + s_i) / r + nnzr * s_d + 3 * s_d
+    s_x = s_d if s_v is None else s_v
+    bytes_per_row = nnzr * (s_d + s_i) / r + nnzr * s_x + 3 * s_x
     flops_per_row = nnzr * (f_a + f_m) + KPM_FLOPS_PER_ROW
     return bytes_per_row / flops_per_row
 
@@ -66,15 +73,21 @@ def custom_roofline(
     r: int,
     nnzr: float = 13.0,
     omega: float = 1.0,
+    precision=None,
 ) -> dict[str, float]:
     """Paper Eq. (11): P* = min(P*_MEM, P*_LLC) for the blocked kernel.
 
     Returns the components too, so benches can plot the bound crossover
     of paper Fig. 8: ``{"p_mem", "p_llc", "p_star"}`` in Gflop/s.
+    ``precision`` swaps in a narrow profile's stream widths everywhere
+    (both bounds rise — the kernel moves fewer bytes per flop).
     """
-    balance = omega * bmin(r, nnzr)
+    s_d, s_v, s_i = precision_widths(precision)
+    balance = omega * bmin(r, nnzr, s_d=s_d, s_i=s_i, s_v=s_v)
     p_mem = memory_bound_performance(arch.bandwidth_gbs, balance)
-    p_llc = arch.llc_bandwidth_gbs / llc_code_balance(r, nnzr)
+    p_llc = arch.llc_bandwidth_gbs / llc_code_balance(
+        r, nnzr, s_d=s_d, s_i=s_i, s_v=s_v
+    )
     return {
         "p_mem": min(p_mem, arch.peak_gflops),
         "p_llc": min(p_llc, arch.peak_gflops),
@@ -92,6 +105,7 @@ def cpu_kernel_performance(
     nnzr: float = 13.0,
     stencil_rows: float | None = None,
     rfo: bool = True,
+    precision=None,
 ) -> float:
     """Predicted CPU Gflop/s for one optimization stage.
 
@@ -113,30 +127,39 @@ def cpu_kernel_performance(
     core_frac = cores / arch.cores
     p_core = cores * arch.peak_per_core_gflops * arch.incore_efficiency
 
+    s_d, s_v, s_i = precision_widths(precision)
     omega = 1.0
     if n is not None and stencil_rows is not None:
-        omega = omega_parametric(r, n, nnzr, arch.llc_bytes, stencil_rows)
+        omega = omega_parametric(
+            r, n, nnzr, arch.llc_bytes, stencil_rows, s_d=s_d, s_i=s_i,
+            s_v=s_v,
+        )
 
     # write-allocate (RFO) traffic: every vector store first loads the
-    # target line, adding S_d per stored element on x86 CPUs. Table I is
+    # target line, adding S_v per stored element on x86 CPUs. Table I is
     # *minimum* traffic; the actual-performance model must include RFO.
     flops_per_row = nnzr * (F_ADD + F_MUL) + KPM_FLOPS_PER_ROW
     if stage == "naive":
         # 4 vector stores per row and iteration (u twice, w twice)
-        balance = omega * naive_balance(nnzr) + (4 * S_D if rfo else 0) / flops_per_row
+        balance = omega * naive_balance(nnzr, s_d=s_d, s_i=s_i, s_v=s_v) \
+            + (4 * s_v if rfo else 0) / flops_per_row
         return min(
             p_core, arch.blas1_efficiency * arch.bandwidth_gbs / balance
         )
     if stage == "aug_spmv":
         # single store (w)
-        balance = omega * bmin(1, nnzr) + (S_D if rfo else 0) / flops_per_row
+        balance = omega * bmin(1, nnzr, s_d=s_d, s_i=s_i, s_v=s_v) \
+            + (s_v if rfo else 0) / flops_per_row
         return min(p_core, arch.bandwidth_gbs / balance)
     if stage == "aug_spmmv":
-        # R stores per row -> S_d per flop-normalized R
-        balance = omega * bmin(r, nnzr) + (S_D if rfo else 0) / flops_per_row
+        # R stores per row -> S_v per flop-normalized R
+        balance = omega * bmin(r, nnzr, s_d=s_d, s_i=s_i, s_v=s_v) \
+            + (s_v if rfo else 0) / flops_per_row
         p_mem = arch.bandwidth_gbs / balance
         # LLC bandwidth scales with the active cores (distributed L3 slices)
-        p_llc = core_frac * arch.llc_bandwidth_gbs / llc_code_balance(r, nnzr)
+        p_llc = core_frac * arch.llc_bandwidth_gbs / llc_code_balance(
+            r, nnzr, s_d=s_d, s_i=s_i, s_v=s_v
+        )
         return min(p_core, p_mem, p_llc)
     raise ValueError(
         f"stage must be 'naive', 'aug_spmv' or 'aug_spmmv', got {stage!r}"
@@ -150,6 +173,7 @@ def gpu_kernel_performance(
     *,
     n: int = 1_600_000,
     nnzr: float = 13.0,
+    precision=None,
 ) -> float:
     """Predicted GPU Gflop/s for one optimization stage.
 
@@ -163,12 +187,14 @@ def gpu_kernel_performance(
     if arch.kind != "gpu":
         raise ValueError(f"{arch.name} is not a GPU")
     nnz = nnzr * n
+    s_d, s_v, s_i = precision_widths(precision)
     if stage == "naive":
         # separate BLAS-1 kernels: memory bound at the naive balance,
         # derated by per-kernel launch and separate-reduction overhead
         return min(
             arch.peak_gflops,
-            arch.blas1_efficiency * arch.bandwidth_gbs / naive_balance(nnzr),
+            arch.blas1_efficiency * arch.bandwidth_gbs
+            / naive_balance(nnzr, s_d=s_d, s_i=s_i, s_v=s_v),
         )
     if stage == "aug_spmv":
         # Stage 1 uses the classic SpMV thread mapping (one warp per
@@ -178,7 +204,8 @@ def gpu_kernel_performance(
         # stages on the GPU (paper Fig. 11 middle bars).
         return min(
             arch.peak_gflops,
-            0.55 * arch.bandwidth_gbs / bmin(1, nnzr),
+            0.55 * arch.bandwidth_gbs / bmin(1, nnzr, s_d=s_d, s_i=s_i,
+                                             s_v=s_v),
         )
     if stage == "aug_spmmv":
         kernel, r_eff, latency = "aug_spmmv", r, True
@@ -189,7 +216,8 @@ def gpu_kernel_performance(
     else:
         raise ValueError(f"unknown stage {stage!r}")
 
-    traffic = gpu_level_traffic(kernel, r_eff, n, nnzr, arch)
+    traffic = gpu_level_traffic(kernel, r_eff, n, nnzr, arch, s_d=s_d,
+                                s_i=s_i, s_v=s_v)
     flops = r_eff * (nnz * (F_ADD + F_MUL) + n * KPM_FLOPS_PER_ROW)
     t_dram = traffic.dram / (arch.bandwidth_gbs * BYTES_PER_GB)
     t_l2 = traffic.l2 / (arch.llc_bandwidth_gbs * BYTES_PER_GB)

@@ -48,6 +48,7 @@ def omega_parametric(
     stencil_rows: float,
     s_d: int = S_D,
     s_i: int = S_I,
+    s_v: int | None = None,
 ) -> float:
     """Parametric model for Omega = V_meas / V_KPM (paper Eq. (8)).
 
@@ -62,15 +63,20 @@ def omega_parametric(
     of paper Fig. 8 (Omega ~ 1 at small R up to ~1.5 at R = 32 on IVB).
 
     Returns Omega >= 1 for one inner iteration of the blocked solver.
+
+    ``s_v`` is the vector storage width (defaults to ``s_d``): narrow
+    vectors shrink the reuse-window footprint, so a profile like fp16v
+    doubles the R at which cache pressure sets in.
     """
     if r < 1:
         raise ValueError(f"R must be >= 1, got {r}")
-    v_min = nnzr * n * (s_d + s_i) + 3 * r * n * s_d
-    footprint = stencil_rows * r * s_d
+    s_x = s_d if s_v is None else s_v
+    v_min = nnzr * n * (s_d + s_i) + 3 * r * n * s_x
+    footprint = stencil_rows * r * s_x
     half_cache = cache_bytes / 2.0
     excess = max(0.0, (footprint - half_cache) / half_cache)
     extra_reads = min(2.0, excess)
-    v_extra = extra_reads * r * n * s_d
+    v_extra = extra_reads * r * n * s_x
     return 1.0 + v_extra / v_min
 
 
@@ -82,6 +88,7 @@ def gpu_level_traffic(
     arch: Architecture,
     s_d: int = S_D,
     s_i: int = S_I,
+    s_v: int | None = None,
 ) -> LevelTraffic:
     """Per-call traffic through DRAM / L2 / TEX for one kernel invocation.
 
@@ -108,20 +115,23 @@ def gpu_level_traffic(
     """
     if kernel not in ("spmmv", "aug_spmmv_nodot", "aug_spmmv"):
         raise ValueError(f"unknown kernel variant {kernel!r}")
+    s_x = s_d if s_v is None else s_v
     nnz = nnzr * n
     matrix_bytes = nnz * (s_d + s_i)
     vec_streams = 2 if kernel == "spmmv" else 3
     omega = omega_parametric(
         r, n, nnzr, arch.llc_bytes,
         stencil_rows=max(nnz / n, 1.0) * 2.0,  # generic stencil span proxy
-        s_d=s_d, s_i=s_i,
+        s_d=s_d, s_i=s_i, s_v=s_x,
     )
     # On the GPU the L2 is far too small to hold the gather window at all
     # realistic sizes; extra input-vector reads appear once R > warp_size/4.
     gather_refactor = 1.0 + min(1.0, r / arch.warp_size)
-    dram = matrix_bytes + vec_streams * r * n * s_d + (
-        (gather_refactor - 1.0) * r * n * s_d
+    dram = matrix_bytes + vec_streams * r * n * s_x + (
+        (gather_refactor - 1.0) * r * n * s_x
     )
-    l2 = nnz * r * s_d + nnz * s_i + vec_streams * r * n * s_d
+    # vector gathers through L2 move storage-width rows; the texture
+    # cache broadcasts *matrix* values, so its stream keeps s_d
+    l2 = nnz * r * s_x + nnz * s_i + vec_streams * r * n * s_x
     tex = nnz * r * s_d  # exactly linear in R (index stream goes via L2)
     return LevelTraffic(dram=dram * omega, l2=l2, tex=tex)

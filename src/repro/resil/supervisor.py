@@ -233,8 +233,13 @@ class Supervisor:
         backend="auto",
         reduction: str = "end",
         overlap: bool | str | None = False,
+        precision=None,
     ) -> np.ndarray:
         """Compute eta under supervision; the engine's usual return value.
+
+        ``precision`` selects the storage profile and is threaded through
+        every rung of the degradation ladder unchanged — a retry or an
+        engine fallback never silently widens (or narrows) the run.
 
         Raises :class:`~repro.util.errors.RetryExhaustedError` only after
         every attempt on every remaining ladder rung has failed.
@@ -280,6 +285,7 @@ class Supervisor:
                                 eng, backend_cur, resume, attempt, ckpt_path,
                                 H, scale, n_moments, start_block,
                                 workers, weights, reduction, overlap,
+                                precision,
                             )
                     except Exception as exc:  # noqa: BLE001 - classified below
                         last_exc = exc
@@ -371,7 +377,7 @@ class Supervisor:
     def _run_once(
         self, eng: str, backend, resume, attempt: int, ckpt_path,
         H, scale, n_moments, start_block, workers, weights, reduction,
-        overlap=False,
+        overlap=False, precision=None,
     ) -> np.ndarray:
         every = self.checkpoint_every
         path = ckpt_path if every > 0 else None
@@ -386,6 +392,7 @@ class Supervisor:
                 checkpoint_every=every, checkpoint_path=path,
                 resume_from=resume, counters=self.counters,
                 backend=backend, metrics=self.metrics, fault=inj,
+                precision=precision,
             )
 
         from repro.dist.comm import SimWorld
@@ -411,4 +418,5 @@ class Supervisor:
             metrics=self.metrics, overlap=overlap, checkpoint_every=every,
             checkpoint_path=path, resume_from=resume,
             fault_plan=self.fault_plan, attempt=attempt,
+            precision=precision,
         )

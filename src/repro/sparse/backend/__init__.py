@@ -53,21 +53,39 @@ class KernelPlan:
     calls).  ``u`` holds the SpM(M)V result, ``work`` is a second pass
     buffer, and the small ``eta`` buffers receive the per-column dots
     without per-call allocation.
+
+    ``precision`` selects the profile the plan serves.  ``u``/``work``
+    are *compute*-dtype scratch (complex128 for fp64, complex64 for the
+    narrow profiles — they hold intermediate SpM(M)V results, which are
+    formed in the compute dtype even when vectors are stored narrower);
+    the eta buffers stay fp64/complex128 in every profile, matching the
+    kernels' double-accumulated dots.  The fp16v profile adds complex64
+    decode scratch (``vc``/``wc``) for the NumPy backend's half-storage
+    paths.
     """
 
-    def __init__(self, A, r: int = 1) -> None:
+    def __init__(self, A, r: int = 1, precision=None) -> None:
+        from repro.util.precision import get_precision
+
         self.matrix = A
+        self.precision = prec = get_precision(precision)
         self.r = int(r)
         n = A.n_rows
         shape = (n,) if self.r == 1 else (n, self.r)
-        self.u = np.empty(shape, dtype=DTYPE)
-        self.work = np.empty(shape, dtype=DTYPE)
+        cdt = prec.compute_dtype
+        self.u = np.empty(shape, dtype=cdt)
+        self.work = np.empty(shape, dtype=cdt)
         # 2-D views of the same storage for the blocked engines, which
         # need (n, r) even when r == 1 (where u/work are 1-D vectors).
         self.u_block = self.u.reshape(n, self.r)
         self.work_block = self.work.reshape(n, self.r)
         self.eta_even = np.empty(self.r, dtype=np.float64)
         self.eta_odd = np.empty(self.r, dtype=DTYPE)
+        if prec.half_vectors:
+            # complex64 decode scratch for the NumPy half-storage paths:
+            # vc spans the full column range (local + halo), wc the rows
+            self.vc = np.empty((A.n_cols, self.r), dtype=cdt)
+            self.wc = np.empty((n, self.r), dtype=cdt)
 
 
 class SplitKernelPlan:
@@ -89,8 +107,9 @@ class SplitKernelPlan:
     operators, so a SELL split has no consumer.
     """
 
-    def __init__(self, A, split, r: int = 1) -> None:
+    def __init__(self, A, split, r: int = 1, precision=None) -> None:
         from repro.sparse.csr import CSRMatrix
+        from repro.util.precision import get_precision
 
         if not isinstance(A, CSRMatrix):
             raise BackendError(
@@ -100,6 +119,7 @@ class SplitKernelPlan:
             )
         self.matrix = A
         self.split = split
+        self.precision = prec = get_precision(precision)
         self.r = int(r)
         self.row0 = int(split.row0)
         self.row1 = int(split.row1)
@@ -130,18 +150,24 @@ class SplitKernelPlan:
         self.interior_matrix = A.extract_rows(self.row0, self.row1)
         self.boundary_matrix = self._gather_rows(A, self.rows)
         # steady-state scratch: SpMMV outputs per phase plus boundary
-        # gather/scatter buffers (the boundary rows are non-contiguous)
+        # gather/scatter buffers (the boundary rows are non-contiguous).
+        # Compute-dtype: these hold intermediates, not narrow storage.
+        cdt = prec.compute_dtype
         shape_i = (self.n_interior, self.r)
         shape_b = (self.n_boundary, self.r)
-        self.u_interior = np.empty(shape_i, dtype=DTYPE)
-        self.u_boundary = np.empty(shape_b, dtype=DTYPE)
-        self.v_boundary = np.empty(shape_b, dtype=DTYPE)
-        self.w_boundary = np.empty(shape_b, dtype=DTYPE)
+        self.u_interior = np.empty(shape_i, dtype=cdt)
+        self.u_boundary = np.empty(shape_b, dtype=cdt)
+        self.v_boundary = np.empty(shape_b, dtype=cdt)
+        self.w_boundary = np.empty(shape_b, dtype=cdt)
         # per-phase eta partials (native kernels write these in place)
         self.ee_interior = np.empty(self.r, dtype=np.float64)
         self.eo_interior = np.empty(self.r, dtype=DTYPE)
         self.ee_boundary = np.empty(self.r, dtype=np.float64)
         self.eo_boundary = np.empty(self.r, dtype=DTYPE)
+        if prec.half_vectors:
+            # complex64 decode scratch for the NumPy half-storage paths
+            self.vc = np.empty((A.n_cols, self.r), dtype=cdt)
+            self.wc = np.empty((A.n_rows, self.r), dtype=cdt)
 
     @staticmethod
     def _gather_rows(A, rows: np.ndarray):
@@ -182,9 +208,9 @@ class KernelBackend(ABC):
     def available(self) -> bool:
         """Whether this backend can run on the current host."""
 
-    def plan(self, A, r: int = 1) -> KernelPlan:
+    def plan(self, A, r: int = 1, precision=None) -> KernelPlan:
         """Allocate the workspaces for repeated steps on ``(A, r)``."""
-        return KernelPlan(A, r)
+        return KernelPlan(A, r, precision)
 
     @abstractmethod
     def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS,
@@ -230,9 +256,9 @@ class KernelBackend(ABC):
     # execution schedule (sync == overlapped, bitwise).  The W update is
     # row-local, hence bitwise identical to the plain kernel.
 
-    def split_plan(self, A, split, r: int = 1) -> SplitKernelPlan:
+    def split_plan(self, A, split, r: int = 1, precision=None) -> SplitKernelPlan:
         """Allocate the split-kernel workspaces for ``(A, split, r)``."""
-        return SplitKernelPlan(A, split, r)
+        return SplitKernelPlan(A, split, r, precision)
 
     def aug_spmv_interior(
         self, A, v, w, a, b, plan: SplitKernelPlan,

@@ -1,4 +1,4 @@
-/* Single-pass KPM kernels for CSR and SELL-C-sigma (complex128).
+/* Single-pass KPM kernels for CSR and SELL-C-sigma, typed by precision.
  *
  * This file backs repro.sparse.backend.native: it is compiled on first
  * use with `cc -O3 -shared` and loaded through ctypes.  Each kernel is a
@@ -11,16 +11,40 @@
  * eta_odd = <w_new|v>) inside the same row loop, exactly as the paper's
  * Figs. 4 and 5 prescribe and as the NumPy backend cannot.
  *
- * Complex numbers are handled as interleaved (re, im) double pairs — the
- * memory layout of numpy complex128 — with the arithmetic written out in
- * real components so the compiler can vectorize without libm/__muldc3
- * calls.  Block vectors are row-major (N, R): the R values of one row
- * are contiguous, the locality argument of paper Section IV-A.
+ * Complex numbers are handled as interleaved (re, im) scalar pairs —
+ * the memory layout of numpy complex128/complex64 and of the float16
+ * (re, im) pair storage — with the arithmetic written out in real
+ * components so the compiler can vectorize without libm/__muldc3 calls.
+ * Block vectors are row-major (N, R): the R values of one row are
+ * contiguous, the locality argument of paper Section IV-A.
+ *
+ * MACRO EXPANSION (the precision profiles of repro.util.precision):
+ * the twelve kernels below are written ONCE as a template (the #else
+ * branch of this file) and expanded via `#include "_kernels.c"` for each
+ * (value type, vector storage, index type) combination — no hand-copied
+ * variants:
+ *
+ *   suffix      values   vectors          indices   exported example
+ *   (none)      double   double           int32     repro_csr_aug_spmmv
+ *   _f32        float    float            int32     repro_csr_aug_spmmv_f32
+ *   _f32u16     float    float            uint16    repro_csr_aug_spmmv_f32u16
+ *   _f16v       float    half (fp16)      int32     repro_csr_aug_spmmv_f16v
+ *   _f16vu16    float    half (fp16)      uint16    repro_csr_aug_spmmv_f16vu16
+ *
+ * The unsuffixed f64/int32 expansion is operation-for-operation the
+ * historical baseline.  The narrow expansions compute in fp32 (half
+ * storage is converted at load/store with round-to-nearest-even) while
+ * BOTH eta scalar products are accumulated in fp64 with compensated
+ * (Kahan) summation — each partial product is formed exactly in double
+ * before the compensated add, so narrow storage never degrades the
+ * moments' reduction accuracy.
  *
  * Index types match the Python containers: CSR indptr / SELL chunk_ptr,
  * chunk_len, perm are int64; in-kernel column indices are int32 (the
- * paper's S_i = 4).
+ * paper's S_i = 4) or uint16 (compressed, S_i = 2) per the table above.
  */
+
+#ifndef REPRO_KERNELS_TEMPLATE
 
 #include <stdint.h>
 #include <stdlib.h>
@@ -38,105 +62,331 @@
 #define REPRO_PF(addr) ((void)0)
 #endif
 
-/* Prefetch one gathered block-vector row (2*r doubles, touching every
- * cache line).  The column index of the *next* slot is known one
- * iteration ahead, which is enough distance to hide the gather latency
- * the hardware prefetcher cannot predict.                             */
-static inline void repro_pf_row(const double *restrict p, int64_t r2)
+/* Prefetch one gathered block-vector row (nbytes, touching every cache
+ * line).  The column index of the *next* slot is known one iteration
+ * ahead, which is enough distance to hide the gather latency the
+ * hardware prefetcher cannot predict.                                 */
+static inline void repro_pf_row(const void *restrict p, size_t nbytes)
 {
-    for (int64_t q = 0; q < r2; q += 8)
-        REPRO_PF(p + q);
+    const char *restrict cp = (const char *)p;
+    for (size_t q = 0; q < nbytes; q += 64)
+        REPRO_PF(cp + q);
 }
+
+/* One compensated (Kahan) accumulation step: *s += x with carry *c.   */
+static inline void repro_kadd(double *restrict s, double *restrict c,
+                              double x)
+{
+    const double y = x - *c;
+    const double t = *s + y;
+    *c = (t - *s) - y;
+    *s = t;
+}
+
+/* IEEE 754 binary16 <-> binary32, bit manipulation only (portable, no
+ * compiler fp16 support required); float->half rounds to nearest even,
+ * matching numpy's float16 casts.                                     */
+static inline float repro_half_to_float(uint16_t h)
+{
+    const uint32_t sign = (uint32_t)(h & 0x8000u) << 16;
+    uint32_t exp = (h >> 10) & 0x1Fu;
+    uint32_t man = h & 0x3FFu;
+    uint32_t bits;
+    if (exp == 0u) {
+        if (man == 0u) {
+            bits = sign;                       /* signed zero */
+        } else {                               /* subnormal: normalize */
+            int shift = 0;
+            while (!(man & 0x400u)) {
+                man <<= 1;
+                ++shift;
+            }
+            man &= 0x3FFu;
+            bits = sign | ((uint32_t)(127 - 15 - shift) << 23) | (man << 13);
+        }
+    } else if (exp == 31u) {                   /* inf / nan */
+        bits = sign | 0x7F800000u | (man << 13);
+    } else {
+        bits = sign | ((exp + (127u - 15u)) << 23) | (man << 13);
+    }
+    float f;
+    memcpy(&f, &bits, sizeof f);
+    return f;
+}
+
+static inline uint16_t repro_float_to_half(float f)
+{
+    uint32_t x;
+    memcpy(&x, &f, sizeof x);
+    const uint32_t sign = (x >> 16) & 0x8000u;
+    const uint32_t fexp = (x >> 23) & 0xFFu;
+    uint32_t man = x & 0x7FFFFFu;
+    if (fexp == 0xFFu)                         /* inf / nan */
+        return (uint16_t)(sign | 0x7C00u | (man ? 0x200u : 0u));
+    const int32_t e = (int32_t)fexp - 127 + 15;
+    if (e >= 31)                               /* overflow -> inf */
+        return (uint16_t)(sign | 0x7C00u);
+    if (e <= 0) {                              /* half subnormal / zero */
+        if (e < -10)
+            return (uint16_t)sign;
+        man |= 0x800000u;                      /* implicit leading 1 */
+        const uint32_t shift = (uint32_t)(14 - e);
+        uint16_t hv = (uint16_t)(sign | (man >> shift));
+        const uint32_t rem = man & ((1u << shift) - 1u);
+        const uint32_t half = 1u << (shift - 1u);
+        if (rem > half || (rem == half && (hv & 1u)))
+            ++hv;                              /* round to nearest even */
+        return hv;
+    }
+    uint16_t hv = (uint16_t)(sign | ((uint32_t)e << 10) | (man >> 13));
+    const uint32_t rem = man & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (hv & 1u)))
+        ++hv;           /* may carry into the exponent: rounds up to inf */
+    return hv;
+}
+
+#define REPRO_CAT_(a, b) a##b
+#define REPRO_CAT(a, b) REPRO_CAT_(a, b)
+
+/* ------------------------------------------------------------------ */
+/* Template expansions: one block per precision profile.               */
+/* ------------------------------------------------------------------ */
+
+#define REPRO_KERNELS_TEMPLATE 1
+
+/* fp64 baseline: complex128 values & vectors, int32 indices, plain
+ * double eta accumulation — the paper's original kernels.             */
+#define REPRO_SUF
+#define REPRO_VT double
+#define REPRO_XT double
+#define REPRO_AT double
+#define REPRO_IT int32_t
+#define REPRO_LOADX(p, i) ((p)[(i)])
+#define REPRO_STOREX(p, i, val) ((p)[(i)] = (val))
+#define REPRO_ETA_KAHAN 0
+#include "_kernels.c"
+#undef REPRO_SUF
+#undef REPRO_VT
+#undef REPRO_XT
+#undef REPRO_AT
+#undef REPRO_IT
+#undef REPRO_LOADX
+#undef REPRO_STOREX
+#undef REPRO_ETA_KAHAN
+
+/* fp32: complex64 values & vectors, int32 indices.                    */
+#define REPRO_SUF _f32
+#define REPRO_VT float
+#define REPRO_XT float
+#define REPRO_AT float
+#define REPRO_IT int32_t
+#define REPRO_LOADX(p, i) ((p)[(i)])
+#define REPRO_STOREX(p, i, val) ((p)[(i)] = (val))
+#define REPRO_ETA_KAHAN 1
+#include "_kernels.c"
+#undef REPRO_SUF
+#undef REPRO_VT
+#undef REPRO_XT
+#undef REPRO_AT
+#undef REPRO_IT
+#undef REPRO_LOADX
+#undef REPRO_STOREX
+#undef REPRO_ETA_KAHAN
+
+/* fp32 with compressed uint16 column indices.                         */
+#define REPRO_SUF _f32u16
+#define REPRO_VT float
+#define REPRO_XT float
+#define REPRO_AT float
+#define REPRO_IT uint16_t
+#define REPRO_LOADX(p, i) ((p)[(i)])
+#define REPRO_STOREX(p, i, val) ((p)[(i)] = (val))
+#define REPRO_ETA_KAHAN 1
+#include "_kernels.c"
+#undef REPRO_SUF
+#undef REPRO_VT
+#undef REPRO_XT
+#undef REPRO_AT
+#undef REPRO_IT
+#undef REPRO_LOADX
+#undef REPRO_STOREX
+#undef REPRO_ETA_KAHAN
+
+/* fp16v: complex64 values, float16 (re, im) pair vectors promoted to
+ * fp32 in registers, int32 indices.                                   */
+#define REPRO_SUF _f16v
+#define REPRO_VT float
+#define REPRO_XT uint16_t
+#define REPRO_AT float
+#define REPRO_IT int32_t
+#define REPRO_LOADX(p, i) repro_half_to_float((p)[(i)])
+#define REPRO_STOREX(p, i, val) ((p)[(i)] = repro_float_to_half(val))
+#define REPRO_ETA_KAHAN 1
+#include "_kernels.c"
+#undef REPRO_SUF
+#undef REPRO_VT
+#undef REPRO_XT
+#undef REPRO_AT
+#undef REPRO_IT
+#undef REPRO_LOADX
+#undef REPRO_STOREX
+#undef REPRO_ETA_KAHAN
+
+/* fp16v with compressed uint16 column indices.                        */
+#define REPRO_SUF _f16vu16
+#define REPRO_VT float
+#define REPRO_XT uint16_t
+#define REPRO_AT float
+#define REPRO_IT uint16_t
+#define REPRO_LOADX(p, i) repro_half_to_float((p)[(i)])
+#define REPRO_STOREX(p, i, val) ((p)[(i)] = repro_float_to_half(val))
+#define REPRO_ETA_KAHAN 1
+#include "_kernels.c"
+#undef REPRO_SUF
+#undef REPRO_VT
+#undef REPRO_XT
+#undef REPRO_AT
+#undef REPRO_IT
+#undef REPRO_LOADX
+#undef REPRO_STOREX
+#undef REPRO_ETA_KAHAN
+
+#else  /* REPRO_KERNELS_TEMPLATE: the kernel template, expanded above  */
+
+#define KN(base) REPRO_CAT(base, REPRO_SUF)
+
+/* Scalar-kernel eta accumulators: plain double for the fp64 baseline
+ * (bitwise-identical to the historical kernels), compensated for the
+ * narrow profiles.  Partial products are always formed in double.     */
+#if REPRO_ETA_KAHAN
+#define REPRO_ESUM_DECL(name) double name = 0.0, name##_c = 0.0
+#define REPRO_ESUM_ADD(name, x) repro_kadd(&name, &name##_c, (x))
+/* Block-kernel eta arrays: compensation buffer [0,r) for eta_even,
+ * [r, 3r) for the interleaved eta_odd.                                */
+#define REPRO_EARR_DECL(r, cleanup)                                        \
+    double *repro_ecomp = (double *)calloc((size_t)(3 * (r)),              \
+                                           sizeof(double));                \
+    if (!repro_ecomp) {                                                    \
+        cleanup;                                                           \
+        return;                                                            \
+    }
+#define REPRO_EE_ADD(k, x) repro_kadd(&eta_even[k], &repro_ecomp[k], (x))
+#define REPRO_EO_ADD(k2, x) repro_kadd(&eta_odd[k2], &repro_ecomp[r + (k2)], (x))
+#define REPRO_EARR_FREE() free(repro_ecomp)
+#else
+#define REPRO_ESUM_DECL(name) double name = 0.0
+#define REPRO_ESUM_ADD(name, x) name += (x)
+#define REPRO_EARR_DECL(r, cleanup)
+#define REPRO_EE_ADD(k, x) eta_even[k] += (x)
+#define REPRO_EO_ADD(k2, x) eta_odd[k2] += (x)
+#define REPRO_EARR_FREE() ((void)0)
+#endif
 
 /* ------------------------------------------------------------------ */
 /* CSR                                                                 */
 /* ------------------------------------------------------------------ */
 
-EXPORT void repro_csr_spmv(
+EXPORT void KN(repro_csr_spmv)(
     int64_t n_rows,
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,   /* 2*nnz   */
-    const double *restrict x,      /* 2*n_cols */
-    double *restrict y)            /* 2*n_rows */
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,   /* 2*nnz    */
+    const REPRO_XT *restrict x,      /* 2*n_cols */
+    REPRO_XT *restrict y)            /* 2*n_rows */
 {
     for (int64_t i = 0; i < n_rows; ++i) {
-        double sr = 0.0, si = 0.0;
+        REPRO_AT sr = 0, si = 0;
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
-            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
             const int64_t j = (int64_t)indices[p];
-            const double xr = x[2 * j], xi = x[2 * j + 1];
+            const REPRO_AT xr = REPRO_LOADX(x, 2 * j);
+            const REPRO_AT xi = REPRO_LOADX(x, 2 * j + 1);
             sr += ar * xr - ai * xi;
             si += ar * xi + ai * xr;
         }
-        y[2 * i] = sr;
-        y[2 * i + 1] = si;
+        REPRO_STOREX(y, 2 * i, sr);
+        REPRO_STOREX(y, 2 * i + 1, si);
     }
 }
 
-EXPORT void repro_csr_spmmv(
+EXPORT void KN(repro_csr_spmmv)(
     int64_t n_rows,
     int64_t r,
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict X,      /* 2*n_cols*r, row-major */
-    double *restrict Y)            /* 2*n_rows*r, row-major */
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict X,      /* 2*n_cols*r, row-major */
+    REPRO_XT *restrict Y)            /* 2*n_rows*r, row-major */
 {
+    REPRO_AT *acc = (REPRO_AT *)malloc((size_t)(2 * r) * sizeof(REPRO_AT));
+    if (!acc)
+        return;
     for (int64_t i = 0; i < n_rows; ++i) {
-        double *restrict yi = Y + 2 * i * r;
-        memset(yi, 0, (size_t)(2 * r) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * r) * sizeof(REPRO_AT));
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
             if (p + 1 < p1)
-                repro_pf_row(X + 2 * (int64_t)indices[p + 1] * r, 2 * r);
-            const double ar = data[2 * p], ai = data[2 * p + 1];
-            const double *restrict xj = X + 2 * (int64_t)indices[p] * r;
+                repro_pf_row(X + 2 * (int64_t)indices[p + 1] * r,
+                             (size_t)(2 * r) * sizeof(REPRO_XT));
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
+            const REPRO_XT *restrict xj = X + 2 * (int64_t)indices[p] * r;
             for (int64_t k = 0; k < r; ++k) {
-                const double xr = xj[2 * k], xi = xj[2 * k + 1];
-                yi[2 * k] += ar * xr - ai * xi;
-                yi[2 * k + 1] += ar * xi + ai * xr;
+                const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
+                acc[2 * k] += ar * xr - ai * xi;
+                acc[2 * k + 1] += ar * xi + ai * xr;
             }
         }
+        REPRO_XT *restrict yi = Y + 2 * i * r;
+        for (int64_t k = 0; k < 2 * r; ++k)
+            REPRO_STOREX(yi, k, acc[k]);
     }
+    free(acc);
 }
 
 /* w <- 2a(Hv - b v) - w, plus eta_even = <v|v>, eta_odd = <w_new|v>.
  * eta_odd is one interleaved complex value.                           */
-EXPORT void repro_csr_aug_spmv(
+EXPORT void KN(repro_csr_aug_spmv)(
     int64_t n_rows,
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict v,
-    double *restrict w,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict v,
+    REPRO_XT *restrict w,
     double a,
     double b,
     double *restrict eta_even,     /* 1 double  */
     double *restrict eta_odd)      /* 2 doubles */
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double ee = 0.0, eor = 0.0, eoi = 0.0;
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_ESUM_DECL(ee);
+    REPRO_ESUM_DECL(eor);
+    REPRO_ESUM_DECL(eoi);
     for (int64_t i = 0; i < n_rows; ++i) {
-        double sr = 0.0, si = 0.0;
+        REPRO_AT sr = 0, si = 0;
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
-            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
             const int64_t j = (int64_t)indices[p];
-            const double xr = v[2 * j], xi = v[2 * j + 1];
+            const REPRO_AT xr = REPRO_LOADX(v, 2 * j);
+            const REPRO_AT xi = REPRO_LOADX(v, 2 * j + 1);
             sr += ar * xr - ai * xi;
             si += ar * xi + ai * xr;
         }
-        const double vr = v[2 * i], vi = v[2 * i + 1];
-        const double wr = ta * sr - tab * vr - w[2 * i];
-        const double wi = ta * si - tab * vi - w[2 * i + 1];
-        w[2 * i] = wr;
-        w[2 * i + 1] = wi;
-        ee += vr * vr + vi * vi;
+        const REPRO_AT vr = REPRO_LOADX(v, 2 * i);
+        const REPRO_AT vi = REPRO_LOADX(v, 2 * i + 1);
+        const REPRO_AT wr = ta * sr - tab * vr - REPRO_LOADX(w, 2 * i);
+        const REPRO_AT wi = ta * si - tab * vi - REPRO_LOADX(w, 2 * i + 1);
+        REPRO_STOREX(w, 2 * i, wr);
+        REPRO_STOREX(w, 2 * i + 1, wi);
+        REPRO_ESUM_ADD(ee, (double)vr * (double)vr + (double)vi * (double)vi);
         /* conj(w_new) * v */
-        eor += wr * vr + wi * vi;
-        eoi += wr * vi - wi * vr;
+        REPRO_ESUM_ADD(eor, (double)wr * (double)vr + (double)wi * (double)vi);
+        REPRO_ESUM_ADD(eoi, (double)wr * (double)vi - (double)wi * (double)vr);
     }
     *eta_even = ee;
     eta_odd[0] = eor;
@@ -145,52 +395,62 @@ EXPORT void repro_csr_aug_spmv(
 
 /* Blocked variant: V, W are (N, R) row-major; eta_even is R doubles,
  * eta_odd R interleaved complex values.                               */
-EXPORT void repro_csr_aug_spmmv(
+EXPORT void KN(repro_csr_aug_spmmv)(
     int64_t n_rows,
     int64_t r,
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict V,
-    double *restrict W,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
     double a,
     double b,
     double *restrict eta_even,     /* r doubles   */
     double *restrict eta_odd)      /* 2*r doubles */
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double *acc = (double *)malloc((size_t)(2 * r) * sizeof(double));
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_AT *acc = (REPRO_AT *)malloc((size_t)(2 * r) * sizeof(REPRO_AT));
     if (!acc)
         return;
     memset(eta_even, 0, (size_t)r * sizeof(double));
     memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    REPRO_EARR_DECL(r, free(acc))
     for (int64_t i = 0; i < n_rows; ++i) {
-        memset(acc, 0, (size_t)(2 * r) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * r) * sizeof(REPRO_AT));
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
             if (p + 1 < p1)
-                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r, 2 * r);
-            const double ar = data[2 * p], ai = data[2 * p + 1];
-            const double *restrict xj = V + 2 * (int64_t)indices[p] * r;
+                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r,
+                             (size_t)(2 * r) * sizeof(REPRO_XT));
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
+            const REPRO_XT *restrict xj = V + 2 * (int64_t)indices[p] * r;
             for (int64_t k = 0; k < r; ++k) {
-                const double xr = xj[2 * k], xi = xj[2 * k + 1];
+                const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
                 acc[2 * k] += ar * xr - ai * xi;
                 acc[2 * k + 1] += ar * xi + ai * xr;
             }
         }
-        const double *restrict vi_ = V + 2 * i * r;
-        double *restrict wi_ = W + 2 * i * r;
+        const REPRO_XT *restrict vi_ = V + 2 * i * r;
+        REPRO_XT *restrict wi_ = W + 2 * i * r;
         for (int64_t k = 0; k < r; ++k) {
-            const double vr = vi_[2 * k], vi = vi_[2 * k + 1];
-            const double wr = ta * acc[2 * k] - tab * vr - wi_[2 * k];
-            const double wi = ta * acc[2 * k + 1] - tab * vi - wi_[2 * k + 1];
-            wi_[2 * k] = wr;
-            wi_[2 * k + 1] = wi;
-            eta_even[k] += vr * vr + vi * vi;
-            eta_odd[2 * k] += wr * vr + wi * vi;
-            eta_odd[2 * k + 1] += wr * vi - wi * vr;
+            const REPRO_AT vr = REPRO_LOADX(vi_, 2 * k);
+            const REPRO_AT vi = REPRO_LOADX(vi_, 2 * k + 1);
+            const REPRO_AT wr = ta * acc[2 * k] - tab * vr
+                - REPRO_LOADX(wi_, 2 * k);
+            const REPRO_AT wi = ta * acc[2 * k + 1] - tab * vi
+                - REPRO_LOADX(wi_, 2 * k + 1);
+            REPRO_STOREX(wi_, 2 * k, wr);
+            REPRO_STOREX(wi_, 2 * k + 1, wi);
+            REPRO_EE_ADD(k, (double)vr * (double)vr + (double)vi * (double)vi);
+            REPRO_EO_ADD(2 * k,
+                         (double)wr * (double)vr + (double)wi * (double)vi);
+            REPRO_EO_ADD(2 * k + 1,
+                         (double)wr * (double)vi - (double)wi * (double)vr);
         }
     }
+    REPRO_EARR_FREE();
     free(acc);
 }
 
@@ -209,183 +469,213 @@ EXPORT void repro_csr_aug_spmmv(
 /* makes the combined dots independent of the execution schedule.      */
 /* ------------------------------------------------------------------ */
 
-EXPORT void repro_csr_aug_spmv_range(
+EXPORT void KN(repro_csr_aug_spmv_range)(
     int64_t row0,
     int64_t row1,
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict v,
-    double *restrict w,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict v,
+    REPRO_XT *restrict w,
     double a,
     double b,
     double *restrict eta_even,     /* 1 double: this phase's partial  */
     double *restrict eta_odd)      /* 2 doubles                       */
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double ee = 0.0, eor = 0.0, eoi = 0.0;
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_ESUM_DECL(ee);
+    REPRO_ESUM_DECL(eor);
+    REPRO_ESUM_DECL(eoi);
     for (int64_t i = row0; i < row1; ++i) {
-        double sr = 0.0, si = 0.0;
+        REPRO_AT sr = 0, si = 0;
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
-            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
             const int64_t j = (int64_t)indices[p];
-            const double xr = v[2 * j], xi = v[2 * j + 1];
+            const REPRO_AT xr = REPRO_LOADX(v, 2 * j);
+            const REPRO_AT xi = REPRO_LOADX(v, 2 * j + 1);
             sr += ar * xr - ai * xi;
             si += ar * xi + ai * xr;
         }
-        const double vr = v[2 * i], vi = v[2 * i + 1];
-        const double wr = ta * sr - tab * vr - w[2 * i];
-        const double wi = ta * si - tab * vi - w[2 * i + 1];
-        w[2 * i] = wr;
-        w[2 * i + 1] = wi;
-        ee += vr * vr + vi * vi;
-        eor += wr * vr + wi * vi;
-        eoi += wr * vi - wi * vr;
+        const REPRO_AT vr = REPRO_LOADX(v, 2 * i);
+        const REPRO_AT vi = REPRO_LOADX(v, 2 * i + 1);
+        const REPRO_AT wr = ta * sr - tab * vr - REPRO_LOADX(w, 2 * i);
+        const REPRO_AT wi = ta * si - tab * vi - REPRO_LOADX(w, 2 * i + 1);
+        REPRO_STOREX(w, 2 * i, wr);
+        REPRO_STOREX(w, 2 * i + 1, wi);
+        REPRO_ESUM_ADD(ee, (double)vr * (double)vr + (double)vi * (double)vi);
+        REPRO_ESUM_ADD(eor, (double)wr * (double)vr + (double)wi * (double)vi);
+        REPRO_ESUM_ADD(eoi, (double)wr * (double)vi - (double)wi * (double)vr);
     }
     *eta_even = ee;
     eta_odd[0] = eor;
     eta_odd[1] = eoi;
 }
 
-EXPORT void repro_csr_aug_spmv_rows(
+EXPORT void KN(repro_csr_aug_spmv_rows)(
     int64_t n_sub,
     const int64_t *restrict rows,  /* gathered local row indices      */
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict v,
-    double *restrict w,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict v,
+    REPRO_XT *restrict w,
     double a,
     double b,
     double *restrict eta_even,
     double *restrict eta_odd)
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double ee = 0.0, eor = 0.0, eoi = 0.0;
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_ESUM_DECL(ee);
+    REPRO_ESUM_DECL(eor);
+    REPRO_ESUM_DECL(eoi);
     for (int64_t t = 0; t < n_sub; ++t) {
         const int64_t i = rows[t];
-        double sr = 0.0, si = 0.0;
+        REPRO_AT sr = 0, si = 0;
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
-            const double ar = data[2 * p], ai = data[2 * p + 1];
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
             const int64_t j = (int64_t)indices[p];
-            const double xr = v[2 * j], xi = v[2 * j + 1];
+            const REPRO_AT xr = REPRO_LOADX(v, 2 * j);
+            const REPRO_AT xi = REPRO_LOADX(v, 2 * j + 1);
             sr += ar * xr - ai * xi;
             si += ar * xi + ai * xr;
         }
-        const double vr = v[2 * i], vi = v[2 * i + 1];
-        const double wr = ta * sr - tab * vr - w[2 * i];
-        const double wi = ta * si - tab * vi - w[2 * i + 1];
-        w[2 * i] = wr;
-        w[2 * i + 1] = wi;
-        ee += vr * vr + vi * vi;
-        eor += wr * vr + wi * vi;
-        eoi += wr * vi - wi * vr;
+        const REPRO_AT vr = REPRO_LOADX(v, 2 * i);
+        const REPRO_AT vi = REPRO_LOADX(v, 2 * i + 1);
+        const REPRO_AT wr = ta * sr - tab * vr - REPRO_LOADX(w, 2 * i);
+        const REPRO_AT wi = ta * si - tab * vi - REPRO_LOADX(w, 2 * i + 1);
+        REPRO_STOREX(w, 2 * i, wr);
+        REPRO_STOREX(w, 2 * i + 1, wi);
+        REPRO_ESUM_ADD(ee, (double)vr * (double)vr + (double)vi * (double)vi);
+        REPRO_ESUM_ADD(eor, (double)wr * (double)vr + (double)wi * (double)vi);
+        REPRO_ESUM_ADD(eoi, (double)wr * (double)vi - (double)wi * (double)vr);
     }
     *eta_even = ee;
     eta_odd[0] = eor;
     eta_odd[1] = eoi;
 }
 
-EXPORT void repro_csr_aug_spmmv_range(
+EXPORT void KN(repro_csr_aug_spmmv_range)(
     int64_t row0,
     int64_t row1,
     int64_t r,
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict V,
-    double *restrict W,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
     double a,
     double b,
     double *restrict eta_even,     /* r doubles: this phase's partials */
     double *restrict eta_odd)      /* 2*r doubles                      */
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double *acc = (double *)malloc((size_t)(2 * r) * sizeof(double));
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_AT *acc = (REPRO_AT *)malloc((size_t)(2 * r) * sizeof(REPRO_AT));
     if (!acc)
         return;
     memset(eta_even, 0, (size_t)r * sizeof(double));
     memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    REPRO_EARR_DECL(r, free(acc))
     for (int64_t i = row0; i < row1; ++i) {
-        memset(acc, 0, (size_t)(2 * r) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * r) * sizeof(REPRO_AT));
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
             if (p + 1 < p1)
-                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r, 2 * r);
-            const double ar = data[2 * p], ai = data[2 * p + 1];
-            const double *restrict xj = V + 2 * (int64_t)indices[p] * r;
+                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r,
+                             (size_t)(2 * r) * sizeof(REPRO_XT));
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
+            const REPRO_XT *restrict xj = V + 2 * (int64_t)indices[p] * r;
             for (int64_t k = 0; k < r; ++k) {
-                const double xr = xj[2 * k], xi = xj[2 * k + 1];
+                const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
                 acc[2 * k] += ar * xr - ai * xi;
                 acc[2 * k + 1] += ar * xi + ai * xr;
             }
         }
-        const double *restrict vi_ = V + 2 * i * r;
-        double *restrict wi_ = W + 2 * i * r;
+        const REPRO_XT *restrict vi_ = V + 2 * i * r;
+        REPRO_XT *restrict wi_ = W + 2 * i * r;
         for (int64_t k = 0; k < r; ++k) {
-            const double vr = vi_[2 * k], vi = vi_[2 * k + 1];
-            const double wr = ta * acc[2 * k] - tab * vr - wi_[2 * k];
-            const double wi = ta * acc[2 * k + 1] - tab * vi - wi_[2 * k + 1];
-            wi_[2 * k] = wr;
-            wi_[2 * k + 1] = wi;
-            eta_even[k] += vr * vr + vi * vi;
-            eta_odd[2 * k] += wr * vr + wi * vi;
-            eta_odd[2 * k + 1] += wr * vi - wi * vr;
+            const REPRO_AT vr = REPRO_LOADX(vi_, 2 * k);
+            const REPRO_AT vi = REPRO_LOADX(vi_, 2 * k + 1);
+            const REPRO_AT wr = ta * acc[2 * k] - tab * vr
+                - REPRO_LOADX(wi_, 2 * k);
+            const REPRO_AT wi = ta * acc[2 * k + 1] - tab * vi
+                - REPRO_LOADX(wi_, 2 * k + 1);
+            REPRO_STOREX(wi_, 2 * k, wr);
+            REPRO_STOREX(wi_, 2 * k + 1, wi);
+            REPRO_EE_ADD(k, (double)vr * (double)vr + (double)vi * (double)vi);
+            REPRO_EO_ADD(2 * k,
+                         (double)wr * (double)vr + (double)wi * (double)vi);
+            REPRO_EO_ADD(2 * k + 1,
+                         (double)wr * (double)vi - (double)wi * (double)vr);
         }
     }
+    REPRO_EARR_FREE();
     free(acc);
 }
 
-EXPORT void repro_csr_aug_spmmv_rows(
+EXPORT void KN(repro_csr_aug_spmmv_rows)(
     int64_t n_sub,
     const int64_t *restrict rows,
     int64_t r,
     const int64_t *restrict indptr,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict V,
-    double *restrict W,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
     double a,
     double b,
     double *restrict eta_even,
     double *restrict eta_odd)
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double *acc = (double *)malloc((size_t)(2 * r) * sizeof(double));
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_AT *acc = (REPRO_AT *)malloc((size_t)(2 * r) * sizeof(REPRO_AT));
     if (!acc)
         return;
     memset(eta_even, 0, (size_t)r * sizeof(double));
     memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    REPRO_EARR_DECL(r, free(acc))
     for (int64_t t = 0; t < n_sub; ++t) {
         const int64_t i = rows[t];
-        memset(acc, 0, (size_t)(2 * r) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * r) * sizeof(REPRO_AT));
         const int64_t p0 = indptr[i], p1 = indptr[i + 1];
         for (int64_t p = p0; p < p1; ++p) {
             if (p + 1 < p1)
-                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r, 2 * r);
-            const double ar = data[2 * p], ai = data[2 * p + 1];
-            const double *restrict xj = V + 2 * (int64_t)indices[p] * r;
+                repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r,
+                             (size_t)(2 * r) * sizeof(REPRO_XT));
+            const REPRO_AT ar = (REPRO_AT)data[2 * p];
+            const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
+            const REPRO_XT *restrict xj = V + 2 * (int64_t)indices[p] * r;
             for (int64_t k = 0; k < r; ++k) {
-                const double xr = xj[2 * k], xi = xj[2 * k + 1];
+                const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
                 acc[2 * k] += ar * xr - ai * xi;
                 acc[2 * k + 1] += ar * xi + ai * xr;
             }
         }
-        const double *restrict vi_ = V + 2 * i * r;
-        double *restrict wi_ = W + 2 * i * r;
+        const REPRO_XT *restrict vi_ = V + 2 * i * r;
+        REPRO_XT *restrict wi_ = W + 2 * i * r;
         for (int64_t k = 0; k < r; ++k) {
-            const double vr = vi_[2 * k], vi = vi_[2 * k + 1];
-            const double wr = ta * acc[2 * k] - tab * vr - wi_[2 * k];
-            const double wi = ta * acc[2 * k + 1] - tab * vi - wi_[2 * k + 1];
-            wi_[2 * k] = wr;
-            wi_[2 * k + 1] = wi;
-            eta_even[k] += vr * vr + vi * vi;
-            eta_odd[2 * k] += wr * vr + wi * vi;
-            eta_odd[2 * k + 1] += wr * vi - wi * vr;
+            const REPRO_AT vr = REPRO_LOADX(vi_, 2 * k);
+            const REPRO_AT vi = REPRO_LOADX(vi_, 2 * k + 1);
+            const REPRO_AT wr = ta * acc[2 * k] - tab * vr
+                - REPRO_LOADX(wi_, 2 * k);
+            const REPRO_AT wi = ta * acc[2 * k + 1] - tab * vi
+                - REPRO_LOADX(wi_, 2 * k + 1);
+            REPRO_STOREX(wi_, 2 * k, wr);
+            REPRO_STOREX(wi_, 2 * k + 1, wi);
+            REPRO_EE_ADD(k, (double)vr * (double)vr + (double)vi * (double)vi);
+            REPRO_EO_ADD(2 * k,
+                         (double)wr * (double)vr + (double)wi * (double)vi);
+            REPRO_EO_ADD(2 * k + 1,
+                         (double)wr * (double)vi - (double)wi * (double)vr);
         }
     }
+    REPRO_EARR_FREE();
     free(acc);
 }
 
@@ -400,31 +690,32 @@ EXPORT void repro_csr_aug_spmmv_rows(
 /* are numerically inert but are streamed like real entries.           */
 /* ------------------------------------------------------------------ */
 
-EXPORT void repro_sell_spmv(
+EXPORT void KN(repro_sell_spmv)(
     int64_t n_rows,
     int64_t n_chunks,
     int64_t c,
     const int64_t *restrict chunk_ptr,
     const int64_t *restrict chunk_len,
     const int64_t *restrict perm,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict x,
-    double *restrict y)
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict x,
+    REPRO_XT *restrict y)
 {
-    double *acc = (double *)malloc((size_t)(2 * c) * sizeof(double));
+    REPRO_AT *acc = (REPRO_AT *)malloc((size_t)(2 * c) * sizeof(REPRO_AT));
     if (!acc)
         return;
     for (int64_t ci = 0; ci < n_chunks; ++ci) {
         const int64_t base = chunk_ptr[ci], len = chunk_len[ci];
-        memset(acc, 0, (size_t)(2 * c) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * c) * sizeof(REPRO_AT));
         for (int64_t j = 0; j < len; ++j) {
             const int64_t slot0 = base + j * c;
             for (int64_t lane = 0; lane < c; ++lane) {
-                const double ar = data[2 * (slot0 + lane)];
-                const double ai = data[2 * (slot0 + lane) + 1];
+                const REPRO_AT ar = (REPRO_AT)data[2 * (slot0 + lane)];
+                const REPRO_AT ai = (REPRO_AT)data[2 * (slot0 + lane) + 1];
                 const int64_t col = (int64_t)indices[slot0 + lane];
-                const double xr = x[2 * col], xi = x[2 * col + 1];
+                const REPRO_AT xr = REPRO_LOADX(x, 2 * col);
+                const REPRO_AT xi = REPRO_LOADX(x, 2 * col + 1);
                 acc[2 * lane] += ar * xr - ai * xi;
                 acc[2 * lane + 1] += ar * xi + ai * xr;
             }
@@ -432,15 +723,15 @@ EXPORT void repro_sell_spmv(
         for (int64_t lane = 0; lane < c; ++lane) {
             const int64_t row = perm[ci * c + lane];
             if (row < n_rows) {
-                y[2 * row] = acc[2 * lane];
-                y[2 * row + 1] = acc[2 * lane + 1];
+                REPRO_STOREX(y, 2 * row, acc[2 * lane]);
+                REPRO_STOREX(y, 2 * row + 1, acc[2 * lane + 1]);
             }
         }
     }
     free(acc);
 }
 
-EXPORT void repro_sell_spmmv(
+EXPORT void KN(repro_sell_spmmv)(
     int64_t n_rows,
     int64_t n_chunks,
     int64_t c,
@@ -448,31 +739,34 @@ EXPORT void repro_sell_spmmv(
     const int64_t *restrict chunk_ptr,
     const int64_t *restrict chunk_len,
     const int64_t *restrict perm,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict X,
-    double *restrict Y)
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict X,
+    REPRO_XT *restrict Y)
 {
-    double *acc = (double *)malloc((size_t)(2 * c * r) * sizeof(double));
+    REPRO_AT *acc =
+        (REPRO_AT *)malloc((size_t)(2 * c * r) * sizeof(REPRO_AT));
     if (!acc)
         return;
     for (int64_t ci = 0; ci < n_chunks; ++ci) {
         const int64_t base = chunk_ptr[ci], len = chunk_len[ci];
-        memset(acc, 0, (size_t)(2 * c * r) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * c * r) * sizeof(REPRO_AT));
         for (int64_t j = 0; j < len; ++j) {
             const int64_t slot0 = base + j * c;
             const int has_next = (j + 1 < len);
             for (int64_t lane = 0; lane < c; ++lane) {
                 if (has_next)
                     repro_pf_row(
-                        X + 2 * (int64_t)indices[slot0 + c + lane] * r, 2 * r);
-                const double ar = data[2 * (slot0 + lane)];
-                const double ai = data[2 * (slot0 + lane) + 1];
-                const double *restrict xj =
+                        X + 2 * (int64_t)indices[slot0 + c + lane] * r,
+                        (size_t)(2 * r) * sizeof(REPRO_XT));
+                const REPRO_AT ar = (REPRO_AT)data[2 * (slot0 + lane)];
+                const REPRO_AT ai = (REPRO_AT)data[2 * (slot0 + lane) + 1];
+                const REPRO_XT *restrict xj =
                     X + 2 * (int64_t)indices[slot0 + lane] * r;
-                double *restrict al = acc + 2 * lane * r;
+                REPRO_AT *restrict al = acc + 2 * lane * r;
                 for (int64_t k = 0; k < r; ++k) {
-                    const double xr = xj[2 * k], xi = xj[2 * k + 1];
+                    const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                    const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
                     al[2 * k] += ar * xr - ai * xi;
                     al[2 * k + 1] += ar * xi + ai * xr;
                 }
@@ -480,45 +774,51 @@ EXPORT void repro_sell_spmmv(
         }
         for (int64_t lane = 0; lane < c; ++lane) {
             const int64_t row = perm[ci * c + lane];
-            if (row < n_rows)
-                memcpy(Y + 2 * row * r, acc + 2 * lane * r,
-                       (size_t)(2 * r) * sizeof(double));
+            if (row < n_rows) {
+                const REPRO_AT *restrict al = acc + 2 * lane * r;
+                REPRO_XT *restrict yrow = Y + 2 * row * r;
+                for (int64_t k = 0; k < 2 * r; ++k)
+                    REPRO_STOREX(yrow, k, al[k]);
+            }
         }
     }
     free(acc);
 }
 
-EXPORT void repro_sell_aug_spmv(
+EXPORT void KN(repro_sell_aug_spmv)(
     int64_t n_rows,
     int64_t n_chunks,
     int64_t c,
     const int64_t *restrict chunk_ptr,
     const int64_t *restrict chunk_len,
     const int64_t *restrict perm,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict v,
-    double *restrict w,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict v,
+    REPRO_XT *restrict w,
     double a,
     double b,
     double *restrict eta_even,
     double *restrict eta_odd)
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double ee = 0.0, eor = 0.0, eoi = 0.0;
-    double *acc = (double *)malloc((size_t)(2 * c) * sizeof(double));
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_ESUM_DECL(ee);
+    REPRO_ESUM_DECL(eor);
+    REPRO_ESUM_DECL(eoi);
+    REPRO_AT *acc = (REPRO_AT *)malloc((size_t)(2 * c) * sizeof(REPRO_AT));
     if (!acc)
         return;
     for (int64_t ci = 0; ci < n_chunks; ++ci) {
         const int64_t base = chunk_ptr[ci], len = chunk_len[ci];
-        memset(acc, 0, (size_t)(2 * c) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * c) * sizeof(REPRO_AT));
         for (int64_t j = 0; j < len; ++j) {
             const int64_t slot0 = base + j * c;
             for (int64_t lane = 0; lane < c; ++lane) {
-                const double ar = data[2 * (slot0 + lane)];
-                const double ai = data[2 * (slot0 + lane) + 1];
+                const REPRO_AT ar = (REPRO_AT)data[2 * (slot0 + lane)];
+                const REPRO_AT ai = (REPRO_AT)data[2 * (slot0 + lane) + 1];
                 const int64_t col = (int64_t)indices[slot0 + lane];
-                const double xr = v[2 * col], xi = v[2 * col + 1];
+                const REPRO_AT xr = REPRO_LOADX(v, 2 * col);
+                const REPRO_AT xi = REPRO_LOADX(v, 2 * col + 1);
                 acc[2 * lane] += ar * xr - ai * xi;
                 acc[2 * lane + 1] += ar * xi + ai * xr;
             }
@@ -527,14 +827,20 @@ EXPORT void repro_sell_aug_spmv(
             const int64_t row = perm[ci * c + lane];
             if (row >= n_rows)
                 continue;
-            const double vr = v[2 * row], vi = v[2 * row + 1];
-            const double wr = ta * acc[2 * lane] - tab * vr - w[2 * row];
-            const double wi = ta * acc[2 * lane + 1] - tab * vi - w[2 * row + 1];
-            w[2 * row] = wr;
-            w[2 * row + 1] = wi;
-            ee += vr * vr + vi * vi;
-            eor += wr * vr + wi * vi;
-            eoi += wr * vi - wi * vr;
+            const REPRO_AT vr = REPRO_LOADX(v, 2 * row);
+            const REPRO_AT vi = REPRO_LOADX(v, 2 * row + 1);
+            const REPRO_AT wr = ta * acc[2 * lane] - tab * vr
+                - REPRO_LOADX(w, 2 * row);
+            const REPRO_AT wi = ta * acc[2 * lane + 1] - tab * vi
+                - REPRO_LOADX(w, 2 * row + 1);
+            REPRO_STOREX(w, 2 * row, wr);
+            REPRO_STOREX(w, 2 * row + 1, wi);
+            REPRO_ESUM_ADD(ee,
+                           (double)vr * (double)vr + (double)vi * (double)vi);
+            REPRO_ESUM_ADD(eor,
+                           (double)wr * (double)vr + (double)wi * (double)vi);
+            REPRO_ESUM_ADD(eoi,
+                           (double)wr * (double)vi - (double)wi * (double)vr);
         }
     }
     free(acc);
@@ -543,7 +849,7 @@ EXPORT void repro_sell_aug_spmv(
     eta_odd[1] = eoi;
 }
 
-EXPORT void repro_sell_aug_spmmv(
+EXPORT void KN(repro_sell_aug_spmmv)(
     int64_t n_rows,
     int64_t n_chunks,
     int64_t c,
@@ -551,38 +857,42 @@ EXPORT void repro_sell_aug_spmmv(
     const int64_t *restrict chunk_ptr,
     const int64_t *restrict chunk_len,
     const int64_t *restrict perm,
-    const int32_t *restrict indices,
-    const double *restrict data,
-    const double *restrict V,
-    double *restrict W,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
     double a,
     double b,
     double *restrict eta_even,
     double *restrict eta_odd)
 {
-    const double ta = 2.0 * a, tab = 2.0 * a * b;
-    double *acc = (double *)malloc((size_t)(2 * c * r) * sizeof(double));
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    REPRO_AT *acc =
+        (REPRO_AT *)malloc((size_t)(2 * c * r) * sizeof(REPRO_AT));
     if (!acc)
         return;
     memset(eta_even, 0, (size_t)r * sizeof(double));
     memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    REPRO_EARR_DECL(r, free(acc))
     for (int64_t ci = 0; ci < n_chunks; ++ci) {
         const int64_t base = chunk_ptr[ci], len = chunk_len[ci];
-        memset(acc, 0, (size_t)(2 * c * r) * sizeof(double));
+        memset(acc, 0, (size_t)(2 * c * r) * sizeof(REPRO_AT));
         for (int64_t j = 0; j < len; ++j) {
             const int64_t slot0 = base + j * c;
             const int has_next = (j + 1 < len);
             for (int64_t lane = 0; lane < c; ++lane) {
                 if (has_next)
                     repro_pf_row(
-                        V + 2 * (int64_t)indices[slot0 + c + lane] * r, 2 * r);
-                const double ar = data[2 * (slot0 + lane)];
-                const double ai = data[2 * (slot0 + lane) + 1];
-                const double *restrict xj =
+                        V + 2 * (int64_t)indices[slot0 + c + lane] * r,
+                        (size_t)(2 * r) * sizeof(REPRO_XT));
+                const REPRO_AT ar = (REPRO_AT)data[2 * (slot0 + lane)];
+                const REPRO_AT ai = (REPRO_AT)data[2 * (slot0 + lane) + 1];
+                const REPRO_XT *restrict xj =
                     V + 2 * (int64_t)indices[slot0 + lane] * r;
-                double *restrict al = acc + 2 * lane * r;
+                REPRO_AT *restrict al = acc + 2 * lane * r;
                 for (int64_t k = 0; k < r; ++k) {
-                    const double xr = xj[2 * k], xi = xj[2 * k + 1];
+                    const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                    const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
                     al[2 * k] += ar * xr - ai * xi;
                     al[2 * k + 1] += ar * xi + ai * xr;
                 }
@@ -592,20 +902,37 @@ EXPORT void repro_sell_aug_spmmv(
             const int64_t row = perm[ci * c + lane];
             if (row >= n_rows)
                 continue;
-            const double *restrict al = acc + 2 * lane * r;
-            const double *restrict vrow = V + 2 * row * r;
-            double *restrict wrow = W + 2 * row * r;
+            const REPRO_AT *restrict al = acc + 2 * lane * r;
+            const REPRO_XT *restrict vrow = V + 2 * row * r;
+            REPRO_XT *restrict wrow = W + 2 * row * r;
             for (int64_t k = 0; k < r; ++k) {
-                const double vr = vrow[2 * k], vi = vrow[2 * k + 1];
-                const double wr = ta * al[2 * k] - tab * vr - wrow[2 * k];
-                const double wi = ta * al[2 * k + 1] - tab * vi - wrow[2 * k + 1];
-                wrow[2 * k] = wr;
-                wrow[2 * k + 1] = wi;
-                eta_even[k] += vr * vr + vi * vi;
-                eta_odd[2 * k] += wr * vr + wi * vi;
-                eta_odd[2 * k + 1] += wr * vi - wi * vr;
+                const REPRO_AT vr = REPRO_LOADX(vrow, 2 * k);
+                const REPRO_AT vi = REPRO_LOADX(vrow, 2 * k + 1);
+                const REPRO_AT wr = ta * al[2 * k] - tab * vr
+                    - REPRO_LOADX(wrow, 2 * k);
+                const REPRO_AT wi = ta * al[2 * k + 1] - tab * vi
+                    - REPRO_LOADX(wrow, 2 * k + 1);
+                REPRO_STOREX(wrow, 2 * k, wr);
+                REPRO_STOREX(wrow, 2 * k + 1, wi);
+                REPRO_EE_ADD(k,
+                             (double)vr * (double)vr + (double)vi * (double)vi);
+                REPRO_EO_ADD(2 * k,
+                             (double)wr * (double)vr + (double)wi * (double)vi);
+                REPRO_EO_ADD(2 * k + 1,
+                             (double)wr * (double)vi - (double)wi * (double)vr);
             }
         }
     }
+    REPRO_EARR_FREE();
     free(acc);
 }
+
+#undef KN
+#undef REPRO_ESUM_DECL
+#undef REPRO_ESUM_ADD
+#undef REPRO_EARR_DECL
+#undef REPRO_EE_ADD
+#undef REPRO_EO_ADD
+#undef REPRO_EARR_FREE
+
+#endif /* REPRO_KERNELS_TEMPLATE */

@@ -57,8 +57,44 @@ _load_attempted = False
 _load_error: str | None = None
 
 _P_F64 = ctypes.POINTER(ctypes.c_double)
+_P_F32 = ctypes.POINTER(ctypes.c_float)
 _P_I64 = ctypes.POINTER(ctypes.c_int64)
 _P_I32 = ctypes.POINTER(ctypes.c_int32)
+_P_U16 = ctypes.POINTER(ctypes.c_uint16)
+
+#: Exported kernel-name suffix per precision profile, mapped to the
+#: (matrix values, vector storage, column indices) pointer types that
+#: profile streams.  Mirrors the macro expansions in ``_kernels.c``:
+#: float16 vectors travel as their raw uint16 bit patterns.
+KERNEL_SUFFIXES = {
+    "": (_P_F64, _P_F64, _P_I32),
+    "_f32": (_P_F32, _P_F32, _P_I32),
+    "_f32u16": (_P_F32, _P_F32, _P_U16),
+    "_f16v": (_P_F32, _P_U16, _P_I32),
+    "_f16vu16": (_P_F32, _P_U16, _P_U16),
+}
+
+#: Argtype templates shared by every typed expansion of a kernel:
+#: ``n`` int64 scalar, ``s`` double scalar, ``L`` int64* (indptr /
+#: chunk arrays / row lists), ``I`` column indices*, ``V`` matrix
+#: values*, ``X`` vector storage*, ``E`` double* (eta outputs — always
+#: fp64, the kernels accumulate the dots in double in every profile).
+_SIGNATURES = {
+    "repro_csr_spmv": "nLIVXX",
+    "repro_csr_spmmv": "nnLIVXX",
+    "repro_csr_aug_spmv": "nLIVXXssEE",
+    "repro_csr_aug_spmmv": "nnLIVXXssEE",
+    # split (task-mode) variants: a contiguous [row0, row1) range and a
+    # gathered row list, both absolute on the original CSR arrays
+    "repro_csr_aug_spmv_range": "nnLIVXXssEE",
+    "repro_csr_aug_spmv_rows": "nLLIVXXssEE",
+    "repro_csr_aug_spmmv_range": "nnnLIVXXssEE",
+    "repro_csr_aug_spmmv_rows": "nLnLIVXXssEE",
+    "repro_sell_spmv": "nnnLLLIVXX",
+    "repro_sell_spmmv": "nnnnLLLIVXX",
+    "repro_sell_aug_spmv": "nnnLLLIVXXssEE",
+    "repro_sell_aug_spmmv": "nnnnLLLIVXXssEE",
+}
 
 
 def _cache_dir() -> Path:
@@ -85,59 +121,20 @@ def _lib_path() -> Path:
 
 
 def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
-    i64, f64 = ctypes.c_int64, ctypes.c_double
-    lib.repro_csr_spmv.argtypes = [i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64]
-    lib.repro_csr_spmmv.argtypes = [
-        i64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64,
-    ]
-    lib.repro_csr_aug_spmv.argtypes = [
-        i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64, _P_F64, _P_F64,
-    ]
-    lib.repro_csr_aug_spmmv.argtypes = [
-        i64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
-        _P_F64, _P_F64,
-    ]
-    # split (task-mode) variants: a contiguous [row0, row1) range and a
-    # gathered row list, both absolute on the original CSR arrays
-    lib.repro_csr_aug_spmv_range.argtypes = [
-        i64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
-        _P_F64, _P_F64,
-    ]
-    lib.repro_csr_aug_spmv_rows.argtypes = [
-        i64, _P_I64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
-        _P_F64, _P_F64,
-    ]
-    lib.repro_csr_aug_spmmv_range.argtypes = [
-        i64, i64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
-        _P_F64, _P_F64,
-    ]
-    lib.repro_csr_aug_spmmv_rows.argtypes = [
-        i64, _P_I64, i64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64, f64, f64,
-        _P_F64, _P_F64,
-    ]
-    lib.repro_sell_spmv.argtypes = [
-        i64, i64, i64, _P_I64, _P_I64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64,
-    ]
-    lib.repro_sell_spmmv.argtypes = [
-        i64, i64, i64, i64, _P_I64, _P_I64, _P_I64, _P_I32, _P_F64,
-        _P_F64, _P_F64,
-    ]
-    lib.repro_sell_aug_spmv.argtypes = [
-        i64, i64, i64, _P_I64, _P_I64, _P_I64, _P_I32, _P_F64, _P_F64, _P_F64,
-        f64, f64, _P_F64, _P_F64,
-    ]
-    lib.repro_sell_aug_spmmv.argtypes = [
-        i64, i64, i64, i64, _P_I64, _P_I64, _P_I64, _P_I32, _P_F64,
-        _P_F64, _P_F64, f64, f64, _P_F64, _P_F64,
-    ]
-    for name in (
-        "repro_csr_spmv", "repro_csr_spmmv", "repro_csr_aug_spmv",
-        "repro_csr_aug_spmmv", "repro_csr_aug_spmv_range",
-        "repro_csr_aug_spmv_rows", "repro_csr_aug_spmmv_range",
-        "repro_csr_aug_spmmv_rows", "repro_sell_spmv", "repro_sell_spmmv",
-        "repro_sell_aug_spmv", "repro_sell_aug_spmmv",
-    ):
-        getattr(lib, name).restype = None
+    for suffix, (vp, xp, ip) in KERNEL_SUFFIXES.items():
+        codes = {
+            "n": ctypes.c_int64,
+            "s": ctypes.c_double,
+            "L": _P_I64,
+            "I": ip,
+            "V": vp,
+            "X": xp,
+            "E": _P_F64,
+        }
+        for base, sig in _SIGNATURES.items():
+            fn = getattr(lib, base + suffix)
+            fn.argtypes = [codes[ch] for ch in sig]
+            fn.restype = None
     return lib
 
 
@@ -231,6 +228,38 @@ def native_error() -> str | None:
 def _pc(arr: np.ndarray):
     """Complex128 C-contiguous array as a double* (interleaved re, im)."""
     return arr.ctypes.data_as(_P_F64)
+
+
+def _pf32(arr: np.ndarray):
+    """Complex64 C-contiguous array as a float* (interleaved re, im)."""
+    return arr.ctypes.data_as(_P_F32)
+
+
+def _pu16(arr: np.ndarray):
+    """uint16 indices — or float16 pair storage as raw uint16 bits."""
+    return arr.ctypes.data_as(_P_U16)
+
+
+def _pvec(arr: np.ndarray):
+    """Value/vector storage pointer for any precision profile's dtype."""
+    dt = arr.dtype
+    if dt == np.complex128:
+        return arr.ctypes.data_as(_P_F64)
+    if dt == np.complex64:
+        return arr.ctypes.data_as(_P_F32)
+    if dt == np.float16:
+        return arr.ctypes.data_as(_P_U16)
+    raise TypeError(f"no native storage marshalling for dtype {dt}")
+
+
+def _pidx(arr: np.ndarray):
+    """Column-index pointer: int32 (wide) or uint16 (compressed)."""
+    dt = arr.dtype
+    if dt == np.int32:
+        return arr.ctypes.data_as(_P_I32)
+    if dt == np.uint16:
+        return arr.ctypes.data_as(_P_U16)
+    raise TypeError(f"no native index marshalling for dtype {dt}")
 
 
 def _pi64(arr: np.ndarray):

@@ -7,6 +7,15 @@ the matrix stream per iteration with the recurrence update and both
 scalar products computed inside the row loop — the kernel structure of
 paper Figs. 4 and 5.
 
+Precision dispatch: every kernel exists in the typed expansions of
+``_kernels.c`` (see :data:`repro.sparse.backend.native.KERNEL_SUFFIXES`)
+and the profile is inferred from the vector operands — complex128,
+complex64 and float16 pair storage map one-to-one onto the fp64 / fp32 /
+fp16v profiles of :mod:`repro.util.precision`.  The matrix side streams
+the profile's typed kernel pack (:func:`repro.sparse.compress.kernel_pack`):
+narrowed values plus uint16-compressed column indices when the operator
+is narrow enough, int32 fallback otherwise.
+
 Accounting is charged through the exact same helpers as the NumPy
 backend, so :class:`~repro.util.counters.PerfCounters` totals and every
 Table-I-derived model are backend-independent.
@@ -18,7 +27,15 @@ import numpy as np
 
 from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.backend import KernelBackend, KernelPlan, SplitKernelPlan
-from repro.sparse.backend.native import _pc, _pi32, _pi64, load_library
+from repro.sparse.backend.native import (
+    _pc,
+    _pi32,
+    _pi64,
+    _pidx,
+    _pvec,
+    load_library,
+)
+from repro.sparse.compress import kernel_pack
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.fused import (
     charge_aug_spmmv,
@@ -31,26 +48,53 @@ from repro.sparse.spmv import _charge_spmv
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import BackendError, ShapeError
+from repro.util.precision import Precision, precision_of
 from repro.util.validation import check_block_vector, check_vector
+
+_KERNEL_DTYPES = (
+    np.dtype(np.complex128),
+    np.dtype(np.complex64),
+    np.dtype(np.float16),
+)
+
+
+def _kernel_suffix(prec: Precision, indices: np.ndarray) -> str:
+    """Exported-name suffix for this profile and realized index width."""
+    if prec.is_fp64:
+        return ""
+    base = "_f16v" if prec.half_vectors else "_f32"
+    if indices.dtype == np.uint16:
+        base += "u16"
+    return base
 
 
 def _as_kernel_block(name: str, X: np.ndarray, n: int) -> np.ndarray:
-    """Validate a (n, R) block for the C kernels: contiguous complex128."""
+    """Validate an (n, R) block for the C kernels: contiguous storage."""
     X = check_block_vector(name, X, n)
-    if X.dtype != DTYPE or not X.flags.c_contiguous:
+    if X.dtype not in _KERNEL_DTYPES or not X.flags.c_contiguous:
         raise ShapeError(
-            f"{name} must be C-contiguous complex128 for the native backend"
+            f"{name} must be C-contiguous complex128/complex64 (or float16 "
+            "pair storage) for the native backend"
         )
     return X
 
 
 def _as_kernel_vector(name: str, x: np.ndarray, n: int) -> np.ndarray:
     x = check_vector(name, x, n)
-    if x.dtype != DTYPE or not x.flags.c_contiguous:
+    if x.dtype not in _KERNEL_DTYPES or not x.flags.c_contiguous:
         raise ShapeError(
-            f"{name} must be contiguous complex128 for the native backend"
+            f"{name} must be contiguous complex128/complex64 (or float16 "
+            "pair storage) for the native backend"
         )
     return x
+
+
+def _check_same_storage(av: np.ndarray, aw: np.ndarray) -> None:
+    if av.dtype != aw.dtype:
+        raise ShapeError(
+            "v and w must share one precision profile's storage dtype, got "
+            f"{av.dtype} and {aw.dtype}"
+        )
 
 
 class NativeBackend(KernelBackend):
@@ -76,18 +120,52 @@ class NativeBackend(KernelBackend):
     # containers are immutable, same pattern as the ``_scipy_cache``
     # handle): ``data_as`` builds fresh ctypes wrappers per call, which
     # is measurable overhead when the distributed driver calls into the
-    # kernels once per rank per iteration on small row blocks.
+    # kernels once per rank per iteration on small row blocks.  Narrow
+    # profiles cache one pointer tuple per kernel suffix; the arrays
+    # they point into live in the matrix's kernel-pack cache.
     @staticmethod
-    def _csr_args(A: CSRMatrix):
-        args = getattr(A, "_native_arg_cache", None)
+    def _csr_args(A: CSRMatrix, prec: Precision):
+        if prec.is_fp64:
+            args = getattr(A, "_native_arg_cache", None)
+            if args is None:
+                args = (_pi64(A.indptr), _pi32(A.indices), _pc(A.data))
+                A._native_arg_cache = args
+            return "", args
+        values, indices = kernel_pack(A, prec)
+        suffix = _kernel_suffix(prec, indices)
+        cache = getattr(A, "_native_typed_args", None)
+        if cache is None:
+            cache = {}
+            A._native_typed_args = cache
+        args = cache.get(suffix)
         if args is None:
-            args = (_pi64(A.indptr), _pi32(A.indices), _pc(A.data))
-            A._native_arg_cache = args
-        return args
+            args = (_pi64(A.indptr), _pidx(indices), _pvec(values))
+            cache[suffix] = args
+        return suffix, args
 
     @staticmethod
-    def _sell_args(A: SellMatrix):
-        args = getattr(A, "_native_arg_cache", None)
+    def _sell_args(A: SellMatrix, prec: Precision):
+        if prec.is_fp64:
+            args = getattr(A, "_native_arg_cache", None)
+            if args is None:
+                args = (
+                    A.n_chunks,
+                    A.chunk_height,
+                    _pi64(A.chunk_ptr),
+                    _pi64(A.chunk_len),
+                    _pi64(A.perm),
+                    _pi32(A.indices),
+                    _pc(A.data),
+                )
+                A._native_arg_cache = args
+            return "", args
+        values, indices = kernel_pack(A, prec)
+        suffix = _kernel_suffix(prec, indices)
+        cache = getattr(A, "_native_typed_args", None)
+        if cache is None:
+            cache = {}
+            A._native_typed_args = cache
+        args = cache.get(suffix)
         if args is None:
             args = (
                 A.n_chunks,
@@ -95,58 +173,70 @@ class NativeBackend(KernelBackend):
                 _pi64(A.chunk_ptr),
                 _pi64(A.chunk_len),
                 _pi64(A.perm),
-                _pi32(A.indices),
-                _pc(A.data),
+                _pidx(indices),
+                _pvec(values),
             )
-            A._native_arg_cache = args
-        return args
+            cache[suffix] = args
+        return suffix, args
 
     # -- kernels -------------------------------------------------------
     def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS,
              metrics: MetricsRegistry = NULL_METRICS):
         lib = self._lib()
         x = _as_kernel_vector("x", x, A.n_cols)
+        prec = precision_of(x)
+        shape = prec.vec_shape(A.n_rows)
         if out is None:
-            out = np.empty(A.n_rows, dtype=DTYPE)
-        elif out.shape != (A.n_rows,):
+            out = np.empty(shape, dtype=x.dtype)
+        elif out.shape != shape or out.dtype != x.dtype:
             raise ShapeError(
-                f"out must have shape ({A.n_rows},), got {out.shape}"
+                f"out must have shape {shape} and dtype {x.dtype}, got "
+                f"{out.shape} / {out.dtype}"
             )
         with metrics.span("spmv", counters=counters):
             if isinstance(A, CSRMatrix):
-                lib.repro_csr_spmv(
-                    A.n_rows, *self._csr_args(A), _pc(x), _pc(out)
+                suf, args = self._csr_args(A, prec)
+                getattr(lib, "repro_csr_spmv" + suf)(
+                    A.n_rows, *args, _pvec(x), _pvec(out)
                 )
             elif isinstance(A, SellMatrix):
-                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-                lib.repro_sell_spmv(n, nc, c, *rest, _pc(x), _pc(out))
+                suf, args = self._sell_args(A, prec)
+                getattr(lib, "repro_sell_spmv" + suf)(
+                    A.n_rows, *args, _pvec(x), _pvec(out)
+                )
             else:
                 raise TypeError(f"unsupported matrix type {type(A).__name__}")
-            _charge_spmv(A, 1, counters, "spmv")
+            _charge_spmv(A, 1, counters, "spmv", prec)
         return out
 
     def spmmv(self, A, X, out=None, counters: PerfCounters = NULL_COUNTERS,
               metrics: MetricsRegistry = NULL_METRICS):
         lib = self._lib()
         X = _as_kernel_block("X", X, A.n_cols)
+        prec = precision_of(X)
         r = X.shape[1]
+        shape = prec.vec_shape(A.n_rows, r)
         if out is None:
-            out = np.empty((A.n_rows, r), dtype=DTYPE)
-        elif out.shape != (A.n_rows, r):
+            out = np.empty(shape, dtype=X.dtype)
+        elif out.shape != shape or out.dtype != X.dtype:
             raise ShapeError(
-                f"out must have shape ({A.n_rows}, {r}), got {out.shape}"
+                f"out must have shape {shape} and dtype {X.dtype}, got "
+                f"{out.shape} / {out.dtype}"
             )
         with metrics.span("spmmv", counters=counters):
             if isinstance(A, CSRMatrix):
-                lib.repro_csr_spmmv(
-                    A.n_rows, r, *self._csr_args(A), _pc(X), _pc(out)
+                suf, args = self._csr_args(A, prec)
+                getattr(lib, "repro_csr_spmmv" + suf)(
+                    A.n_rows, r, *args, _pvec(X), _pvec(out)
                 )
             elif isinstance(A, SellMatrix):
-                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-                lib.repro_sell_spmmv(n, nc, c, r, *rest, _pc(X), _pc(out))
+                suf, (nc, c, *rest) = self._sell_args(A, prec)
+                getattr(lib, "repro_sell_spmmv" + suf)(
+                    A.n_rows, nc, c, r, *rest, _pvec(X), _pvec(out)
+                )
             else:
                 raise TypeError(f"unsupported matrix type {type(A).__name__}")
-            _charge_spmv(A, r, counters, "spmmv")
+            _charge_spmv(A, r, counters, "spmmv", prec)
         return out
 
     def naive_step(
@@ -162,8 +252,16 @@ class NativeBackend(KernelBackend):
         n = A.n_rows
         v = _as_kernel_vector("v", v, n)
         w = _as_kernel_vector("w", w, n)
-        u = plan.u if plan is not None else np.empty(n, dtype=DTYPE)
-        work = plan.work if plan is not None else None
+        _check_same_storage(v, w)
+        if v.dtype == np.float16:
+            raise TypeError(
+                "the naive engine does not support fp16v half storage; "
+                "use the fused engines"
+            )
+        if plan is not None and plan.u.dtype == v.dtype:
+            u, work = plan.u, plan.work
+        else:
+            u, work = np.empty(n, dtype=v.dtype), None
         # one span for the whole library-call chain (same shape as the
         # NumPy fused.naive_kpm_step span); the inner spmv stays unspanned
         with metrics.span("naive_step", counters=counters):
@@ -183,6 +281,8 @@ class NativeBackend(KernelBackend):
         lib = self._lib()
         v = _as_kernel_vector("v", v, A.n_cols)
         w = _as_kernel_vector("w", w, A.n_rows)
+        _check_same_storage(v, w)
+        prec = precision_of(v)
         if plan is not None:
             ee, eo = plan.eta_even[:1], plan.eta_odd[:1]
         else:
@@ -190,19 +290,20 @@ class NativeBackend(KernelBackend):
             eo = np.empty(1, dtype=DTYPE)
         with metrics.span("aug_spmv", counters=counters):
             if isinstance(A, CSRMatrix):
-                lib.repro_csr_aug_spmv(
-                    A.n_rows, *self._csr_args(A), _pc(v), _pc(w), a, b,
+                suf, args = self._csr_args(A, prec)
+                getattr(lib, "repro_csr_aug_spmv" + suf)(
+                    A.n_rows, *args, _pvec(v), _pvec(w), a, b,
                     _pc(ee), _pc(eo),
                 )
             elif isinstance(A, SellMatrix):
-                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-                lib.repro_sell_aug_spmv(
-                    n, nc, c, *rest, _pc(v), _pc(w), a, b,
+                suf, args = self._sell_args(A, prec)
+                getattr(lib, "repro_sell_aug_spmv" + suf)(
+                    A.n_rows, *args, _pvec(v), _pvec(w), a, b,
                     _pc(ee), _pc(eo),
                 )
             else:
                 raise TypeError(f"unsupported matrix type {type(A).__name__}")
-            charge_aug_spmv(A, counters)
+            charge_aug_spmv(A, counters, prec)
         return float(ee[0]), complex(eo[0])
 
     def aug_spmmv_step(
@@ -213,6 +314,8 @@ class NativeBackend(KernelBackend):
         lib = self._lib()
         V = _as_kernel_block("V", V, A.n_cols)
         W = _as_kernel_block("W", W, A.n_rows)
+        _check_same_storage(V, W)
+        prec = precision_of(V)
         r = V.shape[1]
         if W.shape[1] != r:
             raise ShapeError(
@@ -225,19 +328,20 @@ class NativeBackend(KernelBackend):
             eo = np.empty(r, dtype=DTYPE)
         with metrics.span("aug_spmmv", counters=counters):
             if isinstance(A, CSRMatrix):
-                lib.repro_csr_aug_spmmv(
-                    A.n_rows, r, *self._csr_args(A), _pc(V), _pc(W), a, b,
+                suf, args = self._csr_args(A, prec)
+                getattr(lib, "repro_csr_aug_spmmv" + suf)(
+                    A.n_rows, r, *args, _pvec(V), _pvec(W), a, b,
                     _pc(ee), _pc(eo),
                 )
             elif isinstance(A, SellMatrix):
-                n, nc, c, *rest = (A.n_rows, *self._sell_args(A))
-                lib.repro_sell_aug_spmmv(
-                    n, nc, c, r, *rest, _pc(V), _pc(W), a, b,
+                suf, (nc, c, *rest) = self._sell_args(A, prec)
+                getattr(lib, "repro_sell_aug_spmmv" + suf)(
+                    A.n_rows, nc, c, r, *rest, _pvec(V), _pvec(W), a, b,
                     _pc(ee), _pc(eo),
                 )
             else:
                 raise TypeError(f"unsupported matrix type {type(A).__name__}")
-            charge_aug_spmmv(A, r, counters)
+            charge_aug_spmmv(A, r, counters, prec)
         return ee.copy(), eo.copy()
 
     # -- split (task-mode) kernels -------------------------------------
@@ -245,7 +349,9 @@ class NativeBackend(KernelBackend):
     # with absolute row indexing (no extraction), write the phase's
     # rows of W with byte-for-byte the plain kernel's per-row
     # arithmetic, and return the phase's own eta partials.  CSR only:
-    # SplitKernelPlan already rejects SELL at plan time.
+    # SplitKernelPlan already rejects SELL at plan time.  The index-
+    # width charge uses the WHOLE local operator's width so interior +
+    # boundary partial charges still sum exactly to the unsplit charge.
 
     def _require_csr(self, A) -> None:
         if not isinstance(A, CSRMatrix):
@@ -263,14 +369,18 @@ class NativeBackend(KernelBackend):
         self._require_csr(A)
         v = _as_kernel_vector("v", v, A.n_cols)
         w = _as_kernel_vector("w", w, A.n_rows)
+        _check_same_storage(v, w)
+        prec = precision_of(v)
         ee, eo = plan.ee_interior[:1], plan.eo_interior[:1]
         with metrics.span("aug_spmv_int", counters=counters):
-            lib.repro_csr_aug_spmv_range(
-                plan.row0, plan.row1, *self._csr_args(A), _pc(v), _pc(w),
+            suf, args = self._csr_args(A, prec)
+            getattr(lib, "repro_csr_aug_spmv_range" + suf)(
+                plan.row0, plan.row1, *args, _pvec(v), _pvec(w),
                 a, b, _pc(ee), _pc(eo),
             )
             charge_aug_spmv_part(
-                plan.n_interior, plan.nnz_interior, counters, "aug_spmv_int"
+                plan.n_interior, plan.nnz_interior, counters, "aug_spmv_int",
+                prec, s_index=prec.index_bytes(A.n_cols),
             )
         return float(ee[0]), complex(eo[0])
 
@@ -283,14 +393,18 @@ class NativeBackend(KernelBackend):
         self._require_csr(A)
         v = _as_kernel_vector("v", v, A.n_cols)
         w = _as_kernel_vector("w", w, A.n_rows)
+        _check_same_storage(v, w)
+        prec = precision_of(v)
         ee, eo = plan.ee_boundary[:1], plan.eo_boundary[:1]
         with metrics.span("aug_spmv_bnd", counters=counters):
-            lib.repro_csr_aug_spmv_rows(
-                plan.n_boundary, _pi64(plan.rows), *self._csr_args(A),
-                _pc(v), _pc(w), a, b, _pc(ee), _pc(eo),
+            suf, args = self._csr_args(A, prec)
+            getattr(lib, "repro_csr_aug_spmv_rows" + suf)(
+                plan.n_boundary, _pi64(plan.rows), *args,
+                _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
             )
             charge_aug_spmv_part(
-                plan.n_boundary, plan.nnz_boundary, counters, "aug_spmv_bnd"
+                plan.n_boundary, plan.nnz_boundary, counters, "aug_spmv_bnd",
+                prec, s_index=prec.index_bytes(A.n_cols),
             )
         return float(ee[0]), complex(eo[0])
 
@@ -303,16 +417,19 @@ class NativeBackend(KernelBackend):
         self._require_csr(A)
         V = _as_kernel_block("V", V, A.n_cols)
         W = _as_kernel_block("W", W, A.n_rows)
+        _check_same_storage(V, W)
+        prec = precision_of(V)
         r = V.shape[1]
         ee, eo = plan.ee_interior, plan.eo_interior
         with metrics.span("aug_spmmv_int", counters=counters):
-            lib.repro_csr_aug_spmmv_range(
-                plan.row0, plan.row1, r, *self._csr_args(A), _pc(V), _pc(W),
+            suf, args = self._csr_args(A, prec)
+            getattr(lib, "repro_csr_aug_spmmv_range" + suf)(
+                plan.row0, plan.row1, r, *args, _pvec(V), _pvec(W),
                 a, b, _pc(ee), _pc(eo),
             )
             charge_aug_spmmv_part(
                 plan.n_interior, plan.nnz_interior, r, counters,
-                "aug_spmmv_int",
+                "aug_spmmv_int", prec, s_index=prec.index_bytes(A.n_cols),
             )
         return ee.copy(), eo.copy()
 
@@ -325,15 +442,18 @@ class NativeBackend(KernelBackend):
         self._require_csr(A)
         V = _as_kernel_block("V", V, A.n_cols)
         W = _as_kernel_block("W", W, A.n_rows)
+        _check_same_storage(V, W)
+        prec = precision_of(V)
         r = V.shape[1]
         ee, eo = plan.ee_boundary, plan.eo_boundary
         with metrics.span("aug_spmmv_bnd", counters=counters):
-            lib.repro_csr_aug_spmmv_rows(
-                plan.n_boundary, _pi64(plan.rows), r, *self._csr_args(A),
-                _pc(V), _pc(W), a, b, _pc(ee), _pc(eo),
+            suf, args = self._csr_args(A, prec)
+            getattr(lib, "repro_csr_aug_spmmv_rows" + suf)(
+                plan.n_boundary, _pi64(plan.rows), r, *args,
+                _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
             )
             charge_aug_spmmv_part(
                 plan.n_boundary, plan.nnz_boundary, r, counters,
-                "aug_spmmv_bnd",
+                "aug_spmmv_bnd", prec, s_index=prec.index_bytes(A.n_cols),
             )
         return ee.copy(), eo.copy()

@@ -16,14 +16,28 @@ These are the building blocks the optimized kernels in
 :mod:`repro.sparse.fused` make redundant: running the naive algorithm
 through these functions transfers the 13 N S_d vector bytes per inner
 iteration that optimization stage 1 cuts to 3 N S_d.
+
+Mixed precision: ``S_d`` above is the *vector element* size, taken from
+the operand's dtype (16 for complex128, 8 for complex64), so the charges
+follow the active :mod:`~repro.util.precision` profile automatically.
+Reductions (``dot``, ``nrm2_sq``) always accumulate in fp64 regardless
+of storage precision — narrow storage never degrades the eta moments.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.util.constants import F_ADD, F_MUL, S_D
+from repro.util.constants import F_ADD, F_MUL
 from repro.util.counters import NULL_COUNTERS, PerfCounters
+
+
+def _sd(x: np.ndarray) -> int:
+    """Bytes per logical (complex) element of a vector storage array."""
+    if x.dtype.kind == "c":
+        return x.dtype.itemsize
+    # float16 (re, im) pair storage: two halves per complex element
+    return 2 * x.dtype.itemsize
 
 
 def axpy(
@@ -41,13 +55,14 @@ def axpy(
     call is allocation-free — the moment-engine workspace plans do this.
     """
     n = y.shape[0]
+    s_d = _sd(y)
     if work is not None:
         np.multiply(x, alpha, out=work)
         y += work
     else:
         y += alpha * x
     counters.charge(
-        "axpy", loads=2 * n * S_D, stores=n * S_D, flops=n * (F_ADD + F_MUL)
+        "axpy", loads=2 * n * s_d, stores=n * s_d, flops=n * (F_ADD + F_MUL)
     )
     return y
 
@@ -59,8 +74,9 @@ def scal(
 ) -> np.ndarray:
     """In-place ``x *= alpha``; returns ``x``."""
     n = x.shape[0]
+    s_d = _sd(x)
     x *= alpha
-    counters.charge("scal", loads=n * S_D, stores=n * S_D, flops=n * F_MUL)
+    counters.charge("scal", loads=n * s_d, stores=n * s_d, flops=n * F_MUL)
     return x
 
 
@@ -69,19 +85,44 @@ def dot(
     y: np.ndarray,
     counters: PerfCounters = NULL_COUNTERS,
 ) -> complex:
-    """Conjugated inner product ``<x|y> = sum(conj(x) * y)``."""
+    """Conjugated inner product ``<x|y> = sum(conj(x) * y)``.
+
+    Accumulates in fp64 for every storage precision: bitwise-identical
+    ``np.vdot`` for complex128, fp64-dtype einsum reductions over the
+    real/imag component views otherwise.
+    """
     n = x.shape[0]
-    counters.charge("dot", loads=2 * n * S_D, flops=n * (F_ADD + F_MUL))
-    return complex(np.vdot(x, y))
+    counters.charge("dot", loads=2 * n * _sd(x), flops=n * (F_ADD + F_MUL))
+    if x.dtype == np.complex128:
+        return complex(np.vdot(x, y))
+    if x.dtype.kind == "c":
+        xr, xi, yr, yi = x.real, x.imag, y.real, y.imag
+    else:  # float16 (re, im) pairs
+        xr, xi, yr, yi = x[..., 0], x[..., 1], y[..., 0], y[..., 1]
+    re = (np.einsum("n,n->", xr, yr, dtype=np.float64)
+          + np.einsum("n,n->", xi, yi, dtype=np.float64))
+    im = (np.einsum("n,n->", xr, yi, dtype=np.float64)
+          - np.einsum("n,n->", xi, yr, dtype=np.float64))
+    return complex(re + 1j * im)
 
 
 def nrm2_sq(
     x: np.ndarray,
     counters: PerfCounters = NULL_COUNTERS,
 ) -> float:
-    """Squared 2-norm ``<x|x>`` (the paper's eta_2m = <v|v>)."""
+    """Squared 2-norm ``<x|x>`` (the paper's eta_2m = <v|v>).
+
+    fp64 accumulation for every storage precision (see :func:`dot`).
+    """
     n = x.shape[0]
     counters.charge(
-        "nrm2", loads=n * S_D, flops=n * (F_ADD // 2 + F_MUL // 2)
+        "nrm2", loads=n * _sd(x), flops=n * (F_ADD // 2 + F_MUL // 2)
     )
-    return float(np.vdot(x, x).real)
+    if x.dtype == np.complex128:
+        return float(np.vdot(x, x).real)
+    if x.dtype.kind == "c":
+        xr, xi = x.real, x.imag
+    else:
+        xr, xi = x[..., 0], x[..., 1]
+    return float(np.einsum("n,n->", xr, xr, dtype=np.float64)
+                 + np.einsum("n,n->", xi, xi, dtype=np.float64))

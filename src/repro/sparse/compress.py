@@ -1,0 +1,100 @@
+"""Index compression and typed kernel packs for mixed-precision execution.
+
+After the distributed partition renumbers columns into [local | halo]
+order (:func:`repro.dist.halo.partition_matrix`), every column index of
+a rank-local operator lies in ``[0, n_local + n_halo)`` — a range that
+fits in uint16 for any realistic per-rank block (and for serial
+operators of up to 65,536 columns).  The narrow precision profiles
+exploit this: their kernels stream 2-byte indices, cutting the S_i part
+of the per-nonzero traffic in half.  Wider operators fall back to the
+4-byte int32 indices transparently — the *profile* stays the same, only
+the realized index width (and its byte charge) differs.
+
+The typed kernel pack is the storage the kernels actually stream for a
+given profile: a (values, indices) pair in the profile's dtypes.  Packs
+are built once per (matrix, layout) and cached on the matrix object —
+both :class:`~repro.sparse.csr.CSRMatrix` and
+:class:`~repro.sparse.sell.SellMatrix` are immutable by convention, the
+same convention the scipy-handle and native-argument caches already
+rely on.  The fp64 profile's pack is the matrix's own arrays (no copy),
+so the baseline path is untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import IDTYPE
+from repro.util.precision import FP64, UINT16_MAX_COLS, Precision
+
+__all__ = [
+    "compress_indices",
+    "decompress_indices",
+    "kernel_pack",
+    "narrow_index_dtype",
+]
+
+
+def narrow_index_dtype(n_cols: int):
+    """Narrowest index dtype able to address ``n_cols`` columns.
+
+    uint16 holds indices 0..65535, i.e. up to exactly 65,536 columns;
+    anything wider falls back to the kernels' int32.
+    """
+    return np.uint16 if n_cols <= UINT16_MAX_COLS else IDTYPE
+
+
+def compress_indices(indices: np.ndarray, n_cols: int) -> np.ndarray:
+    """Return ``indices`` in the narrowest width addressing ``n_cols``.
+
+    The input must already be column indices of an ``n_cols``-wide
+    operator (values in ``[0, n_cols)``); out-of-range values raise
+    rather than silently wrapping.  When no narrowing is possible the
+    original int32 array is returned uncopied — the 4-byte fallback.
+    """
+    dt = narrow_index_dtype(n_cols)
+    if np.dtype(dt) == np.dtype(indices.dtype):
+        return indices
+    if indices.size and (int(indices.max()) >= n_cols
+                         or int(indices.min()) < 0):
+        raise ValueError(
+            f"column index out of range for n_cols={n_cols}; refusing to "
+            "compress"
+        )
+    return np.ascontiguousarray(indices, dtype=dt)
+
+
+def decompress_indices(indices: np.ndarray) -> np.ndarray:
+    """Widen compressed indices back to the kernels' int32."""
+    if np.dtype(indices.dtype) == np.dtype(IDTYPE):
+        return indices
+    return np.ascontiguousarray(indices, dtype=IDTYPE)
+
+
+def kernel_pack(A, precision: Precision) -> tuple[np.ndarray, np.ndarray]:
+    """(values, indices) streamed by the kernels for this profile.
+
+    ``A`` is a :class:`CSRMatrix` or :class:`SellMatrix` (anything with
+    contiguous ``data``/``indices`` arrays and ``n_cols``).  fp64
+    returns the matrix's own arrays; narrow profiles build complex64
+    values and uint16 indices (when ``n_cols`` allows) once and cache
+    them on the matrix.
+    """
+    if precision is FP64 or precision.is_fp64:
+        return A.data, A.indices
+    idx_dt = precision.index_dtype(A.n_cols)
+    key = (np.dtype(precision.value_dtype).str, np.dtype(idx_dt).str)
+    cache = getattr(A, "_kernel_pack_cache", None)
+    if cache is None:
+        cache = {}
+        A._kernel_pack_cache = cache
+    pack = cache.get(key)
+    if pack is None:
+        values = np.ascontiguousarray(A.data, dtype=precision.value_dtype)
+        if np.dtype(idx_dt) == np.dtype(A.indices.dtype):
+            indices = A.indices
+        else:
+            indices = compress_indices(A.indices, A.n_cols)
+        pack = (values, indices)
+        cache[key] = pack
+    return pack

@@ -33,6 +33,16 @@ For the distributed driver the block kernels accept a *rectangular*
 input: ``V`` may have ``A.n_cols`` rows (local + halo columns) while
 ``W`` has ``A.n_rows`` rows; the update and both dot products then run
 over the first ``n_rows`` rows of ``V`` — each rank's partial dots.
+
+Mixed precision: the kernels accept complex64 operands as-is (the fp32
+profile) — the elementwise recurrence update runs in the storage dtype
+while every scalar product accumulates in fp64 (:func:`col_dots`,
+:func:`vec_dots`).  Byte charges follow the active profile: pass
+``precision=`` explicitly, or let it be inferred from the vector dtype
+(:func:`repro.util.precision.precision_of`).  Half-storage (fp16v)
+vectors are decoded/encoded by the kernel *backends*, which then call
+these kernels on complex64 views with ``precision=FP16V`` so the
+charges reflect the half-width stream.
 """
 
 from __future__ import annotations
@@ -44,8 +54,9 @@ from repro.sparse.blas1 import axpy, dot, nrm2_sq, scal
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.sell import SellMatrix
 from repro.sparse.spmv import spmv, spmmv
-from repro.util.constants import DTYPE, F_ADD, F_MUL, S_D, S_I
+from repro.util.constants import F_ADD, F_MUL, S_I
 from repro.util.counters import NULL_COUNTERS, PerfCounters
+from repro.util.precision import FP64, Precision, precision_of
 from repro.util.validation import check_block_vector, check_vector
 
 #: Per-row flops of one full KPM inner iteration beyond the SpMV part:
@@ -58,32 +69,45 @@ def _slots(A) -> int:
     return A.stored_slots if isinstance(A, SellMatrix) else A.nnz
 
 
-def charge_aug_spmv(A, counters: PerfCounters) -> None:
+def charge_aug_spmv(
+    A, counters: PerfCounters, prec: Precision = FP64
+) -> None:
     """Table-I accounting of one augmented SpMV call (any backend)."""
     n = A.n_rows
     slots = _slots(A)
+    s_v, s_x = prec.s_value, prec.s_vector
+    s_i = prec.index_bytes(A.n_cols)
     counters.charge(
         "aug_spmv",
-        loads=slots * (S_D + S_I) + 2 * n * S_D,
-        stores=n * S_D,
+        loads=slots * (s_v + s_i) + 2 * n * s_x,
+        stores=n * s_x,
         flops=slots * (F_ADD + F_MUL) + n * _ROW_FLOPS,
     )
 
 
-def charge_aug_spmmv(A, r: int, counters: PerfCounters) -> None:
+def charge_aug_spmmv(
+    A, r: int, counters: PerfCounters, prec: Precision = FP64
+) -> None:
     """Table-I accounting of one augmented SpMMV call (any backend)."""
     n = A.n_rows
     slots = _slots(A)
+    s_v, s_x = prec.s_value, prec.s_vector
+    s_i = prec.index_bytes(A.n_cols)
     counters.charge(
         "aug_spmmv",
-        loads=slots * (S_D + S_I) + 2 * r * n * S_D,
-        stores=r * n * S_D,
+        loads=slots * (s_v + s_i) + 2 * r * n * s_x,
+        stores=r * n * s_x,
         flops=r * (slots * (F_ADD + F_MUL) + n * _ROW_FLOPS),
     )
 
 
 def charge_aug_spmv_part(
-    n_rows: int, slots: int, counters: PerfCounters, name: str
+    n_rows: int,
+    slots: int,
+    counters: PerfCounters,
+    name: str,
+    prec: Precision = FP64,
+    s_index: int | None = None,
 ) -> None:
     """Table-I charge of one *phase* of a split augmented SpMV.
 
@@ -92,24 +116,36 @@ def charge_aug_spmv_part(
     sums to exactly :func:`charge_aug_spmv` of the whole matrix, so the
     split kernels keep the measured == analytic invariant while the
     per-kernel attribution reflects the two phases.
+
+    ``s_index`` is the realized index width; split callers pass
+    ``prec.index_bytes(A.n_cols)`` of the *whole* rank-local operator so
+    both phases charge the same width the unsplit kernel would.
     """
+    s_i = S_I if s_index is None else s_index
     counters.charge(
         name,
-        loads=slots * (S_D + S_I) + 2 * n_rows * S_D,
-        stores=n_rows * S_D,
+        loads=slots * (prec.s_value + s_i) + 2 * n_rows * prec.s_vector,
+        stores=n_rows * prec.s_vector,
         flops=slots * (F_ADD + F_MUL) + n_rows * _ROW_FLOPS,
     )
 
 
 def charge_aug_spmmv_part(
-    n_rows: int, slots: int, r: int, counters: PerfCounters, name: str
+    n_rows: int,
+    slots: int,
+    r: int,
+    counters: PerfCounters,
+    name: str,
+    prec: Precision = FP64,
+    s_index: int | None = None,
 ) -> None:
     """Table-I charge of one phase of a split augmented SpMMV (see
     :func:`charge_aug_spmv_part` for the exact-sum property)."""
+    s_i = S_I if s_index is None else s_index
     counters.charge(
         name,
-        loads=slots * (S_D + S_I) + 2 * r * n_rows * S_D,
-        stores=r * n_rows * S_D,
+        loads=slots * (prec.s_value + s_i) + 2 * r * n_rows * prec.s_vector,
+        stores=r * n_rows * prec.s_vector,
         flops=r * (slots * (F_ADD + F_MUL) + n_rows * _ROW_FLOPS),
     )
 
@@ -118,7 +154,9 @@ def _recombine(W, U, V, a: float, b: float) -> None:
     """In-place ``W <- 2a U - 2ab V - W`` with zero temporaries.
 
     ``U`` is consumed as workspace (it holds the SpMV result on entry and
-    garbage on exit) — five in-place passes, no allocation.
+    garbage on exit) — five in-place passes, no allocation.  All five are
+    real-scalar elementwise operations, so the same code serves
+    complex128, complex64, and float16 (re, im) pair storage.
     """
     two_a = 2.0 * a
     W *= -1.0
@@ -128,18 +166,65 @@ def _recombine(W, U, V, a: float, b: float) -> None:
     W -= U
 
 
+def _components(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(real, imag) component views of complex or f16-pair storage."""
+    if X.dtype.kind == "c":
+        return X.real, X.imag
+    return X[..., 0], X[..., 1]
+
+
 def _col_dots(V: np.ndarray, W: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Column-wise ``<V|V>`` (real) and ``<W|V>`` without (N, R) temporaries.
 
     Works on the real/imaginary views so no conjugated copy of the block
-    is ever materialized; only the (R,) outputs are allocated.
+    is ever materialized; only the (R,) outputs are allocated.  For
+    complex128 blocks this is the paper-baseline path, bit-for-bit
+    unchanged; narrower storage (complex64, f16 pairs) accumulates the
+    same reductions in fp64 (the "on-the-fly fp64 dot accumulation" of
+    the precision profiles), so eta — and hence the DOS — keeps fp64
+    reduction accuracy regardless of how vectors are stored.
     """
-    vr, vi = V.real, V.imag
-    wr, wi = W.real, W.imag
-    eta_even = np.einsum("nr,nr->r", vr, vr) + np.einsum("nr,nr->r", vi, vi)
-    re = np.einsum("nr,nr->r", wr, vr) + np.einsum("nr,nr->r", wi, vi)
-    im = np.einsum("nr,nr->r", wr, vi) - np.einsum("nr,nr->r", wi, vr)
+    if V.dtype == np.complex128:
+        vr, vi = V.real, V.imag
+        wr, wi = W.real, W.imag
+        eta_even = (np.einsum("nr,nr->r", vr, vr)
+                    + np.einsum("nr,nr->r", vi, vi))
+        re = np.einsum("nr,nr->r", wr, vr) + np.einsum("nr,nr->r", wi, vi)
+        im = np.einsum("nr,nr->r", wr, vi) - np.einsum("nr,nr->r", wi, vr)
+        return eta_even, re + 1j * im
+    vr, vi = _components(V)
+    wr, wi = _components(W)
+    f64 = np.float64
+    eta_even = (np.einsum("nr,nr->r", vr, vr, dtype=f64)
+                + np.einsum("nr,nr->r", vi, vi, dtype=f64))
+    re = (np.einsum("nr,nr->r", wr, vr, dtype=f64)
+          + np.einsum("nr,nr->r", wi, vi, dtype=f64))
+    im = (np.einsum("nr,nr->r", wr, vi, dtype=f64)
+          - np.einsum("nr,nr->r", wi, vr, dtype=f64))
     return eta_even, re + 1j * im
+
+
+#: Public alias: fp64-accumulating column dots for any vector storage.
+col_dots = _col_dots
+
+
+def vec_dots(v: np.ndarray, w: np.ndarray) -> tuple[float, complex]:
+    """Single-vector ``(<v|v>, <w|v>)`` with fp64 accumulation.
+
+    Bitwise-identical to the historical ``np.vdot`` pair for complex128.
+    """
+    if v.dtype == np.complex128:
+        return float(np.vdot(v, v).real), complex(np.vdot(w, v))
+    vr, vi = _components(v)
+    wr, wi = _components(w)
+    f64 = np.float64
+    ee = (np.einsum("n,n->", vr, vr, dtype=f64)
+          + np.einsum("n,n->", vi, vi, dtype=f64))
+    re = (np.einsum("n,n->", wr, vr, dtype=f64)
+          + np.einsum("n,n->", wi, vi, dtype=f64))
+    im = (np.einsum("n,n->", wr, vi, dtype=f64)
+          - np.einsum("n,n->", wi, vr, dtype=f64))
+    return float(ee), complex(re + 1j * im)
 
 
 def _check_block_pair(A, V: np.ndarray, W: np.ndarray):
@@ -147,6 +232,20 @@ def _check_block_pair(A, V: np.ndarray, W: np.ndarray):
     V = check_block_vector("V", V, A.n_cols)
     W = check_block_vector("W", W, A.n_rows, V.shape[1])
     return V, W, V.shape[1]
+
+
+def _resolve_precision(x: np.ndarray, precision) -> Precision:
+    prec = precision_of(x) if precision is None else precision
+    if prec.half_vectors and x.dtype != np.float16:
+        # backend decoded f16 storage to complex64 for us; charges keep
+        # the half-width layout — nothing to do
+        return prec
+    if x.dtype == np.float16:
+        raise TypeError(
+            "half-storage (fp16v) vectors are decoded by the kernel "
+            "backends; call through repro.sparse.backend instead"
+        )
+    return prec
 
 
 def naive_kpm_step(
@@ -171,11 +270,21 @@ def naive_kpm_step(
         w <- w + 2a u       (axpy)
         eta_even <- <v|v>   (nrm2)
         eta_odd  <- <w|v>   (dot)
+
+    Works for complex128 and complex64 storage (the BLAS-1 charges track
+    the element size automatically); half storage is rejected — the
+    naive engine is the paper's unblocked ablation baseline and is not
+    part of the fp16v tier.
     """
+    if v.dtype == np.float16:
+        raise TypeError(
+            "the naive engine does not support fp16v half storage; use "
+            "the fused engines (aug_spmv / aug_spmmv)"
+        )
     n = A.n_rows
     v = check_vector("v", v, n)
     w = check_vector("w", w, n)
-    u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
+    u = scratch if scratch is not None else np.empty(n, dtype=v.dtype)
     with metrics.span("naive_step", counters=counters):
         spmv(A, v, out=u, counters=counters)
         axpy(u, -b, v, counters=counters, work=scratch2)
@@ -195,6 +304,7 @@ def aug_spmv_step(
     scratch: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    precision: Precision | None = None,
 ) -> tuple[float, complex]:
     """Optimization stage 1 (paper Fig. 4): the augmented SpMV.
 
@@ -202,16 +312,16 @@ def aug_spmv_step(
     single kernel touching each of v and w once:
     ``N_nz (S_d+S_i) + 3 N S_d`` bytes per call.
     """
+    prec = _resolve_precision(v, precision)
     n = A.n_rows
     v = check_vector("v", v, n)
     w = check_vector("w", w, n)
-    u = scratch if scratch is not None else np.empty(n, dtype=DTYPE)
+    u = scratch if scratch is not None else np.empty(n, dtype=v.dtype)
     with metrics.span("aug_spmv", counters=counters):
         spmv(A, v, out=u, counters=NULL_COUNTERS)
         _recombine(w, u, v, a, b)
-        eta_even = float(np.vdot(v, v).real)
-        eta_odd = complex(np.vdot(w, v))
-        charge_aug_spmv(A, counters)
+        eta_even, eta_odd = vec_dots(v, w)
+        charge_aug_spmv(A, counters, prec)
     return eta_even, eta_odd
 
 
@@ -224,6 +334,7 @@ def aug_spmmv_step(
     scratch: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    precision: Precision | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Optimization stage 2 (paper Fig. 5): the augmented SpMMV.
 
@@ -234,15 +345,16 @@ def aug_spmmv_step(
     Charged traffic: ``N_nz (S_d+S_i) + 3 R N S_d`` bytes per call —
     Eq. (4)'s final line divided by the M/2 iterations.
     """
+    prec = _resolve_precision(V, precision)
     n = A.n_rows
     V, W, r = _check_block_pair(A, V, W)
-    U = scratch if scratch is not None else np.empty((n, r), dtype=DTYPE)
+    U = scratch if scratch is not None else np.empty((n, r), dtype=V.dtype)
     with metrics.span("aug_spmmv", counters=counters):
         spmmv(A, V, out=U, counters=NULL_COUNTERS)
         Vn = V[:n]
         _recombine(W, U, Vn, a, b)
         eta_even, eta_odd = _col_dots(Vn, W)
-        charge_aug_spmmv(A, r, counters)
+        charge_aug_spmmv(A, r, counters, prec)
     return eta_even, eta_odd
 
 
@@ -254,6 +366,7 @@ def aug_spmmv_nodot_step(
     b: float,
     scratch: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
+    precision: Precision | None = None,
 ) -> None:
     """Augmented SpMMV *without* on-the-fly dot products.
 
@@ -262,16 +375,19 @@ def aug_spmmv_nodot_step(
     (and separately charged) reduction kernels. Used by the performance
     benches to isolate the cost of the in-kernel reductions.
     """
+    prec = _resolve_precision(V, precision)
     n = A.n_rows
     V, W, r = _check_block_pair(A, V, W)
-    U = scratch if scratch is not None else np.empty((n, r), dtype=DTYPE)
+    U = scratch if scratch is not None else np.empty((n, r), dtype=V.dtype)
     spmmv(A, V, out=U, counters=NULL_COUNTERS)
     _recombine(W, U, V[:n], a, b)
     slots = _slots(A)
+    s_x = prec.s_vector
     counters.charge(
         "aug_spmmv_nodot",
-        loads=slots * (S_D + S_I) + 2 * r * n * S_D,
-        stores=r * n * S_D,
+        loads=slots * (prec.s_value + prec.index_bytes(A.n_cols))
+        + 2 * r * n * s_x,
+        stores=r * n * s_x,
         flops=r
         * (
             slots * (F_ADD + F_MUL)
@@ -284,11 +400,12 @@ def block_dots(
     V: np.ndarray, W: np.ndarray, counters: PerfCounters = NULL_COUNTERS
 ) -> tuple[np.ndarray, np.ndarray]:
     """Separate column-wise <V|V> and <W|V> for the no-dot kernel variant."""
-    n, r = V.shape
+    n, r = V.shape[:2]
+    s_x = V.dtype.itemsize if V.dtype.kind == "c" else 2 * V.dtype.itemsize
     eta_even, eta_odd = _col_dots(V, W)
     counters.charge(
         "block_dots",
-        loads=3 * n * r * S_D,
+        loads=3 * n * r * s_x,
         flops=r * n * (F_ADD + F_MUL + F_ADD // 2 + F_MUL // 2),
     )
     return eta_even, eta_odd

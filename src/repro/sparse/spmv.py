@@ -31,9 +31,10 @@ except ImportError:  # pragma: no cover - very old scipy
 from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.sparse.csr import CSRMatrix, segment_sum
 from repro.sparse.sell import SellMatrix
-from repro.util.constants import DTYPE, F_ADD, F_MUL, S_D, S_I
+from repro.util.constants import DTYPE, F_ADD, F_MUL
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import ShapeError
+from repro.util.precision import FP64, Precision, precision_of
 from repro.util.validation import check_block_vector, check_vector
 
 
@@ -58,8 +59,14 @@ def set_fast_backend(enabled: bool) -> bool:
     return old
 
 
-def _scipy_handle(A: CSRMatrix | SellMatrix) -> "_sp.csr_matrix":
-    """Cached scipy CSR view of the matrix's numerical content."""
+def _scipy_handle(A: CSRMatrix | SellMatrix, dtype=DTYPE) -> "_sp.csr_matrix":
+    """Cached scipy CSR view of the matrix's numerical content.
+
+    One handle per value dtype: the fp64 baseline keeps its historical
+    ``_scipy_cache`` attribute; the complex64 handle (shared by the fp32
+    and fp16v profiles) is cached separately and built by downcasting the
+    fp64 handle's value array once.
+    """
     handle = getattr(A, "_scipy_cache", None)
     if handle is None:
         if isinstance(A, CSRMatrix):
@@ -72,7 +79,17 @@ def _scipy_handle(A: CSRMatrix | SellMatrix) -> "_sp.csr_matrix":
                 (csr.data, csr.indices, csr.indptr), shape=csr.shape
             )
         A._scipy_cache = handle
-    return handle
+    if np.dtype(dtype) == np.complex128:
+        return handle
+    narrow = getattr(A, "_scipy_cache32", None)
+    if narrow is None:
+        narrow = _sp.csr_matrix(
+            (handle.data.astype(np.complex64), handle.indices,
+             handle.indptr),
+            shape=handle.shape,
+        )
+        A._scipy_cache32 = narrow
+    return narrow
 
 
 def _fast_product(A, X: np.ndarray, out: np.ndarray) -> None:
@@ -81,10 +98,11 @@ def _fast_product(A, X: np.ndarray, out: np.ndarray) -> None:
     Uses the accumulate-into-``out`` entry points of
     ``scipy.sparse._sparsetools`` when available so the product allocates
     nothing (the workspace plans rely on this); falls back to the public
-    operator otherwise.
+    operator otherwise.  The matrix-value dtype follows ``out``: fp32
+    products run entirely in complex64.
     """
-    handle = _scipy_handle(A)
-    X = X.astype(DTYPE, copy=False)
+    handle = _scipy_handle(A, dtype=out.dtype)
+    X = X.astype(out.dtype, copy=False)
     if (
         _sparsetools is not None
         and X.flags.c_contiguous
@@ -105,16 +123,24 @@ def _fast_product(A, X: np.ndarray, out: np.ndarray) -> None:
         out[:] = handle @ X
 
 
-def _charge_spmv(A, n_vecs: int, counters: PerfCounters, name: str) -> None:
+def _charge_spmv(
+    A,
+    n_vecs: int,
+    counters: PerfCounters,
+    name: str,
+    prec: Precision = FP64,
+) -> None:
     n = A.n_rows
     if isinstance(A, SellMatrix):
         slots = A.stored_slots
     else:
         slots = A.nnz
+    s_v, s_x = prec.s_value, prec.s_vector
+    s_i = prec.index_bytes(A.n_cols)
     counters.charge(
         name,
-        loads=slots * (S_D + S_I) + n_vecs * n * S_D,
-        stores=n_vecs * n * S_D,
+        loads=slots * (s_v + s_i) + n_vecs * n * s_x,
+        stores=n_vecs * n * s_x,
         flops=n_vecs * slots * (F_ADD + F_MUL),
     )
 
@@ -125,6 +151,7 @@ def spmv(
     out: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    precision: Precision | None = None,
 ) -> np.ndarray:
     """Compute ``y = A @ x`` for a single vector.
 
@@ -133,33 +160,62 @@ def spmv(
     A:
         Matrix in CSR or SELL-C-sigma storage.
     x:
-        Input vector of length ``A.n_cols``.
+        Input vector of length ``A.n_cols``; complex128, complex64, or
+        float16 (re, im) pair storage of shape ``(n_cols, 2)``.
     out:
-        Optional pre-allocated output of length ``A.n_rows``.
+        Optional pre-allocated output of length ``A.n_rows`` (matching
+        ``x``'s storage layout).
     counters:
         Sink for the Table-I minimum traffic/flop accounting.
+    precision:
+        Profile to charge; inferred from ``x``'s dtype when omitted.
+        Backends pass it explicitly when they hand over pre-decoded
+        complex views of half storage.
     """
     if not isinstance(A, (CSRMatrix, SellMatrix)):
         raise TypeError(f"unsupported matrix type {type(A).__name__}")
-    x = check_vector("x", x, A.n_cols)
-    if out is None:
-        out = np.empty(A.n_rows, dtype=DTYPE)
-    elif out.shape != (A.n_rows,):
-        raise ShapeError(f"out must have shape ({A.n_rows},), got {out.shape}")
+    prec = precision_of(x) if precision is None else precision
+    half = x.dtype == np.float16
+    if half:
+        from repro.util.precision import FP16V
+
+        xin = check_vector("x", FP16V.decode(x), A.n_cols)
+        if out is None:
+            out = np.empty((A.n_rows, 2), dtype=np.float16)
+        elif out.shape != (A.n_rows, 2) or out.dtype != np.float16:
+            raise ShapeError(
+                f"out must be float16 of shape ({A.n_rows}, 2), got "
+                f"{out.dtype} {out.shape}"
+            )
+        tgt = np.empty(A.n_rows, dtype=np.complex64)
+    else:
+        xin = check_vector("x", x, A.n_cols)
+        if out is None:
+            out = np.empty(A.n_rows, dtype=x.dtype)
+        elif out.shape != (A.n_rows,):
+            raise ShapeError(
+                f"out must have shape ({A.n_rows},), got {out.shape}"
+            )
+        tgt = out
 
     with metrics.span("spmv", counters=counters):
         if _FAST_BACKEND:
-            _fast_product(A, x, out)
+            _fast_product(A, xin, tgt)
         elif isinstance(A, CSRMatrix):
-            products = A.data * x[A.indices.astype(np.int64)]
-            out[:] = segment_sum(products, A.indptr)
+            products = A.data * xin[A.indices.astype(np.int64)]
+            tgt[:] = segment_sum(products, A.indptr)
         else:
             n_padded, lmax = A._ell_data.shape
             acc = np.zeros(n_padded, dtype=DTYPE)
             for l in range(lmax):
-                acc += A._ell_data[:, l] * x[A._ell_idx[:, l].astype(np.int64)]
-            out[:] = acc[A.inv_perm[: A.n_rows]]
-        _charge_spmv(A, 1, counters, "spmv")
+                acc += (A._ell_data[:, l]
+                        * xin[A._ell_idx[:, l].astype(np.int64)])
+            tgt[:] = acc[A.inv_perm[: A.n_rows]]
+        if half:
+            from repro.util.precision import FP16V
+
+            FP16V.encode(tgt, out=out)
+        _charge_spmv(A, 1, counters, "spmv", prec)
     return out
 
 
@@ -169,6 +225,7 @@ def spmmv(
     out: np.ndarray | None = None,
     counters: PerfCounters = NULL_COUNTERS,
     metrics: MetricsRegistry = NULL_METRICS,
+    precision: Precision | None = None,
 ) -> np.ndarray:
     """Compute ``Y = A @ X`` for a row-major block vector ``X`` of width R.
 
@@ -177,21 +234,44 @@ def spmmv(
     """
     if not isinstance(A, (CSRMatrix, SellMatrix)):
         raise TypeError(f"unsupported matrix type {type(A).__name__}")
-    X = check_block_vector("X", X, A.n_cols)
-    r = X.shape[1]
-    if out is None:
-        out = np.empty((A.n_rows, r), dtype=DTYPE)
-    elif out.shape != (A.n_rows, r):
-        raise ShapeError(f"out must have shape ({A.n_rows}, {r}), got {out.shape}")
+    prec = precision_of(X) if precision is None else precision
+    half = X.dtype == np.float16
+    if half:
+        from repro.util.precision import FP16V
+
+        Xin = check_block_vector("X", FP16V.decode(X), A.n_cols)
+        r = Xin.shape[1]
+        if out is None:
+            out = np.empty((A.n_rows, r, 2), dtype=np.float16)
+        elif out.shape != (A.n_rows, r, 2) or out.dtype != np.float16:
+            raise ShapeError(
+                f"out must be float16 of shape ({A.n_rows}, {r}, 2), got "
+                f"{out.dtype} {out.shape}"
+            )
+        tgt = np.empty((A.n_rows, r), dtype=np.complex64)
+    else:
+        Xin = check_block_vector("X", X, A.n_cols)
+        r = Xin.shape[1]
+        if out is None:
+            out = np.empty((A.n_rows, r), dtype=X.dtype)
+        elif out.shape != (A.n_rows, r):
+            raise ShapeError(
+                f"out must have shape ({A.n_rows}, {r}), got {out.shape}"
+            )
+        tgt = out
 
     with metrics.span("spmmv", counters=counters):
         if _FAST_BACKEND:
-            _fast_product(A, X, out)
+            _fast_product(A, Xin, tgt)
         elif isinstance(A, CSRMatrix):
-            _csr_spmmv_blocked(A, X, out)
+            _csr_spmmv_blocked(A, Xin, tgt)
         else:
-            _sell_spmmv_blocked(A, X, out)
-        _charge_spmv(A, r, counters, "spmmv")
+            _sell_spmmv_blocked(A, Xin, tgt)
+        if half:
+            from repro.util.precision import FP16V
+
+            FP16V.encode(tgt, out=out)
+        _charge_spmv(A, r, counters, "spmmv", prec)
     return out
 
 
@@ -225,7 +305,7 @@ def _sell_spmmv_blocked(A: SellMatrix, X: np.ndarray, out: np.ndarray) -> None:
     ell_idx = A._ell_idx
     n_padded, lmax = ell_data.shape
     r = X.shape[1]
-    acc = np.empty((min(_SPMMV_ROW_BLOCK, n_padded), r), dtype=DTYPE)
+    acc = np.empty((min(_SPMMV_ROW_BLOCK, n_padded), r), dtype=X.dtype)
     buf = np.empty_like(acc)
     for lo in range(0, n_padded, _SPMMV_ROW_BLOCK):
         hi = min(lo + _SPMMV_ROW_BLOCK, n_padded)

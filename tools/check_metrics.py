@@ -8,7 +8,9 @@ lattice with live :class:`~repro.util.counters.PerfCounters` and a
 1. the measured byte/flop totals equal
    :func:`repro.perf.report.expected_counters` (the Table-I
    ``charge_*`` minima re-charged analytically) **exactly** — for both
-   sparse formats (CSR, SELL-C-sigma), every engine, and R in {1, 8};
+   sparse formats (CSR, SELL-C-sigma), every engine, every precision
+   profile (fp64 / fp32 / fp16v; the naive engine is fp64/fp32 only),
+   and R in {1, 8};
 2. the per-kernel achieved code balance from the metrics layer equals
    the per-call model balance;
 3. a JSONL trace written during one run parses back and its aggregated
@@ -78,25 +80,28 @@ def main(argv: list[str] | None = None) -> int:
     m = args.moments
     matrices = [("csr", H), ("sell", SellMatrix(H, chunk_height=8, sigma=32))]
 
-    # -- 1. exact counter equality, all engines x formats x R ----------
+    # -- 1. exact counter equality, engines x formats x R x precision --
     for fmt, A in matrices:
         for r in (1, 8):
             block = make_block_vector(A.n_rows, r, seed=2)
             for engine in ("naive", "aug_spmv", "aug_spmmv"):
-                counters = PerfCounters()
-                compute_eta(A, scale, m, block, engine, counters,
-                            backend=backend)
-                exp = expected_counters(A, m, r, engine)
-                label = f"{fmt} R={r} {engine}"
-                if (counters.bytes_loaded, counters.bytes_stored,
-                        counters.flops) != (exp.bytes_loaded,
-                                            exp.bytes_stored, exp.flops):
-                    return _fail(
-                        f"{label}: measured {counters.summary()} != "
-                        f"analytic {exp.summary()}"
-                    )
-                print(f"  ok: {label:24s} "
-                      f"{counters.bytes_total:>12,} B exact")
+                for prec in ("fp64", "fp32", "fp16v"):
+                    if engine == "naive" and prec == "fp16v":
+                        continue  # three live blocks, no decode pass
+                    counters = PerfCounters()
+                    compute_eta(A, scale, m, block, engine, counters,
+                                backend=backend, precision=prec)
+                    exp = expected_counters(A, m, r, engine, precision=prec)
+                    label = f"{fmt} R={r} {engine} {prec}"
+                    if (counters.bytes_loaded, counters.bytes_stored,
+                            counters.flops) != (exp.bytes_loaded,
+                                                exp.bytes_stored, exp.flops):
+                        return _fail(
+                            f"{label}: measured {counters.summary()} != "
+                            f"analytic {exp.summary()}"
+                        )
+                    print(f"  ok: {label:30s} "
+                          f"{counters.bytes_total:>12,} B exact")
 
     # -- 2. per-kernel achieved balance == model balance ---------------
     r = 8
@@ -152,36 +157,42 @@ def main(argv: list[str] | None = None) -> int:
     print()
     for r in (1, 8):
         block = make_block_vector(H.n_rows, r, seed=2)
-        serial = PerfCounters()
-        compute_eta(H, scale, m, block, "aug_spmmv", serial,
-                    backend=backend)
-        counters = PerfCounters()
-        distributed_eta(dist, None, scale, m, block,
-                        SimWorld(n_ranks), backend=backend,
-                        counters=counters, overlap=True)
-        exp = expected_counters(H, m, r, "aug_spmmv", splits=splits)
-        label = f"overlap {n_ranks} ranks R={r}"
-        if (counters.bytes_loaded, counters.bytes_stored,
-                counters.flops) != (exp.bytes_loaded,
-                                    exp.bytes_stored, exp.flops):
-            return _fail(
-                f"{label}: measured {counters.summary()} != "
-                f"analytic {exp.summary()}"
-            )
-        if (counters.bytes_loaded, counters.bytes_stored,
-                counters.flops) != (serial.bytes_loaded,
-                                    serial.bytes_stored, serial.flops):
-            return _fail(
-                f"{label}: split totals drifted from the serial minima"
-            )
-        if counters.calls != exp.calls:
-            return _fail(
-                f"{label}: call attribution {counters.calls} != "
-                f"analytic {exp.calls}"
-            )
-        print(f"  ok: {label:24s} "
-              f"{counters.bytes_total:>12,} B exact, "
-              f"calls {dict(sorted(counters.calls.items()))}")
+        for prec in ("fp64", "fp32", "fp16v"):
+            counters = PerfCounters()
+            distributed_eta(dist, None, scale, m, block,
+                            SimWorld(n_ranks), backend=backend,
+                            counters=counters, overlap=True,
+                            precision=prec)
+            exp = expected_counters(H, m, r, "aug_spmmv", splits=splits,
+                                    precision=prec)
+            label = f"overlap {n_ranks} ranks R={r} {prec}"
+            if (counters.bytes_loaded, counters.bytes_stored,
+                    counters.flops) != (exp.bytes_loaded,
+                                        exp.bytes_stored, exp.flops):
+                return _fail(
+                    f"{label}: measured {counters.summary()} != "
+                    f"analytic {exp.summary()}"
+                )
+            if counters.calls != exp.calls:
+                return _fail(
+                    f"{label}: call attribution {counters.calls} != "
+                    f"analytic {exp.calls}"
+                )
+            if prec == "fp64":
+                serial = PerfCounters()
+                compute_eta(H, scale, m, block, "aug_spmmv", serial,
+                            backend=backend)
+                if (counters.bytes_loaded, counters.bytes_stored,
+                        counters.flops) != (serial.bytes_loaded,
+                                            serial.bytes_stored,
+                                            serial.flops):
+                    return _fail(
+                        f"{label}: split totals drifted from the "
+                        "serial minima"
+                    )
+            print(f"  ok: {label:30s} "
+                  f"{counters.bytes_total:>12,} B exact, "
+                  f"calls {dict(sorted(counters.calls.items()))}")
 
     print("\nall metric/model cross-checks passed")
     return 0

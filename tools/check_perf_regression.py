@@ -48,12 +48,16 @@ def _vectors(n, r, seed=1):
     return v, w
 
 
-def _time_backend_step(bk, A, scale, stage, r, reps=5):
+def _time_backend_step(bk, A, scale, stage, r, reps=5, precision="fp64"):
     """Best-of-reps seconds + minimum-traffic bytes (bench protocol)."""
-    from repro.util.counters import PerfCounters
+    import numpy as np
 
+    from repro.util.counters import PerfCounters
+    from repro.util.precision import get_precision
+
+    prec = get_precision(precision)
     n = A.n_rows
-    plan = bk.plan(A, r)
+    plan = bk.plan(A, r, precision=prec)
     step = {
         "naive": bk.naive_step,
         "aug_spmv": bk.aug_spmv_step,
@@ -64,6 +68,11 @@ def _time_backend_step(bk, A, scale, stage, r, reps=5):
         v, w = v[:, 0].copy(), w[:, 0].copy()
     else:
         v, w = _vectors(n, r)
+    if prec.half_vectors:
+        v, w = prec.encode(v), prec.encode(w)
+    elif prec.vector_dtype != v.dtype:
+        v = np.ascontiguousarray(v.astype(prec.vector_dtype))
+        w = np.ascontiguousarray(w.astype(prec.vector_dtype))
     counters = PerfCounters()
     step(A, v, w, scale.a, scale.b, plan=plan, counters=counters)  # warm-up
     nbytes = counters.bytes_total
@@ -112,40 +121,43 @@ def main(argv: list[str] | None = None) -> int:
     scale = SpectralScale.from_bounds(*h.gershgorin_bounds())
     mats = {"csr": h, "sell": s}
 
-    def base_gbps(stage, fmt, backend):
+    def base_gbps(stage, fmt, backend, precision):
         for row in baseline["series"]:
-            if (row["stage"], row["format"], row["backend"]) == (
-                    stage, fmt, backend):
+            if (row["stage"], row["format"], row["backend"],
+                    row.get("precision", "fp64")) == (
+                    stage, fmt, backend, precision):
                 return row["gbps"]
-        raise KeyError((stage, fmt, backend))
+        raise KeyError((stage, fmt, backend, precision))
 
     failures = []
-    print(f"{'kernel':>16} {'base':>8} {'now':>8} {'ratio':>7}   "
+    print(f"{'kernel':>22} {'base':>8} {'now':>8} {'ratio':>7}   "
           f"({'normalized by numpy' if not args.absolute else 'raw GB/s'})")
     for row in baseline["series"]:
         if row["backend"] != "native":
             continue
         stage, fmt, r = row["stage"], row["format"], row["r"]
+        precision = row.get("precision", "fp64")
         base = row["gbps"]
         if not args.absolute:
-            base = base / base_gbps(stage, fmt, "numpy")
+            base = base / base_gbps(stage, fmt, "numpy", precision)
         # a genuine regression shows up in every trial; timer noise on a
         # loaded host does not — gate on the most favorable of a few
         now = 0.0
         for _ in range(args.trials):
             secs, nbytes = _time_backend_step(
-                native, mats[fmt], scale, stage, r)
+                native, mats[fmt], scale, stage, r, precision=precision)
             trial = nbytes / secs / 1e9
             if not args.absolute:
                 np_secs, np_bytes = _time_backend_step(
-                    numpy_bk, mats[fmt], scale, stage, r)
+                    numpy_bk, mats[fmt], scale, stage, r,
+                    precision=precision)
                 trial = trial / (np_bytes / np_secs / 1e9)
             now = max(now, trial)
             if now / base >= 1.0 - args.max_regress:
                 break  # already within budget, no need for more trials
         ratio = now / base
-        label = f"{stage}/{fmt}"
-        print(f"{label:>16} {base:8.3f} {now:8.3f} {ratio:7.3f}")
+        label = f"{stage}/{fmt}/{precision}"
+        print(f"{label:>22} {base:8.3f} {now:8.3f} {ratio:7.3f}")
         if ratio < 1.0 - args.max_regress:
             failures.append(
                 f"{label}: native throughput {ratio:.2f}x of baseline "
