@@ -192,6 +192,135 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Multi-tenant serving drill: concurrent clients, one server.
+
+    Phase 1 submits ``--requests`` overlapping DOS queries from several
+    tenant threads against one operator and lets the worker thread
+    coalesce them.  Phase 2 sweeps coalescing widths 1/2/4/8
+    synchronously and reports the measured traffic per request (the
+    Eq. 5-7 amortization).  Phase 3 replays a request with a different
+    damping kernel (a kernel-free cache hit).  With ``--fault-plan``
+    the phase-1 batches run under a batch-scoped supervisor.
+    ``--check`` turns the expectations into hard assertions.
+    """
+    import threading
+
+    from repro.perf.report import expected_counters
+    from repro.resil import FaultPlan, Resilience, RetryPolicy
+    from repro.serve import HamiltonianSpec, KPMServer, Request
+
+    ny = args.ny or args.nx
+    spec = HamiltonianSpec(
+        "topological_insulator", {"nx": args.nx, "ny": ny, "nz": args.nz}
+    )
+    resilience = None
+    if args.fault_plan or args.retries:
+        resilience = Resilience(
+            policy=RetryPolicy(max_attempts=max(args.retries, 2)),
+            fault_plan=(FaultPlan.parse(args.fault_plan, seed=args.seed)
+                        if args.fault_plan else None),
+        )
+    engine = None if args.engine == "serial" else args.engine
+
+    # -- phase 1: concurrent tenants against the worker thread ---------
+    srv = KPMServer(
+        max_width=args.max_width, engine=engine, backend=args.backend,
+        workers=args.workers, resilience=resilience, linger=0.05,
+        stream_every=0,
+    )
+    tickets = []
+    t_lock = threading.Lock()
+
+    def client(tenant: str, seeds: list[int]) -> None:
+        for s in seeds:
+            t = srv.submit(Request(
+                spec, n_moments=args.moments, n_vectors=1, seed=s,
+                tenant=tenant, priority=int(tenant[-1]) % 2,
+            ))
+            with t_lock:
+                tickets.append(t)
+
+    n_req = args.requests
+    seeds = list(range(n_req))
+    threads = [
+        threading.Thread(target=client, args=(f"tenant{i}", seeds[i::3]))
+        for i in range(3)
+    ]
+    with srv:
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        results = [t.result(timeout=600.0) for t in tickets]
+    widths = [t.via for t in tickets if isinstance(t.via, int)]
+    max_seen = max(widths) if widths else 0
+    print(f"phase 1: {n_req} overlapping requests from 3 tenants -> "
+          f"{srv.metrics.counters.get('serve.batches', 0):.0f} batches, "
+          f"max coalesced width {max_seen}")
+    assert len(results) == n_req
+
+    # -- phase 2: width sweep, measured traffic per request ------------
+    print(f"\nphase 2: traffic per request vs coalescing width "
+          f"(M = {args.moments}, serial accounting)")
+    print(f"{'width':>6} {'measured B/req':>15} {'model B/req':>13} "
+          f"{'exact':>6}")
+    per_request = []
+    H = None
+    for w in (1, 2, 4, 8):
+        s2 = KPMServer(max_width=w)
+        for s in range(w):
+            s2.submit(Request(spec, n_moments=args.moments,
+                              n_vectors=1, seed=s))
+        s2.step()
+        if H is None:
+            H, _model, _scale = s2.operator(spec)
+        _batch, counters = s2.last_batches[0]
+        model = expected_counters(H, args.moments, w)
+        bpr = counters.bytes_total / w
+        exact = counters.bytes_total == model.bytes_total \
+            and counters.flops == model.flops
+        per_request.append(bpr)
+        print(f"{w:>6} {bpr:>15,.0f} {model.bytes_total / w:>13,.0f} "
+              f"{'yes' if exact else 'NO':>6}")
+        if args.check and not exact:
+            print("CHECK FAILED: measured != analytic counters")
+            return 1
+    falling = all(b < a for a, b in zip(per_request, per_request[1:]))
+    print(f"traffic per request strictly decreasing: "
+          f"{'yes' if falling else 'NO'}")
+
+    # -- phase 3: kernel-free cache hit --------------------------------
+    t_hit = srv.submit(Request(spec, n_moments=args.moments, n_vectors=1,
+                               seed=0, kernel="lorentz"))
+    hits = srv.cache.stats()["hits"]
+    print(f"\nphase 3: re-query with kernel='lorentz' -> via={t_hit.via!r}, "
+          f"cache hits = {hits}")
+
+    print("\nserver metrics:")
+    print(srv.metrics.summary())
+
+    if args.check:
+        failures = []
+        if len(tickets) < 8:
+            failures.append(f"only {len(tickets)} overlapping requests (< 8)")
+        if max_seen < 2:
+            failures.append(f"max coalesced width {max_seen} < 2")
+        if hits < 1:
+            failures.append("no cache hits")
+        if not falling:
+            failures.append("traffic per request not strictly decreasing")
+        if resilience is not None and args.fault_plan:
+            retries = srv.metrics.counters.get("serve.batch.retries", 0)
+            if retries < 1:
+                failures.append("fault plan given but no batch retries seen")
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print("CHECK PASSED")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.perf.report import full_report
 
@@ -294,6 +423,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write one JSONL record per instrumented span to "
                         "FILE (implies the --metrics instrumentation)")
     p.set_defaults(fn=cmd_dos)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant serving drill: coalescing, caching, traffic",
+    )
+    p.add_argument("--nx", type=int, default=8)
+    p.add_argument("--ny", type=int, default=0, help="default: same as --nx")
+    p.add_argument("--nz", type=int, default=4)
+    p.add_argument("--moments", type=int, default=128)
+    p.add_argument("--requests", type=int, default=8,
+                   help="overlapping client requests in phase 1")
+    p.add_argument("--max-width", type=int, default=8,
+                   help="coalescing width cap (columns per batch)")
+    p.add_argument("--engine", default="serial",
+                   choices=["serial", "sim", "mp"],
+                   help="batch execution engine")
+    p.add_argument("--workers", type=int, default=2,
+                   help="rank count for --engine sim|mp")
+    p.add_argument("--backend", default="auto", choices=list(BACKEND_CHOICES))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--retries", type=int, default=0,
+                   help="batch-scoped supervised retries (> 0 enables the "
+                        "resilience supervisor per batch)")
+    p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN",
+                   help="inject planned faults into batch solves "
+                        "(same syntax as 'dos --fault-plan')")
+    p.add_argument("--check", action="store_true",
+                   help="assert coalescing width >= 2, cache hits > 0, and "
+                        "strictly falling traffic per request; exit 1 on "
+                        "any failure")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="analyze matrix structure")
     _add_matrix_args(p)

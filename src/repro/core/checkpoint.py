@@ -209,6 +209,8 @@ def checkpointed_eta(
     metrics: MetricsRegistry = NULL_METRICS,
     fault=None,
     precision: Precision | str | None = None,
+    progress=None,
+    progress_every: int = 0,
 ) -> np.ndarray:
     """Stage-2 eta computation with optional checkpoint/restart.
 
@@ -228,6 +230,13 @@ def checkpointed_eta(
     the multiprocess engine's injected crashes).  ``precision`` selects
     the storage profile; checkpoints record it and a resume under a
     different profile raises :class:`CheckpointError`.
+
+    ``progress`` is an optional streaming callback fired as
+    ``progress(n_eta, eta_prefix)`` after every ``progress_every`` inner
+    iterations, where ``eta_prefix`` is a read-only view of the first
+    ``n_eta`` scalar products of every column — the serve layer's
+    partial-spectrum stream.  The callback runs on the compute path:
+    keep it cheap and never let it raise.
     """
     if n_moments % 2 or n_moments < 2:
         raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
@@ -287,6 +296,9 @@ def checkpointed_eta(
                                    counters=counters, metrics=metrics)
         eta[:, 2 * m] = ee
         eta[:, 2 * m + 1] = eo
+        if progress is not None and progress_every > 0 \
+                and (m - first_m + 1) % progress_every == 0:
+            progress(2 * (m + 1), eta[:, : 2 * (m + 1)])
         if checkpoint_every and (m - first_m + 1) % checkpoint_every == 0:
             # after the step: w holds nu_{m+1}, v holds nu_m; the next
             # iteration's swap expects exactly (v, w) in these roles

@@ -75,6 +75,32 @@ class LDOSResult:
         return self.rho[:, idx]
 
 
+def dos_result_from_moments(
+    mu: np.ndarray,
+    scale: SpectralScale,
+    *,
+    kernel: str = "jackson",
+    n_vectors: int = 1,
+    energies: np.ndarray | None = None,
+    n_points: int | None = None,
+) -> DOSResult:
+    """Reconstruct a :class:`DOSResult` from precomputed trace moments.
+
+    Moments are kernel-free: damping happens here, at reconstruction.
+    This is the path the serving layer takes on a moment-cache hit — a
+    repeat query with a different kernel re-damps the stored ``mu``
+    instead of re-running M/2 operator applications — and it produces
+    exactly what :meth:`KPMSolver.dos` would for the same moments.
+    """
+    mu = np.asarray(mu)
+    n_moments = mu.shape[-1]
+    pts = n_points if n_points is not None else max(2 * n_moments, 256)
+    e_grid, rho = reconstruct_dos(
+        mu, scale, energies=energies, n_points=pts, kernel=kernel
+    )
+    return DOSResult(e_grid, rho, mu, scale, n_vectors, kernel)
+
+
 @dataclass
 class SpectralFunctionResult:
     """Momentum-resolved spectral function A(k, E)."""
@@ -234,6 +260,39 @@ class KPMSolver:
             raise ValueError(
                 f"bounds must be 'lanczos' or 'gershgorin', got {bounds!r}"
             )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        n_moments: int = 512,
+        n_vectors: int = 8,
+        *,
+        scale_seed: int | None = 0,
+        **kwargs,
+    ) -> "KPMSolver":
+        """Build a solver from a canonical operator spec.
+
+        ``spec`` is a :class:`~repro.serve.spec.HamiltonianSpec` (or its
+        ``to_dict()`` form).  The spectral map is pinned with
+        ``scale_seed`` — the same convention the serving layer uses to
+        make a request's moments a pure function of its content key —
+        so a solo ``from_spec`` solve is the bitwise reference for a
+        coalesced server solve of the same spec.  The built model stays
+        available as ``solver.model`` (site geometry for LDOS row
+        selection etc.).
+        """
+        from repro.serve.spec import HamiltonianSpec
+
+        if isinstance(spec, dict):
+            spec = HamiltonianSpec.from_dict(spec)
+        H, model = spec.build()
+        if "scale" not in kwargs:
+            kwargs["scale"] = lanczos_scale(H, seed=scale_seed)
+        solver = cls(H, n_moments, n_vectors, **kwargs)
+        solver.model = model
+        return solver
 
     # ------------------------------------------------------------------
     @property

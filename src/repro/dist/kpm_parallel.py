@@ -89,6 +89,8 @@ def distributed_eta(
     fault_plan: FaultPlan | None = None,
     attempt: int = 1,
     precision: Precision | str | None = None,
+    progress=None,
+    progress_every: int = 0,
 ) -> np.ndarray:
     """Distributed equivalent of :func:`repro.core.moments.compute_eta`.
 
@@ -157,6 +159,13 @@ def distributed_eta(
         bytes per exchanged row drop with ``s_vector`` exactly as the
         kernels' memory traffic does — and checkpoints record the
         profile (cross-precision resume is refused).
+    progress / progress_every:
+        Optional streaming callback ``progress(n_eta, eta_prefix)``
+        fired after every ``progress_every`` iterations with the
+        globally-reduced eta prefix of every column (the serve layer's
+        partial-spectrum stream).  The sim world fires it inline; the
+        mp engine fires it from the parent's checkpoint autosave, so it
+        needs ``checkpoint_every > 0`` there.
 
     Returns
     -------
@@ -173,6 +182,7 @@ def distributed_eta(
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path, resume_from=resume_from,
             fault_plan=fault_plan, attempt=attempt, precision=precision,
+            progress=progress, progress_every=progress_every,
         )
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap, task_split
@@ -362,6 +372,16 @@ def distributed_eta(
                 world.allreduce_sum(
                     list(eta_acc[:, 2 * m + 1]), phase="allreduce_iter"
                 )
+        if progress is not None and progress_every > 0 \
+                and (m - first_m + 1) % progress_every == 0:
+            # Stream the globally-reduced eta prefix, composed exactly as
+            # save_checkpoint composes it (base splice + rank sum).
+            prefix = np.zeros((r, 2 * (m + 1)), dtype=DTYPE)
+            col0 = 2 * first_m if base_eta is not None else 0
+            if base_eta is not None:
+                prefix[:, :col0] = base_eta
+            prefix[:, col0:] = eta_acc[:, col0 : 2 * (m + 1)].sum(axis=0).T
+            progress(2 * (m + 1), prefix)
         if checkpoint_every and (m - first_m + 1) % checkpoint_every == 0:
             save_checkpoint(m)
 

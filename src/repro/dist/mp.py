@@ -726,6 +726,8 @@ def mp_eta(
     attempt: int = 1,
     _fault: tuple | None = None,
     precision: Precision | str | None = None,
+    progress=None,
+    progress_every: int = 0,
 ) -> np.ndarray:
     """Multiprocess equivalent of :func:`repro.dist.kpm_parallel.distributed_eta`.
 
@@ -753,6 +755,13 @@ def mp_eta(
     run of the same problem) and worker metrics into ``metrics`` under a
     ``rank<p>.`` prefix.  The raw per-rank snapshots stay available as
     ``world.last_obs``.
+
+    ``progress``/``progress_every`` stream partial eta prefixes from the
+    parent's checkpoint autosave: the callback fires with
+    ``(n_eta, eta_prefix)`` whenever a capture publishes new state, so it
+    requires ``checkpoint_every > 0`` (``progress_every`` only gates
+    whether the hook is armed here — the cadence is the workers'
+    checkpoint cadence).
     """
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap
@@ -895,6 +904,10 @@ def mp_eta(
                 with metrics.span("checkpoint_save", phase="ckpt") as sp:
                     out = saved.save(checkpoint_path)
                     sp.note(file_bytes=out.stat().st_size, next_m=saved.next_m)
+                if progress is not None and progress_every > 0:
+                    # capture() dedupes repeats, so every firing carries a
+                    # strictly longer globally-reduced prefix
+                    progress(2 * saved.next_m, saved.eta[:, : 2 * saved.next_m])
 
         # Monitor: a worker death aborts the barrier so peers unblock
         # instead of waiting out their timeout; liveness is judged by the

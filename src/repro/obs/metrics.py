@@ -147,6 +147,7 @@ class MetricsRegistry:
         self.timers: dict[str, TimerStat] = {}
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.distributions: dict[str, TimerStat] = {}
 
     # -- recording -----------------------------------------------------
     def span(self, name: str, phase: str | None = None, counters=None, **meta):
@@ -175,6 +176,24 @@ class MetricsRegistry:
         stat = self.timers.get(name)
         if stat is None:
             stat = self.timers[name] = TimerStat()
+        return stat
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the named value distribution.
+
+        Distributions carry count/total/min/max/mean like timers but for
+        arbitrary measured values — coalescing widths, bytes-per-request,
+        queue depths — where a ``gauge`` would forget everything but the
+        last sample and a ``count`` would forget the spread.
+        """
+        if self.enabled:
+            self.distribution(name).record(value)
+
+    def distribution(self, name: str) -> TimerStat:
+        """The named distribution's stats (created empty on first access)."""
+        stat = self.distributions.get(name)
+        if stat is None:
+            stat = self.distributions[name] = TimerStat()
         return stat
 
     def _close_span(self, span: _Span, dt: float) -> None:
@@ -217,15 +236,23 @@ class MetricsRegistry:
             self.count(prefix + name, v)
         for name, v in snap.get("gauges", {}).items():
             self.gauge(prefix + name, v)
+        for name, d in snap.get("distributions", {}).items():
+            self.distribution(prefix + name).merge(TimerStat.from_dict(d))
         return self
 
     def snapshot(self) -> dict:
-        """JSON-serializable dump of every timer, counter, and gauge."""
-        return {
+        """JSON-serializable dump of every timer, counter, gauge, and
+        distribution."""
+        snap = {
             "timers": {k: t.to_dict() for k, t in self.timers.items()},
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
         }
+        if self.distributions:
+            snap["distributions"] = {
+                k: t.to_dict() for k, t in self.distributions.items()
+            }
+        return snap
 
     def span_traffic(self, name: str) -> tuple[float | None, float | None]:
         """The (bytes, flops) attributed to the named timer's spans.
@@ -267,6 +294,11 @@ class MetricsRegistry:
                 lines.append(f"{name:>24}: {v:,.0f}")
         for name, v in sorted(self.gauges.items()):
             lines.append(f"{name:>24}: {v:g}")
+        for name, d in sorted(self.distributions.items()):
+            lines.append(
+                f"{name:>24}: {d.count:>6} x  mean {d.mean:12.2f}  "
+                f"min {d.min:g}  max {d.max:g}"
+            )
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
@@ -297,6 +329,9 @@ class _NullMetrics(MetricsRegistry):
         return
 
     def gauge(self, name, value) -> None:
+        return
+
+    def observe(self, name, value) -> None:
         return
 
     def merge_snapshot(self, snap, prefix="") -> "MetricsRegistry":

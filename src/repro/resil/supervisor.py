@@ -234,12 +234,19 @@ class Supervisor:
         reduction: str = "end",
         overlap: bool | str | None = False,
         precision=None,
+        progress=None,
+        progress_every: int = 0,
     ) -> np.ndarray:
         """Compute eta under supervision; the engine's usual return value.
 
         ``precision`` selects the storage profile and is threaded through
         every rung of the degradation ladder unchanged — a retry or an
         engine fallback never silently widens (or narrows) the run.
+
+        ``progress``/``progress_every`` stream partial eta prefixes as
+        each engine exposes them (see :func:`checkpointed_eta` and
+        :func:`distributed_eta`); a retry simply re-streams from wherever
+        the resumed attempt picks up.
 
         Raises :class:`~repro.util.errors.RetryExhaustedError` only after
         every attempt on every remaining ladder rung has failed.
@@ -285,7 +292,7 @@ class Supervisor:
                                 eng, backend_cur, resume, attempt, ckpt_path,
                                 H, scale, n_moments, start_block,
                                 workers, weights, reduction, overlap,
-                                precision,
+                                precision, progress, progress_every,
                             )
                     except Exception as exc:  # noqa: BLE001 - classified below
                         last_exc = exc
@@ -377,7 +384,7 @@ class Supervisor:
     def _run_once(
         self, eng: str, backend, resume, attempt: int, ckpt_path,
         H, scale, n_moments, start_block, workers, weights, reduction,
-        overlap=False, precision=None,
+        overlap=False, precision=None, progress=None, progress_every=0,
     ) -> np.ndarray:
         every = self.checkpoint_every
         path = ckpt_path if every > 0 else None
@@ -393,6 +400,7 @@ class Supervisor:
                 resume_from=resume, counters=self.counters,
                 backend=backend, metrics=self.metrics, fault=inj,
                 precision=precision,
+                progress=progress, progress_every=progress_every,
             )
 
         from repro.dist.comm import SimWorld
@@ -419,4 +427,5 @@ class Supervisor:
             checkpoint_path=path, resume_from=resume,
             fault_plan=self.fault_plan, attempt=attempt,
             precision=precision,
+            progress=progress, progress_every=progress_every,
         )

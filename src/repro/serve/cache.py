@@ -1,0 +1,183 @@
+"""Moment cache: content-addressed LRU storage of (partial) moments.
+
+Moments are the expensive artifact — M/2 blocked operator applications
+each — while everything downstream of them (kernel damping, grid
+reconstruction, integration) is milliseconds of dense arithmetic.  The
+cache therefore stores *moments* under the kernel-free
+:meth:`~repro.serve.spec.Request.moment_key`: a repeat query with a
+different damping kernel is a hit followed by a cheap re-damp, exactly
+as the paper's separation of stage 2 (moments) from reconstruction
+implies.
+
+Entries may be *partial*: while a batch solve streams, the coalescer
+publishes each request's moment prefix as it accumulates, so a client
+joining mid-solve can read the best-known prefix instead of starting
+from zero.  A partial entry is upgraded in place when the full solve
+lands; only complete entries count as ``hits`` (prefix reads count as
+``partial_hits``).
+
+Eviction is LRU over complete entries, bounded by entry count and total
+payload bytes.  Partial entries are pinned (their solve is in flight;
+evicting them would drop live streams) until completed or abandoned.
+All operations are thread-safe — the server's worker thread and client
+threads share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CacheEntry", "MomentCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached moment set (complete or a streaming prefix)."""
+
+    key: str
+    moments: np.ndarray  # (M,) dos trace, or (n_rows, M) ldos
+    n_moments: int  # full M of the request
+    n_done: int  # valid moment prefix length (== n_moments when complete)
+    kind: str = "dos"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.n_done >= self.n_moments
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.moments.nbytes)
+
+
+class MomentCache:
+    """Thread-safe LRU moment cache bounded by entries and bytes."""
+
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.partial_hits = 0
+        self.evictions = 0
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            e = self._entries.get(key)
+            return e is not None and e.complete
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "partial_hits": self.partial_hits,
+                "evictions": self.evictions,
+            }
+
+    # -- access --------------------------------------------------------
+    def get(self, key: str) -> CacheEntry | None:
+        """The complete entry for ``key``, or None (counts hit/miss)."""
+        with self._lock:
+            e = self._entries.get(key)
+            if e is None or not e.complete:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return e
+
+    def peek_partial(self, key: str) -> CacheEntry | None:
+        """The entry for ``key`` even if partial (no hit/miss/LRU effect
+        for complete entries; counts ``partial_hits`` for prefixes)."""
+        with self._lock:
+            e = self._entries.get(key)
+            if e is not None and not e.complete:
+                self.partial_hits += 1
+            return e
+
+    def put(self, key: str, moments: np.ndarray, n_moments: int,
+            kind: str = "dos", meta: dict | None = None) -> CacheEntry:
+        """Store a complete moment set (upgrading any partial in place)."""
+        moments = np.ascontiguousarray(moments)
+        entry = CacheEntry(key, moments, int(n_moments), int(n_moments),
+                           kind, dict(meta or {}))
+        with self._lock:
+            self._insert(entry)
+            self._evict()
+        return entry
+
+    def put_partial(self, key: str, prefix: np.ndarray, n_done: int,
+                    n_moments: int, kind: str = "dos",
+                    meta: dict | None = None) -> CacheEntry:
+        """Publish a streaming prefix (``prefix[..., :n_done]`` valid).
+
+        Never downgrades: a complete entry, or a longer prefix, wins.
+        """
+        prefix = np.ascontiguousarray(prefix)
+        with self._lock:
+            old = self._entries.get(key)
+            if old is not None and old.n_done >= n_done:
+                return old
+            entry = CacheEntry(key, prefix, int(n_moments), int(n_done),
+                               kind, dict(meta or {}))
+            self._insert(entry)
+            self._evict()
+        return entry
+
+    def discard(self, key: str) -> None:
+        """Drop the entry (partial entries of an abandoned solve)."""
+        with self._lock:
+            e = self._entries.pop(key, None)
+            if e is not None:
+                self._bytes -= e.nbytes
+
+    # -- internals (lock held) -----------------------------------------
+    def _insert(self, entry: CacheEntry) -> None:
+        old = self._entries.pop(entry.key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[entry.key] = entry
+        self._bytes += entry.nbytes
+
+    def _evict(self) -> None:
+        # LRU over complete entries only; partials are pinned (live
+        # streams).  Guaranteed to terminate: each pass either evicts or
+        # runs out of evictable entries.
+        def over() -> bool:
+            return (len(self._entries) > self.max_entries
+                    or self._bytes > self.max_bytes)
+
+        while over():
+            victim = next(
+                (k for k, e in self._entries.items() if e.complete), None
+            )
+            if victim is None:
+                return
+            e = self._entries.pop(victim)
+            self._bytes -= e.nbytes
+            self.evictions += 1

@@ -73,6 +73,36 @@ static inline void repro_pf_row(const void *restrict p, size_t nbytes)
         REPRO_PF(cp + q);
 }
 
+/* The per-row recombination + eta-update loop over the block width r
+ * must round identically for every column regardless of r: the serve
+ * layer coalesces independent requests into one wide block and promises
+ * each caller the bitwise moments of a solo run.  Auto-vectorizing that
+ * loop breaks the promise — columns landing in the vector body round
+ * differently from columns in the scalar epilogue, so a column's result
+ * would depend on its position and on r.  Keep it scalar; it is O(r)
+ * work per row against the O(nnz_row * r) gather loop above it, which
+ * stays fully vectorized.  Only the fp64 baseline carries the bitwise
+ * contract — the narrow profiles promise tolerance, so their (heavier,
+ * Kahan-compensated) eta loops keep the vectorizer; see the
+ * REPRO_KNOVEC variant gate in the template header.                   */
+#if defined(__clang__)
+#define REPRO_NOVEC _Pragma("clang loop vectorize(disable)")
+#define REPRO_NOVEC_STMT ((void)0)
+#elif defined(__GNUC__) && __GNUC__ >= 14
+#define REPRO_NOVEC _Pragma("GCC novector")
+#define REPRO_NOVEC_STMT ((void)0)
+#elif defined(__GNUC__)
+/* GCC < 14 has no novector pragma (and silently ignores unknown GCC
+ * pragmas), so plant an empty volatile asm in the loop body instead:
+ * the tree vectorizer refuses any loop containing an asm statement,
+ * and the statement itself emits no instructions.                     */
+#define REPRO_NOVEC
+#define REPRO_NOVEC_STMT __asm__ volatile("")
+#else
+#define REPRO_NOVEC
+#define REPRO_NOVEC_STMT ((void)0)
+#endif
+
 /* One compensated (Kahan) accumulation step: *s += x with carry *c.   */
 static inline void repro_kadd(double *restrict s, double *restrict c,
                               double x)
@@ -255,6 +285,17 @@ static inline uint16_t repro_float_to_half(float f)
 
 #define KN(base) REPRO_CAT(base, REPRO_SUF)
 
+/* Per-variant width-stability gate: only the fp64 baseline (the one
+ * variant without compensated eta accumulation) must keep its per-row
+ * eta loops scalar for the bitwise coalescing contract.               */
+#if REPRO_ETA_KAHAN
+#define REPRO_KNOVEC
+#define REPRO_KNOVEC_STMT ((void)0)
+#else
+#define REPRO_KNOVEC REPRO_NOVEC
+#define REPRO_KNOVEC_STMT REPRO_NOVEC_STMT
+#endif
+
 /* Scalar-kernel eta accumulators: plain double for the fp64 baseline
  * (bitwise-identical to the historical kernels), compensated for the
  * narrow profiles.  Partial products are always formed in double.     */
@@ -434,7 +475,9 @@ EXPORT void KN(repro_csr_aug_spmmv)(
         }
         const REPRO_XT *restrict vi_ = V + 2 * i * r;
         REPRO_XT *restrict wi_ = W + 2 * i * r;
+        REPRO_KNOVEC
         for (int64_t k = 0; k < r; ++k) {
+            REPRO_KNOVEC_STMT;
             const REPRO_AT vr = REPRO_LOADX(vi_, 2 * k);
             const REPRO_AT vi = REPRO_LOADX(vi_, 2 * k + 1);
             const REPRO_AT wr = ta * acc[2 * k] - tab * vr
@@ -598,7 +641,9 @@ EXPORT void KN(repro_csr_aug_spmmv_range)(
         }
         const REPRO_XT *restrict vi_ = V + 2 * i * r;
         REPRO_XT *restrict wi_ = W + 2 * i * r;
+        REPRO_KNOVEC
         for (int64_t k = 0; k < r; ++k) {
+            REPRO_KNOVEC_STMT;
             const REPRO_AT vr = REPRO_LOADX(vi_, 2 * k);
             const REPRO_AT vi = REPRO_LOADX(vi_, 2 * k + 1);
             const REPRO_AT wr = ta * acc[2 * k] - tab * vr
@@ -659,7 +704,9 @@ EXPORT void KN(repro_csr_aug_spmmv_rows)(
         }
         const REPRO_XT *restrict vi_ = V + 2 * i * r;
         REPRO_XT *restrict wi_ = W + 2 * i * r;
+        REPRO_KNOVEC
         for (int64_t k = 0; k < r; ++k) {
+            REPRO_KNOVEC_STMT;
             const REPRO_AT vr = REPRO_LOADX(vi_, 2 * k);
             const REPRO_AT vi = REPRO_LOADX(vi_, 2 * k + 1);
             const REPRO_AT wr = ta * acc[2 * k] - tab * vr
@@ -905,7 +952,9 @@ EXPORT void KN(repro_sell_aug_spmmv)(
             const REPRO_AT *restrict al = acc + 2 * lane * r;
             const REPRO_XT *restrict vrow = V + 2 * row * r;
             REPRO_XT *restrict wrow = W + 2 * row * r;
+            REPRO_KNOVEC
             for (int64_t k = 0; k < r; ++k) {
+                REPRO_KNOVEC_STMT;
                 const REPRO_AT vr = REPRO_LOADX(vrow, 2 * k);
                 const REPRO_AT vi = REPRO_LOADX(vrow, 2 * k + 1);
                 const REPRO_AT wr = ta * al[2 * k] - tab * vr

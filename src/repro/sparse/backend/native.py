@@ -115,7 +115,10 @@ def _find_compiler() -> str | None:
 
 
 def _lib_path() -> Path:
-    tag = hashlib.sha256(_SOURCE.read_bytes()).hexdigest()[:16]
+    # Key on the flags too: a flag change alters codegen (and can alter
+    # rounding), so it must miss the cache just like a source change.
+    recipe = _SOURCE.read_bytes() + "\0".join(_CFLAGS).encode()
+    tag = hashlib.sha256(recipe).hexdigest()[:16]
     suffix = sysconfig.get_config_var("SHLIB_SUFFIX") or ".so"
     return _cache_dir() / f"repro_kernels-{tag}{suffix}"
 

@@ -94,3 +94,81 @@ class TestAutotune:
         res = AutotuneResult([0.5, 0.5], RowPartition((0, 5, 10)), 1, True)
         assert res.imbalance([1.0, 1.0]) == pytest.approx(1.0)
         assert res.imbalance([1.0, 3.0]) == pytest.approx(1.5)
+
+
+class TestConvergenceRate:
+    """The docstring's claim — the throughput-proportional fixed point is
+    reached in 2-3 rounds from a cold (uniform) start — holds for every
+    noise-free rate profile, not just the Fig. 11 pair."""
+
+    @pytest.mark.parametrize("rates", [
+        [1.0, 2.0],
+        [57.5, 84.1],
+        [1.0, 1.0, 10.0],
+        [1.0, 2.0, 4.0, 8.0],
+    ])
+    def test_two_to_three_rounds_from_uniform(self, rates):
+        timer = throughput_timer(rates, flops_per_row=2000.0)
+        res = autotune_weights(400_000, len(rates), timer, align=4)
+        assert res.converged
+        assert 2 <= res.rounds <= 3, res.rounds
+        expected = np.array(rates) / sum(rates)
+        assert np.allclose(res.weights, expected, atol=0.02)
+
+    def test_damped_update_still_converges(self):
+        timer = throughput_timer([1.0, 4.0], 1.0)
+        res = autotune_weights(100_000, 2, timer, damping=0.5, max_rounds=16)
+        assert res.converged
+        assert res.weights[1] / res.weights[0] == pytest.approx(4.0, rel=0.05)
+
+
+class TestWeightNormalization:
+    def test_result_and_history_sum_to_one(self):
+        timer = throughput_timer([1.0, 3.0, 6.0], 1.0)
+        res = autotune_weights(
+            120_000, 3, timer, initial_weights=[2.0, 2.0, 6.0]
+        )
+        assert sum(res.weights) == pytest.approx(1.0)
+        for w in res.history:
+            assert sum(w) == pytest.approx(1.0)
+        # history[0] is the *normalized* initial guess
+        assert res.history[0] == pytest.approx([0.2, 0.2, 0.6])
+
+    def test_unnormalized_initial_weights_accepted(self):
+        timer = throughput_timer([1.0, 3.0], 1.0)
+        res = autotune_weights(
+            10_000, 2, timer, initial_weights=[25.0, 75.0]
+        )
+        assert res.converged
+        assert res.rounds == 1
+
+    def test_zero_weight_rank_reenters(self):
+        """A rank starting at zero weight is probed with one alignment
+        block and pulled back into the distribution."""
+        timer = throughput_timer([1.0, 1.0], 1.0)
+        res = autotune_weights(
+            10_000, 2, timer, initial_weights=[1.0, 0.0]
+        )
+        assert res.converged
+        assert res.weights[1] == pytest.approx(0.5, abs=0.05)
+
+
+class TestErrorPaths:
+    def test_wrong_shape_initial_weights(self):
+        timer = throughput_timer([1.0, 1.0], 1.0)
+        with pytest.raises(PartitionError):
+            autotune_weights(1000, 2, timer, initial_weights=[1.0])
+
+    def test_zero_sum_initial_weights(self):
+        timer = throughput_timer([1.0, 1.0], 1.0)
+        with pytest.raises(PartitionError):
+            autotune_weights(1000, 2, timer, initial_weights=[0.0, 0.0])
+
+    def test_negative_initial_weights(self):
+        timer = throughput_timer([1.0, 1.0], 1.0)
+        with pytest.raises(PartitionError):
+            autotune_weights(1000, 2, timer, initial_weights=[1.5, -0.5])
+
+    def test_negative_rank_rate(self):
+        with pytest.raises(PartitionError):
+            throughput_timer([1.0, -2.0], 1.0)

@@ -140,6 +140,59 @@ class TestMerge:
         assert m2.gauges["g"] == 1.5
 
 
+class TestDistributions:
+    def test_observe_accumulates_spread(self):
+        m = MetricsRegistry()
+        for v in (4.0, 8.0, 2.0):
+            m.observe("serve.batch.width", v)
+        d = m.distributions["serve.batch.width"]
+        assert d.count == 3
+        assert d.min == 2.0
+        assert d.max == 8.0
+        assert d.mean == pytest.approx(14.0 / 3.0)
+
+    def test_distribution_created_empty_on_access(self):
+        m = MetricsRegistry()
+        d = m.distribution("q.depth")
+        assert d.count == 0 and d.mean == 0.0
+        assert "q.depth" in m.distributions
+
+    def test_snapshot_round_trip_includes_distributions(self):
+        m = MetricsRegistry()
+        m.observe("bpr", 100.0)
+        m.observe("bpr", 50.0)
+        snap = json.loads(json.dumps(m.snapshot()))
+        assert snap["distributions"]["bpr"]["count"] == 2
+        m2 = MetricsRegistry()
+        m2.merge_snapshot(snap)
+        assert m2.distributions["bpr"].min == 50.0
+        assert m2.distributions["bpr"].max == 100.0
+
+    def test_empty_registry_snapshot_omits_distributions(self):
+        assert "distributions" not in MetricsRegistry().snapshot()
+
+    def test_merge_prefixes_distributions(self):
+        w = MetricsRegistry()
+        w.observe("width", 4)
+        parent = MetricsRegistry()
+        parent.merge(w, prefix="rank1.")
+        parent.merge(w, prefix="rank1.")
+        d = parent.distributions["rank1.width"]
+        assert d.count == 2 and d.max == 4
+
+    def test_summary_renders_distributions(self):
+        m = MetricsRegistry()
+        m.observe("serve.batch.width", 8)
+        text = m.summary()
+        assert "serve.batch.width" in text
+        assert "max 8" in text
+
+    def test_disabled_registry_ignores_observe(self):
+        m = MetricsRegistry(enabled=False)
+        m.observe("x", 1.0)
+        assert m.distributions == {}
+
+
 class TestNullMetrics:
     def test_is_disabled_and_frozen(self):
         assert not NULL_METRICS.enabled
@@ -163,7 +216,9 @@ class TestNullMetrics:
             sp.note(anything=1)
         NULL_METRICS.count("c", 7)
         NULL_METRICS.gauge("g", 7)
+        NULL_METRICS.observe("d", 7)
         assert NULL_METRICS.counters == {}
+        assert NULL_METRICS.distributions == {}
         assert NULL_METRICS.gauges == {}
 
 

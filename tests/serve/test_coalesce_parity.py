@@ -1,0 +1,171 @@
+"""Differential parity: coalesced batch solves vs independent solos.
+
+The serving layer's correctness contract is that coalescing is
+*invisible*: a request solved inside a width-k batch returns exactly
+what it would have returned solved alone.  Under fp64 that means
+bitwise-identical moments — the block kernels compute every column
+independently and the ``REPRO_NOVEC`` pragmas keep the per-row dot
+loops rounding identically at every width.  Under the narrow storage
+profiles (fp32, fp16v) the dot *accumulation* is width-stable but the
+fp64-promoting einsum path rounds shape-dependently, so the contract
+weakens to tight tolerance.
+
+Checked across every engine (serial / sim / mp) x backend
+(numpy / native) x overlap schedule the serving layer can run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resil import Resilience, RetryPolicy
+from repro.serve import HamiltonianSpec, KPMServer, Request
+from repro.sparse.backend.native import native_available
+
+SPEC = HamiltonianSpec("topological_insulator", {"nx": 6, "ny": 6, "nz": 4})
+M = 64
+
+BACKENDS = ["numpy"] + (["native"] if native_available() else [])
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="no C compiler / native backend"
+)
+
+
+def solo_moments(seed: int, *, backend="numpy", engine=None, workers=2,
+                 overlap="auto", precision=None, kind="dos", rows=()):
+    """One request solved alone on the given engine (width-1 batch)."""
+    srv = KPMServer(max_width=1, engine=engine, backend=backend,
+                    workers=workers, overlap=overlap)
+    if kind == "ldos":
+        t = srv.submit(Request(SPEC, kind="ldos", n_moments=M, rows=rows,
+                               precision=precision))
+    else:
+        t = srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=seed,
+                               precision=precision))
+    srv.step()
+    return t.result().moments if kind == "dos" else t.result()
+
+
+def batch_moments(seeds, *, backend="numpy", engine=None, workers=2,
+                  overlap="auto", precision=None):
+    """The same requests coalesced into one wide batch."""
+    srv = KPMServer(max_width=len(seeds), engine=engine, backend=backend,
+                    workers=workers, overlap=overlap)
+    tickets = [
+        srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=s,
+                           precision=precision))
+        for s in seeds
+    ]
+    assert srv.step() == 1  # all coalesced into one batch
+    return [t.result().moments for t in tickets]
+
+
+# ---------------------------------------------------------------------
+# fp64: bitwise across every engine x backend x overlap
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_serial_fp64_bitwise(backend, width):
+    seeds = list(range(width))
+    batch = batch_moments(seeds, backend=backend)
+    for s, mu in zip(seeds, batch):
+        assert np.array_equal(mu, solo_moments(s, backend=backend))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("overlap", ["off", "on"])
+def test_sim_fp64_bitwise(backend, overlap):
+    seeds = [0, 1, 2]
+    batch = batch_moments(seeds, backend=backend, engine="sim",
+                          workers=3, overlap=overlap)
+    for s, mu in zip(seeds, batch):
+        solo = solo_moments(s, backend=backend, engine="sim", workers=3,
+                            overlap=overlap)
+        assert np.array_equal(mu, solo)
+
+
+@pytest.mark.parametrize("overlap", ["off", "on"])
+def test_mp_fp64_bitwise(overlap):
+    seeds = [0, 1, 2, 3]
+    batch = batch_moments(seeds, engine="mp", workers=2, overlap=overlap)
+    for s, mu in zip(seeds, batch):
+        solo = solo_moments(s, engine="mp", workers=2, overlap=overlap)
+        assert np.array_equal(mu, solo)
+
+
+def test_cross_engine_batches_agree_to_tolerance():
+    """Different engines reduce in different orders — tolerance, not
+    bitwise — but the coalesced answers must agree across engines."""
+    serial = batch_moments([0, 1])
+    sim = batch_moments([0, 1], engine="sim", workers=2)
+    for a, b in zip(serial, sim):
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-12)
+
+
+# ---------------------------------------------------------------------
+# narrow profiles: tolerance parity
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("precision,rtol", [("fp32", 1e-5), ("fp16v", 1e-2)])
+def test_serial_narrow_profiles_tolerance(backend, precision, rtol):
+    seeds = [0, 1, 2, 3]
+    batch = batch_moments(seeds, backend=backend, precision=precision)
+    for s, mu in zip(seeds, batch):
+        solo = solo_moments(s, backend=backend, precision=precision)
+        # identical storage rounding, near-identical accumulation: the
+        # widths only differ through fp64-promoted dot ordering
+        np.testing.assert_allclose(mu, solo, rtol=1e-10, atol=1e-10)
+        # and both sit within profile accuracy of the fp64 answer
+        ref = solo_moments(s, backend=backend)
+        np.testing.assert_allclose(mu / mu[0], ref / ref[0],
+                                   rtol=rtol, atol=rtol)
+
+
+@pytest.mark.parametrize("precision", ["fp32"])
+def test_sim_narrow_profile_tolerance(precision):
+    seeds = [0, 1]
+    batch = batch_moments(seeds, engine="sim", workers=2,
+                          precision=precision)
+    for s, mu in zip(seeds, batch):
+        solo = solo_moments(s, engine="sim", workers=2, precision=precision)
+        np.testing.assert_allclose(mu, solo, rtol=1e-10, atol=1e-10)
+
+
+# ---------------------------------------------------------------------
+# mixed-kind batches and supervised batches keep the same parity
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ldos_columns_unperturbed_by_dos_neighbours(backend):
+    """An LDOS request coalesced next to DOS columns returns bitwise the
+    moments of a solo LDOS solve (fp64)."""
+    rows = (0, 7, 19)
+    srv = KPMServer(max_width=8, backend=backend)
+    tl = srv.submit(Request(SPEC, kind="ldos", n_moments=M, rows=rows))
+    td = srv.submit(Request(SPEC, n_moments=M, n_vectors=2, seed=5))
+    assert srv.step() == 1
+    solo = solo_moments(0, kind="ldos", rows=rows, backend=backend)
+    assert np.array_equal(tl.result().rho, solo.rho)
+    assert td.result().moments.shape == (M,)
+
+
+def test_supervised_batch_matches_unsupervised():
+    """A batch run under a (fault-free) batch-scoped Supervisor returns
+    bitwise what the bare engine returns."""
+    seeds = [0, 1, 2]
+    bare = batch_moments(seeds)
+    srv = KPMServer(
+        max_width=8, backend="numpy",
+        resilience=Resilience(policy=RetryPolicy(max_attempts=2)),
+    )
+    tickets = [
+        srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=s))
+        for s in seeds
+    ]
+    assert srv.step() == 1
+    for mu, t in zip(bare, tickets):
+        assert np.array_equal(mu, t.result().moments)
