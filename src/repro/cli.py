@@ -6,7 +6,9 @@ Commands
 ``dos``     compute and print the DOS of a TI sample (or a .mtx file),
 ``info``    structural analysis of the TI matrix or a .mtx file,
 ``report``  the full model-driven performance report,
-``scaling`` weak-scaling prediction table for the Piz Daint model.
+``scaling`` weak-scaling prediction table for the Piz Daint model,
+``tune``    offline configuration search; saves a tuned profile that
+            ``dos --engine auto`` consults.
 """
 
 from __future__ import annotations
@@ -34,6 +36,21 @@ def _load_matrix(args):
     return h
 
 
+def _parse_threads(raw):
+    """``--threads`` value: None, 'auto', or a positive int."""
+    if raw is None or raw == "auto":
+        return raw
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"--threads must be an integer or 'auto', got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(f"--threads must be >= 1, got {value}")
+    return value
+
+
 def cmd_dos(args) -> int:
     import numpy as np
 
@@ -46,6 +63,44 @@ def cmd_dos(args) -> int:
 
     h = _load_matrix(args)
     print(f"matrix: {h.n_rows:,} rows, {h.nnz:,} nnz ({h.nnzr:.2f}/row)")
+    try:
+        threads = _parse_threads(args.threads)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.engine == "auto":
+        # consult the tuned profile store for this (machine, matrix);
+        # the tuned *execution* knobs apply (backend, format, workers,
+        # weights, overlap, threads) — never precision or the block
+        # width, which belong to the physics the user asked for.
+        from repro.dist.tune import lookup
+
+        tuned = lookup(h, args.profile)
+        if tuned is None:
+            print("tuned profile: none for this matrix/machine "
+                  "(run 'repro tune'); using serial aug_spmmv defaults")
+            args.engine = "aug_spmmv"
+        else:
+            print(f"tuned profile: backend={tuned.backend} fmt={tuned.fmt} "
+                  f"workers={tuned.workers} overlap={tuned.overlap} "
+                  f"threads={tuned.threads}")
+            args.engine = (tuned.engine if tuned.workers > 1
+                           else "aug_spmmv")
+            args.backend = tuned.backend
+            args.workers = tuned.workers
+            args.overlap = "on" if tuned.overlap == "on" else "off"
+            if threads is None:
+                threads = tuned.threads
+            if tuned.weights is not None and not args.weights:
+                args.weights = ",".join(str(w) for w in tuned.weights)
+            if tuned.fmt == "sell" and tuned.workers == 1:
+                # distributed engines partition CSR operators, so the
+                # format knob only applies to the serial engine
+                from repro.sparse.sell import SellMatrix
+
+                if not isinstance(h, SellMatrix):
+                    h = SellMatrix(h, chunk_height=tuned.chunk,
+                                   sigma=tuned.sigma)
     try:
         backend = get_backend(args.backend)
     except BackendError as exc:
@@ -104,7 +159,7 @@ def cmd_dos(args) -> int:
             dist_engine=args.engine if distributed else None,
             workers=args.workers, weights=weights, overlap=args.overlap,
             counters=counters, metrics=metrics, resilience=resil,
-            precision=args.precision,
+            precision=args.precision, threads=threads,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -120,6 +175,9 @@ def cmd_dos(args) -> int:
         mode = "on" if resolve_overlap(args.overlap, args.workers) else "off"
         print(f"distributed engine: {args.engine} ({args.workers} workers, "
               f"overlap {mode})")
+    if threads is not None:
+        print(f"kernel threads: {threads}"
+              + (" per rank" if distributed else ""))
     if resil is not None:
         bits = [f"retries={args.retries}"]
         if args.checkpoint_every:
@@ -222,12 +280,17 @@ def cmd_serve(args) -> int:
                         if args.fault_plan else None),
         )
     engine = None if args.engine == "serial" else args.engine
+    try:
+        threads = _parse_threads(args.threads)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     # -- phase 1: concurrent tenants against the worker thread ---------
     srv = KPMServer(
         max_width=args.max_width, engine=engine, backend=args.backend,
-        workers=args.workers, resilience=resilience, linger=0.05,
-        stream_every=0,
+        workers=args.workers, threads=threads, resilience=resilience,
+        linger=0.05, stream_every=0,
     )
     tickets = []
     t_lock = threading.Lock()
@@ -321,6 +384,66 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    """Offline configuration search; persists the tuned profile."""
+    from repro.dist.tune import (
+        DEFAULT_CONFIG,
+        TuneSpace,
+        default_profile_path,
+        save_profile,
+        tune,
+    )
+
+    h = _load_matrix(args)
+    print(f"matrix: {h.n_rows:,} rows, {h.nnz:,} nnz ({h.nnzr:.2f}/row)")
+
+    def parse_list(raw, kind):
+        out = []
+        for tok in raw.split(","):
+            tok = tok.strip()
+            out.append(None if tok in ("none", "") else kind(tok))
+        return tuple(out)
+
+    try:
+        space = TuneSpace(
+            workers=parse_list(args.workers_list, int),
+            threads=parse_list(args.threads_list, int),
+            rs=parse_list(args.vectors_list, int),
+            precisions=tuple(args.precisions.split(",")),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    def log(cfg, seconds):
+        mark = " (default)" if cfg == DEFAULT_CONFIG else ""
+        print(f"  {seconds:>9.4f}s  fmt={cfg.fmt:<4} R={cfg.r:<3} "
+              f"workers={cfg.workers} overlap={cfg.overlap:<3} "
+              f"threads={cfg.threads!s:<4} backend={cfg.backend}"
+              f"{mark}")
+
+    print(f"probing: M={args.probe_moments}, best of {args.repeats} "
+          f"repeat(s) per candidate")
+    result = tune(
+        h, space=space, n_random=args.random, n_measure=args.measure,
+        greedy_rounds=args.greedy, n_moments=args.probe_moments,
+        seed=args.seed, repeats=args.repeats, log=log,
+    )
+    c = result.config
+    print(f"\nbest: fmt={c.fmt} (C={c.chunk}, sigma={c.sigma}) R={c.r} "
+          f"workers={c.workers} overlap={c.overlap} threads={c.threads} "
+          f"backend={c.backend} precision={c.precision}")
+    print(f"measured {result.seconds:.4f}s vs untuned default "
+          f"{result.baseline_seconds:.4f}s -> speedup {result.speedup:.2f}x "
+          f"({len(result.evaluated)} candidates measured)")
+    path = args.profile if args.profile else default_profile_path()
+    saved = save_profile(h, result, path)
+    print(f"profile saved: {saved} [{result.signature}]")
+    print("use it with: repro dos --engine auto"
+          + (f" --profile {saved}" if args.profile else ""))
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.perf.report import full_report
 
@@ -373,13 +496,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=24,
                    help="rows of the printed table")
     p.add_argument("--engine", default="aug_spmmv",
-                   choices=["naive", "aug_spmv", "aug_spmmv", "sim", "mp"],
-                   help="serial moment engine (paper stages 0/1/2), or a "
-                        "distributed run: 'sim' = sequential SPMD "
+                   choices=["naive", "aug_spmv", "aug_spmmv", "sim", "mp",
+                            "auto"],
+                   help="serial moment engine (paper stages 0/1/2), a "
+                        "distributed run ('sim' = sequential SPMD "
                         "simulator, 'mp' = real worker processes over "
-                        "shared memory")
+                        "shared memory), or 'auto' = apply the tuned "
+                        "profile saved by 'repro tune'")
     p.add_argument("--workers", type=int, default=2,
                    help="rank count for --engine sim|mp")
+    p.add_argument("--threads", type=str, default=None, metavar="N",
+                   help="intra-rank kernel threads for the native backend "
+                        "(an integer, or 'auto' = cores/workers per rank); "
+                        "fp64 results are bitwise identical at every "
+                        "thread count")
+    p.add_argument("--profile", type=str, default=None, metavar="FILE",
+                   help="tuned-profile store consulted by --engine auto "
+                        "(default: $REPRO_TUNE_PROFILE or "
+                        "~/.cache/repro/tuned.json)")
     p.add_argument("--overlap", default="auto", choices=list(OVERLAP_CHOICES),
                    help="communication/computation overlap for sim|mp "
                         "(task-mode pipelining); auto = on with >1 rank")
@@ -441,6 +575,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="batch execution engine")
     p.add_argument("--workers", type=int, default=2,
                    help="rank count for --engine sim|mp")
+    p.add_argument("--threads", type=str, default=None, metavar="N",
+                   help="intra-rank kernel threads per batch (integer or "
+                        "'auto'); bitwise-invariant under fp64, so "
+                        "coalescing stays invisible threaded or not")
     p.add_argument("--backend", default="auto", choices=list(BACKEND_CHOICES))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--retries", type=int, default=0,
@@ -454,6 +592,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "strictly falling traffic per request; exit 1 on "
                         "any failure")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "tune",
+        help="offline configuration search; saves the tuned profile "
+             "that 'dos --engine auto' consults",
+    )
+    _add_matrix_args(p)
+    p.add_argument("--random", type=int, default=8,
+                   help="random candidates sampled from the space")
+    p.add_argument("--measure", type=int, default=5,
+                   help="most promising candidates (by the analytic "
+                        "traffic model) actually measured")
+    p.add_argument("--greedy", type=int, default=2,
+                   help="greedy single-knob refinement rounds")
+    p.add_argument("--probe-moments", type=int, default=32,
+                   help="moments per probe measurement")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="probe repeats per candidate (best is scored)")
+    p.add_argument("--workers-list", type=str, default="1,2",
+                   help="comma-separated rank counts to search")
+    p.add_argument("--threads-list", type=str, default="none,2,4",
+                   help="comma-separated thread counts to search "
+                        "('none' = sequential kernels)")
+    p.add_argument("--vectors-list", type=str, default="4,8,16",
+                   help="comma-separated block widths R to search")
+    p.add_argument("--precisions", type=str, default="fp64",
+                   help="comma-separated storage profiles to search "
+                        "(beware: a non-fp64 profile changes results)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", type=str, default=None, metavar="FILE",
+                   help="profile store to write (default: "
+                        "$REPRO_TUNE_PROFILE or ~/.cache/repro/tuned.json)")
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("info", help="analyze matrix structure")
     _add_matrix_args(p)

@@ -211,6 +211,7 @@ def checkpointed_eta(
     precision: Precision | str | None = None,
     progress=None,
     progress_every: int = 0,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Stage-2 eta computation with optional checkpoint/restart.
 
@@ -255,7 +256,7 @@ def checkpointed_eta(
         eta = ck.eta.astype(DTYPE, copy=True)
         first_m = ck.next_m
         r = int(prec.logical_shape(v)[1])
-        plan = bk.plan(H, r, precision=prec)
+        plan = bk.plan(H, r, precision=prec, threads=threads)
     elif prec.half_vectors:
         # mirror compute_eta's half bootstrap: SpMMV in f16 storage, one
         # fp32 recombination through the plan's decode scratch
@@ -264,7 +265,7 @@ def checkpointed_eta(
         else:
             v = prec.encode(start_block)
         r = v.shape[1]
-        plan = bk.plan(H, r, precision=prec)
+        plan = bk.plan(H, r, precision=prec, threads=threads)
         w = bk.spmmv(H, v, counters=counters, metrics=metrics)
         vc, wc = plan.vc[: H.n_rows], plan.wc
         prec.decode(v, out=vc)
@@ -286,7 +287,7 @@ def checkpointed_eta(
         # moments whichever entry point ran the computation
         eta[:, 0], eta[:, 1] = _col_dots(v, w)
         first_m = 1
-        plan = bk.plan(H, r, precision=prec)
+        plan = bk.plan(H, r, precision=prec, threads=threads)
 
     for m in range(first_m, n_moments // 2):
         if fault is not None:

@@ -127,6 +127,7 @@ def compute_eta(
     backend: KernelBackend | str = "auto",
     metrics: MetricsRegistry = NULL_METRICS,
     precision: Precision | str | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Compute the raw scalar products eta for every start vector.
 
@@ -155,6 +156,12 @@ def compute_eta(
         (default, bitwise the historical path), ``'fp32'``, or
         ``'fp16v'``.  The eta accumulation is fp64 in every profile; the
         naive engine supports fp64/fp32 only.
+    threads:
+        Intra-rank thread count for the native threaded kernels.
+        ``None`` (default) keeps the sequential kernels; any explicit
+        count routes the augmented steps through the block-grid threaded
+        variants, whose fp64 results are bitwise identical at every
+        thread count.  The NumPy backend accepts and ignores the knob.
 
     Returns
     -------
@@ -186,7 +193,7 @@ def compute_eta(
         step_fn = (
             bk.naive_step if engine is MomentEngine.NAIVE else bk.aug_spmv_step
         )
-        plan = bk.plan(H, 1, precision=prec)
+        plan = bk.plan(H, 1, precision=prec, threads=threads)
         for i in range(r):
             eta[i] = _eta_single(
                 H, scale, n_moments, start_block[:, i], bk, step_fn, plan,
@@ -196,7 +203,7 @@ def compute_eta(
 
     # --- stage 2: blocked ---------------------------------------------
     a, b = scale.a, scale.b
-    plan = bk.plan(H, r, precision=prec)
+    plan = bk.plan(H, r, precision=prec, threads=threads)
     if prec.half_vectors:
         # Block bootstrap in half storage: the SpMMV streams the f16
         # layout, then the one-off recombination runs in fp32 through the
@@ -260,6 +267,7 @@ def compute_dos_moments(
     backend: KernelBackend | str = "auto",
     metrics: MetricsRegistry = NULL_METRICS,
     precision: Precision | str | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Stochastic-trace DOS moments mu_m ~= tr[T_m(H~)].
 
@@ -269,7 +277,7 @@ def compute_dos_moments(
     """
     eta = compute_eta(
         H, scale, n_moments, start_block, engine, counters, backend=backend,
-        metrics=metrics, precision=precision,
+        metrics=metrics, precision=precision, threads=threads,
     )
     mu = eta_to_moments(eta)
     return mu.mean(axis=0).real

@@ -16,6 +16,7 @@ the paper's Refs. [8], [22].
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -184,6 +185,13 @@ class KPMSolver:
         Threaded through every engine — serial, distributed, supervised
         — and recorded in checkpoints.  LDOS supports fp64/fp32; the
         naive engine and ``fp16v`` are mutually exclusive.
+    threads:
+        Intra-rank kernel thread count for the native backend: ``None``
+        (default) keeps the sequential kernels, an int routes the
+        augmented steps through the block-grid threaded variants, and
+        ``'auto'`` budgets the host's cores (whole machine serially,
+        ``cores // workers`` per rank distributed).  fp64 moments are
+        bitwise identical at every setting.
     """
 
     def __init__(
@@ -207,6 +215,7 @@ class KPMSolver:
         overlap: bool | str | None = "auto",
         resilience=None,
         precision: Precision | str | None = None,
+        threads: int | str | None = None,
     ) -> None:
         check_positive("n_moments", n_moments)
         check_positive("n_vectors", n_vectors)
@@ -241,6 +250,10 @@ class KPMSolver:
 
         resolve_overlap(overlap, self.workers)
         self.overlap = overlap
+        if threads is not None and threads != "auto":
+            check_positive("threads", int(threads))
+            threads = int(threads)
+        self.threads = threads
         self.resilience = resilience
         #: the communicator of the most recent distributed solve
         #: (message log, per-rank accounting); None until one runs.
@@ -304,6 +317,12 @@ class KPMSolver:
             self.dimension, self.n_vectors, self.vector_kind, self.seed
         )
 
+    def _serial_threads(self) -> int | None:
+        """Resolve ``'auto'`` for the serial engines: the whole machine."""
+        if self.threads == "auto":
+            return max(1, os.cpu_count() or 1)
+        return self.threads
+
     def _make_world(self):
         from repro.dist.comm import SimWorld
         from repro.dist.mp import MpWorld
@@ -327,7 +346,7 @@ class KPMSolver:
             self.H, part, self.scale, self.n_moments, self._start_block(),
             self.world, backend=self.backend, counters=self.counters,
             metrics=self.metrics, overlap=self.overlap,
-            precision=self.precision,
+            precision=self.precision, threads=self.threads,
         )
 
     def _supervised_eta(self) -> np.ndarray:
@@ -342,6 +361,7 @@ class KPMSolver:
             engine=self.dist_engine or "serial", workers=self.workers,
             weights=self.weights, backend=self.backend,
             overlap=self.overlap, precision=self.precision,
+            threads=self.threads,
         )
         self.world = sup.last_world
         self.resilience_report = sup.report
@@ -367,6 +387,7 @@ class KPMSolver:
                 self.H, self.scale, self.n_moments, self._start_block(),
                 self.engine, self.counters, backend=self.backend,
                 metrics=self.metrics, precision=self.precision,
+                threads=self._serial_threads(),
             )
         return eta_to_moments(eta).mean(axis=0).real
 
@@ -447,7 +468,7 @@ class KPMSolver:
             eta = compute_eta(
                 self.H, self.scale, self.n_moments, block,
                 self.engine, self.counters, backend=self.backend,
-                precision=self.precision,
+                precision=self.precision, threads=self._serial_threads(),
             )
             mu = eta_to_moments(eta).sum(axis=0).real  # sum over orbitals
             e_grid, rho = reconstruct_dos(

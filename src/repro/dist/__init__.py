@@ -21,6 +21,14 @@ from repro.dist.halo import CommPattern, DistributedMatrix, partition_matrix
 from repro.dist.kpm_parallel import distributed_eta, distributed_dos_moments
 from repro.dist.network import NetworkModel, CRAY_ARIES
 from repro.dist.autotune import autotune_weights, throughput_timer, AutotuneResult
+from repro.dist.tune import (
+    TuneConfig,
+    TuneSpace,
+    TuneResult,
+    tune,
+    lookup,
+    save_profile,
+)
 from repro.dist.overlap import split_for_overlap, two_phase_spmmv, OverlapSplit
 from repro.dist.scaling_model import (
     ClusterModel,
@@ -49,6 +57,12 @@ __all__ = [
     "autotune_weights",
     "throughput_timer",
     "AutotuneResult",
+    "TuneConfig",
+    "TuneSpace",
+    "TuneResult",
+    "tune",
+    "lookup",
+    "save_profile",
     "split_for_overlap",
     "two_phase_spmmv",
     "OverlapSplit",

@@ -43,9 +43,18 @@ class AutotuneResult:
     history: list[list[float]] = field(default_factory=list)
 
     def imbalance(self, times: list[float]) -> float:
-        """max(t) / mean(t) for a set of measured round times."""
+        """Relative spread ``(max(t) - min(t)) / mean(t)`` of round times.
+
+        This is the same statistic the tuning loop tests against
+        ``tolerance`` (0.0 = perfectly balanced), so a converged result
+        always reports ``imbalance(times) <= tolerance`` for its final
+        round — the two definitions were previously inconsistent
+        (``max/mean``), which made converged runs report an apparent
+        residual imbalance of ~1.0.  Guarded against a zero mean (all
+        ranks measured 0 s → balanced by definition).
+        """
         t = np.asarray(times, dtype=float)
-        return float(t.max() / t.mean())
+        return float((t.max() - t.min()) / max(t.mean(), 1e-300))
 
 
 def throughput_timer(gflops_per_rank: list[float], flops_per_row: float) -> TimerFn:

@@ -91,6 +91,7 @@ def distributed_eta(
     precision: Precision | str | None = None,
     progress=None,
     progress_every: int = 0,
+    threads: int | str | None = None,
 ) -> np.ndarray:
     """Distributed equivalent of :func:`repro.core.moments.compute_eta`.
 
@@ -166,6 +167,12 @@ def distributed_eta(
         partial-spectrum stream).  The sim world fires it inline; the
         mp engine fires it from the parent's checkpoint autosave, so it
         needs ``checkpoint_every > 0`` there.
+    threads:
+        Intra-rank thread count for the native threaded kernels (None =
+        sequential kernels).  ``'auto'`` budgets the host's cores across
+        the ranks (``max(1, cores // n_ranks)``).  fp64 results stay
+        bitwise identical at every thread count, so mp == sim holds
+        threaded or not.
 
     Returns
     -------
@@ -183,9 +190,17 @@ def distributed_eta(
             checkpoint_path=checkpoint_path, resume_from=resume_from,
             fault_plan=fault_plan, attempt=attempt, precision=precision,
             progress=progress, progress_every=progress_every,
+            threads=threads,
         )
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap, task_split
+
+    if threads == "auto":
+        import os
+
+        threads = max(1, (os.cpu_count() or 1) // world.n_ranks)
+    elif threads is not None:
+        threads = max(1, int(threads))
 
     overlap = resolve_overlap(overlap, world.n_ranks)
     if reduction not in ("end", "every"):
@@ -268,11 +283,15 @@ def distributed_eta(
                  dtype=prec.vector_dtype)
         for blk in dist.blocks
     ]
-    plans = [bk.plan(blk.matrix, r, precision=prec) for blk in dist.blocks]
+    plans = [
+        bk.plan(blk.matrix, r, precision=prec, threads=threads)
+        for blk in dist.blocks
+    ]
     splans = None
     if overlap:
         splans = [
-            bk.split_plan(blk.matrix, task_split(blk), r, precision=prec)
+            bk.split_plan(blk.matrix, task_split(blk), r, precision=prec,
+                          threads=threads)
             for blk in dist.blocks
         ]
     eta_acc = np.zeros((world.n_ranks, n_moments, r), dtype=DTYPE)
@@ -415,6 +434,7 @@ def distributed_dos(
     metrics: MetricsRegistry = NULL_METRICS,
     overlap: bool | str | None = False,
     precision: Precision | str | None = None,
+    threads: int | str | None = None,
 ):
     """Full distributed KPM-DOS application: the paper's production code.
 
@@ -449,7 +469,7 @@ def distributed_dos(
     eta = distributed_eta(
         A, partition, scale, n_moments, block, world, reduction=reduction,
         backend=backend, counters=counters, metrics=metrics, overlap=overlap,
-        precision=precision,
+        precision=precision, threads=threads,
     )
     mu = eta_to_moments(eta).mean(axis=0).real
     pts = n_points if n_points is not None else max(2 * n_moments, 256)
@@ -473,6 +493,7 @@ def distributed_dos_moments(
     metrics: MetricsRegistry = NULL_METRICS,
     overlap: bool | str | None = False,
     precision: Precision | str | None = None,
+    threads: int | str | None = None,
 ) -> np.ndarray:
     """Distributed stochastic-trace moments (mean over the R vectors)."""
     from repro.core.moments import eta_to_moments
@@ -480,6 +501,6 @@ def distributed_dos_moments(
     eta = distributed_eta(
         A, partition, scale, n_moments, start_block, world, reduction=reduction,
         backend=backend, counters=counters, metrics=metrics, overlap=overlap,
-        precision=precision,
+        precision=precision, threads=threads,
     )
     return eta_to_moments(eta).mean(axis=0).real

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import struct
 import sys
 import time
@@ -299,6 +300,7 @@ class _RunConfig:
     checkpoint_every: int
     overlap: bool = False
     precision: str = "fp64"  # storage profile name (picklable)
+    threads: int | None = None  # intra-rank kernel threads (None = serial)
 
 
 # ---------------------------------------------------------------------
@@ -365,13 +367,13 @@ def _worker(
 
         xbuf = np.empty(prec.vec_shape(blk.matrix.n_cols, r),
                         dtype=prec.vector_dtype)
-        plan = bk.plan(blk.matrix, r, precision=prec)
+        plan = bk.plan(blk.matrix, r, precision=prec, threads=cfg.threads)
         splan = None
         if cfg.overlap:
             from repro.dist.overlap import task_split
 
             splan = bk.split_plan(blk.matrix, task_split(blk), r,
-                                  precision=prec)
+                                  precision=prec, threads=cfg.threads)
         wins_out = [(q, rows, att[f"w{rank}_{q}"]) for q, rows in send_edges]
         wins_in = [
             (src, int(cnt), att[f"w{src}_{rank}"])
@@ -728,6 +730,7 @@ def mp_eta(
     precision: Precision | str | None = None,
     progress=None,
     progress_every: int = 0,
+    threads: int | str | None = None,
 ) -> np.ndarray:
     """Multiprocess equivalent of :func:`repro.dist.kpm_parallel.distributed_eta`.
 
@@ -762,6 +765,13 @@ def mp_eta(
     requires ``checkpoint_every > 0`` (``progress_every`` only gates
     whether the hook is armed here — the cadence is the workers'
     checkpoint cadence).
+
+    ``threads`` is the per-rank intra-rank kernel thread count: ``None``
+    keeps the sequential kernels, an int is used verbatim on every rank,
+    and ``'auto'`` budgets the host's cores across the ranks
+    (``max(1, cores // n_ranks)`` — the paper's one-process-per-socket
+    hybrid, scaled to this machine).  fp64 moments are bitwise identical
+    for every setting.
     """
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap
@@ -814,13 +824,22 @@ def mp_eta(
         if rows.size:
             send_edges[p].append((q, rows))
 
+    if threads == "auto":
+        # Budget the host's cores across the ranks: the paper's hybrid
+        # MPI+OpenMP shape (one process per socket, threads inside).
+        resolved_threads = max(1, (os.cpu_count() or 1) // world.n_ranks)
+    elif threads is None:
+        resolved_threads = None
+    else:
+        resolved_threads = max(1, int(threads))
+
     want_obs = bool(counters.enabled or metrics.enabled)
     cfg = _RunConfig(
         a=scale.a, b=scale.b, n_moments=n_moments, r=r, reduction=reduction,
         timeouts=timeouts, fault_plan=fault_plan, attempt=int(attempt),
         want_obs=want_obs, first_m=first_m,
         checkpoint_every=int(checkpoint_every), overlap=overlap,
-        precision=prec.name,
+        precision=prec.name, threads=resolved_threads,
     )
     errors: list[tuple[int, str, str]] = []
     procs: list = []

@@ -25,6 +25,7 @@ recurrence state and the moment prefix.
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 import time
@@ -234,6 +235,7 @@ class Supervisor:
         reduction: str = "end",
         overlap: bool | str | None = False,
         precision=None,
+        threads: int | str | None = None,
         progress=None,
         progress_every: int = 0,
     ) -> np.ndarray:
@@ -242,6 +244,10 @@ class Supervisor:
         ``precision`` selects the storage profile and is threaded through
         every rung of the degradation ladder unchanged — a retry or an
         engine fallback never silently widens (or narrows) the run.
+        ``threads`` rides the same rail: the intra-rank kernel thread
+        count survives retries and engine fallbacks, and fp64 results are
+        bitwise identical at every setting, so a mid-run degradation
+        never perturbs the moments.
 
         ``progress``/``progress_every`` stream partial eta prefixes as
         each engine exposes them (see :func:`checkpointed_eta` and
@@ -292,7 +298,7 @@ class Supervisor:
                                 eng, backend_cur, resume, attempt, ckpt_path,
                                 H, scale, n_moments, start_block,
                                 workers, weights, reduction, overlap,
-                                precision, progress, progress_every,
+                                precision, threads, progress, progress_every,
                             )
                     except Exception as exc:  # noqa: BLE001 - classified below
                         last_exc = exc
@@ -384,7 +390,8 @@ class Supervisor:
     def _run_once(
         self, eng: str, backend, resume, attempt: int, ckpt_path,
         H, scale, n_moments, start_block, workers, weights, reduction,
-        overlap=False, precision=None, progress=None, progress_every=0,
+        overlap=False, precision=None, threads=None, progress=None,
+        progress_every=0,
     ) -> np.ndarray:
         every = self.checkpoint_every
         path = ckpt_path if every > 0 else None
@@ -394,12 +401,15 @@ class Supervisor:
                 inj = FaultInjector(
                     self.fault_plan, rank=0, attempt=attempt, in_process=True
                 )
+            if threads == "auto":
+                # A degraded serial rung inherits the whole machine.
+                threads = max(1, os.cpu_count() or 1)
             return checkpointed_eta(
                 H, scale, n_moments, start_block,
                 checkpoint_every=every, checkpoint_path=path,
                 resume_from=resume, counters=self.counters,
                 backend=backend, metrics=self.metrics, fault=inj,
-                precision=precision,
+                precision=precision, threads=threads,
                 progress=progress, progress_every=progress_every,
             )
 
@@ -426,6 +436,6 @@ class Supervisor:
             metrics=self.metrics, overlap=overlap, checkpoint_every=every,
             checkpoint_path=path, resume_from=resume,
             fault_plan=self.fault_plan, attempt=attempt,
-            precision=precision,
+            precision=precision, threads=threads,
             progress=progress, progress_every=progress_every,
         )

@@ -142,8 +142,8 @@ def slice_moments(batch: Batch, eta_prefix: np.ndarray):
 
 
 def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
-             weights, overlap, precision, resilience, counters, metrics,
-             seed, progress, progress_every):
+             weights, overlap, precision, threads, resilience, counters,
+             metrics, seed, progress, progress_every):
     """One batch eta solve on the configured engine."""
     if resilience is not None:
         from repro.resil import Supervisor
@@ -158,7 +158,7 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
         eta = sup.run_eta(
             H, scale, n_moments, block, engine=engine or "serial",
             workers=workers, weights=weights, backend=backend,
-            overlap=overlap, precision=precision,
+            overlap=overlap, precision=precision, threads=threads,
             progress=progress, progress_every=progress_every,
         )
         return eta, sup.report, sup.last_world
@@ -177,13 +177,17 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
         eta = distributed_eta(
             H, part, scale, n_moments, block, world, backend=backend,
             counters=counters, metrics=metrics, overlap=overlap,
-            precision=precision,
+            precision=precision, threads=threads,
             progress=progress, progress_every=progress_every,
         )
         return eta, None, world
+    if threads == "auto":
+        import os
+
+        threads = max(1, os.cpu_count() or 1)
     eta = checkpointed_eta(
         H, scale, n_moments, block, counters=counters, backend=backend,
-        metrics=metrics, precision=precision,
+        metrics=metrics, precision=precision, threads=threads,
         progress=progress, progress_every=progress_every,
     )
     return eta, None, None
@@ -200,6 +204,7 @@ def execute_batch(
     weights=None,
     overlap: bool | str | None = "auto",
     precision=None,
+    threads: int | str | None = None,
     resilience=None,
     metrics=NULL_METRICS,
     seed: int | None = None,
@@ -220,6 +225,11 @@ def execute_batch(
     ``on_partial(item, n_done, mu_prefix)`` fires for every member at
     every streamed prefix (requires ``stream_every > 0``; the mp engine
     additionally needs checkpointing in ``resilience`` to stream).
+
+    ``threads`` is forwarded to every execution path unchanged; because
+    the threaded fp64 kernels are bitwise invariant across thread
+    counts, a threaded batch returns the exact bytes a sequential one
+    would — coalescing stays invisible at any thread count.
     """
     n_moments = batch.items[0].ticket.request.n_moments
     block = stack_start_block(batch, H.n_rows)
@@ -236,9 +246,9 @@ def execute_batch(
         eta, report, batch.world = _run_eta(
             H, scale, n_moments, block, engine=engine, backend=backend,
             workers=workers, weights=weights, overlap=overlap,
-            precision=precision, resilience=resilience, counters=counters,
-            metrics=metrics, seed=seed, progress=progress,
-            progress_every=stream_every,
+            precision=precision, threads=threads, resilience=resilience,
+            counters=counters, metrics=metrics, seed=seed,
+            progress=progress, progress_every=stream_every,
         )
     metrics.observe("serve.batch.width", batch.width)
     metrics.observe("serve.batch.requests", batch.n_requests)

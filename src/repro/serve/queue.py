@@ -8,8 +8,12 @@ solver publishes lands in :attr:`partials` (and wakes blocked readers
 via :meth:`next_partial`), so an interactive client can refine its
 spectrum plot while the full solve is still running.
 
-The queue orders strictly by ``(priority, deadline, seq)`` — an urgent
-tenant's request leaves the queue first — but ordering is only a
+The queue orders strictly by ``(priority, absolute deadline, seq)`` —
+an urgent tenant's request leaves the queue first.  Deadlines are
+*relative* seconds in the request spec; the ticket stamps the absolute
+expiry on the monotonic clock at submission (``deadline_at``), so a
+wall-clock step (NTP slew, DST) can neither expire every queued request
+at once nor revive an expired one — but ordering is only a
 *preference* for the coalescer: batch planning groups compatible
 requests regardless of arrival order, because sharing one block solve
 is cheaper for everyone (paper Eq. 5-7).  Fairness is restored at the
@@ -22,6 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 
 from repro.serve.spec import Request
 
@@ -38,6 +43,14 @@ class Ticket:
         self.moment_key = moment_key
         self.group_key = group_key
         self.seq = seq
+        #: absolute expiry on the monotonic clock (None = no deadline);
+        #: stamped once at submission from the request's *relative*
+        #: ``deadline`` seconds, so queue ordering and the server's miss
+        #: check are immune to wall-clock steps
+        self.deadline_at = (
+            None if request.deadline is None
+            else time.monotonic() + float(request.deadline)
+        )
         #: streamed (n_done, result) pairs, oldest first
         self.partials: list = []
         #: how the answer was produced: 'cache', 'dedup', or the width
@@ -106,7 +119,7 @@ class Ticket:
 class RequestQueue:
     """Thread-safe priority queue of pending tickets.
 
-    Heap order: ``(priority, deadline-or-inf, seq)``.  ``drain()`` is
+    Heap order: ``(priority, deadline_at-or-inf, seq)``.  ``drain()`` is
     the coalescer's entry point — it empties the queue in one motion so
     batch planning sees every concurrent request at once (the whole
     point of serving: the wider the concurrent set, the wider the
@@ -127,7 +140,10 @@ class RequestQueue:
 
     def push(self, ticket: Ticket) -> None:
         req = ticket.request
-        deadline = req.deadline if req.deadline is not None else float("inf")
+        deadline = (
+            ticket.deadline_at if ticket.deadline_at is not None
+            else float("inf")
+        )
         with self._lock:
             heapq.heappush(
                 self._heap, (req.priority, deadline, ticket.seq, ticket)

@@ -63,6 +63,13 @@ class KPMServer:
         :class:`~repro.core.solver.KPMSolver`).
     backend / workers / weights / overlap / precision-per-request:
         Threaded through to the engines unchanged.
+    threads:
+        Intra-rank kernel thread count for every batch (``None``,
+        int, or ``'auto'`` — same semantics as
+        :class:`~repro.core.solver.KPMSolver`).  Because the threaded
+        fp64 kernels are bitwise invariant across thread counts, a
+        threaded server returns byte-identical moments to a sequential
+        one — determinism and cache keys are unaffected.
     resilience:
         Optional :class:`~repro.resil.Resilience`; each batch then runs
         under its own fresh Supervisor (batch-scoped retries,
@@ -94,6 +101,7 @@ class KPMServer:
         workers: int = 2,
         weights=None,
         overlap: bool | str | None = "auto",
+        threads: int | str | None = None,
         resilience=None,
         scale_seed: int = 0,
         stream_every: int = 0,
@@ -114,6 +122,7 @@ class KPMServer:
         self.workers = int(workers)
         self.weights = list(weights) if weights is not None else None
         self.overlap = overlap
+        self.threads = threads
         self.resilience = resilience
         self.scale_seed = int(scale_seed)
         self.stream_every = int(stream_every)
@@ -220,6 +229,7 @@ class KPMServer:
                 engine=self.engine, backend=self.backend,
                 workers=self.workers, weights=self.weights,
                 overlap=self.overlap, precision=req0.precision,
+                threads=self.threads,
                 resilience=self.resilience, metrics=self.metrics,
                 seed=self.scale_seed, stream_every=self.stream_every,
                 on_partial=on_partial,
@@ -278,7 +288,8 @@ class KPMServer:
                     e_grid, rho, np.asarray(req.rows, dtype=np.int64),
                     scale, req.kernel,
                 )
-        if req.deadline is not None and time.time() > req.deadline:
+        if ticket.deadline_at is not None \
+                and time.monotonic() > ticket.deadline_at:
             self.metrics.count("serve.deadline_missed")
             self.metrics.count(f"serve.tenant.{req.tenant}.deadline_missed")
         ticket.fulfill(result)

@@ -243,8 +243,11 @@ class Request:
     priority:
         Smaller runs earlier within a batch-planning window.
     deadline:
-        Optional absolute wall-clock deadline (time.time() scale);
-        used for ordering and missed-deadline accounting.
+        Optional deadline as *relative* seconds from submission.  The
+        ticket converts it to an absolute expiry on the monotonic clock
+        (``Ticket.deadline_at``) for ordering and missed-deadline
+        accounting, so a wall-clock step never expires or revives
+        queued requests.  Excluded from every content key.
     """
 
     spec: HamiltonianSpec

@@ -62,14 +62,24 @@ class KernelPlan:
     kernels' double-accumulated dots.  The fp16v profile adds complex64
     decode scratch (``vc``/``wc``) for the NumPy backend's half-storage
     paths.
+
+    ``threads`` selects the intra-rank threaded (``_mt``) kernels:
+    ``None`` (the default) runs the historical sequential kernels
+    untouched; any explicit count >= 1 routes the augmented steps
+    through the block-grid threaded variants, whose fp64 results are
+    bitwise identical at every thread count (the grid and the
+    block-order Kahan combine depend only on the problem).  The NumPy
+    backend accepts the knob and ignores it — its vectorized reduction
+    is trivially thread-count invariant.
     """
 
-    def __init__(self, A, r: int = 1, precision=None) -> None:
+    def __init__(self, A, r: int = 1, precision=None, threads=None) -> None:
         from repro.util.precision import get_precision
 
         self.matrix = A
         self.precision = prec = get_precision(precision)
         self.r = int(r)
+        self.threads = None if threads is None else max(1, int(threads))
         n = A.n_rows
         shape = (n,) if self.r == 1 else (n, self.r)
         cdt = prec.compute_dtype
@@ -107,7 +117,8 @@ class SplitKernelPlan:
     operators, so a SELL split has no consumer.
     """
 
-    def __init__(self, A, split, r: int = 1, precision=None) -> None:
+    def __init__(self, A, split, r: int = 1, precision=None,
+                 threads=None) -> None:
         from repro.sparse.csr import CSRMatrix
         from repro.util.precision import get_precision
 
@@ -121,6 +132,7 @@ class SplitKernelPlan:
         self.split = split
         self.precision = prec = get_precision(precision)
         self.r = int(r)
+        self.threads = None if threads is None else max(1, int(threads))
         self.row0 = int(split.row0)
         self.row1 = int(split.row1)
         self.rows = np.ascontiguousarray(split.boundary, dtype=np.int64)
@@ -208,9 +220,13 @@ class KernelBackend(ABC):
     def available(self) -> bool:
         """Whether this backend can run on the current host."""
 
-    def plan(self, A, r: int = 1, precision=None) -> KernelPlan:
-        """Allocate the workspaces for repeated steps on ``(A, r)``."""
-        return KernelPlan(A, r, precision)
+    def plan(self, A, r: int = 1, precision=None, threads=None) -> KernelPlan:
+        """Allocate the workspaces for repeated steps on ``(A, r)``.
+
+        ``threads`` (None = sequential kernels) selects the intra-rank
+        threaded kernel variants; see :class:`KernelPlan`.
+        """
+        return KernelPlan(A, r, precision, threads)
 
     @abstractmethod
     def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS,
@@ -256,9 +272,10 @@ class KernelBackend(ABC):
     # execution schedule (sync == overlapped, bitwise).  The W update is
     # row-local, hence bitwise identical to the plain kernel.
 
-    def split_plan(self, A, split, r: int = 1, precision=None) -> SplitKernelPlan:
+    def split_plan(self, A, split, r: int = 1, precision=None,
+                   threads=None) -> SplitKernelPlan:
         """Allocate the split-kernel workspaces for ``(A, split, r)``."""
-        return SplitKernelPlan(A, split, r, precision)
+        return SplitKernelPlan(A, split, r, precision, threads)
 
     def aug_spmv_interior(
         self, A, v, w, a, b, plan: SplitKernelPlan,

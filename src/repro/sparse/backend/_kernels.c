@@ -19,7 +19,7 @@
  * contiguous, the locality argument of paper Section IV-A.
  *
  * MACRO EXPANSION (the precision profiles of repro.util.precision):
- * the twelve kernels below are written ONCE as a template (the #else
+ * the sixteen kernels below are written ONCE as a template (the #else
  * branch of this file) and expanded via `#include "_kernels.c"` for each
  * (value type, vector storage, index type) combination — no hand-copied
  * variants:
@@ -102,6 +102,16 @@ static inline void repro_pf_row(const void *restrict p, size_t nbytes)
 #define REPRO_NOVEC
 #define REPRO_NOVEC_STMT ((void)0)
 #endif
+
+/* Row-block granularity of the threaded (_mt) kernels.  The block grid
+ * is a function of the PROBLEM (row count / chunk height), never of the
+ * thread count: every eta partial is accumulated per block with Kahan
+ * compensation and the partials are combined sequentially in block
+ * order, so the fp64 results are bitwise identical for any n_threads —
+ * including 1 — and for the serial fallback when the compiler has no
+ * OpenMP.  256 rows is large enough to amortize scheduling and small
+ * enough to load-balance the boundary-row tails of a split.           */
+#define REPRO_MT_BLOCK 256
 
 /* One compensated (Kahan) accumulation step: *s += x with carry *c.   */
 static inline void repro_kadd(double *restrict s, double *restrict c,
@@ -974,6 +984,309 @@ EXPORT void KN(repro_sell_aug_spmmv)(
     }
     REPRO_EARR_FREE();
     free(acc);
+}
+
+/* ------------------------------------------------------------------ */
+/* Threaded (_mt) kernels: OpenMP parallel-for over fixed row blocks   */
+/*                                                                     */
+/* The paper's hybrid execution is MPI + OpenMP — each rank drives all */
+/* of a socket's cores (Sections V-VI).  These variants parallelize    */
+/* the row loop of the augmented block kernels over REPRO_MT_BLOCK-row */
+/* blocks with a DETERMINISTIC reduction: the block grid depends only  */
+/* on the row range (never the thread count), each block accumulates   */
+/* its eta partials with Kahan compensation into its own slice of a    */
+/* preallocated array, and after the parallel region the partials are  */
+/* combined sequentially in block order.  Result: bitwise-identical    */
+/* eta for every n_threads >= 1, OpenMP or not — the checkpoint-       */
+/* resume / mp==sim / serve-coalescing invariants survive threading.   */
+/* The W update is row-local (disjoint rows per block; SELL perm is a  */
+/* permutation), so it is race-free and bitwise equal to the serial    */
+/* kernels' update.  No allocation happens inside the parallel region. */
+/* ------------------------------------------------------------------ */
+
+/* Shared CSR body: iterates t over [t0, t1); the row is rows[t] when a
+ * gather list is given (the boundary phase), else t itself (the plain
+ * and interior-range variants, which pass t0=row0, t1=row1).          */
+static void KN(repro_csr_aug_spmmv_mt_body)(
+    int64_t t0,
+    int64_t t1,
+    const int64_t *restrict rows,
+    int64_t r,
+    int64_t n_threads,
+    const int64_t *restrict indptr,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
+    double a,
+    double b,
+    double *restrict eta_even,     /* r doubles   */
+    double *restrict eta_odd)      /* 2*r doubles */
+{
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    const int64_t span = t1 > t0 ? t1 - t0 : 0;
+    const int64_t nb = (span + REPRO_MT_BLOCK - 1) / REPRO_MT_BLOCK;
+    const int nt = (int)(n_threads > 0 ? n_threads : 1);
+    memset(eta_even, 0, (size_t)r * sizeof(double));
+    memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    if (nb == 0)
+        return;
+    (void)nt;
+    REPRO_AT *accs =
+        (REPRO_AT *)malloc((size_t)(nb * 2 * r) * sizeof(REPRO_AT));
+    /* per-block eta partials [ee r | eo 2r | kahan carries 3r], plus a
+     * trailing 3r carry slice for the block-order combine             */
+    double *epart =
+        (double *)calloc((size_t)(nb * 6 * r + 3 * r), sizeof(double));
+    if (!accs || !epart) {
+        free(accs);
+        free(epart);
+        return;
+    }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nt)
+#endif
+    for (int64_t bi = 0; bi < nb; ++bi) {
+        REPRO_AT *restrict acc = accs + (size_t)(bi * 2 * r);
+        double *restrict bee = epart + (size_t)(bi * 6 * r);
+        double *restrict beo = bee + r;
+        double *restrict bcc = bee + 3 * r;
+        const int64_t tb0 = t0 + bi * REPRO_MT_BLOCK;
+        const int64_t tb1 =
+            tb0 + REPRO_MT_BLOCK < t1 ? tb0 + REPRO_MT_BLOCK : t1;
+        for (int64_t t = tb0; t < tb1; ++t) {
+            const int64_t i = rows ? rows[t] : t;
+            memset(acc, 0, (size_t)(2 * r) * sizeof(REPRO_AT));
+            const int64_t p0 = indptr[i], p1 = indptr[i + 1];
+            for (int64_t p = p0; p < p1; ++p) {
+                if (p + 1 < p1)
+                    repro_pf_row(V + 2 * (int64_t)indices[p + 1] * r,
+                                 (size_t)(2 * r) * sizeof(REPRO_XT));
+                const REPRO_AT ar = (REPRO_AT)data[2 * p];
+                const REPRO_AT ai = (REPRO_AT)data[2 * p + 1];
+                const REPRO_XT *restrict xj =
+                    V + 2 * (int64_t)indices[p] * r;
+                for (int64_t k = 0; k < r; ++k) {
+                    const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                    const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
+                    acc[2 * k] += ar * xr - ai * xi;
+                    acc[2 * k + 1] += ar * xi + ai * xr;
+                }
+            }
+            const REPRO_XT *restrict vi_ = V + 2 * i * r;
+            REPRO_XT *restrict wi_ = W + 2 * i * r;
+            REPRO_KNOVEC
+            for (int64_t k = 0; k < r; ++k) {
+                REPRO_KNOVEC_STMT;
+                const REPRO_AT vr = REPRO_LOADX(vi_, 2 * k);
+                const REPRO_AT vi = REPRO_LOADX(vi_, 2 * k + 1);
+                const REPRO_AT wr = ta * acc[2 * k] - tab * vr
+                    - REPRO_LOADX(wi_, 2 * k);
+                const REPRO_AT wi = ta * acc[2 * k + 1] - tab * vi
+                    - REPRO_LOADX(wi_, 2 * k + 1);
+                REPRO_STOREX(wi_, 2 * k, wr);
+                REPRO_STOREX(wi_, 2 * k + 1, wi);
+                repro_kadd(&bee[k], &bcc[k],
+                           (double)vr * (double)vr
+                               + (double)vi * (double)vi);
+                repro_kadd(&beo[2 * k], &bcc[r + 2 * k],
+                           (double)wr * (double)vr
+                               + (double)wi * (double)vi);
+                repro_kadd(&beo[2 * k + 1], &bcc[r + 2 * k + 1],
+                           (double)wr * (double)vi
+                               - (double)wi * (double)vr);
+            }
+        }
+    }
+    /* sequential block-order combine: the only cross-block reduction  */
+    double *restrict ccomb = epart + (size_t)(nb * 6 * r);
+    for (int64_t bi = 0; bi < nb; ++bi) {
+        const double *restrict bee = epart + (size_t)(bi * 6 * r);
+        const double *restrict beo = bee + r;
+        for (int64_t k = 0; k < r; ++k)
+            repro_kadd(&eta_even[k], &ccomb[k], bee[k]);
+        for (int64_t k = 0; k < 2 * r; ++k)
+            repro_kadd(&eta_odd[k], &ccomb[r + k], beo[k]);
+    }
+    free(epart);
+    free(accs);
+}
+
+EXPORT void KN(repro_csr_aug_spmmv_mt)(
+    int64_t n_rows,
+    int64_t r,
+    int64_t n_threads,
+    const int64_t *restrict indptr,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
+    double a,
+    double b,
+    double *restrict eta_even,
+    double *restrict eta_odd)
+{
+    KN(repro_csr_aug_spmmv_mt_body)(0, n_rows, NULL, r, n_threads, indptr,
+                                    indices, data, V, W, a, b, eta_even,
+                                    eta_odd);
+}
+
+EXPORT void KN(repro_csr_aug_spmmv_range_mt)(
+    int64_t row0,
+    int64_t row1,
+    int64_t r,
+    int64_t n_threads,
+    const int64_t *restrict indptr,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
+    double a,
+    double b,
+    double *restrict eta_even,
+    double *restrict eta_odd)
+{
+    KN(repro_csr_aug_spmmv_mt_body)(row0, row1, NULL, r, n_threads, indptr,
+                                    indices, data, V, W, a, b, eta_even,
+                                    eta_odd);
+}
+
+EXPORT void KN(repro_csr_aug_spmmv_rows_mt)(
+    int64_t n_sub,
+    const int64_t *restrict rows,
+    int64_t r,
+    int64_t n_threads,
+    const int64_t *restrict indptr,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
+    double a,
+    double b,
+    double *restrict eta_even,
+    double *restrict eta_odd)
+{
+    KN(repro_csr_aug_spmmv_mt_body)(0, n_sub, rows, r, n_threads, indptr,
+                                    indices, data, V, W, a, b, eta_even,
+                                    eta_odd);
+}
+
+/* SELL threaded variant: blocks are fixed runs of whole chunks — the
+ * chunks-per-block count depends only on the chunk height c, so the
+ * grid (hence the bits) is again independent of the thread count.     */
+EXPORT void KN(repro_sell_aug_spmmv_mt)(
+    int64_t n_rows,
+    int64_t n_chunks,
+    int64_t c,
+    int64_t r,
+    int64_t n_threads,
+    const int64_t *restrict chunk_ptr,
+    const int64_t *restrict chunk_len,
+    const int64_t *restrict perm,
+    const REPRO_IT *restrict indices,
+    const REPRO_VT *restrict data,
+    const REPRO_XT *restrict V,
+    REPRO_XT *restrict W,
+    double a,
+    double b,
+    double *restrict eta_even,
+    double *restrict eta_odd)
+{
+    const REPRO_AT ta = (REPRO_AT)(2.0 * a), tab = (REPRO_AT)(2.0 * a * b);
+    const int64_t cpb = REPRO_MT_BLOCK / c > 0 ? REPRO_MT_BLOCK / c : 1;
+    const int64_t nb = (n_chunks + cpb - 1) / cpb;
+    const int nt = (int)(n_threads > 0 ? n_threads : 1);
+    memset(eta_even, 0, (size_t)r * sizeof(double));
+    memset(eta_odd, 0, (size_t)(2 * r) * sizeof(double));
+    if (nb == 0)
+        return;
+    (void)nt;
+    REPRO_AT *accs =
+        (REPRO_AT *)malloc((size_t)(nb * 2 * c * r) * sizeof(REPRO_AT));
+    double *epart =
+        (double *)calloc((size_t)(nb * 6 * r + 3 * r), sizeof(double));
+    if (!accs || !epart) {
+        free(accs);
+        free(epart);
+        return;
+    }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nt)
+#endif
+    for (int64_t bi = 0; bi < nb; ++bi) {
+        REPRO_AT *restrict acc = accs + (size_t)(bi * 2 * c * r);
+        double *restrict bee = epart + (size_t)(bi * 6 * r);
+        double *restrict beo = bee + r;
+        double *restrict bcc = bee + 3 * r;
+        const int64_t cb1 =
+            (bi + 1) * cpb < n_chunks ? (bi + 1) * cpb : n_chunks;
+        for (int64_t ci = bi * cpb; ci < cb1; ++ci) {
+            const int64_t base = chunk_ptr[ci], len = chunk_len[ci];
+            memset(acc, 0, (size_t)(2 * c * r) * sizeof(REPRO_AT));
+            for (int64_t j = 0; j < len; ++j) {
+                const int64_t slot0 = base + j * c;
+                const int has_next = (j + 1 < len);
+                for (int64_t lane = 0; lane < c; ++lane) {
+                    if (has_next)
+                        repro_pf_row(
+                            V + 2 * (int64_t)indices[slot0 + c + lane] * r,
+                            (size_t)(2 * r) * sizeof(REPRO_XT));
+                    const REPRO_AT ar = (REPRO_AT)data[2 * (slot0 + lane)];
+                    const REPRO_AT ai =
+                        (REPRO_AT)data[2 * (slot0 + lane) + 1];
+                    const REPRO_XT *restrict xj =
+                        V + 2 * (int64_t)indices[slot0 + lane] * r;
+                    REPRO_AT *restrict al = acc + 2 * lane * r;
+                    for (int64_t k = 0; k < r; ++k) {
+                        const REPRO_AT xr = REPRO_LOADX(xj, 2 * k);
+                        const REPRO_AT xi = REPRO_LOADX(xj, 2 * k + 1);
+                        al[2 * k] += ar * xr - ai * xi;
+                        al[2 * k + 1] += ar * xi + ai * xr;
+                    }
+                }
+            }
+            for (int64_t lane = 0; lane < c; ++lane) {
+                const int64_t row = perm[ci * c + lane];
+                if (row >= n_rows)
+                    continue;
+                const REPRO_AT *restrict al = acc + 2 * lane * r;
+                const REPRO_XT *restrict vrow = V + 2 * row * r;
+                REPRO_XT *restrict wrow = W + 2 * row * r;
+                REPRO_KNOVEC
+                for (int64_t k = 0; k < r; ++k) {
+                    REPRO_KNOVEC_STMT;
+                    const REPRO_AT vr = REPRO_LOADX(vrow, 2 * k);
+                    const REPRO_AT vi = REPRO_LOADX(vrow, 2 * k + 1);
+                    const REPRO_AT wr = ta * al[2 * k] - tab * vr
+                        - REPRO_LOADX(wrow, 2 * k);
+                    const REPRO_AT wi = ta * al[2 * k + 1] - tab * vi
+                        - REPRO_LOADX(wrow, 2 * k + 1);
+                    REPRO_STOREX(wrow, 2 * k, wr);
+                    REPRO_STOREX(wrow, 2 * k + 1, wi);
+                    repro_kadd(&bee[k], &bcc[k],
+                               (double)vr * (double)vr
+                                   + (double)vi * (double)vi);
+                    repro_kadd(&beo[2 * k], &bcc[r + 2 * k],
+                               (double)wr * (double)vr
+                                   + (double)wi * (double)vi);
+                    repro_kadd(&beo[2 * k + 1], &bcc[r + 2 * k + 1],
+                               (double)wr * (double)vi
+                                   - (double)wi * (double)vr);
+                }
+            }
+        }
+    }
+    double *restrict ccomb = epart + (size_t)(nb * 6 * r);
+    for (int64_t bi = 0; bi < nb; ++bi) {
+        const double *restrict bee = epart + (size_t)(bi * 6 * r);
+        const double *restrict beo = bee + r;
+        for (int64_t k = 0; k < r; ++k)
+            repro_kadd(&eta_even[k], &ccomb[k], bee[k]);
+        for (int64_t k = 0; k < 2 * r; ++k)
+            repro_kadd(&eta_odd[k], &ccomb[r + k], beo[k]);
+    }
+    free(epart);
+    free(accs);
 }
 
 #undef KN

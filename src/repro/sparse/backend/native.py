@@ -29,22 +29,79 @@ _SOURCE = Path(__file__).with_name("_kernels.c")
 #: unlocks FMA where the host has it; -funroll-loops measurably helps the
 #: short fixed-trip k loops over the block width. No -ffast-math — the
 #: kernels use plain real arithmetic, so fp semantics match NumPy's.
+#: ``-fopenmp`` is appended by :func:`_cflags` when the compiler accepts
+#: it (probed once, cached); without it the ``_mt`` kernels run their
+#: block loop serially with bitwise-identical results.
 _CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-std=c11", "-fPIC", "-shared"]
+
+_openmp_supported: bool | None = None
+
+
+def _probe_openmp(cc: str) -> bool:
+    """Whether ``cc`` accepts ``-fopenmp`` (tiny probe compile, cached).
+
+    The verdict is memoized in-process and persisted as a marker file in
+    the cache directory so mp worker processes skip the probe.
+    """
+    global _openmp_supported
+    if _openmp_supported is not None:
+        return _openmp_supported
+    marker = _cache_dir() / "omp.flag"
+    try:
+        cached = marker.read_text().strip()
+        if cached in ("1", "0"):
+            _openmp_supported = cached == "1"
+            return _openmp_supported
+    except OSError:
+        pass
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "probe.c"
+        src.write_text(
+            "#ifdef _OPENMP\n#include <omp.h>\n#endif\n"
+            "int main(void) { return 0; }\n"
+        )
+        try:
+            proc = subprocess.run(
+                [cc, "-fopenmp", "-o", str(Path(tmp) / "probe"), str(src)],
+                capture_output=True, timeout=30,
+            )
+            ok = proc.returncode == 0
+        except (OSError, subprocess.TimeoutExpired):
+            ok = False
+    _openmp_supported = ok
+    try:
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text("1" if ok else "0")
+    except OSError:
+        pass
+    return ok
+
+
+def _cflags(cc: str | None = None) -> list[str]:
+    """The effective compiler flags, including ``-fopenmp`` if usable."""
+    cc = cc or _find_compiler()
+    if cc is not None and _probe_openmp(cc):
+        return [*_CFLAGS, "-fopenmp"]
+    return list(_CFLAGS)
 
 
 def _compile_timeout() -> float:
     """Seconds the compiler subprocess may run before we give up.
 
-    ``REPRO_NATIVE_COMPILE_TIMEOUT`` overrides the default (a malformed
-    value falls back rather than crashing — the whole point of this knob
-    is that a compile problem must never take the run down with it).
+    ``REPRO_NATIVE_COMPILE_TIMEOUT`` overrides the default; a malformed
+    or non-positive value falls back to the default rather than crashing
+    (or, for values ``<= 0``, instantly "timing out" every compile and
+    silently quarantining the native backend) — the whole point of this
+    knob is that a compile problem must never take the run down with it.
     """
     raw = os.environ.get("REPRO_NATIVE_COMPILE_TIMEOUT")
     if raw:
         try:
-            return float(raw)
+            value = float(raw)
         except ValueError:
-            pass
+            return COMPILE_TIMEOUT
+        if value > 0:
+            return value
     return COMPILE_TIMEOUT
 
 
@@ -94,6 +151,12 @@ _SIGNATURES = {
     "repro_sell_spmmv": "nnnnLLLIVXX",
     "repro_sell_aug_spmv": "nnnLLLIVXXssEE",
     "repro_sell_aug_spmmv": "nnnnLLLIVXXssEE",
+    # threaded (_mt) variants: an extra n_threads scalar after r; the
+    # block-grid reduction keeps fp64 bitwise across thread counts
+    "repro_csr_aug_spmmv_mt": "nnnLIVXXssEE",
+    "repro_csr_aug_spmmv_range_mt": "nnnnLIVXXssEE",
+    "repro_csr_aug_spmmv_rows_mt": "nLnnLIVXXssEE",
+    "repro_sell_aug_spmmv_mt": "nnnnnLLLIVXXssEE",
 }
 
 
@@ -117,7 +180,7 @@ def _find_compiler() -> str | None:
 def _lib_path() -> Path:
     # Key on the flags too: a flag change alters codegen (and can alter
     # rounding), so it must miss the cache just like a source change.
-    recipe = _SOURCE.read_bytes() + "\0".join(_CFLAGS).encode()
+    recipe = _SOURCE.read_bytes() + "\0".join(_cflags()).encode()
     tag = hashlib.sha256(recipe).hexdigest()[:16]
     suffix = sysconfig.get_config_var("SHLIB_SUFFIX") or ".so"
     return _cache_dir() / f"repro_kernels-{tag}{suffix}"
@@ -157,7 +220,7 @@ def compile_library(verbose: bool = False) -> Path:
     # build into a temp name, then atomic-rename: concurrent processes
     # compiling the same hash never observe a half-written library
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    cmd = [cc, *_CFLAGS, "-o", str(tmp), str(_SOURCE), "-lm"]
+    cmd = [cc, *_cflags(cc), "-o", str(tmp), str(_SOURCE), "-lm"]
     if verbose:
         print("$ " + " ".join(cmd))
     timeout = _compile_timeout()

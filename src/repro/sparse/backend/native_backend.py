@@ -288,19 +288,37 @@ class NativeBackend(KernelBackend):
         else:
             ee = np.empty(1, dtype=np.float64)
             eo = np.empty(1, dtype=DTYPE)
-        with metrics.span("aug_spmv", counters=counters):
+        threads = plan.threads if plan is not None else None
+        meta = {} if threads is None else {"threads": threads}
+        with metrics.span("aug_spmv", counters=counters, **meta):
             if isinstance(A, CSRMatrix):
                 suf, args = self._csr_args(A, prec)
-                getattr(lib, "repro_csr_aug_spmv" + suf)(
-                    A.n_rows, *args, _pvec(v), _pvec(w), a, b,
-                    _pc(ee), _pc(eo),
-                )
+                if threads is not None:
+                    # an (n,) interleaved complex vector is memory-
+                    # identical to an (n, 1) row-major block, so the
+                    # threaded path reuses the blocked mt kernel at r=1
+                    getattr(lib, "repro_csr_aug_spmmv_mt" + suf)(
+                        A.n_rows, 1, threads, *args, _pvec(v), _pvec(w),
+                        a, b, _pc(ee), _pc(eo),
+                    )
+                else:
+                    getattr(lib, "repro_csr_aug_spmv" + suf)(
+                        A.n_rows, *args, _pvec(v), _pvec(w), a, b,
+                        _pc(ee), _pc(eo),
+                    )
             elif isinstance(A, SellMatrix):
-                suf, args = self._sell_args(A, prec)
-                getattr(lib, "repro_sell_aug_spmv" + suf)(
-                    A.n_rows, *args, _pvec(v), _pvec(w), a, b,
-                    _pc(ee), _pc(eo),
-                )
+                if threads is not None:
+                    suf, (nc, c, *rest) = self._sell_args(A, prec)
+                    getattr(lib, "repro_sell_aug_spmmv_mt" + suf)(
+                        A.n_rows, nc, c, 1, threads, *rest,
+                        _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
+                    )
+                else:
+                    suf, args = self._sell_args(A, prec)
+                    getattr(lib, "repro_sell_aug_spmv" + suf)(
+                        A.n_rows, *args, _pvec(v), _pvec(w), a, b,
+                        _pc(ee), _pc(eo),
+                    )
             else:
                 raise TypeError(f"unsupported matrix type {type(A).__name__}")
             charge_aug_spmv(A, counters, prec)
@@ -326,19 +344,33 @@ class NativeBackend(KernelBackend):
         else:
             ee = np.empty(r, dtype=np.float64)
             eo = np.empty(r, dtype=DTYPE)
-        with metrics.span("aug_spmmv", counters=counters):
+        threads = plan.threads if plan is not None else None
+        meta = {} if threads is None else {"threads": threads}
+        with metrics.span("aug_spmmv", counters=counters, **meta):
             if isinstance(A, CSRMatrix):
                 suf, args = self._csr_args(A, prec)
-                getattr(lib, "repro_csr_aug_spmmv" + suf)(
-                    A.n_rows, r, *args, _pvec(V), _pvec(W), a, b,
-                    _pc(ee), _pc(eo),
-                )
+                if threads is not None:
+                    getattr(lib, "repro_csr_aug_spmmv_mt" + suf)(
+                        A.n_rows, r, threads, *args, _pvec(V), _pvec(W),
+                        a, b, _pc(ee), _pc(eo),
+                    )
+                else:
+                    getattr(lib, "repro_csr_aug_spmmv" + suf)(
+                        A.n_rows, r, *args, _pvec(V), _pvec(W), a, b,
+                        _pc(ee), _pc(eo),
+                    )
             elif isinstance(A, SellMatrix):
                 suf, (nc, c, *rest) = self._sell_args(A, prec)
-                getattr(lib, "repro_sell_aug_spmmv" + suf)(
-                    A.n_rows, nc, c, r, *rest, _pvec(V), _pvec(W), a, b,
-                    _pc(ee), _pc(eo),
-                )
+                if threads is not None:
+                    getattr(lib, "repro_sell_aug_spmmv_mt" + suf)(
+                        A.n_rows, nc, c, r, threads, *rest,
+                        _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
+                    )
+                else:
+                    getattr(lib, "repro_sell_aug_spmmv" + suf)(
+                        A.n_rows, nc, c, r, *rest, _pvec(V), _pvec(W), a, b,
+                        _pc(ee), _pc(eo),
+                    )
             else:
                 raise TypeError(f"unsupported matrix type {type(A).__name__}")
             charge_aug_spmmv(A, r, counters, prec)
@@ -372,12 +404,20 @@ class NativeBackend(KernelBackend):
         _check_same_storage(v, w)
         prec = precision_of(v)
         ee, eo = plan.ee_interior[:1], plan.eo_interior[:1]
-        with metrics.span("aug_spmv_int", counters=counters):
+        threads = plan.threads
+        meta = {} if threads is None else {"threads": threads}
+        with metrics.span("aug_spmv_int", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
-            getattr(lib, "repro_csr_aug_spmv_range" + suf)(
-                plan.row0, plan.row1, *args, _pvec(v), _pvec(w),
-                a, b, _pc(ee), _pc(eo),
-            )
+            if threads is not None:
+                getattr(lib, "repro_csr_aug_spmmv_range_mt" + suf)(
+                    plan.row0, plan.row1, 1, threads, *args,
+                    _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
+                )
+            else:
+                getattr(lib, "repro_csr_aug_spmv_range" + suf)(
+                    plan.row0, plan.row1, *args, _pvec(v), _pvec(w),
+                    a, b, _pc(ee), _pc(eo),
+                )
             charge_aug_spmv_part(
                 plan.n_interior, plan.nnz_interior, counters, "aug_spmv_int",
                 prec, s_index=prec.index_bytes(A.n_cols),
@@ -396,12 +436,20 @@ class NativeBackend(KernelBackend):
         _check_same_storage(v, w)
         prec = precision_of(v)
         ee, eo = plan.ee_boundary[:1], plan.eo_boundary[:1]
-        with metrics.span("aug_spmv_bnd", counters=counters):
+        threads = plan.threads
+        meta = {} if threads is None else {"threads": threads}
+        with metrics.span("aug_spmv_bnd", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
-            getattr(lib, "repro_csr_aug_spmv_rows" + suf)(
-                plan.n_boundary, _pi64(plan.rows), *args,
-                _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
-            )
+            if threads is not None:
+                getattr(lib, "repro_csr_aug_spmmv_rows_mt" + suf)(
+                    plan.n_boundary, _pi64(plan.rows), 1, threads, *args,
+                    _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
+                )
+            else:
+                getattr(lib, "repro_csr_aug_spmv_rows" + suf)(
+                    plan.n_boundary, _pi64(plan.rows), *args,
+                    _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
+                )
             charge_aug_spmv_part(
                 plan.n_boundary, plan.nnz_boundary, counters, "aug_spmv_bnd",
                 prec, s_index=prec.index_bytes(A.n_cols),
@@ -421,12 +469,20 @@ class NativeBackend(KernelBackend):
         prec = precision_of(V)
         r = V.shape[1]
         ee, eo = plan.ee_interior, plan.eo_interior
-        with metrics.span("aug_spmmv_int", counters=counters):
+        threads = plan.threads
+        meta = {} if threads is None else {"threads": threads}
+        with metrics.span("aug_spmmv_int", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
-            getattr(lib, "repro_csr_aug_spmmv_range" + suf)(
-                plan.row0, plan.row1, r, *args, _pvec(V), _pvec(W),
-                a, b, _pc(ee), _pc(eo),
-            )
+            if threads is not None:
+                getattr(lib, "repro_csr_aug_spmmv_range_mt" + suf)(
+                    plan.row0, plan.row1, r, threads, *args,
+                    _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
+                )
+            else:
+                getattr(lib, "repro_csr_aug_spmmv_range" + suf)(
+                    plan.row0, plan.row1, r, *args, _pvec(V), _pvec(W),
+                    a, b, _pc(ee), _pc(eo),
+                )
             charge_aug_spmmv_part(
                 plan.n_interior, plan.nnz_interior, r, counters,
                 "aug_spmmv_int", prec, s_index=prec.index_bytes(A.n_cols),
@@ -446,12 +502,20 @@ class NativeBackend(KernelBackend):
         prec = precision_of(V)
         r = V.shape[1]
         ee, eo = plan.ee_boundary, plan.eo_boundary
-        with metrics.span("aug_spmmv_bnd", counters=counters):
+        threads = plan.threads
+        meta = {} if threads is None else {"threads": threads}
+        with metrics.span("aug_spmmv_bnd", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
-            getattr(lib, "repro_csr_aug_spmmv_rows" + suf)(
-                plan.n_boundary, _pi64(plan.rows), r, *args,
-                _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
-            )
+            if threads is not None:
+                getattr(lib, "repro_csr_aug_spmmv_rows_mt" + suf)(
+                    plan.n_boundary, _pi64(plan.rows), r, threads, *args,
+                    _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
+                )
+            else:
+                getattr(lib, "repro_csr_aug_spmmv_rows" + suf)(
+                    plan.n_boundary, _pi64(plan.rows), r, *args,
+                    _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
+                )
             charge_aug_spmmv_part(
                 plan.n_boundary, plan.nnz_boundary, r, counters,
                 "aug_spmmv_bnd", prec, s_index=prec.index_bytes(A.n_cols),

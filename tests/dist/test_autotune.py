@@ -91,9 +91,23 @@ class TestAutotune:
             autotune_weights(100, 1, timer, damping=0.0)
 
     def test_imbalance_metric(self):
+        """imbalance() is the loop's convergence statistic: relative
+        spread (max-min)/mean, 0.0 when perfectly balanced."""
         res = AutotuneResult([0.5, 0.5], RowPartition((0, 5, 10)), 1, True)
-        assert res.imbalance([1.0, 1.0]) == pytest.approx(1.0)
-        assert res.imbalance([1.0, 3.0]) == pytest.approx(1.5)
+        assert res.imbalance([1.0, 1.0]) == pytest.approx(0.0)
+        assert res.imbalance([1.0, 3.0]) == pytest.approx(1.0)
+        # zero guard: all-zero timings count as balanced, not a crash
+        assert res.imbalance([0.0, 0.0]) == 0.0
+
+    def test_imbalance_matches_convergence_tolerance(self):
+        """A converged run's final-round times satisfy the same bound the
+        loop tested — the two statistics are now one definition."""
+        timer = throughput_timer([1.0, 3.0], 1.0)
+        res = autotune_weights(10_000, 2, timer, tolerance=0.02)
+        assert res.converged
+        counts = res.partition.counts()
+        times = [timer(p, int(counts[p])) for p in range(2)]
+        assert res.imbalance(times) <= 0.02
 
 
 class TestConvergenceRate:

@@ -1,0 +1,113 @@
+"""Deadline semantics: relative seconds, monotonic clock (regression).
+
+The server used to compare ``Request.deadline`` — documented as an
+absolute ``time.time()`` value — against the wall clock at fulfillment,
+so an NTP step or DST change could spuriously expire every queued
+request (or revive a genuinely expired one).  Deadlines are now
+*relative* seconds from submission: the ticket stamps an absolute
+expiry on the monotonic clock once (``Ticket.deadline_at``), the queue
+orders on that stamp, and the server's miss check reads the monotonic
+clock — wall-clock steps are invisible end to end.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.serve import HamiltonianSpec, KPMServer, Request
+from repro.serve.queue import RequestQueue, Ticket
+
+SPEC = HamiltonianSpec("topological_insulator", {"nx": 4, "ny": 4, "nz": 4})
+M = 16
+
+
+def _ticket(req: Request, seq: int = 0) -> Ticket:
+    return Ticket(req, f"rk{seq}", f"mk{seq}", f"gk{seq}", seq)
+
+
+class TestTicketStamp:
+    def test_relative_deadline_becomes_monotonic_expiry(self):
+        before = time.monotonic()
+        t = _ticket(Request(SPEC, n_moments=M, deadline=300.0))
+        after = time.monotonic()
+        assert before + 300.0 <= t.deadline_at <= after + 300.0
+
+    def test_no_deadline_no_stamp(self):
+        assert _ticket(Request(SPEC, n_moments=M)).deadline_at is None
+
+    def test_deadline_not_part_of_any_key(self):
+        """Changing the deadline must not change the request's identity
+        (the semantics change stays cache-key compatible)."""
+        a = Request(SPEC, n_moments=M, deadline=1.0)
+        b = Request(SPEC, n_moments=M, deadline=9999.0)
+        c = Request(SPEC, n_moments=M)
+        assert a.request_key(0) == b.request_key(0) == c.request_key(0)
+        assert a.moment_key(0) == b.moment_key(0) == c.moment_key(0)
+
+
+class TestQueueOrdering:
+    def test_tighter_deadline_drains_first(self):
+        q = RequestQueue()
+        loose = _ticket(Request(SPEC, n_moments=M, deadline=500.0), seq=0)
+        tight = _ticket(Request(SPEC, n_moments=M, deadline=5.0), seq=1)
+        q.push(loose)
+        q.push(tight)
+        assert q.drain() == [tight, loose]
+
+    def test_no_deadline_sorts_last(self):
+        q = RequestQueue()
+        never = _ticket(Request(SPEC, n_moments=M), seq=0)
+        soon = _ticket(Request(SPEC, n_moments=M, deadline=60.0), seq=1)
+        q.push(never)
+        q.push(soon)
+        assert q.drain() == [soon, never]
+
+    def test_priority_still_dominates(self):
+        q = RequestQueue()
+        urgent = _ticket(
+            Request(SPEC, n_moments=M, priority=-1), seq=0
+        )
+        tight = _ticket(
+            Request(SPEC, n_moments=M, priority=0, deadline=0.001), seq=1
+        )
+        q.push(tight)
+        q.push(urgent)
+        assert q.drain() == [urgent, tight]
+
+
+class TestServerMissCheck:
+    def test_wall_clock_step_does_not_expire_requests(self, monkeypatch):
+        """The regression itself: a huge wall-clock jump between submit
+        and fulfill must not count a miss for a generous deadline."""
+        srv = KPMServer(max_width=4, backend="numpy")
+        t = srv.submit(Request(SPEC, n_moments=M, n_vectors=1,
+                               deadline=300.0))
+        monkeypatch.setattr(time, "time", lambda: time.monotonic() + 1e9)
+        srv.step()
+        assert not t.failed
+        assert srv.metrics.counters.get("serve.deadline_missed", 0) == 0
+
+    def test_expired_deadline_is_counted_but_still_fulfilled(self):
+        srv = KPMServer(max_width=4, backend="numpy")
+        t = srv.submit(Request(SPEC, n_moments=M, n_vectors=1,
+                               deadline=1e-9, tenant="late"))
+        srv.step()
+        # a missed deadline is an accounting event, not a failure
+        assert np.isfinite(t.result().moments).all()
+        assert srv.metrics.counters.get("serve.deadline_missed", 0) == 1
+        assert srv.metrics.counters.get(
+            "serve.tenant.late.deadline_missed", 0) == 1
+
+    def test_cache_hits_check_their_own_deadline(self):
+        """A cache-hit fulfillment goes through the same monotonic
+        check: a fresh generous deadline on a cached answer is a hit,
+        not a miss."""
+        srv = KPMServer(max_width=4, backend="numpy")
+        srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=3))
+        srv.step()
+        t = srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=3,
+                               kernel="lorentz", deadline=600.0))
+        assert t.via == "cache"
+        assert srv.metrics.counters.get("serve.deadline_missed", 0) == 0

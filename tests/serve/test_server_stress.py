@@ -11,7 +11,6 @@ batch without contaminating any other request's results.
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
 import pytest
@@ -52,7 +51,7 @@ def test_concurrent_clients_coalesce_and_stay_bitwise():
             t = srv.submit(Request(
                 SPEC, n_moments=M, n_vectors=1, seed=s,
                 tenant=f"tenant{tenant}", priority=tenant % 2,
-                deadline=time.time() + 300.0,
+                deadline=300.0,  # relative seconds (monotonic at submit)
             ))
             with lock:
                 tickets[s] = t

@@ -250,6 +250,12 @@ class TestFallback:
         # a malformed value must not take the run down with it
         monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", "soon")
         assert native._compile_timeout() == native.COMPILE_TIMEOUT
+        # non-positive timeouts would make every compile fail instantly
+        # (subprocess treats 0/negative as an immediate expiry): they
+        # fall back to the default instead of poisoning the backend
+        for bad in ("0", "-3", "0.0"):
+            monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", bad)
+            assert native._compile_timeout() == native.COMPILE_TIMEOUT
 
     def test_compile_failure_warns_and_falls_back(self, monkeypatch,
                                                   tmp_path):

@@ -19,7 +19,11 @@ lattice with live :class:`~repro.util.counters.PerfCounters` and a
    run as split ``aug_spmmv_int``/``aug_spmmv_bnd`` kernel pairs,
    still matches ``expected_counters(..., splits=...)`` exactly —
    byte/flop totals equal the serial minima and the per-kernel call
-   attribution reflects the two phases.
+   attribution reflects the two phases;
+5. (native backend only) the threaded kernels change neither story:
+   measured traffic equals the same Eq. 5-7 analytic charge at every
+   thread count, and the fp64 moments are bitwise identical across
+   thread counts, for both formats.
 
 Exit status 0 means the measurement layer and the models tell the same
 story; 1 pinpoints the first divergence.  Intended for CI (fast: a few
@@ -193,6 +197,43 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  ok: {label:30s} "
                   f"{counters.bytes_total:>12,} B exact, "
                   f"calls {dict(sorted(counters.calls.items()))}")
+
+    # -- 5. threaded kernels: same exact traffic, bitwise moments ------
+    import numpy as np
+
+    if backend.name == "native":
+        print()
+        r = 4
+        block = make_block_vector(H.n_rows, r, seed=2)
+        for fmt, A in matrices:
+            etas = []
+            for t in (1, 2, 4):
+                counters = PerfCounters()
+                etas.append(compute_eta(A, scale, m, block, "aug_spmmv",
+                                        counters, backend=backend,
+                                        threads=t))
+                exp = expected_counters(A, m, r, "aug_spmmv")
+                label = f"threads={t} {fmt} R={r}"
+                if (counters.bytes_loaded, counters.bytes_stored,
+                        counters.flops) != (exp.bytes_loaded,
+                                            exp.bytes_stored, exp.flops):
+                    return _fail(
+                        f"{label}: measured {counters.summary()} != "
+                        f"analytic {exp.summary()}"
+                    )
+                print(f"  ok: {label:30s} "
+                      f"{counters.bytes_total:>12,} B exact")
+            for t, eta in zip((2, 4), etas[1:]):
+                if not np.array_equal(etas[0], eta):
+                    return _fail(
+                        f"{fmt}: fp64 moments differ between threads=1 "
+                        f"and threads={t} (bitwise contract broken)"
+                    )
+            print(f"  ok: {fmt} fp64 moments bitwise across "
+                  "threads (1, 2, 4)")
+    else:
+        print("\n(threaded-kernel checks skipped: "
+              f"backend {backend.name!r} has no threaded path)")
 
     print("\nall metric/model cross-checks passed")
     return 0
