@@ -1,0 +1,167 @@
+"""Elastic rebalancing under a skewed rank: modeled win, measured cost.
+
+Two halves, matching the two things elasticity changes:
+
+1. **Modeled win** — a deterministic per-row timer makes rank 0 run 4x
+   slower (the shared-tenant scenario from ROADMAP item 5).  The sim
+   engine feeds that timer to the rebalance monitor exactly as the mp
+   engine feeds measured busy spans, so the recorded per-segment busy
+   times let us integrate the *modeled* wall clock — max over ranks per
+   segment — for a static partition vs. an elastic run that shifts rows
+   off the slow rank.  This is the honest way to show the win on a CI
+   box: a real ``slow`` fault injects a row-count-independent sleep, so
+   moving rows would not move the measured clock at all.
+2. **Measured cost** — on a *balanced* run, elasticity is pure
+   overhead: segmentation, boundary checkpoints, busy-span collection,
+   monitor bookkeeping.  We clock a plain uninterrupted grid-mode mp
+   run against the same run under ``elastic_eta`` and record the ratio.
+   The segments replay the identical kernels, so the gap is pure
+   harness cost — boundary checkpoint copies of the (N, R) state plus
+   busy-span collection — and shrinks as the per-iteration compute
+   grows; at this deliberately small bench size it is visible.
+
+Both halves assert the invariant that makes any of this deployable:
+every eta is bitwise identical to the uninterrupted single-partition
+reference.  Writes ``results/BENCH_elastic.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from _support import RESULTS_DIR, emit, format_table, warn_if_single_core
+from repro.core.scaling import SpectralScale
+from repro.core.stochastic import make_block_vector
+from repro.dist.comm import SimWorld
+from repro.dist.elastic import RebalancePolicy, elastic_eta
+from repro.dist.kpm_parallel import distributed_eta
+from repro.dist.partition import RowPartition
+from repro.physics import build_topological_insulator
+
+NX, NZ = 24, 8        # N = 18,432 rows
+R_BLOCK = 4
+M = 64                # 32 inner iterations: room for several segments
+GRID = 64
+WORKERS = 3
+SKEW = 4.0            # rank 0 runs this many times slower per row
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def system():
+    h, _ = build_topological_insulator(NX, NX, NZ)
+    scale = SpectralScale.from_bounds(*h.gershgorin_bounds())
+    block = make_block_vector(h.n_rows, R_BLOCK, seed=2)
+    part1 = RowPartition.equal(h.n_rows, 1, align=GRID)
+    ref = distributed_eta(h, part1, scale, M, block, SimWorld(1),
+                          eta_grid=GRID)
+    return h, scale, block, ref
+
+
+def skewed_timer(rank: int, n_rows: int) -> float:
+    return n_rows * (SKEW if rank == 0 else 1.0)
+
+
+def modeled_seconds(segments) -> float:
+    """Integrate the timer model: each segment takes as long as its
+    slowest rank (``busy`` already totals the segment's iterations)."""
+    return sum(max(seg.busy) for seg in segments if seg.busy)
+
+
+def test_elastic_bench_json(benchmark, system):
+    h, scale, block, ref = system
+    cores = warn_if_single_core("bench_elastic")
+    pol = RebalancePolicy(grid=GRID, interval=8)
+
+    # -- half 1: modeled win under a 4x-skewed rank (sim timer) --------
+    static_pol = RebalancePolicy(grid=GRID, interval=8,
+                                 threshold=float("inf"))  # never trips
+    eta_static, rep_static = elastic_eta(
+        h, scale, M, block, n_workers=WORKERS, policy=static_pol,
+        engine="sim", timer=skewed_timer,
+    )
+    eta_reb, rep_reb = elastic_eta(
+        h, scale, M, block, n_workers=WORKERS, policy=pol,
+        engine="sim", timer=skewed_timer,
+    )
+    assert np.array_equal(eta_static, ref)
+    assert np.array_equal(eta_reb, ref)
+    assert rep_reb.rebalances >= 1 and rep_static.rebalances == 0
+    t_static = modeled_seconds(rep_static.segments)
+    t_reb = modeled_seconds(rep_reb.segments)
+    assert t_reb < t_static, (
+        f"rebalancing did not reduce modeled time "
+        f"({t_static:.0f} -> {t_reb:.0f} row-units)"
+    )
+    rows0 = [s.offsets[1] - s.offsets[0] for s in rep_reb.segments]
+
+    # -- half 2: measured overhead on a balanced run (mp engine) -------
+    partw = RowPartition.equal(h.n_rows, WORKERS, align=GRID)
+    plain_best = elastic_best = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        eta_plain = distributed_eta(h, partw, scale, M, block,
+                                    SimWorld(WORKERS), eta_grid=GRID)
+        plain_best = min(plain_best, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        eta_elastic, rep = elastic_eta(
+            h, scale, M, block, n_workers=WORKERS, policy=pol,
+            engine="sim",
+        )
+        elastic_best = min(elastic_best, time.perf_counter() - t0)
+    assert np.array_equal(eta_plain, ref)
+    assert np.array_equal(eta_elastic, ref)
+    overhead = elastic_best / plain_best
+
+    payload = {
+        "bench": "elastic",
+        "n_rows": h.n_rows,
+        "nnz": h.nnz,
+        "r_block": R_BLOCK,
+        "n_moments": M,
+        "grid": GRID,
+        "workers": WORKERS,
+        "skew": SKEW,
+        "cpu_count": cores,
+        "single_core_caveat": cores == 1,
+        "modeled": {
+            "unit": "row-units of the slowest rank, summed over segments",
+            "static_partition": t_static,
+            "with_rebalancing": t_reb,
+            "speedup": t_static / t_reb,
+            "rebalances": rep_reb.rebalances,
+            "slow_rank_rows_per_segment": rows0,
+            "imbalance_first": rep_reb.segments[0].imbalance,
+            "imbalance_last": rep_reb.segments[-1].imbalance,
+        },
+        "measured_balanced_overhead": {
+            "plain_grid_seconds": plain_best,
+            "elastic_seconds": elastic_best,
+            "ratio": overhead,
+            "segments": len(rep.segments),
+        },
+        "eta_bitwise_everywhere": True,  # asserted above
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_elastic.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [
+        ["static", f"{t_static:.0f}", 1.0,
+         f"{rep_static.segments[0].imbalance:.2f}", "yes"],
+        ["rebalanced", f"{t_reb:.0f}", t_static / t_reb,
+         f"{rep_reb.segments[-1].imbalance:.2f}", "yes"],
+    ]
+    emit(
+        "elastic",
+        format_table(
+            ["partition", "modeled time", "speedup", "imbalance", "bitwise"],
+            rows,
+        )
+        + f"\n(rank 0 skewed {SKEW:g}x, {WORKERS} workers, "
+        f"N = {h.n_rows:,} rows, M = {M}; balanced-run elastic overhead "
+        f"ratio {overhead:.2f})",
+    )

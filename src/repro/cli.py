@@ -94,8 +94,10 @@ def cmd_dos(args) -> int:
             if tuned.weights is not None and not args.weights:
                 args.weights = ",".join(str(w) for w in tuned.weights)
             if tuned.fmt == "sell" and tuned.workers == 1:
-                # distributed engines partition CSR operators, so the
-                # format knob only applies to the serial engine
+                # the tuner probes distributed SELL configs by
+                # converting each rank's block after partitioning, but
+                # this solver path partitions the global operator
+                # itself — apply the format knob only to serial runs
                 from repro.sparse.sell import SellMatrix
 
                 if not isinstance(h, SellMatrix):
@@ -149,6 +151,27 @@ def cmd_dos(args) -> int:
             fault_plan=plan,
             mp_timeouts=mp_timeouts,
         )
+    # --rebalance / --elastic turn on elastic distributed execution:
+    # grid-eta mode (partition-independent moments), live skew
+    # rebalancing, and planned membership changes at boundaries.
+    rebalance = None
+    membership = None
+    if args.rebalance is not None or args.elastic:
+        from repro.dist.elastic import MembershipPlan, resolve_rebalance
+
+        try:
+            rebalance = resolve_rebalance(
+                args.rebalance if args.rebalance is not None else "auto"
+            )
+            if args.elastic:
+                membership = MembershipPlan.parse(args.elastic)
+                if rebalance is None:
+                    # a membership plan needs the elastic driver even
+                    # with rebalancing itself switched off
+                    rebalance = resolve_rebalance("auto")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     # sim/mp select a *distributed* engine; the rank-local kernels are
     # always the stage-2 blocked ones (the paper's production scheme).
     distributed = args.engine in ("sim", "mp")
@@ -160,6 +183,7 @@ def cmd_dos(args) -> int:
             workers=args.workers, weights=weights, overlap=args.overlap,
             counters=counters, metrics=metrics, resilience=resil,
             precision=args.precision, threads=threads,
+            rebalance=rebalance, membership=membership,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -175,6 +199,13 @@ def cmd_dos(args) -> int:
         mode = "on" if resolve_overlap(args.overlap, args.workers) else "off"
         print(f"distributed engine: {args.engine} ({args.workers} workers, "
               f"overlap {mode})")
+    if rebalance is not None:
+        bits = [f"grid={rebalance.grid}",
+                f"threshold={rebalance.threshold:g}",
+                f"interval={rebalance.interval}"]
+        if membership is not None:
+            bits.append(f"plan '{membership}'")
+        print("elastic: rebalancing on (" + ", ".join(bits) + ")")
     if threads is not None:
         print(f"kernel threads: {threads}"
               + (" per rank" if distributed else ""))
@@ -197,6 +228,8 @@ def cmd_dos(args) -> int:
             trace.close()
     if solver.resilience_report is not None:
         print(solver.resilience_report.summary())
+    if solver.elastic_report is not None:
+        print(solver.elastic_report.summary())
     if distributed and solver.world is not None:
         log = solver.world.log
         phases = ", ".join(
@@ -520,6 +553,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--weights", type=str, default=None,
                    help="comma-separated per-rank partition weights "
                         "(default: equal split)")
+    p.add_argument("--rebalance", type=str, default=None, metavar="MODE",
+                   help="live skew rebalancing for --engine sim|mp: 'off', "
+                        "'auto', or an imbalance threshold such as 0.4 "
+                        "(the (max-min)/mean busy-time spread that "
+                        "triggers a repartition); runs in grid-eta mode, "
+                        "so repartitioning never changes the fp64 moments")
+    p.add_argument("--elastic", type=str, default=None, metavar="PLAN",
+                   help="planned worker membership changes at iteration "
+                        "boundaries, e.g. 'join:m=8;leave:m=16,rank=0' "
+                        "(implies --rebalance auto when not given)")
     p.add_argument("--backend", default="auto", choices=list(BACKEND_CHOICES),
                    help="kernel backend (auto: native C kernels when a "
                         "compiler is available, else numpy)")

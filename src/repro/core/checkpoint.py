@@ -65,6 +65,12 @@ class KpmCheckpoint:
     a: float
     b: float
     precision: str = "fp64"
+    #: eta reduction grid of the run that saved this state: 0 = classic
+    #: per-rank partials, B > 0 = fixed global row blocks of B rows
+    #: (:mod:`repro.dist.elastic`).  The spliced eta prefix is only
+    #: bitwise-composable with a run using the *same* reduction order,
+    #: so a cross-grid resume is refused like a cross-precision one.
+    eta_grid: int = 0
 
     def _digest(self) -> str:
         """Integrity digest over the state that resuming actually reads.
@@ -72,14 +78,16 @@ class KpmCheckpoint:
         Only the filled eta prefix is hashed — the tail of the array is
         scratch whose bytes legitimately differ between a serial run
         (``np.empty``) and the distributed engines (zero-filled shared
-        memory).  The precision tag enters the digest only when it is
-        not the fp64 baseline, so digests of pre-precision checkpoints
-        keep verifying unchanged.
+        memory).  The precision and eta-grid tags enter the digest only
+        when not the baseline (fp64 / per-rank reduction), so digests of
+        older checkpoints keep verifying unchanged.
         """
         h = hashlib.sha256()
         h.update(f"{self.next_m}:{self.n_moments}:{self.a!r}:{self.b!r}:".encode())
         if self.precision != "fp64":
             h.update(f"{self.precision}:".encode())
+        if self.eta_grid:
+            h.update(f"grid{self.eta_grid}:".encode())
         for arr in (self.v, self.w, self.eta[:, : 2 * self.next_m]):
             h.update(np.ascontiguousarray(arr).tobytes())
         return h.hexdigest()
@@ -102,6 +110,7 @@ class KpmCheckpoint:
                 next_m=self.next_m, n_moments=self.n_moments,
                 a=self.a, b=self.b,
                 precision=self.precision,
+                eta_grid=self.eta_grid,
                 digest=self._digest(),
             )
             os.replace(tmp, path)
@@ -138,6 +147,11 @@ class KpmCheckpoint:
                         str(data["precision"])
                         if "precision" in data.files else "fp64"
                     ),
+                    # pre-elastic checkpoints carry no tag: per-rank
+                    eta_grid=(
+                        int(data["eta_grid"])
+                        if "eta_grid" in data.files else 0
+                    ),
                 )
                 stored = str(data["digest"]) if "digest" in data.files else None
         except FormatError:
@@ -162,14 +176,17 @@ def resolve_resume(
     b: float,
     metrics: MetricsRegistry = NULL_METRICS,
     precision: Precision | str | None = None,
+    eta_grid: int = 0,
 ) -> KpmCheckpoint:
     """Load (if needed) and validate a resume checkpoint against the run.
 
     Shared by the serial, simulated, and multiprocess engines so every
     entry point enforces the same compatibility rules: matching moment
-    count, matching spectral map, and matching precision profile — a
-    cross-precision resume would silently re-round (or worse, re-expand)
-    the recurrence state, so it is refused outright.
+    count, matching spectral map, matching precision profile, and
+    matching eta reduction grid — a cross-precision resume would
+    silently re-round (or worse, re-expand) the recurrence state, and a
+    cross-grid resume would splice an eta prefix reduced in a different
+    order, so both are refused outright.
     """
     if isinstance(resume_from, KpmCheckpoint):
         ck = resume_from
@@ -191,6 +208,12 @@ def resolve_resume(
             f"precision={ck.precision!r} (the recurrence state cannot be "
             "converted across storage profiles without silently changing "
             "the results)"
+        )
+    if ck.eta_grid != int(eta_grid):
+        raise CheckpointError(
+            f"checkpoint was taken with eta_grid={ck.eta_grid} but this "
+            f"run uses eta_grid={int(eta_grid)}; the spliced eta prefix "
+            "is only bitwise-composable under the same reduction order"
         )
     return ck
 

@@ -192,6 +192,21 @@ class KPMSolver:
         ``'auto'`` budgets the host's cores (whole machine serially,
         ``cores // workers`` per rank distributed).  fp64 moments are
         bitwise identical at every setting.
+    rebalance:
+        Elastic execution (:mod:`repro.dist.elastic`): ``'off'``/None
+        (default), ``'auto'``/True (default policy), a skew threshold,
+        or a :class:`~repro.dist.elastic.RebalancePolicy`.  With
+        ``dist_engine='mp'`` the moments run segmented under the elastic
+        driver — live skew rebalancing, worker-death recovery onto the
+        survivors — and with ``dist_engine='sim'`` (or a degraded rung)
+        the same grid-eta reduction runs on a fixed world, so fp64
+        moments are bitwise identical across all of it.  The last run's
+        :class:`~repro.dist.elastic.ElasticReport` is exposed as
+        ``solver.elastic_report``.
+    membership:
+        Planned membership events for elastic runs
+        (:class:`~repro.dist.elastic.MembershipPlan` or its string form,
+        e.g. ``'join:m=8;leave:m=16,rank=0'``).
     """
 
     def __init__(
@@ -216,6 +231,8 @@ class KPMSolver:
         resilience=None,
         precision: Precision | str | None = None,
         threads: int | str | None = None,
+        rebalance=None,
+        membership=None,
     ) -> None:
         check_positive("n_moments", n_moments)
         check_positive("n_vectors", n_vectors)
@@ -255,6 +272,20 @@ class KPMSolver:
             threads = int(threads)
         self.threads = threads
         self.resilience = resilience
+        # validate eagerly, like overlap: a typo'd rebalance= fails here
+        from repro.dist.elastic import resolve_rebalance
+
+        self.rebalance = resolve_rebalance(rebalance)
+        self.membership = membership
+        if self.rebalance is not None and dist_engine is None \
+                and resilience is None:
+            raise ValueError(
+                "rebalance requires a distributed engine "
+                "(dist_engine='mp'/'sim') or a resilience config"
+            )
+        #: the ElasticReport of the most recent elastic solve; None
+        #: until one runs (or when rebalance is off).
+        self.elastic_report = None
         #: the communicator of the most recent distributed solve
         #: (message log, per-rank accounting); None until one runs.
         self.world = None
@@ -335,18 +366,35 @@ class KPMSolver:
         from repro.dist.kpm_parallel import distributed_eta
         from repro.dist.partition import RowPartition
 
+        if self.rebalance is not None and self.dist_engine == "mp":
+            from repro.dist.elastic import elastic_eta
+
+            eta, report = elastic_eta(
+                self.H, self.scale, self.n_moments, self._start_block(),
+                n_workers=self.workers, weights=self.weights,
+                policy=self.rebalance, membership=self.membership,
+                engine="mp", backend=self.backend, counters=self.counters,
+                metrics=self.metrics, overlap=self.overlap,
+                precision=self.precision, threads=self.threads,
+            )
+            self.elastic_report = report
+            self.world = None  # segments each ran their own world
+            return eta
+        align = 4 if self.rebalance is None else self.rebalance.grid
         if self.weights is not None:
             part = RowPartition.from_weights(
-                self.dimension, self.weights, align=4
+                self.dimension, self.weights, align=align
             )
         else:
-            part = RowPartition.equal(self.dimension, self.workers, align=4)
+            part = RowPartition.equal(self.dimension, self.workers,
+                                      align=align)
         self.world = self._make_world()
         return distributed_eta(
             self.H, part, self.scale, self.n_moments, self._start_block(),
             self.world, backend=self.backend, counters=self.counters,
             metrics=self.metrics, overlap=self.overlap,
             precision=self.precision, threads=self.threads,
+            eta_grid=0 if self.rebalance is None else self.rebalance.grid,
         )
 
     def _supervised_eta(self) -> np.ndarray:
@@ -356,6 +404,10 @@ class KPMSolver:
             self.resilience, metrics=self.metrics, counters=self.counters,
             seed=self.seed,
         )
+        if self.rebalance is not None:
+            # solver-level elastic knobs override the Resilience config
+            sup.rebalance = self.rebalance
+            sup.membership = self.membership or sup.membership
         eta = sup.run_eta(
             self.H, self.scale, self.n_moments, self._start_block(),
             engine=self.dist_engine or "serial", workers=self.workers,
@@ -365,6 +417,8 @@ class KPMSolver:
         )
         self.world = sup.last_world
         self.resilience_report = sup.report
+        if sup.last_elastic_report is not None:
+            self.elastic_report = sup.last_elastic_report
         return eta
 
     # ------------------------------------------------------------------

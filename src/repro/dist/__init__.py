@@ -21,6 +21,15 @@ from repro.dist.halo import CommPattern, DistributedMatrix, partition_matrix
 from repro.dist.kpm_parallel import distributed_eta, distributed_dos_moments
 from repro.dist.network import NetworkModel, CRAY_ARIES
 from repro.dist.autotune import autotune_weights, throughput_timer, AutotuneResult
+from repro.dist.elastic import (
+    RebalancePolicy,
+    RebalanceMonitor,
+    MembershipPlan,
+    MembershipEvent,
+    ElasticReport,
+    elastic_eta,
+    resolve_rebalance,
+)
 from repro.dist.tune import (
     TuneConfig,
     TuneSpace,
@@ -57,6 +66,13 @@ __all__ = [
     "autotune_weights",
     "throughput_timer",
     "AutotuneResult",
+    "RebalancePolicy",
+    "RebalanceMonitor",
+    "MembershipPlan",
+    "MembershipEvent",
+    "ElasticReport",
+    "elastic_eta",
+    "resolve_rebalance",
     "TuneConfig",
     "TuneSpace",
     "TuneResult",

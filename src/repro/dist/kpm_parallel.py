@@ -28,14 +28,14 @@ import numpy as np
 from repro.core.checkpoint import KpmCheckpoint, resolve_resume
 from repro.core.moments import _check_moments
 from repro.core.scaling import SpectralScale
-from repro.dist.comm import SimWorld
+from repro.dist.comm import SimWorld, log_allreduce
 from repro.dist.halo import DistributedMatrix, partition_matrix
-from repro.dist.partition import RowPartition
+from repro.dist.partition import RowPartition, grid_blocks
 from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.resil.faults import FaultInjector, FaultPlan
 from repro.sparse.backend import KernelBackend, get_backend
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.fused import _col_dots
+from repro.sparse.fused import _col_dots, charge_col_dots
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import SimulationError
@@ -92,6 +92,8 @@ def distributed_eta(
     progress=None,
     progress_every: int = 0,
     threads: int | str | None = None,
+    eta_grid: int = 0,
+    stop_m: int | None = None,
 ) -> np.ndarray:
     """Distributed equivalent of :func:`repro.core.moments.compute_eta`.
 
@@ -173,6 +175,24 @@ def distributed_eta(
         the ranks (``max(1, cores // n_ranks)``).  fp64 results stay
         bitwise identical at every thread count, so mp == sim holds
         threaded or not.
+    eta_grid:
+        ``B > 0`` switches the eta reduction to *grid mode*
+        (:mod:`repro.dist.elastic`): the per-iteration dot products are
+        recomputed per fixed global block of ``B`` rows (the kernels'
+        fused per-rank dots are discarded) and the final reduction sums
+        the ``ceil(N / B)`` block partials in block order.  The
+        reduction order then depends only on ``(N, B)`` — never on the
+        partition, rank count, schedule, or engine — which is what makes
+        a mid-run repartition bitwise invisible.  Requires a
+        ``B``-aligned partition, ``reduction='end'``, and a full-width
+        storage profile (fp64/fp32).
+    stop_m:
+        Optional exclusive upper bound on the inner-iteration range: the
+        run executes ``[first_m, stop_m)`` instead of ``[first_m, M/2)``
+        and returns eta with only the columns ``[0, 2·stop_m)``
+        meaningful.  The elastic driver runs a sequence of such segments
+        — chained through boundary checkpoints — whose concatenation is
+        bitwise equal to one uninterrupted run under grid mode.
 
     Returns
     -------
@@ -190,7 +210,7 @@ def distributed_eta(
             checkpoint_path=checkpoint_path, resume_from=resume_from,
             fault_plan=fault_plan, attempt=attempt, precision=precision,
             progress=progress, progress_every=progress_every,
-            threads=threads,
+            threads=threads, eta_grid=eta_grid, stop_m=stop_m,
         )
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap, task_split
@@ -222,9 +242,33 @@ def distributed_eta(
     prec = get_precision(precision)
     bk = get_backend(backend)
 
+    grid = int(eta_grid or 0)
+    half = n_moments // 2 if stop_m is None else int(stop_m)
+    if stop_m is not None and not 1 <= half <= n_moments // 2:
+        raise ValueError(
+            f"stop_m must be in [1, {n_moments // 2}], got {stop_m}"
+        )
+    if grid:
+        if grid < 1:
+            raise ValueError(f"eta_grid must be positive, got {eta_grid}")
+        if reduction != "end":
+            raise ValueError("eta_grid requires reduction='end'")
+        if prec.half_vectors:
+            raise ValueError(
+                "eta_grid requires full-width vector storage (fp64/fp32); "
+                f"got precision {prec.name!r}"
+            )
+        for blk in dist.blocks:
+            if blk.row_start % grid:
+                raise SimulationError(
+                    f"rank {blk.rank} starts at row {blk.row_start}, not "
+                    f"aligned to the eta grid of {grid} rows"
+                )
+
     ck = None
     if resume_from is not None:
-        ck = resolve_resume(resume_from, n_moments, a, b, metrics, prec)
+        ck = resolve_resume(resume_from, n_moments, a, b, metrics, prec,
+                            eta_grid=grid)
         if ck.v.shape[0] != n:
             raise SimulationError(
                 f"checkpoint holds {ck.v.shape[0]} rows, matrix has {n}"
@@ -232,6 +276,10 @@ def distributed_eta(
         r = ck.v.shape[1]
         first_m = ck.next_m
         base_eta = ck.eta[:, : 2 * first_m].astype(DTYPE, copy=True)
+        if first_m > half:
+            raise SimulationError(
+                f"checkpoint resumes at m={first_m}, beyond stop_m={half}"
+            )
     else:
         start_block = check_block_vector("start_block", start_block, n)
         r = start_block.shape[1]
@@ -294,7 +342,16 @@ def distributed_eta(
                           threads=threads)
             for blk in dist.blocks
         ]
-    eta_acc = np.zeros((world.n_ranks, n_moments, r), dtype=DTYPE)
+    # Grid mode accumulates one eta partial per global row block instead
+    # of one per rank — ceil(N / B) slots whose axis-0 sum is the fixed
+    # partition-independent reduction order.
+    n_slots = -(-n // grid) if grid else world.n_ranks
+    gblocks = (
+        [grid_blocks(blk.row_start, blk.row_stop, grid)
+         for blk in dist.blocks]
+        if grid else None
+    )
+    eta_acc = np.zeros((n_slots, n_moments, r), dtype=DTYPE)
 
     def save_checkpoint(m: int) -> None:
         # State after iteration m, exactly as the serial engine saves it:
@@ -311,7 +368,7 @@ def distributed_eta(
                 v=np.concatenate(v_loc, axis=0),
                 w=np.concatenate(w_loc, axis=0),
                 eta=eta_full, next_m=m + 1, n_moments=n_moments, a=a, b=b,
-                precision=prec.name,
+                precision=prec.name, eta_grid=grid,
             ).save(checkpoint_path)
             sp.note(file_bytes=saved.stat().st_size, next_m=m + 1)
 
@@ -344,7 +401,13 @@ def distributed_eta(
                 np.multiply(v, b, out=plan.work_block)
                 u -= plan.work_block
                 u *= a
-                if prec.is_fp64:
+                if grid:
+                    # per-block bootstrap dots: same _col_dots kernel on
+                    # each contiguous block slice, so the values depend
+                    # only on the global rows of the block
+                    for k, sl in gblocks[rank]:
+                        eta_acc[k, 0], eta_acc[k, 1] = _col_dots(v[sl], u[sl])
+                elif prec.is_fp64:
                     eta_acc[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
                     eta_acc[rank, 1] = np.einsum("nr,nr->r", np.conj(u), v)
                 else:
@@ -358,7 +421,7 @@ def distributed_eta(
                         list(eta_acc[:, m_i]), phase="allreduce_iter"
                     )
 
-    for m in range(first_m, n_moments // 2):
+    for m in range(first_m, half):
         probe_faults(m)
         v_loc, w_loc = w_loc, v_loc
         with metrics.span("halo_exchange", phase="dist"):
@@ -381,8 +444,21 @@ def distributed_eta(
                     blk.matrix, xbufs[rank], w_loc[rank], a, b,
                     plan=plans[rank], counters=counters, metrics=metrics,
                 )
-            eta_acc[rank, 2 * m] = ee
-            eta_acc[rank, 2 * m + 1] = eo
+            if grid:
+                # Discard the kernel's fused per-rank dots and recompute
+                # per global block: the extra pass is charged explicitly
+                # (linear in rows, so the total is partition independent)
+                # and the block partials make eta order-invariant under
+                # repartitioning.
+                vv, ww = v_loc[rank], w_loc[rank]
+                for k, sl in gblocks[rank]:
+                    eta_acc[k, 2 * m], eta_acc[k, 2 * m + 1] = _col_dots(
+                        vv[sl], ww[sl]
+                    )
+                charge_col_dots(vv.shape[0], r, counters, prec=prec)
+            else:
+                eta_acc[rank, 2 * m] = ee
+                eta_acc[rank, 2 * m + 1] = eo
         if reduction == "every":
             with metrics.span("allreduce", phase="dist"):
                 world.allreduce_sum(
@@ -406,10 +482,27 @@ def distributed_eta(
 
     # final reduction over ranks: one collective for the whole eta array
     with metrics.span("allreduce", phase="dist"):
-        eta_global = world.allreduce_sum(
-            [eta_acc[rank] for rank in range(world.n_ranks)],
-            phase="allreduce_final",
-        )
+        if grid or stop_m is not None:
+            # Grid mode: the K block partials are summed in block order
+            # (NumPy's axis-0 reduce is sequential in k per element) —
+            # the canonical reduction whose order depends only on (N, B).
+            # The wire cost is still one P-rank allreduce of the columns
+            # this run computed, logged explicitly because the slot axis
+            # no longer matches the rank count.
+            eta_global = eta_acc.sum(axis=0)
+            itemsize = np.dtype(DTYPE).itemsize
+            cols = (
+                n_moments if stop_m is None
+                else (2 * half if first_m == 1 else 2 * (half - first_m))
+            )
+            if cols:
+                log_allreduce(world.log, world.n_ranks, cols * r * itemsize,
+                              "allreduce_final")
+        else:
+            eta_global = world.allreduce_sum(
+                [eta_acc[rank] for rank in range(world.n_ranks)],
+                phase="allreduce_final",
+            )
     if first_m > 1:
         # Splice the checkpointed prefix in verbatim (never re-reduced),
         # matching the mp engine's resumed composition bitwise.

@@ -84,13 +84,13 @@ from repro.core.moments import _check_moments
 from repro.core.scaling import SpectralScale
 from repro.dist.comm import MessageLog, log_allreduce
 from repro.dist.halo import DistributedMatrix, RankBlock, partition_matrix
-from repro.dist.partition import RowPartition
+from repro.dist.partition import RowPartition, grid_blocks
 from repro.dist.shm import ShmArena, ShmAttachment
 from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.resil.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sparse.backend import KernelBackend
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.fused import _col_dots
+from repro.sparse.fused import _col_dots, charge_col_dots
 from repro.util.constants import DTYPE
 from repro.util.counters import NULL_COUNTERS, PerfCounters
 from repro.util.errors import SimulationError, WorkerFailure, WorkerFault
@@ -301,6 +301,8 @@ class _RunConfig:
     overlap: bool = False
     precision: str = "fp64"  # storage profile name (picklable)
     threads: int | None = None  # intra-rank kernel threads (None = serial)
+    eta_grid: int = 0  # B > 0: per-global-block eta partials (elastic)
+    stop_m: int = 0  # 0 = run to M/2; else exclusive segment bound
 
 
 # ---------------------------------------------------------------------
@@ -374,6 +376,13 @@ def _worker(
 
             splan = bk.split_plan(blk.matrix, task_split(blk), r,
                                   precision=prec, threads=cfg.threads)
+        # Grid mode: this rank's fixed global eta blocks (each block has
+        # exactly one writer, so the shared (K, M, R) array needs no
+        # locking either).
+        gblocks = (
+            grid_blocks(lo, hi, cfg.eta_grid) if cfg.eta_grid else None
+        )
+        half = cfg.stop_m if cfg.stop_m else cfg.n_moments // 2
         wins_out = [(q, rows, att[f"w{rank}_{q}"]) for q, rows in send_edges]
         wins_in = [
             (src, int(cnt), att[f"w{src}_{rank}"])
@@ -472,8 +481,14 @@ def _worker(
 
         if cfg.first_m == 1:
             v = np.ascontiguousarray(start[lo:hi], dtype=prec.vector_dtype)
-            if inj is not None:
-                inj.at_iteration(0)
+            # ``rank_busy`` spans time this rank's own work — the fault
+            # probe (so an injected straggler's sleeps are measured) and
+            # the kernel compute, but *not* the exchange barriers where
+            # fast ranks absorb a slow peer's skew.  Their per-rank
+            # totals are the elastic rebalancer's skew signal.
+            with w_metrics.span("rank_busy"):
+                if inj is not None:
+                    inj.at_iteration(0)
             hb[rank] += 1
             if cfg.overlap:
                 # Bootstrap has no prior compute to hide the exchange
@@ -483,31 +498,35 @@ def _worker(
             else:
                 exchange(0, v)
             # nu_1 = a (H nu_0 - b nu_0) on the local rows
-            w = bk.spmmv(
-                blk.matrix, xbuf, counters=w_counters, metrics=w_metrics
-            )
-            if prec.half_vectors:
-                # one-off fp32 recombination through the plan's decode
-                # scratch (dots read the pre-rounding values, like the
-                # kernels' in-register accumulation), rounded back
-                vn = plan.vc[:n_local]
-                prec.decode(v, out=vn)
-                wn = plan.wc
-                prec.decode(w, out=wn)
-                np.multiply(vn, b, out=plan.work_block)
-                wn -= plan.work_block
-                wn *= a
-                eta[rank, 0], eta[rank, 1] = _col_dots(vn, wn)
-                prec.encode(wn, out=w)
-            else:
-                np.multiply(v, b, out=plan.work_block)
-                w -= plan.work_block
-                w *= a
-                if prec.is_fp64:
-                    eta[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
-                    eta[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+            with w_metrics.span("rank_busy"):
+                w = bk.spmmv(
+                    blk.matrix, xbuf, counters=w_counters, metrics=w_metrics
+                )
+                if prec.half_vectors:
+                    # one-off fp32 recombination through the plan's decode
+                    # scratch (dots read the pre-rounding values, like the
+                    # kernels' in-register accumulation), rounded back
+                    vn = plan.vc[:n_local]
+                    prec.decode(v, out=vn)
+                    wn = plan.wc
+                    prec.decode(w, out=wn)
+                    np.multiply(vn, b, out=plan.work_block)
+                    wn -= plan.work_block
+                    wn *= a
+                    eta[rank, 0], eta[rank, 1] = _col_dots(vn, wn)
+                    prec.encode(wn, out=w)
                 else:
-                    eta[rank, 0], eta[rank, 1] = _col_dots(v, w)
+                    np.multiply(v, b, out=plan.work_block)
+                    w -= plan.work_block
+                    w *= a
+                    if gblocks is not None:
+                        for k, sl in gblocks:
+                            eta[k, 0], eta[k, 1] = _col_dots(v[sl], w[sl])
+                    elif prec.is_fp64:
+                        eta[rank, 0] = np.einsum("nr,nr->r", np.conj(v), v)
+                        eta[rank, 1] = np.einsum("nr,nr->r", np.conj(w), v)
+                    else:
+                        eta[rank, 0], eta[rank, 1] = _col_dots(v, w)
             if cfg.reduction == "every":
                 reduce_now(0)
         else:
@@ -516,9 +535,10 @@ def _worker(
             v = np.ascontiguousarray(start[lo:hi], dtype=prec.vector_dtype)
             w = np.ascontiguousarray(att["rw"][lo:hi], dtype=prec.vector_dtype)
 
-        for m in range(cfg.first_m, cfg.n_moments // 2):
-            if inj is not None:
-                inj.at_iteration(m)
+        for m in range(cfg.first_m, half):
+            with w_metrics.span("rank_busy"):
+                if inj is not None:
+                    inj.at_iteration(m)
             hb[rank] += 1
             v, w = w, v
             if cfg.overlap:
@@ -529,24 +549,40 @@ def _worker(
                 # interior + boundary combine keeps the moments
                 # schedule-independent.
                 post_exchange(m, v)
-                ee_i, eo_i = bk.aug_spmmv_interior(
-                    blk.matrix, xbuf, w, a, b, plan=splan,
-                    counters=w_counters, metrics=w_metrics,
-                )
+                with w_metrics.span("rank_busy"):
+                    ee_i, eo_i = bk.aug_spmmv_interior(
+                        blk.matrix, xbuf, w, a, b, plan=splan,
+                        counters=w_counters, metrics=w_metrics,
+                    )
                 complete_exchange(m)
-                ee_b, eo_b = bk.aug_spmmv_boundary(
-                    blk.matrix, xbuf, w, a, b, plan=splan,
-                    counters=w_counters, metrics=w_metrics,
-                )
+                with w_metrics.span("rank_busy"):
+                    ee_b, eo_b = bk.aug_spmmv_boundary(
+                        blk.matrix, xbuf, w, a, b, plan=splan,
+                        counters=w_counters, metrics=w_metrics,
+                    )
                 ee, eo = ee_i + ee_b, eo_i + eo_b
             else:
                 exchange(m, v)
-                ee, eo = bk.aug_spmmv_step(
-                    blk.matrix, xbuf, w, a, b, plan=plan,
-                    counters=w_counters, metrics=w_metrics,
-                )
-            eta[rank, 2 * m] = ee
-            eta[rank, 2 * m + 1] = eo
+                with w_metrics.span("rank_busy"):
+                    ee, eo = bk.aug_spmmv_step(
+                        blk.matrix, xbuf, w, a, b, plan=plan,
+                        counters=w_counters, metrics=w_metrics,
+                    )
+            if gblocks is not None:
+                # Grid mode: the kernel's fused per-rank dots are
+                # discarded; recompute per fixed global block so the eta
+                # reduction order never depends on this partition.  The
+                # extra pass is charged explicitly (linear in rows —
+                # the total stays partition independent).
+                with w_metrics.span("rank_busy"):
+                    for k, sl in gblocks:
+                        eta[k, 2 * m], eta[k, 2 * m + 1] = _col_dots(
+                            v[sl], w[sl]
+                        )
+                    charge_col_dots(n_local, r, w_counters, prec=prec)
+            else:
+                eta[rank, 2 * m] = ee
+                eta[rank, 2 * m + 1] = eo
             if cfg.reduction == "every":
                 reduce_now(m)
             if ck_on and (m - cfg.first_m + 1) % cfg.checkpoint_every == 0:
@@ -588,6 +624,7 @@ def _worker(
 def _charge_log(
     log: MessageLog, dist: DistributedMatrix, r: int, n_moments: int,
     reduction: str, first_m: int = 1, s_vector: int | None = None,
+    stop_m: int | None = None,
 ) -> None:
     """Charge the run to ``log`` exactly as :class:`SimWorld` would.
 
@@ -598,9 +635,15 @@ def _charge_log(
     ``s_vector`` is the bytes per exchanged vector element (the
     precision profile's storage width; default fp64).  Reductions always
     move fp64 eta scalars regardless of profile.
+
+    With ``stop_m`` set (an elastic segment) the final allreduce is
+    charged for the columns this segment computed — ``2·stop_m`` fresh,
+    ``2·(stop_m − first_m)`` resumed — so the per-segment charges of a
+    segmented run sum exactly to the single uninterrupted-run charge.
     """
     itemsize = np.dtype(DTYPE).itemsize
     s_vec = itemsize if s_vector is None else int(s_vector)
+    half = n_moments // 2 if stop_m is None else int(stop_m)
 
     def halo(phase: str) -> None:
         for block in dist.blocks:
@@ -614,25 +657,31 @@ def _charge_log(
         if reduction == "every":
             for _ in range(2):
                 log_allreduce(log, dist.n_ranks, r * itemsize, "allreduce_iter")
-    for _m in range(first_m, n_moments // 2):
+    for _m in range(first_m, half):
         halo("halo")
         if reduction == "every":
             for _ in range(2):
                 log_allreduce(log, dist.n_ranks, r * itemsize, "allreduce_iter")
-    log_allreduce(
-        log, dist.n_ranks, n_moments * r * itemsize, "allreduce_final"
+    final_cols = (
+        n_moments if stop_m is None
+        else (2 * half if first_m == 1 else 2 * (half - first_m))
     )
+    if final_cols:
+        log_allreduce(
+            log, dist.n_ranks, final_cols * r * itemsize, "allreduce_final"
+        )
 
 
 def _expected_halo_acct(
     dist: DistributedMatrix, r: int, n_moments: int, first_m: int = 1,
-    s_vector: int | None = None,
+    s_vector: int | None = None, stop_m: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """(messages, bytes) per source rank over the run's halo exchanges.
 
     A fresh run exchanges M/2 times (one bootstrap + M/2 − 1 loop
     iterations); a run resumed at ``first_m`` skips the bootstrap and
-    the first ``first_m − 1`` loop exchanges.  ``s_vector`` is the
+    the first ``first_m − 1`` loop exchanges; a segment bounded by
+    ``stop_m`` stops its loop exchanges there.  ``s_vector`` is the
     profile's bytes per exchanged vector element (default fp64).
     """
     s_vec = np.dtype(DTYPE).itemsize if s_vector is None else int(s_vector)
@@ -642,7 +691,8 @@ def _expected_halo_acct(
         if rows.size:
             msgs[p] += 1
             nbytes[p] += rows.size * r * s_vec
-    n_exchanges = n_moments // 2 - first_m + (1 if first_m == 1 else 0)
+    half = n_moments // 2 if stop_m is None else int(stop_m)
+    n_exchanges = half - first_m + (1 if first_m == 1 else 0)
     return msgs * n_exchanges, nbytes * n_exchanges
 
 
@@ -670,7 +720,7 @@ class _CheckpointChannel:
     def __init__(
         self, eta_shared, ckv, ckw, ckst, base_eta, first_m: int,
         n_moments: int, r: int, a: float, b: float,
-        precision: str = "fp64",
+        precision: str = "fp64", eta_grid: int = 0,
     ) -> None:
         self._eta = eta_shared
         self._ckv, self._ckw, self._ckst = ckv, ckw, ckst
@@ -680,6 +730,7 @@ class _CheckpointChannel:
         self._r = r
         self._a, self._b = a, b
         self._precision = precision
+        self._grid = int(eta_grid)
         self.saved_state = 0
 
     def capture(self) -> KpmCheckpoint | None:
@@ -704,7 +755,7 @@ class _CheckpointChannel:
         return KpmCheckpoint(
             v=v, w=w, eta=eta, next_m=next_m,
             n_moments=self._m_tot, a=self._a, b=self._b,
-            precision=self._precision,
+            precision=self._precision, eta_grid=self._grid,
         )
 
 
@@ -731,6 +782,8 @@ def mp_eta(
     progress=None,
     progress_every: int = 0,
     threads: int | str | None = None,
+    eta_grid: int = 0,
+    stop_m: int | None = None,
 ) -> np.ndarray:
     """Multiprocess equivalent of :func:`repro.dist.kpm_parallel.distributed_eta`.
 
@@ -772,6 +825,13 @@ def mp_eta(
     (``max(1, cores // n_ranks)`` — the paper's one-process-per-socket
     hybrid, scaled to this machine).  fp64 moments are bitwise identical
     for every setting.
+
+    ``eta_grid``/``stop_m`` mirror :func:`distributed_eta`: a positive
+    ``eta_grid`` accumulates eta partials per fixed global block of that
+    many rows (grid-aligned partitions required; moments then bitwise
+    independent of the partition and world size), and ``stop_m`` halts
+    the recurrence at that iteration, returning a segment whose
+    uncomputed columns are zero — the elastic driver's pause point.
     """
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap
@@ -797,16 +857,47 @@ def mp_eta(
     timeouts = world.timeouts
     prec = get_precision(precision)
 
+    grid = int(eta_grid or 0)
+    half = n_moments // 2 if stop_m is None else int(stop_m)
+    if stop_m is not None and not 1 <= half <= n_moments // 2:
+        raise SimulationError(
+            f"stop_m must lie in [1, {n_moments // 2}], got {stop_m}"
+        )
+    if grid:
+        if grid < 0:
+            raise SimulationError(f"eta_grid must be non-negative, got {grid}")
+        if reduction != "end":
+            raise SimulationError(
+                "eta_grid requires reduction='end' (grid partials are "
+                "reduced once, after the loop)"
+            )
+        if prec.half_vectors:
+            raise SimulationError(
+                f"eta_grid is not supported by the {prec.name} profile "
+                "(half-precision vectors)"
+            )
+        for blk in dist.blocks:
+            if blk.row_start % grid:
+                raise SimulationError(
+                    f"rank {blk.rank} starts at row {blk.row_start}, not "
+                    f"aligned to the eta grid of {grid} rows — build the "
+                    f"partition with align={grid}"
+                )
+
     ck = None
     if resume_from is not None:
         ck = resolve_resume(resume_from, n_moments, scale.a, scale.b, metrics,
-                            prec)
+                            prec, eta_grid=grid)
         if ck.v.shape[0] != n:
             raise SimulationError(
                 f"checkpoint holds {ck.v.shape[0]} rows, matrix has {n}"
             )
         r = ck.v.shape[1]
         first_m = ck.next_m
+        if first_m > half:
+            raise SimulationError(
+                f"checkpoint resumes at m={first_m}, beyond stop_m={half}"
+            )
         base_eta = ck.eta[:, : 2 * first_m].astype(DTYPE, copy=True)
     else:
         start_block = check_block_vector("start_block", start_block, n)
@@ -840,6 +931,7 @@ def mp_eta(
         want_obs=want_obs, first_m=first_m,
         checkpoint_every=int(checkpoint_every), overlap=overlap,
         precision=prec.name, threads=resolved_threads,
+        eta_grid=grid, stop_m=int(stop_m or 0),
     )
     errors: list[tuple[int, str, str]] = []
     procs: list = []
@@ -856,7 +948,8 @@ def mp_eta(
             prec.encode(start_block, out=start)
         else:
             start[...] = start_block.astype(prec.vector_dtype)
-        eta_shared = arena.create("eta", (world.n_ranks, n_moments, r))
+        n_slots = -(-n // grid) if grid else world.n_ranks
+        eta_shared = arena.create("eta", (n_slots, n_moments, r))
         acct = arena.create("acct", (world.n_ranks, _ACCT_COLS), dtype="int64")
         hb = arena.create("hb", (world.n_ranks,), dtype="int64")
         abort_flag = arena.create("abort", (1,), dtype="int64")
@@ -872,7 +965,7 @@ def mp_eta(
             ckst = arena.create("ckst", (1,), dtype="int64")
             channel = _CheckpointChannel(
                 eta_shared, ckv, ckw, ckst, base_eta, first_m,
-                n_moments, r, scale.a, scale.b, prec.name,
+                n_moments, r, scale.a, scale.b, prec.name, grid,
             )
         # Halo windows: task mode double-buffers each directed edge (slot
         # m % 2) and pairs every (edge, slot) with ready/free events —
@@ -997,7 +1090,7 @@ def mp_eta(
             eta_global = eta_shared.sum(axis=0)  # the single deferred reduction
 
         exp_msgs, exp_bytes = _expected_halo_acct(
-            dist, r, n_moments, first_m, prec.s_vector
+            dist, r, n_moments, first_m, prec.s_vector, stop_m
         )
         if not (
             np.array_equal(world.last_acct[:, 0], exp_msgs)
@@ -1021,7 +1114,7 @@ def mp_eta(
             metrics.merge_snapshot(snap["metrics"], prefix=f"rank{p}.")
 
     _charge_log(world.log, dist, r, n_moments, reduction, first_m,
-                prec.s_vector)
+                prec.s_vector, stop_m)
     return eta_global.T.copy()  # (R, M), as the serial/sim engines
 
 

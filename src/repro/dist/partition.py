@@ -119,6 +119,31 @@ class RowPartition:
         return float(np.max(ratio))
 
 
+def grid_blocks(
+    row_start: int, row_stop: int, grid: int
+) -> list[tuple[int, slice]]:
+    """The eta-grid blocks inside rows ``[row_start, row_stop)``.
+
+    Returns ``(global_block_index, local_row_slice)`` pairs, where the
+    slice indexes into a rank-local array holding exactly those rows.
+    ``row_start`` must be a multiple of ``grid`` (grid-aligned
+    partitions guarantee it), so no block ever straddles two ranks and
+    each block's eta partial has exactly one writer.
+    """
+    check_positive("grid", grid)
+    if row_start % grid:
+        raise PartitionError(
+            f"row range start {row_start} is not aligned to the eta grid "
+            f"of {grid} rows"
+        )
+    out = []
+    for k in range(row_start // grid, -(-row_stop // grid)):
+        lo = k * grid - row_start
+        hi = min((k + 1) * grid - row_start, row_stop - row_start)
+        out.append((k, slice(lo, hi)))
+    return out
+
+
 def weights_from_performance(gflops: list[float]) -> list[float]:
     """Normalize device performances into partition weights.
 

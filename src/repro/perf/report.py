@@ -41,6 +41,7 @@ from repro.sparse.fused import (
     charge_aug_spmmv,
     charge_aug_spmmv_part,
     charge_aug_spmv,
+    charge_col_dots,
 )
 from repro.sparse.spmv import _charge_spmv
 from repro.util.constants import F_ADD, F_MUL
@@ -268,6 +269,50 @@ def expected_counters(
             f"engine must be 'naive', 'aug_spmv' or 'aug_spmmv', "
             f"got {engine!r}"
         )
+    return c
+
+
+def expected_segment_counters(
+    A, n_moments: int, n_vectors: int, *, first_m: int = 1,
+    stop_m: int | None = None, eta_grid: int = 0,
+    precision: Precision | str | None = None,
+) -> PerfCounters:
+    """Analytic counters of one elastic *segment* ``[first_m, stop_m)``.
+
+    The elastic driver (:mod:`repro.dist.elastic`) runs the moment loop
+    in boundary-delimited segments, each on its own partition and worker
+    count.  This models what every rank's counters of one such segment
+    must sum to: the bootstrap Sp(M)MV when the segment starts the run
+    (``first_m == 1``), one fused ``aug_spmmv`` per iteration of the
+    segment, and — in grid-eta mode — one column-dot post-pass per
+    iteration (the per-block eta recomputation, linear in rows and
+    therefore partition-independent).  Per-rank Table-I charges are
+    exact sums over rows/nonzeros, so the merged measurement of any
+    partition must equal this *exactly*, whatever the worker count —
+    the elastic analogue of :func:`expected_counters`.  Summing the
+    segment charges over a segmentation of ``[1, M/2)`` reproduces the
+    grid-mode full-run charge for the same reason.
+    """
+    if n_moments % 2 or n_moments < 2:
+        raise ValueError(f"n_moments must be even >= 2, got {n_moments}")
+    check_positive("n_vectors", n_vectors)
+    half = n_moments // 2 if stop_m is None else int(stop_m)
+    if not 1 <= half <= n_moments // 2:
+        raise ValueError(
+            f"stop_m must be in [1, {n_moments // 2}], got {stop_m}"
+        )
+    if not 1 <= first_m <= half:
+        raise ValueError(
+            f"first_m must be in [1, {half}], got {first_m}"
+        )
+    prec = get_precision(precision)
+    c = PerfCounters()
+    if first_m == 1:
+        _charge_spmv(A, n_vectors, c, "spmmv", prec)  # bootstrap nu_1 block
+    for _ in range(first_m, half):
+        charge_aug_spmmv(A, n_vectors, c, prec)
+        if eta_grid:
+            charge_col_dots(A.n_rows, n_vectors, c, prec=prec)
     return c
 
 

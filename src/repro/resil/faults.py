@@ -54,20 +54,28 @@ _STALL_SLEEP = 3600.0
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One planned fault: what, where (rank), and when (iteration/attempt)."""
+    """One planned fault: what, where (rank), and when (iteration/attempt).
+
+    ``count`` repeats an iteration-probed fault over the ``count``
+    consecutive iterations ``[m, m + count)`` — the persistent-straggler
+    drill (``slow:rank=1,m=1,count=24,delay=0.01``) that the elastic
+    rebalancer is built to detect, versus the default one-shot hiccup.
+    """
 
     kind: str
     rank: int = 0
     m: int = 0
     attempt: int = 1
     delay: float = 0.0
+    count: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
             )
-        if self.rank < 0 or self.m < 0 or self.attempt < 1 or self.delay < 0:
+        if self.rank < 0 or self.m < 0 or self.attempt < 1 or self.delay < 0 \
+                or self.count < 1:
             raise ValueError(f"invalid fault spec {self}")
 
     def to_str(self) -> str:
@@ -111,7 +119,7 @@ class FaultPlan:
                 key = key.strip()
                 if key == "delay":
                     kw[key] = float(val)
-                elif key in ("rank", "m", "attempt"):
+                elif key in ("rank", "m", "attempt", "count"):
                     kw[key] = int(val)
                 else:
                     raise ValueError(
@@ -177,7 +185,8 @@ class FaultInjector:
             if spec.rank != self.rank or spec.attempt != self.attempt:
                 continue
             if spec.kind in ITERATION_KINDS:
-                self._at[spec.m] = spec
+                for m in range(spec.m, spec.m + spec.count):
+                    self._at[m] = spec
             elif spec.kind == "corrupt-halo":
                 self._halo[spec.m] = spec
 

@@ -118,13 +118,27 @@ class ResilienceReport:
     checkpoint_discards: int = 0
     final_engine: str | None = None
     final_backend: str | None = None
+    # elastic execution (populated when a RebalancePolicy is active)
+    elastic_segments: int = 0
+    rebalances: int = 0
+    membership_joins: int = 0
+    membership_leaves: int = 0
 
     def summary(self) -> str:
         """One human-readable line for CLI output."""
+        elastic = ""
+        if self.elastic_segments:
+            elastic = (
+                f"; elastic: {self.elastic_segments} segment(s), "
+                f"{self.rebalances} rebalance(s), "
+                f"{self.membership_joins} join(s), "
+                f"{self.membership_leaves} leave(s)"
+            )
         if not self.faults:
             return (
                 f"resilience: clean first attempt "
                 f"(engine={self.final_engine}, backend={self.final_backend})"
+                + elastic
             )
         classes = ", ".join(
             sorted({a.error_class for a in self.attempts})
@@ -142,7 +156,7 @@ class ResilienceReport:
         bits.append(
             f"finished on engine={self.final_engine} backend={self.final_backend}"
         )
-        return ", ".join(bits)
+        return ", ".join(bits) + elastic
 
 
 @dataclass
@@ -160,6 +174,11 @@ class Resilience:
     degrade: bool = True
     fault_plan: FaultPlan | str | None = None
     mp_timeouts: object | None = None  # repro.dist.mp.MpTimeouts
+    #: elastic execution: 'off'/None, 'auto'/True, a threshold, or a
+    #: repro.dist.elastic.RebalancePolicy (see resolve_rebalance)
+    rebalance: object = None
+    #: planned membership events, e.g. 'join:m=8;leave:m=16,rank=0'
+    membership: object = None
 
 
 class Supervisor:
@@ -180,17 +199,25 @@ class Supervisor:
         checkpoint_path: str | Path | None = None,
         fault_plan: FaultPlan | str | None = None,
         mp_timeouts=None,
+        rebalance=None,
+        membership=None,
         metrics: MetricsRegistry = NULL_METRICS,
         counters: PerfCounters = NULL_COUNTERS,
         seed: int | None = None,
         sleep=time.sleep,
     ) -> None:
+        from repro.dist.elastic import resolve_rebalance
+
         self.policy = policy or RetryPolicy()
         self.degrade = bool(degrade)
         self.checkpoint_every = int(checkpoint_every)
         self.checkpoint_path = checkpoint_path
         self.fault_plan = as_fault_plan(fault_plan, seed=seed or 0)
         self.mp_timeouts = mp_timeouts
+        self.rebalance = resolve_rebalance(rebalance)
+        self.membership = membership
+        #: ElasticReport of the most recent elastic mp attempt (or None)
+        self.last_elastic_report = None
         self.metrics = metrics
         self.counters = counters
         self.seed = 0 if seed is None else int(seed)
@@ -215,6 +242,8 @@ class Supervisor:
             checkpoint_path=config.checkpoint_path,
             fault_plan=config.fault_plan,
             mp_timeouts=config.mp_timeouts,
+            rebalance=config.rebalance,
+            membership=config.membership,
             metrics=metrics,
             counters=counters,
             seed=seed,
@@ -395,6 +424,12 @@ class Supervisor:
     ) -> np.ndarray:
         every = self.checkpoint_every
         path = ckpt_path if every > 0 else None
+        if self.rebalance is not None:
+            return self._run_elastic(
+                eng, backend, resume, attempt, path, H, scale, n_moments,
+                start_block, workers, weights, reduction, overlap,
+                precision, threads,
+            )
         if eng == "serial":
             inj = None
             if self.fault_plan:
@@ -438,4 +473,57 @@ class Supervisor:
             fault_plan=self.fault_plan, attempt=attempt,
             precision=precision, threads=threads,
             progress=progress, progress_every=progress_every,
+        )
+
+    def _run_elastic(
+        self, eng: str, backend, resume, attempt: int, path,
+        H, scale, n_moments, start_block, workers, weights, reduction,
+        overlap, precision, threads,
+    ) -> np.ndarray:
+        """One attempt under a live :class:`RebalancePolicy`.
+
+        The mp rung runs the full elastic driver — worker deaths
+        re-partition onto the survivors *inside* the attempt, so the
+        engine ladder only engages when elasticity itself gives up.  The
+        sim and serial rungs replay the identical grid-eta reduction
+        (serial as a one-rank sim world), so a degradation mid-ladder
+        still returns bitwise-identical fp64 moments.
+        """
+        from repro.dist.comm import SimWorld
+        from repro.dist.elastic import elastic_eta
+        from repro.dist.kpm_parallel import distributed_eta
+        from repro.dist.partition import RowPartition
+
+        pol = self.rebalance
+        if eng == "mp":
+            eta, rep = elastic_eta(
+                H, scale, n_moments, start_block,
+                n_workers=workers, weights=weights, policy=pol,
+                membership=self.membership, engine="mp", backend=backend,
+                counters=self.counters, metrics=self.metrics,
+                overlap=overlap, fault_plan=self.fault_plan,
+                attempt=attempt, precision=precision, threads=threads,
+                checkpoint_path=path, resume_from=resume,
+            )
+            self.last_elastic_report = rep
+            self.report.elastic_segments += len(rep.segments)
+            self.report.rebalances += rep.rebalances
+            self.report.membership_joins += rep.joins
+            self.report.membership_leaves += rep.leaves
+            return eta
+        n_ranks = 1 if eng == "serial" else workers
+        if weights is not None and eng != "serial":
+            part = RowPartition.from_weights(H.n_rows, weights, align=pol.grid)
+        else:
+            part = RowPartition.equal(H.n_rows, n_ranks, align=pol.grid)
+        world = SimWorld(part.n_ranks)
+        self.last_world = world
+        every = self.checkpoint_every
+        return distributed_eta(
+            H, part, scale, n_moments, start_block, world,
+            reduction=reduction, backend=backend, counters=self.counters,
+            metrics=self.metrics, overlap=overlap, checkpoint_every=every,
+            checkpoint_path=path, resume_from=resume,
+            fault_plan=self.fault_plan, attempt=attempt,
+            precision=precision, threads=threads, eta_grid=pol.grid,
         )

@@ -19,7 +19,12 @@ re-solve.
   background worker thread).
 """
 
-from repro.serve.cache import CacheEntry, MomentCache
+from repro.serve.cache import (
+    CacheEntry,
+    MomentCache,
+    SpectraCache,
+    SpectrumEntry,
+)
 from repro.serve.coalescer import (
     Batch,
     BatchItem,
@@ -48,6 +53,8 @@ __all__ = [
     "MomentCache",
     "Request",
     "RequestQueue",
+    "SpectraCache",
+    "SpectrumEntry",
     "Ticket",
     "canonical_json",
     "canonical_kernel",

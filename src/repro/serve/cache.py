@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["CacheEntry", "MomentCache"]
+__all__ = ["CacheEntry", "MomentCache", "SpectrumEntry", "SpectraCache"]
 
 
 @dataclass
@@ -181,3 +181,112 @@ class MomentCache:
             e = self._entries.pop(victim)
             self._bytes -= e.nbytes
             self.evictions += 1
+
+
+@dataclass
+class SpectrumEntry:
+    """One cached reconstructed spectrum (the post-kernel artifact)."""
+
+    key: tuple
+    energies: np.ndarray
+    rho: np.ndarray  # (n_energies,) dos, or (n_rows, n_energies) ldos
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.energies.nbytes + self.rho.nbytes)
+
+
+class SpectraCache:
+    """Thread-safe LRU cache of *final spectra*, one layer past moments.
+
+    A moment-cache hit still pays the reconstruction — kernel damping
+    plus the dense Chebyshev evaluation over the energy grid.  That cost
+    is per ``(moments, kernel, grid)``, so a repeat query that is also
+    *kernel-identical* (same damping kernel, same grid) can skip the
+    reconstruction too.  Entries are keyed
+    ``(moment_key, kernel, grid)`` — the moment key already pins the
+    operator, seed, block width, and (for LDOS) the row set, so the
+    tuple is a complete identity of the returned ``(energies, rho)``
+    arrays.  A different kernel on the same moments misses here and
+    falls back to the moment cache's re-damp path, exactly as before.
+
+    Same bounded-LRU semantics as :class:`MomentCache`, without the
+    partial/pinning machinery (spectra are never streamed).
+    """
+
+    def __init__(self, max_entries: int = 512,
+                 max_bytes: int = 128 * 1024 * 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, SpectrumEntry] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(moment_key: str, kernel: str, grid) -> tuple:
+        """The cache identity of one reconstruction.
+
+        ``grid`` is the energy-grid identity: the point count for the
+        default Chebyshev grid, or a tuple fingerprint for an explicit
+        energy array.
+        """
+        if isinstance(grid, np.ndarray):
+            grid = (int(grid.size), float(grid[0]), float(grid[-1]),
+                    hash(grid.tobytes()))
+        return (str(moment_key), str(kernel), grid)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def get(self, key: tuple) -> SpectrumEntry | None:
+        with self._lock:
+            e = self._entries.get(key)
+            if e is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return e
+
+    def put(self, key: tuple, energies: np.ndarray, rho: np.ndarray,
+            meta: dict | None = None) -> SpectrumEntry:
+        entry = SpectrumEntry(
+            key, np.ascontiguousarray(energies), np.ascontiguousarray(rho),
+            dict(meta or {}),
+        )
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            while (len(self._entries) > self.max_entries
+                    or self._bytes > self.max_bytes):
+                _k, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
+                self.evictions += 1
+        return entry

@@ -67,6 +67,9 @@ class Batch:
     #: the communicator of the batch's distributed solve (leak checks,
     #: per-rank accounting); None for serial batches
     world: object = None
+    #: the :class:`~repro.dist.elastic.ElasticReport` of an elastic
+    #: batch solve (rebalance enabled); None otherwise
+    elastic_report: object = None
 
     @property
     def width(self) -> int:
@@ -143,8 +146,13 @@ def slice_moments(batch: Batch, eta_prefix: np.ndarray):
 
 def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
              weights, overlap, precision, threads, resilience, counters,
-             metrics, seed, progress, progress_every):
-    """One batch eta solve on the configured engine."""
+             metrics, seed, progress, progress_every, rebalance=None,
+             membership=None):
+    """One batch eta solve on the configured engine.
+
+    Returns ``(eta, resilience_report, world, elastic_report)`` — the
+    last two are None on paths that do not produce them.
+    """
     if resilience is not None:
         from repro.resil import Supervisor
 
@@ -155,23 +163,40 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
         sup = Supervisor.from_config(
             resilience, metrics=metrics, counters=counters, seed=seed
         )
+        if rebalance is not None:
+            sup.rebalance = rebalance
+            sup.membership = membership or sup.membership
         eta = sup.run_eta(
             H, scale, n_moments, block, engine=engine or "serial",
             workers=workers, weights=weights, backend=backend,
             overlap=overlap, precision=precision, threads=threads,
             progress=progress, progress_every=progress_every,
         )
-        return eta, sup.report, sup.last_world
+        return eta, sup.report, sup.last_world, sup.last_elastic_report
+    if engine == "mp" and rebalance is not None:
+        from repro.dist.elastic import elastic_eta
+
+        eta, erep = elastic_eta(
+            H, scale, n_moments, block, n_workers=workers, weights=weights,
+            policy=rebalance, membership=membership, engine="mp",
+            backend=backend, counters=counters, metrics=metrics,
+            overlap=overlap, precision=precision, threads=threads,
+        )
+        return eta, None, None, erep
     if engine in ("sim", "mp"):
         from repro.dist.comm import SimWorld
         from repro.dist.kpm_parallel import distributed_eta
         from repro.dist.mp import MpWorld
         from repro.dist.partition import RowPartition
 
+        # An elastic server runs its sim batches in grid-eta mode so a
+        # later switch to mp (or an elastic mp batch of the same
+        # problem) returns byte-identical moments.
+        align = 4 if rebalance is None else rebalance.grid
         if weights is not None:
-            part = RowPartition.from_weights(H.n_rows, weights, align=4)
+            part = RowPartition.from_weights(H.n_rows, weights, align=align)
         else:
-            part = RowPartition.equal(H.n_rows, workers, align=4)
+            part = RowPartition.equal(H.n_rows, workers, align=align)
         world = MpWorld(part.n_ranks) if engine == "mp" \
             else SimWorld(part.n_ranks)
         eta = distributed_eta(
@@ -179,8 +204,9 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
             counters=counters, metrics=metrics, overlap=overlap,
             precision=precision, threads=threads,
             progress=progress, progress_every=progress_every,
+            eta_grid=0 if rebalance is None else rebalance.grid,
         )
-        return eta, None, world
+        return eta, None, world, None
     if threads == "auto":
         import os
 
@@ -190,7 +216,7 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
         metrics=metrics, precision=precision, threads=threads,
         progress=progress, progress_every=progress_every,
     )
-    return eta, None, None
+    return eta, None, None, None
 
 
 def execute_batch(
@@ -210,6 +236,8 @@ def execute_batch(
     seed: int | None = None,
     stream_every: int = 0,
     on_partial=None,
+    rebalance=None,
+    membership=None,
 ) -> tuple[np.ndarray, PerfCounters]:
     """Run one coalesced batch; return ``(eta, batch_counters)``.
 
@@ -230,6 +258,13 @@ def execute_batch(
     the threaded fp64 kernels are bitwise invariant across thread
     counts, a threaded batch returns the exact bytes a sequential one
     would — coalescing stays invisible at any thread count.
+
+    ``rebalance`` (a resolved :class:`~repro.dist.elastic.RebalancePolicy`
+    or None) turns mp batches into elastic solves and sim batches into
+    grid-eta solves; the resulting :class:`ElasticReport` lands on
+    ``batch.elastic_report`` so the server can carry learned weights
+    into the next batch.  ``membership`` is a
+    :class:`~repro.dist.elastic.MembershipPlan` applied per batch.
     """
     n_moments = batch.items[0].ticket.request.n_moments
     block = stack_start_block(batch, H.n_rows)
@@ -243,12 +278,13 @@ def execute_batch(
 
     with metrics.span("serve.batch", phase="serve", counters=counters,
                       width=batch.width, requests=batch.n_requests):
-        eta, report, batch.world = _run_eta(
+        eta, report, batch.world, batch.elastic_report = _run_eta(
             H, scale, n_moments, block, engine=engine, backend=backend,
             workers=workers, weights=weights, overlap=overlap,
             precision=precision, threads=threads, resilience=resilience,
             counters=counters, metrics=metrics, seed=seed,
             progress=progress, progress_every=stream_every,
+            rebalance=rebalance, membership=membership,
         )
     metrics.observe("serve.batch.width", batch.width)
     metrics.observe("serve.batch.requests", batch.n_requests)
@@ -262,4 +298,6 @@ def execute_batch(
     if report is not None:
         metrics.count("serve.batch.retries", report.retries)
         metrics.count("serve.batch.degradations", report.engine_degradations)
+    if batch.elastic_report is not None:
+        metrics.count("serve.batch.rebalances", batch.elastic_report.rebalances)
     return eta, counters

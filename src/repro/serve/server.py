@@ -39,9 +39,10 @@ import numpy as np
 
 from repro.core.reconstruct import reconstruct_dos
 from repro.core.scaling import lanczos_scale
-from repro.core.solver import LDOSResult, dos_result_from_moments
+from repro.core.solver import DOSResult, LDOSResult, dos_result_from_moments
+from repro.dist.elastic import resolve_rebalance
 from repro.obs import MetricsRegistry
-from repro.serve.cache import MomentCache
+from repro.serve.cache import MomentCache, SpectraCache
 from repro.serve.coalescer import execute_batch, plan_batches, slice_moments
 from repro.serve.queue import RequestQueue, Ticket
 from repro.serve.spec import Request
@@ -84,8 +85,22 @@ class KPMServer:
     linger:
         Worker-thread batching window in seconds: after the first
         pending request, wait this long for more before solving.
+    rebalance / membership:
+        Elastic execution knobs (same values as
+        :class:`~repro.core.solver.KPMSolver`): ``rebalance`` is
+        ``None``/'off', 'auto', a threshold float, or a
+        :class:`~repro.dist.elastic.RebalancePolicy`; ``membership`` a
+        :class:`~repro.dist.elastic.MembershipPlan` (or its string
+        form) applied to every batch.  With rebalancing on, mp batches
+        run elastically and the learned weights (and surviving worker
+        count) carry over to the *next* batch — the server rebalances
+        between batches.
     cache:
         The :class:`MomentCache` (a default-sized one when omitted).
+    spectra_cache:
+        The :class:`SpectraCache` of final reconstructed spectra (a
+        default-sized one when omitted): a kernel-identical repeat of a
+        cached request skips the DOS reconstruction entirely.
     metrics / counters:
         Server-wide observability sinks.  Every batch additionally gets
         a fresh per-batch :class:`PerfCounters` (merged into
@@ -106,7 +121,10 @@ class KPMServer:
         scale_seed: int = 0,
         stream_every: int = 0,
         linger: float = 0.005,
+        rebalance=None,
+        membership=None,
         cache: MomentCache | None = None,
+        spectra_cache: SpectraCache | None = None,
         metrics: MetricsRegistry | None = None,
         counters: PerfCounters = NULL_COUNTERS,
     ) -> None:
@@ -127,7 +145,11 @@ class KPMServer:
         self.scale_seed = int(scale_seed)
         self.stream_every = int(stream_every)
         self.linger = float(linger)
+        self.rebalance = resolve_rebalance(rebalance)
+        self.membership = membership
         self.cache = cache if cache is not None else MomentCache()
+        self.spectra = spectra_cache if spectra_cache is not None \
+            else SpectraCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.counters = counters
         self.queue = RequestQueue()
@@ -233,6 +255,7 @@ class KPMServer:
                 resilience=self.resilience, metrics=self.metrics,
                 seed=self.scale_seed, stream_every=self.stream_every,
                 on_partial=on_partial,
+                rebalance=self.rebalance, membership=self.membership,
             )
         except Exception as exc:  # noqa: BLE001 - isolate to this batch
             self.metrics.count("serve.batch.failures")
@@ -243,6 +266,14 @@ class KPMServer:
                 self._retire(item.ticket)
             return
         self.metrics.count("serve.batches")
+        erep = batch.elastic_report
+        if erep is not None and erep.final_weights:
+            # Rebalance between batches: the weights (and the surviving
+            # worker count) the elastic solve converged on become the
+            # next batch's starting point.  Numerics are unaffected —
+            # grid-eta mode makes moments partition-independent.
+            self.weights = list(erep.final_weights)
+            self.workers = int(erep.final_n_workers)
         if batch.n_requests > 1:
             self.metrics.count(
                 "serve.requests_coalesced", batch.n_requests
@@ -271,23 +302,49 @@ class KPMServer:
             self._inflight.pop(primary.moment_key, None)
 
     def _fulfill(self, ticket: Ticket, mu: np.ndarray) -> None:
-        """Reconstruct with the *ticket's own* kernel and complete it."""
+        """Reconstruct with the *ticket's own* kernel and complete it.
+
+        Kernel-identical repeats skip even this step: the final
+        ``(energies, rho)`` arrays are cached under
+        ``(moment_key, kernel, grid)`` in the :class:`SpectraCache`, so
+        only a *new* kernel (or grid) on known moments pays the damping
+        and Chebyshev evaluation.
+        """
         req = ticket.request
         _H, _model, scale = self.operator(req.spec)
-        with self.metrics.span("serve.reconstruct", phase="serve"):
+        pts = max(2 * req.n_moments, 256)
+        skey = SpectraCache.key(ticket.moment_key, req.kernel, pts)
+        entry = self.spectra.get(skey)
+        if entry is not None:
+            self.metrics.count("serve.spectra.hits")
             if req.kind == "dos":
-                result = dos_result_from_moments(
-                    mu, scale, kernel=req.kernel, n_vectors=req.n_vectors
+                result = DOSResult(
+                    entry.energies, entry.rho, mu, scale,
+                    req.n_vectors, req.kernel,
                 )
             else:
-                pts = max(2 * req.n_moments, 256)
-                e_grid, rho = reconstruct_dos(
-                    mu, scale, n_points=pts, kernel=req.kernel
-                )
                 result = LDOSResult(
-                    e_grid, rho, np.asarray(req.rows, dtype=np.int64),
-                    scale, req.kernel,
+                    entry.energies, entry.rho,
+                    np.asarray(req.rows, dtype=np.int64), scale, req.kernel,
                 )
+        else:
+            self.metrics.count("serve.spectra.misses")
+            with self.metrics.span("serve.reconstruct", phase="serve"):
+                if req.kind == "dos":
+                    result = dos_result_from_moments(
+                        mu, scale, kernel=req.kernel, n_vectors=req.n_vectors
+                    )
+                else:
+                    e_grid, rho = reconstruct_dos(
+                        mu, scale, n_points=pts, kernel=req.kernel
+                    )
+                    result = LDOSResult(
+                        e_grid, rho, np.asarray(req.rows, dtype=np.int64),
+                        scale, req.kernel,
+                    )
+            self.spectra.put(
+                skey, result.energies, result.rho, meta={"kind": req.kind}
+            )
         if ticket.deadline_at is not None \
                 and time.monotonic() > ticket.deadline_at:
             self.metrics.count("serve.deadline_missed")
@@ -335,4 +392,5 @@ class KPMServer:
     def stats(self) -> dict:
         """Cache stats + the metrics snapshot, one JSON-able dict."""
         return {"cache": self.cache.stats(),
+                "spectra": self.spectra.stats(),
                 "metrics": self.metrics.snapshot()}

@@ -396,6 +396,30 @@ def aug_spmmv_nodot_step(
     )
 
 
+def charge_col_dots(
+    n_rows: int,
+    r: int,
+    counters: PerfCounters,
+    name: str = "grid_dots",
+    prec: Precision = FP64,
+) -> None:
+    """Charge of a column-dot post-pass over ``n_rows`` rows.
+
+    The grid-eta path (:mod:`repro.dist.elastic`) recomputes the two KPM
+    scalar products per fixed global row block instead of per rank, so
+    the reduction order never depends on the partition.  The charge is
+    linear in ``n_rows``: summing the per-block charges of any partition
+    of N rows gives exactly one whole-matrix :func:`block_dots` charge,
+    keeping measured == analytic accounting partition independent.
+    """
+    s_x = prec.s_vector
+    counters.charge(
+        name,
+        loads=3 * n_rows * r * s_x,
+        flops=r * n_rows * (F_ADD + F_MUL + F_ADD // 2 + F_MUL // 2),
+    )
+
+
 def block_dots(
     V: np.ndarray, W: np.ndarray, counters: PerfCounters = NULL_COUNTERS
 ) -> tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,155 @@
+"""The spectra cache: one layer past moments, keyed by damping too.
+
+A moment-cache hit still pays kernel damping plus the dense Chebyshev
+evaluation; a *kernel-identical* repeat should skip that as well and
+return the cached ``(energies, rho)`` arrays.  A different kernel (or
+grid) on the same moments must miss here and fall back to the moment
+cache's re-damp path — damping is not part of the moment identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    HamiltonianSpec,
+    KPMServer,
+    Request,
+    SpectraCache,
+)
+
+SPEC = HamiltonianSpec("topological_insulator", {"nx": 4, "ny": 4, "nz": 4})
+M = 32
+
+
+def spectrum(n: int, lo: float = -1.0, hi: float = 1.0):
+    e = np.linspace(lo, hi, n)
+    return e, np.exp(-e * e)
+
+
+class TestUnit:
+    def test_put_get_roundtrip(self):
+        c = SpectraCache()
+        e, rho = spectrum(64)
+        k = SpectraCache.key("mk1", "jackson", 64)
+        c.put(k, e, rho, meta={"kind": "dos"})
+        hit = c.get(k)
+        assert hit is not None
+        assert np.array_equal(hit.energies, e)
+        assert np.array_equal(hit.rho, rho)
+        assert hit.meta == {"kind": "dos"}
+        assert c.stats() == {"entries": 1, "bytes": hit.nbytes,
+                             "hits": 1, "misses": 0, "evictions": 0}
+
+    def test_key_separates_kernel_and_grid(self):
+        base = SpectraCache.key("mk1", "jackson", 256)
+        assert SpectraCache.key("mk1", "lorentz", 256) != base
+        assert SpectraCache.key("mk1", "jackson", 512) != base
+        assert SpectraCache.key("mk2", "jackson", 256) != base
+        assert SpectraCache.key("mk1", "jackson", 256) == base
+
+    def test_key_fingerprints_explicit_energy_arrays(self):
+        grid = np.linspace(-0.5, 0.5, 33)
+        k1 = SpectraCache.key("mk", "jackson", grid)
+        assert SpectraCache.key("mk", "jackson", grid.copy()) == k1
+        assert SpectraCache.key("mk", "jackson", grid * 2) != k1
+        assert SpectraCache.key("mk", "jackson", 33) != k1
+
+    def test_lru_eviction_by_entries(self):
+        c = SpectraCache(max_entries=2)
+        e, rho = spectrum(16)
+        for i in range(3):
+            c.put(SpectraCache.key(f"mk{i}", "jackson", 16), e, rho)
+        assert len(c) == 2
+        assert c.get(SpectraCache.key("mk0", "jackson", 16)) is None
+        assert c.get(SpectraCache.key("mk2", "jackson", 16)) is not None
+        assert c.stats()["evictions"] == 1
+
+    def test_lru_eviction_by_bytes(self):
+        e, rho = spectrum(64)
+        one = e.nbytes + rho.nbytes
+        c = SpectraCache(max_entries=100, max_bytes=2 * one)
+        for i in range(3):
+            c.put(SpectraCache.key(f"mk{i}", "jackson", 64), e, rho)
+        assert len(c) == 2 and c.nbytes <= 2 * one
+
+    def test_get_refreshes_recency(self):
+        c = SpectraCache(max_entries=2)
+        e, rho = spectrum(16)
+        ka = SpectraCache.key("a", "jackson", 16)
+        kb = SpectraCache.key("b", "jackson", 16)
+        c.put(ka, e, rho)
+        c.put(kb, e, rho)
+        c.get(ka)  # a is now most recent
+        c.put(SpectraCache.key("c", "jackson", 16), e, rho)
+        assert c.get(ka) is not None
+        assert c.get(kb) is None
+
+    def test_replacement_updates_byte_count(self):
+        c = SpectraCache()
+        k = SpectraCache.key("mk", "jackson", 16)
+        c.put(k, *spectrum(16))
+        small = c.nbytes
+        c.put(k, *spectrum(64))
+        assert len(c) == 1 and c.nbytes > small
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            SpectraCache(max_entries=0)
+        with pytest.raises(ValueError):
+            SpectraCache(max_bytes=0)
+
+
+class TestServerIntegration:
+    def test_kernel_identical_repeat_hits(self):
+        srv = KPMServer(max_width=4, backend="numpy")
+        req = Request(SPEC, n_moments=M, n_vectors=1, seed=5)
+        t1 = srv.submit(req)
+        assert srv.step() == 1
+        r1 = t1.result()
+        t2 = srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=5))
+        r2 = t2.result()  # moment-cache hit fulfills without a batch
+        assert srv.metrics.counters.get("serve.spectra.hits", 0) == 1
+        assert np.array_equal(r1.energies, r2.energies)
+        assert np.array_equal(r1.rho, r2.rho)
+        assert np.array_equal(r1.moments, r2.moments)
+
+    def test_different_kernel_misses_and_redamps(self):
+        srv = KPMServer(max_width=4, backend="numpy")
+        t1 = srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=5))
+        assert srv.step() == 1
+        jackson = t1.result()
+        t2 = srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=5,
+                                kernel="lorentz"))
+        lorentz = t2.result()
+        assert srv.metrics.counters.get("serve.spectra.hits", 0) == 0
+        assert srv.metrics.counters.get("serve.spectra.misses", 0) == 2
+        # same moments, different damping: the identity that makes the
+        # kernel part of the spectra key but not the moment key
+        assert np.array_equal(jackson.moments, lorentz.moments)
+        assert not np.array_equal(jackson.rho, lorentz.rho)
+        assert len(srv.spectra) == 2
+
+    def test_ldos_spectra_cached_separately(self):
+        srv = KPMServer(max_width=4, backend="numpy")
+        dos = srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=5))
+        ldos = srv.submit(Request(SPEC, kind="ldos", n_moments=M,
+                                  rows=(0, 3)))
+        srv.step()
+        r_dos, r_ldos = dos.result(), ldos.result()
+        assert r_ldos.rho.shape[0] == 2
+        assert len(srv.spectra) == 2
+        # a repeat LDOS query hits its own entry
+        again = srv.submit(Request(SPEC, kind="ldos", n_moments=M,
+                                   rows=(0, 3)))
+        r2 = again.result()
+        assert srv.metrics.counters.get("serve.spectra.hits", 0) == 1
+        assert np.array_equal(r_ldos.rho, r2.rho)
+        assert np.array_equal(r_dos.rho, dos.result().rho)
+
+    def test_stats_surface(self):
+        srv = KPMServer(max_width=2, backend="numpy")
+        t = srv.submit(Request(SPEC, n_moments=M, n_vectors=1, seed=1))
+        srv.step()
+        t.result()
+        s = srv.stats()["spectra"]
+        assert s["entries"] == 1 and s["misses"] == 1

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""End-to-end drills of elastic distributed execution.
+
+Exercises :mod:`repro.dist.elastic` the way an operator would and
+asserts the properties the design promises:
+
+1. **Bitwise invariance** — an elastic mp run (segmented, boundary
+   checkpoints, repartitioning allowed) returns fp64 moments bitwise
+   identical to an uninterrupted single-partition grid-mode run, and
+   the reconstructed DOS still integrates to N.
+2. **Kill-a-worker drill** — a planned ``crash`` fault kills one rank
+   mid-run; the driver re-partitions to the survivors (no engine
+   degradation), finishes with the *same bitwise moments*, and every
+   shm segment any attempt created is dead afterwards (no leaks).
+3. **Slow-rank drill** — a persistent ``slow`` fault skews one rank;
+   the monitor's debounce trips, a rebalance event fires, and the
+   recomputed weights shift rows off the slow rank.
+4. **Exact segment accounting** — the run's merged PerfCounters equal
+   the sum of :func:`repro.perf.report.expected_segment_counters` over
+   the segments the report says were executed, and each mp segment's
+   message log matches the Eq. 5-7 halo/allreduce accounting (checked
+   engine-side; here we assert the shared log's total equals the
+   uninterrupted run's when the worker count never changed).
+
+Exit status 0 when every drill passes; 1 pinpoints the first failure.
+Intended for CI (the ``elastic`` leg) and as the first check after
+touching the elastic driver, grid-eta mode, or segment accounting.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_elastic.py [--grid 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _fail(msg: str) -> int:
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nx", type=int, default=6)
+    parser.add_argument("--ny", type=int, default=6)
+    parser.add_argument("--nz", type=int, default=4)
+    parser.add_argument("--moments", type=int, default=32)
+    parser.add_argument("--vectors", type=int, default=4)
+    parser.add_argument("--grid", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.core.moments import eta_to_moments
+    from repro.core.reconstruct import integrate_density, reconstruct_dos
+    from repro.core.scaling import lanczos_scale
+    from repro.core.stochastic import make_block_vector
+    from repro.dist.comm import SimWorld
+    from repro.dist.elastic import RebalancePolicy, elastic_eta
+    from repro.dist.kpm_parallel import distributed_eta
+    from repro.dist.partition import RowPartition
+    from repro.dist.shm import segment_exists
+    from repro.obs import MetricsRegistry
+    from repro.perf.report import expected_segment_counters
+    from repro.physics import build_topological_insulator
+    from repro.util.counters import PerfCounters
+
+    h, _ = build_topological_insulator(args.nx, args.ny, args.nz)
+    scale = lanczos_scale(h, seed=0)
+    block = make_block_vector(h.n_rows, args.vectors, "phase", 0)
+    m, r, grid, workers = args.moments, args.vectors, args.grid, args.workers
+    pol = RebalancePolicy(grid=grid, interval=5)
+    print(f"operator: {h.n_rows:,} rows, {h.nnz:,} nnz; M={m}, R={r}, "
+          f"grid={grid}, {workers} workers")
+
+    # Reference: uninterrupted single-partition grid-mode run.
+    part1 = RowPartition.equal(h.n_rows, 1, align=grid)
+    ref = distributed_eta(h, part1, scale, m, block, SimWorld(1),
+                          eta_grid=grid)
+    mu_ref = eta_to_moments(ref).mean(axis=0).real
+
+    # -- drill 1: plain elastic run, bitwise vs reference --------------
+    counters = PerfCounters()
+    eta, rep = elastic_eta(
+        h, scale, m, block, n_workers=workers, policy=pol, engine="mp",
+        counters=counters,
+    )
+    if not np.array_equal(eta, ref):
+        return _fail("elastic mp eta != uninterrupted grid-mode eta "
+                     f"(max diff {np.abs(eta - ref).max():.3e})")
+    exp = PerfCounters()
+    for seg in rep.segments:
+        exp.merge(expected_segment_counters(
+            h, m, r, first_m=seg.first_m, stop_m=seg.stop_m, eta_grid=grid,
+        ))
+    if (counters.bytes_total != exp.bytes_total
+            or counters.flops != exp.flops):
+        return _fail(
+            f"measured counters != segment-sum analytic "
+            f"({counters.bytes_total:,}/{counters.flops:,} vs "
+            f"{exp.bytes_total:,}/{exp.flops:,})"
+        )
+    # worker count never changed, so the shared MessageLog must equal
+    # the uninterrupted P-rank run's traffic byte for byte
+    partw = RowPartition.equal(h.n_rows, workers, align=grid)
+    ref_world = SimWorld(workers)
+    distributed_eta(h, partw, scale, m, block, ref_world, eta_grid=grid)
+    if rep.log.total_bytes != ref_world.log.total_bytes:
+        return _fail(
+            f"elastic message log {rep.log.total_bytes:,} B != "
+            f"uninterrupted {ref_world.log.total_bytes:,} B"
+        )
+    leaked = [nm for nm in rep.segment_names if segment_exists(nm)]
+    if leaked:
+        return _fail(f"leaked shm segments: {leaked}")
+    print(f"drill 1 OK: {len(rep.segments)} segments, bitwise eta, exact "
+          f"counters ({counters.bytes_total:,} B), log matches "
+          f"uninterrupted ({rep.log.total_bytes:,} B), no shm leaks")
+
+    # -- drill 2: kill a worker mid-run --------------------------------
+    metrics = MetricsRegistry()
+    eta2, rep2 = elastic_eta(
+        h, scale, m, block, n_workers=workers, policy=pol, engine="mp",
+        fault_plan="crash:rank=1,m=3", metrics=metrics,
+    )
+    if not np.array_equal(eta2, ref):
+        return _fail("post-crash elastic eta != reference (survivor "
+                     "repartition changed the numbers)")
+    if rep2.leaves != 1 or rep2.final_n_workers != workers - 1:
+        return _fail(
+            f"crash drill: expected 1 leave -> {workers - 1} survivors, "
+            f"got leaves={rep2.leaves}, final={rep2.final_n_workers}"
+        )
+    deaths = [e for e in rep2.events if e.kind == "leave" and not e.planned]
+    if not deaths:
+        return _fail("crash drill: no unplanned leave event recorded")
+    mu2 = eta_to_moments(eta2).mean(axis=0).real
+    energies, rho = reconstruct_dos(mu2, scale, n_points=256)
+    total = integrate_density(energies, rho)
+    if abs(total - h.n_rows) > 0.05 * h.n_rows:
+        return _fail(f"post-crash DOS integral {total:.1f} far from "
+                     f"N={h.n_rows}")
+    leaked = [nm for nm in rep2.segment_names if segment_exists(nm)]
+    if leaked:
+        return _fail(f"crash drill leaked shm segments: {leaked}")
+    print(f"drill 2 OK: worker death absorbed ({deaths[0].describe()}), "
+          f"finished on {rep2.final_n_workers} workers, bitwise eta, DOS "
+          f"integral {total:.1f}, no shm leaks")
+
+    # -- drill 3: slow rank triggers a rebalance -----------------------
+    # A deterministic per-row timer models rank 0 running 4x slow (the
+    # sim path: real busy times on a shared CI box are too noisy to
+    # assert on).  The monitor must debounce, fire exactly one
+    # rebalance, and shift rows off the slow rank.
+    slow = lambda p, nn: nn * (4.0 if p == 0 else 1.0)  # noqa: E731
+    eta3, rep3 = elastic_eta(
+        h, scale, m, block, n_workers=workers, policy=pol, engine="sim",
+        timer=slow,
+    )
+    if not np.array_equal(eta3, ref):
+        return _fail("rebalanced sim eta != reference")
+    if rep3.rebalances < 1:
+        return _fail(
+            f"slow-rank drill: no rebalance fired "
+            f"(imbalances: {[s.imbalance for s in rep3.segments]})"
+        )
+    before = rep3.segments[0]
+    after = rep3.segments[-1]
+    rows_before = before.offsets[1] - before.offsets[0]
+    rows_after = after.offsets[1] - after.offsets[0]
+    if rows_after >= rows_before:
+        return _fail(
+            f"slow-rank drill: rank 0 rows did not shrink "
+            f"({rows_before} -> {rows_after})"
+        )
+    imb_first = before.imbalance
+    imb_last = after.imbalance
+    if imb_last is None or imb_first is None or imb_last >= imb_first:
+        return _fail(
+            f"slow-rank drill: imbalance did not drop "
+            f"({imb_first} -> {imb_last})"
+        )
+    print(f"drill 3 OK: {rep3.rebalances} rebalance(s), slow rank rows "
+          f"{rows_before} -> {rows_after}, imbalance "
+          f"{imb_first:.3f} -> {imb_last:.3f}, bitwise eta")
+
+    print("CHECK PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
