@@ -269,13 +269,22 @@ def test_backend_speedups_json(benchmark, system):
         + "\n(GB/s uses the Table-I minimum-traffic byte count under the"
         "\n row's storage profile; the native column is the compiled"
         "\n single-pass C kernel. fp32 halves the streamed bytes and the"
-        "\n work; fp16v quarters the vector bytes but pays a software"
-        "\n float16 decode on CPUs without hardware f16 conversion.)",
+        "\n work; fp16v quarters the vector bytes and uses the F16C"
+        "\n converters when the host compiles them, a software float16"
+        "\n decode otherwise.)",
     )
 
     if native_ok:
+        # floor calibrated to the determinism-pinned build: the scalar
+        # family compiles with -ffp-contract=off -fno-tree-vectorize so
+        # the explicit lane-blocked _simd kernels can replay its exact
+        # reduction DAG (bitwise-equal moments, see tests/sparse/
+        # test_simd_kernels.py).  That pinning trades a slice of the old
+        # free-contraction autovec throughput (~3.4x vs numpy) for
+        # reproducibility; the vectorized build lands at ~2.6x on the
+        # reference host, so gate at 2x with noise margin.
         ratio = lookup("aug_spmmv", "sell", "native")["speedup_vs_numpy"]
-        assert ratio >= 3.0, (
-            f"native SELL aug_spmmv R={R_BLOCK} speedup {ratio:.2f}x < 3x"
+        assert ratio >= 2.0, (
+            f"native SELL aug_spmmv R={R_BLOCK} speedup {ratio:.2f}x < 2x"
         )
     benchmark(lambda: None)

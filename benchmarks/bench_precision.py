@@ -14,12 +14,13 @@ fp32 / fp16v):
 This bench measures both on the same 64,000-row TI operator as
 ``bench_kernels_measured.py`` and writes ``results/BENCH_precision.json``.
 
-Honesty note: fp16v minimizes traffic (vector streams quarter), but on
-CPUs without hardware float16 conversion the per-step decode/encode is
-software-emulated and dominates — the row is recorded with its measured
-(slow) wall clock so nobody mistakes the traffic tier for a speed tier
-on this host.  On bandwidth-bound sockets/GPUs with native f16
-conversion the traffic ratio is the speedup ceiling.
+Honesty note: fp16v minimizes traffic (vector streams quarter); since
+the F16C ``_simd`` converters landed the native row converts that into
+real wall-clock wins on this host too.  On builds without the
+vectorized kernels the per-step decode/encode is software-emulated and
+dominates — either way the row records its *measured* wall clock so
+nobody mistakes the traffic tier for an assumed speed tier.  On
+bandwidth-bound sockets/GPUs the traffic ratio is the speedup ceiling.
 """
 
 import json
@@ -178,8 +179,8 @@ def test_precision_sweep_json(benchmark, system):
         + "\n(native SELL aug_spmmv, R = 32, N = 64,000 rows; uint16"
         "\n indices under the narrow profiles. Byte accounting is exact"
         "\n vs expected_counters for every row. fp16v minimizes traffic"
-        "\n but pays software float16 conversion on this host — see the"
-        "\n module docstring.)",
+        "\n and, with the F16C simd converters, wins wall clock on the"
+        "\n native rows too — see the module docstring.)",
     )
 
     # every profile's measured balance tracks the Eq. (5) model; the

@@ -71,7 +71,8 @@ def cmd_dos(args) -> int:
     if args.engine == "auto":
         # consult the tuned profile store for this (machine, matrix);
         # the tuned *execution* knobs apply (backend, format, workers,
-        # weights, overlap, threads) — never precision or the block
+        # weights, overlap, threads, simd) — never precision or the
+        # block
         # width, which belong to the physics the user asked for.
         from repro.dist.tune import lookup
 
@@ -83,7 +84,7 @@ def cmd_dos(args) -> int:
         else:
             print(f"tuned profile: backend={tuned.backend} fmt={tuned.fmt} "
                   f"workers={tuned.workers} overlap={tuned.overlap} "
-                  f"threads={tuned.threads}")
+                  f"threads={tuned.threads} simd={tuned.simd}")
             args.engine = (tuned.engine if tuned.workers > 1
                            else "aug_spmmv")
             args.backend = tuned.backend
@@ -91,6 +92,8 @@ def cmd_dos(args) -> int:
             args.overlap = "on" if tuned.overlap == "on" else "off"
             if threads is None:
                 threads = tuned.threads
+            if args.simd is None:
+                args.simd = tuned.simd
             if tuned.weights is not None and not args.weights:
                 args.weights = ",".join(str(w) for w in tuned.weights)
             if tuned.fmt == "sell" and tuned.workers == 1:
@@ -182,7 +185,7 @@ def cmd_dos(args) -> int:
             dist_engine=args.engine if distributed else None,
             workers=args.workers, weights=weights, overlap=args.overlap,
             counters=counters, metrics=metrics, resilience=resil,
-            precision=args.precision, threads=threads,
+            precision=args.precision, threads=threads, simd=args.simd,
             rebalance=rebalance, membership=membership,
         )
     except ValueError as exc:
@@ -209,6 +212,11 @@ def cmd_dos(args) -> int:
     if threads is not None:
         print(f"kernel threads: {threads}"
               + (" per rank" if distributed else ""))
+    if args.simd is not None:
+        from repro.sparse.backend.native import simd_available
+
+        print(f"simd kernels: {args.simd} (compiled "
+              f"{'available' if simd_available() else 'unavailable'})")
     if resil is not None:
         bits = [f"retries={args.retries}"]
         if args.checkpoint_every:
@@ -322,8 +330,8 @@ def cmd_serve(args) -> int:
     # -- phase 1: concurrent tenants against the worker thread ---------
     srv = KPMServer(
         max_width=args.max_width, engine=engine, backend=args.backend,
-        workers=args.workers, threads=threads, resilience=resilience,
-        linger=0.05, stream_every=0,
+        workers=args.workers, threads=threads, simd=args.simd,
+        resilience=resilience, linger=0.05, stream_every=0,
     )
     tickets = []
     t_lock = threading.Lock()
@@ -442,6 +450,7 @@ def cmd_tune(args) -> int:
             workers=parse_list(args.workers_list, int),
             threads=parse_list(args.threads_list, int),
             rs=parse_list(args.vectors_list, int),
+            simds=tuple(args.simd_list.split(",")),
             precisions=tuple(args.precisions.split(",")),
         )
     except ValueError as exc:
@@ -452,8 +461,8 @@ def cmd_tune(args) -> int:
         mark = " (default)" if cfg == DEFAULT_CONFIG else ""
         print(f"  {seconds:>9.4f}s  fmt={cfg.fmt:<4} R={cfg.r:<3} "
               f"workers={cfg.workers} overlap={cfg.overlap:<3} "
-              f"threads={cfg.threads!s:<4} backend={cfg.backend}"
-              f"{mark}")
+              f"threads={cfg.threads!s:<4} simd={cfg.simd:<4} "
+              f"backend={cfg.backend}{mark}")
 
     print(f"probing: M={args.probe_moments}, best of {args.repeats} "
           f"repeat(s) per candidate")
@@ -465,7 +474,7 @@ def cmd_tune(args) -> int:
     c = result.config
     print(f"\nbest: fmt={c.fmt} (C={c.chunk}, sigma={c.sigma}) R={c.r} "
           f"workers={c.workers} overlap={c.overlap} threads={c.threads} "
-          f"backend={c.backend} precision={c.precision}")
+          f"simd={c.simd} backend={c.backend} precision={c.precision}")
     print(f"measured {result.seconds:.4f}s vs untuned default "
           f"{result.baseline_seconds:.4f}s -> speedup {result.speedup:.2f}x "
           f"({len(result.evaluated)} candidates measured)")
@@ -543,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(an integer, or 'auto' = cores/workers per rank); "
                         "fp64 results are bitwise identical at every "
                         "thread count")
+    p.add_argument("--simd", default=None, choices=["auto", "on", "off"],
+                   help="native AVX2/FMA vectorized kernels: 'auto' (use "
+                        "when compiled in), 'on' (request; scalar fallback "
+                        "when unavailable), 'off' (scalar); fp64 results "
+                        "are bitwise identical either way")
     p.add_argument("--profile", type=str, default=None, metavar="FILE",
                    help="tuned-profile store consulted by --engine auto "
                         "(default: $REPRO_TUNE_PROFILE or "
@@ -622,6 +636,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="intra-rank kernel threads per batch (integer or "
                         "'auto'); bitwise-invariant under fp64, so "
                         "coalescing stays invisible threaded or not")
+    p.add_argument("--simd", default=None, choices=["auto", "on", "off"],
+                   help="native vectorized kernels per batch "
+                        "(bitwise-invariant under fp64, like --threads)")
     p.add_argument("--backend", default="auto", choices=list(BACKEND_CHOICES))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--retries", type=int, default=0,
@@ -660,6 +677,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "('none' = sequential kernels)")
     p.add_argument("--vectors-list", type=str, default="4,8,16",
                    help="comma-separated block widths R to search")
+    p.add_argument("--simd-list", type=str, default="auto,off",
+                   help="comma-separated SIMD kernel modes to search "
+                        "(auto/on/off; bitwise-invisible in fp64)")
     p.add_argument("--precisions", type=str, default="fp64",
                    help="comma-separated storage profiles to search "
                         "(beware: a non-fp64 profile changes results)")

@@ -235,6 +235,7 @@ def checkpointed_eta(
     progress=None,
     progress_every: int = 0,
     threads: int | None = None,
+    simd: str | None = None,
 ) -> np.ndarray:
     """Stage-2 eta computation with optional checkpoint/restart.
 
@@ -279,7 +280,7 @@ def checkpointed_eta(
         eta = ck.eta.astype(DTYPE, copy=True)
         first_m = ck.next_m
         r = int(prec.logical_shape(v)[1])
-        plan = bk.plan(H, r, precision=prec, threads=threads)
+        plan = bk.plan(H, r, precision=prec, threads=threads, simd=simd)
     elif prec.half_vectors:
         # mirror compute_eta's half bootstrap: SpMMV in f16 storage, one
         # fp32 recombination through the plan's decode scratch
@@ -288,7 +289,7 @@ def checkpointed_eta(
         else:
             v = prec.encode(start_block)
         r = v.shape[1]
-        plan = bk.plan(H, r, precision=prec, threads=threads)
+        plan = bk.plan(H, r, precision=prec, threads=threads, simd=simd)
         w = bk.spmmv(H, v, counters=counters, metrics=metrics)
         vc, wc = plan.vc[: H.n_rows], plan.wc
         prec.decode(v, out=vc)
@@ -310,7 +311,7 @@ def checkpointed_eta(
         # moments whichever entry point ran the computation
         eta[:, 0], eta[:, 1] = _col_dots(v, w)
         first_m = 1
-        plan = bk.plan(H, r, precision=prec, threads=threads)
+        plan = bk.plan(H, r, precision=prec, threads=threads, simd=simd)
 
     for m in range(first_m, n_moments // 2):
         if fault is not None:

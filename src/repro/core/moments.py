@@ -128,6 +128,7 @@ def compute_eta(
     metrics: MetricsRegistry = NULL_METRICS,
     precision: Precision | str | None = None,
     threads: int | None = None,
+    simd: str | None = None,
 ) -> np.ndarray:
     """Compute the raw scalar products eta for every start vector.
 
@@ -154,14 +155,20 @@ def compute_eta(
     precision:
         Storage profile (:mod:`repro.util.precision`): ``'fp64'``
         (default, bitwise the historical path), ``'fp32'``, or
-        ``'fp16v'``.  The eta accumulation is fp64 in every profile; the
-        naive engine supports fp64/fp32 only.
+        ``'fp16v'``.  The eta accumulation is fp64 in every profile;
+        the naive engine runs fp16v through the backends' decode pass
+        (half-storage SpMV + fp32 BLAS-1).
     threads:
         Intra-rank thread count for the native threaded kernels.
         ``None`` (default) keeps the sequential kernels; any explicit
         count routes the augmented steps through the block-grid threaded
         variants, whose fp64 results are bitwise identical at every
         thread count.  The NumPy backend accepts and ignores the knob.
+    simd:
+        Vectorized-kernel selector for the native backend
+        (``None``/``'auto'``/``'on'``/``'off'``); fp64 results are
+        bitwise identical either way, so this is purely a performance
+        knob.  The NumPy backend accepts and ignores it.
 
     Returns
     -------
@@ -171,12 +178,6 @@ def compute_eta(
     _check_moments(n_moments)
     engine = MomentEngine(engine)
     prec = get_precision(precision)
-    if prec.half_vectors and engine is MomentEngine.NAIVE:
-        raise ValueError(
-            "the naive engine does not support the fp16v profile (its "
-            "BLAS-1 decomposition has no decode scratch); use the "
-            "aug_spmv or aug_spmmv engine"
-        )
     bk = get_backend(backend)
     n = H.n_rows
     start_block = check_block_vector("start_block", start_block, n)
@@ -193,7 +194,7 @@ def compute_eta(
         step_fn = (
             bk.naive_step if engine is MomentEngine.NAIVE else bk.aug_spmv_step
         )
-        plan = bk.plan(H, 1, precision=prec, threads=threads)
+        plan = bk.plan(H, 1, precision=prec, threads=threads, simd=simd)
         for i in range(r):
             eta[i] = _eta_single(
                 H, scale, n_moments, start_block[:, i], bk, step_fn, plan,
@@ -203,7 +204,7 @@ def compute_eta(
 
     # --- stage 2: blocked ---------------------------------------------
     a, b = scale.a, scale.b
-    plan = bk.plan(H, r, precision=prec, threads=threads)
+    plan = bk.plan(H, r, precision=prec, threads=threads, simd=simd)
     if prec.half_vectors:
         # Block bootstrap in half storage: the SpMMV streams the f16
         # layout, then the one-off recombination runs in fp32 through the
@@ -268,6 +269,7 @@ def compute_dos_moments(
     metrics: MetricsRegistry = NULL_METRICS,
     precision: Precision | str | None = None,
     threads: int | None = None,
+    simd: str | None = None,
 ) -> np.ndarray:
     """Stochastic-trace DOS moments mu_m ~= tr[T_m(H~)].
 
@@ -277,7 +279,7 @@ def compute_dos_moments(
     """
     eta = compute_eta(
         H, scale, n_moments, start_block, engine, counters, backend=backend,
-        metrics=metrics, precision=precision, threads=threads,
+        metrics=metrics, precision=precision, threads=threads, simd=simd,
     )
     mu = eta_to_moments(eta)
     return mu.mean(axis=0).real

@@ -183,8 +183,9 @@ class KPMSolver:
         values and vectors, fp64 dot accumulation, compressed column
         indices), or ``'fp16v'`` (float16 pair vectors, fp32 compute).
         Threaded through every engine — serial, distributed, supervised
-        — and recorded in checkpoints.  LDOS supports fp64/fp32; the
-        naive engine and ``fp16v`` are mutually exclusive.
+        — and recorded in checkpoints.  LDOS and the naive engine run
+        ``fp16v`` through the backends' decode pass (half-storage
+        SpM(M)V, fp32 BLAS-1).
     threads:
         Intra-rank kernel thread count for the native backend: ``None``
         (default) keeps the sequential kernels, an int routes the
@@ -192,6 +193,13 @@ class KPMSolver:
         ``'auto'`` budgets the host's cores (whole machine serially,
         ``cores // workers`` per rank distributed).  fp64 moments are
         bitwise identical at every setting.
+    simd:
+        Native backend vectorized-kernel selector: ``None``/``'auto'``
+        (use the AVX2/FMA kernels when the compiled library has them),
+        ``'on'`` (request them; falls back to scalar with a metrics
+        counter when unavailable), or ``'off'`` (scalar kernels).  fp64
+        moments are bitwise identical either way — a pure performance
+        knob, threaded through every engine like ``threads``.
     rebalance:
         Elastic execution (:mod:`repro.dist.elastic`): ``'off'``/None
         (default), ``'auto'``/True (default policy), a skew threshold,
@@ -231,6 +239,7 @@ class KPMSolver:
         resilience=None,
         precision: Precision | str | None = None,
         threads: int | str | None = None,
+        simd: str | None = None,
         rebalance=None,
         membership=None,
     ) -> None:
@@ -271,6 +280,11 @@ class KPMSolver:
             check_positive("threads", int(threads))
             threads = int(threads)
         self.threads = threads
+        # validate eagerly, like overlap/rebalance: a typo'd simd= fails
+        # at construction, not deep inside an engine or worker process
+        from repro.sparse.backend import resolve_simd
+
+        self.simd = None if simd is None else resolve_simd(simd)
         self.resilience = resilience
         # validate eagerly, like overlap: a typo'd rebalance= fails here
         from repro.dist.elastic import resolve_rebalance
@@ -376,6 +390,7 @@ class KPMSolver:
                 engine="mp", backend=self.backend, counters=self.counters,
                 metrics=self.metrics, overlap=self.overlap,
                 precision=self.precision, threads=self.threads,
+                simd=self.simd,
             )
             self.elastic_report = report
             self.world = None  # segments each ran their own world
@@ -393,7 +408,7 @@ class KPMSolver:
             self.H, part, self.scale, self.n_moments, self._start_block(),
             self.world, backend=self.backend, counters=self.counters,
             metrics=self.metrics, overlap=self.overlap,
-            precision=self.precision, threads=self.threads,
+            precision=self.precision, threads=self.threads, simd=self.simd,
             eta_grid=0 if self.rebalance is None else self.rebalance.grid,
         )
 
@@ -413,7 +428,7 @@ class KPMSolver:
             engine=self.dist_engine or "serial", workers=self.workers,
             weights=self.weights, backend=self.backend,
             overlap=self.overlap, precision=self.precision,
-            threads=self.threads,
+            threads=self.threads, simd=self.simd,
         )
         self.world = sup.last_world
         self.resilience_report = sup.report
@@ -441,7 +456,7 @@ class KPMSolver:
                 self.H, self.scale, self.n_moments, self._start_block(),
                 self.engine, self.counters, backend=self.backend,
                 metrics=self.metrics, precision=self.precision,
-                threads=self._serial_threads(),
+                threads=self._serial_threads(), simd=self.simd,
             )
         return eta_to_moments(eta).mean(axis=0).real
 
@@ -487,7 +502,7 @@ class KPMSolver:
             block = self._start_block()
         mu = ldos_moments(
             self.H, self.scale, self.n_moments, block, rows, self.counters,
-            backend=self.backend, precision=self.precision,
+            backend=self.backend, precision=self.precision, simd=self.simd,
         )
         pts = n_points if n_points is not None else max(2 * self.n_moments, 256)
         e_grid, rho = reconstruct_dos(
@@ -523,6 +538,7 @@ class KPMSolver:
                 self.H, self.scale, self.n_moments, block,
                 self.engine, self.counters, backend=self.backend,
                 precision=self.precision, threads=self._serial_threads(),
+                simd=self.simd,
             )
             mu = eta_to_moments(eta).sum(axis=0).real  # sum over orbitals
             e_grid, rho = reconstruct_dos(

@@ -112,6 +112,7 @@ def ldos_moments(
     counters: PerfCounters = NULL_COUNTERS,
     backend: KernelBackend | str = "auto",
     precision: Precision | str | None = None,
+    simd: str | None = None,
 ) -> np.ndarray:
     """Stochastic diagonal (LDOS) moments for selected matrix rows.
 
@@ -126,28 +127,33 @@ def ldos_moments(
     same loop returns the *exact* LDOS instead (used in tests).
 
     ``precision`` narrows the block-vector storage to complex64
-    (``'fp32'``); the per-site products are accumulated in fp64 either
-    way.  The ``'fp16v'`` profile is refused: this M-iteration recurrence
-    keeps three live blocks and has no per-step decode pass.
+    (``'fp32'``) or float16 pair storage (``'fp16v'``, via a per-step
+    decode pass: the SpMMV streams the half layout, the recurrence
+    recombination runs in fp32 and is rounded back to storage); the
+    per-site products are accumulated in fp64 in every profile.
+
+    ``simd`` selects the native backend's vectorized SpMMV kernels
+    (``None``/``'auto'``/``'on'``/``'off'``) — a pure performance knob.
 
     Returns real (len(rows), M).
     """
     if n_moments < 2:
         raise ValueError(f"n_moments must be >= 2, got {n_moments}")
     prec = get_precision(precision)
-    if prec.half_vectors:
-        raise ValueError(
-            "ldos_moments does not support the fp16v profile; use "
-            "precision='fp32' or 'fp64'"
-        )
     rows = np.asarray(rows, dtype=np.int64)
     r = start_block.shape[1]
     a, b = scale.a, scale.b
     bk = get_backend(backend)
-    plan = bk.plan(H, r, precision=prec)
+    plan = bk.plan(H, r, precision=prec, simd=simd)
 
     exact = _is_unit_block(start_block, rows)
     out = np.zeros((rows.size, n_moments))
+
+    if prec.half_vectors:
+        return _ldos_moments_half(
+            H, n_moments, start_block, rows, a, b, bk, plan, prec,
+            counters, exact, out,
+        )
 
     v_prev = start_block.astype(prec.vector_dtype, copy=True)  # nu_0
     v_cur = bk.spmmv(H, v_prev, counters=counters)  # nu_1
@@ -173,6 +179,62 @@ def ldos_moments(
         # nu_{m} = 2 a (H - b) nu_{m-1} - nu_{m-2}, in v_prev's storage
         bk.spmmv(H, v_cur, out=plan.u_block, counters=counters)
         _recombine(v_prev, plan.u_block, v_cur, a, b)
+        v_prev, v_cur = v_cur, v_prev
+        accumulate(m, v_cur)
+    return out
+
+
+def _ldos_moments_half(
+    H, n_moments, start_block, rows, a, b, bk, plan, prec, counters,
+    exact, out,
+) -> np.ndarray:
+    """fp16v body of :func:`ldos_moments` — the decode-pass recurrence.
+
+    nu_{m-1}/nu_m live in float16 (re, im) pair storage and the SpMMV
+    streams that layout directly; each recombination decodes the three
+    live blocks into the plan's complex64 scratch, runs the fp32
+    arithmetic there, and rounds the new block back into half storage —
+    the same per-step contract as the fused half kernels.
+    """
+    n = H.n_rows
+    r = plan.r
+    if start_block.dtype == np.float16:
+        v_prev = np.ascontiguousarray(start_block)
+    else:
+        v_prev = prec.encode(start_block)
+    v_cur = bk.spmmv(H, v_prev, counters=counters)  # nu_1, half storage
+    vc, wc = plan.vc[:n], plan.wc
+    prec.decode(v_prev, out=vc)
+    prec.decode(v_cur, out=wc)
+    np.multiply(vc, b, out=plan.work_block)
+    wc -= plan.work_block
+    wc *= a
+    prec.encode(wc, out=v_cur)
+
+    conj0 = np.conj(vc[rows, :].astype(DTYPE))
+    gbuf = np.empty((rows.size, r), dtype=prec.compute_dtype)
+
+    def accumulate(m: int, v_m: np.ndarray) -> None:
+        # decode the gathered rows only; fp64 product accumulation
+        prec.decode(v_m[rows, :], out=gbuf)
+        prod = conj0 * gbuf.astype(DTYPE)
+        if exact:
+            out[:, m] = prod[np.arange(rows.size), np.arange(rows.size)].real
+        else:
+            out[:, m] = prod.mean(axis=1).real
+
+    accumulate(0, v_prev)
+    accumulate(1, v_cur)
+    for m in range(2, n_moments):
+        # nu_m = 2 a (H - b) nu_{m-1} - nu_{m-2}: half SpMMV into the
+        # plan's half scratch, fp32 recombination, round back into
+        # v_prev's storage (which then becomes nu_m)
+        bk.spmmv(H, v_cur, out=plan.uh_block, counters=counters)
+        prec.decode(plan.uh_block, out=plan.u_block)
+        prec.decode(v_cur, out=vc)
+        prec.decode(v_prev, out=wc)
+        _recombine(wc, plan.u_block, vc, a, b)
+        prec.encode(wc, out=v_prev)
         v_prev, v_cur = v_cur, v_prev
         accumulate(m, v_cur)
     return out

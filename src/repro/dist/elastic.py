@@ -471,6 +471,7 @@ def elastic_eta(
     attempt: int = 1,
     precision=None,
     threads: int | str | None = None,
+    simd: str | None = None,
     checkpoint_path: str | Path | None = None,
     resume_from: KpmCheckpoint | str | Path | None = None,
     timer: TimerFn | None = None,
@@ -590,7 +591,8 @@ def elastic_eta(
                         checkpoint_path=checkpoint_path,
                         resume_from=ck, fault_plan=fault_plan,
                         attempt=attempt_no, precision=precision,
-                        threads=threads, eta_grid=policy.grid, stop_m=stop,
+                        threads=threads, simd=simd,
+                        eta_grid=policy.grid, stop_m=stop,
                     )
                     if engine == "mp":
                         report.segment_names.extend(

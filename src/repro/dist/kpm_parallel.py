@@ -92,6 +92,7 @@ def distributed_eta(
     progress=None,
     progress_every: int = 0,
     threads: int | str | None = None,
+    simd: str | None = None,
     eta_grid: int = 0,
     stop_m: int | None = None,
 ) -> np.ndarray:
@@ -175,6 +176,11 @@ def distributed_eta(
         the ranks (``max(1, cores // n_ranks)``).  fp64 results stay
         bitwise identical at every thread count, so mp == sim holds
         threaded or not.
+    simd:
+        Vectorized-kernel selector for the native backend
+        (``None``/``'auto'``/``'on'``/``'off'``), applied uniformly on
+        every rank.  fp64 results are bitwise identical either way, so
+        the knob is invisible to the distributed contracts.
     eta_grid:
         ``B > 0`` switches the eta reduction to *grid mode*
         (:mod:`repro.dist.elastic`): the per-iteration dot products are
@@ -210,7 +216,7 @@ def distributed_eta(
             checkpoint_path=checkpoint_path, resume_from=resume_from,
             fault_plan=fault_plan, attempt=attempt, precision=precision,
             progress=progress, progress_every=progress_every,
-            threads=threads, eta_grid=eta_grid, stop_m=stop_m,
+            threads=threads, simd=simd, eta_grid=eta_grid, stop_m=stop_m,
         )
     _check_moments(n_moments)
     from repro.dist.overlap import resolve_overlap, task_split
@@ -332,14 +338,15 @@ def distributed_eta(
         for blk in dist.blocks
     ]
     plans = [
-        bk.plan(blk.matrix, r, precision=prec, threads=threads)
+        bk.plan(blk.matrix, r, precision=prec, threads=threads,
+                simd=simd)
         for blk in dist.blocks
     ]
     splans = None
     if overlap:
         splans = [
             bk.split_plan(blk.matrix, task_split(blk), r, precision=prec,
-                          threads=threads)
+                          threads=threads, simd=simd)
             for blk in dist.blocks
         ]
     # Grid mode accumulates one eta partial per global row block instead
@@ -528,6 +535,7 @@ def distributed_dos(
     overlap: bool | str | None = False,
     precision: Precision | str | None = None,
     threads: int | str | None = None,
+    simd: str | None = None,
 ):
     """Full distributed KPM-DOS application: the paper's production code.
 
@@ -562,7 +570,7 @@ def distributed_dos(
     eta = distributed_eta(
         A, partition, scale, n_moments, block, world, reduction=reduction,
         backend=backend, counters=counters, metrics=metrics, overlap=overlap,
-        precision=precision, threads=threads,
+        precision=precision, threads=threads, simd=simd,
     )
     mu = eta_to_moments(eta).mean(axis=0).real
     pts = n_points if n_points is not None else max(2 * n_moments, 256)
@@ -587,6 +595,7 @@ def distributed_dos_moments(
     overlap: bool | str | None = False,
     precision: Precision | str | None = None,
     threads: int | str | None = None,
+    simd: str | None = None,
 ) -> np.ndarray:
     """Distributed stochastic-trace moments (mean over the R vectors)."""
     from repro.core.moments import eta_to_moments
@@ -594,6 +603,6 @@ def distributed_dos_moments(
     eta = distributed_eta(
         A, partition, scale, n_moments, start_block, world, reduction=reduction,
         backend=backend, counters=counters, metrics=metrics, overlap=overlap,
-        precision=precision, threads=threads,
+        precision=precision, threads=threads, simd=simd,
     )
     return eta_to_moments(eta).mean(axis=0).real

@@ -88,7 +88,7 @@ from repro.dist.partition import RowPartition, grid_blocks
 from repro.dist.shm import ShmArena, ShmAttachment
 from repro.obs import NULL_METRICS, MetricsRegistry
 from repro.resil.faults import FaultInjector, FaultPlan, FaultSpec
-from repro.sparse.backend import KernelBackend
+from repro.sparse.backend import KernelBackend, resolve_simd
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.fused import _col_dots, charge_col_dots
 from repro.util.constants import DTYPE
@@ -301,6 +301,7 @@ class _RunConfig:
     overlap: bool = False
     precision: str = "fp64"  # storage profile name (picklable)
     threads: int | None = None  # intra-rank kernel threads (None = serial)
+    simd: str | None = None  # native vectorized-kernel selector
     eta_grid: int = 0  # B > 0: per-global-block eta partials (elastic)
     stop_m: int = 0  # 0 = run to M/2; else exclusive segment bound
 
@@ -369,13 +370,15 @@ def _worker(
 
         xbuf = np.empty(prec.vec_shape(blk.matrix.n_cols, r),
                         dtype=prec.vector_dtype)
-        plan = bk.plan(blk.matrix, r, precision=prec, threads=cfg.threads)
+        plan = bk.plan(blk.matrix, r, precision=prec, threads=cfg.threads,
+                       simd=cfg.simd)
         splan = None
         if cfg.overlap:
             from repro.dist.overlap import task_split
 
             splan = bk.split_plan(blk.matrix, task_split(blk), r,
-                                  precision=prec, threads=cfg.threads)
+                                  precision=prec, threads=cfg.threads,
+                                  simd=cfg.simd)
         # Grid mode: this rank's fixed global eta blocks (each block has
         # exactly one writer, so the shared (K, M, R) array needs no
         # locking either).
@@ -782,6 +785,7 @@ def mp_eta(
     progress=None,
     progress_every: int = 0,
     threads: int | str | None = None,
+    simd: str | None = None,
     eta_grid: int = 0,
     stop_m: int | None = None,
 ) -> np.ndarray:
@@ -824,7 +828,9 @@ def mp_eta(
     and ``'auto'`` budgets the host's cores across the ranks
     (``max(1, cores // n_ranks)`` — the paper's one-process-per-socket
     hybrid, scaled to this machine).  fp64 moments are bitwise identical
-    for every setting.
+    for every setting.  ``simd`` selects the native backend's vectorized
+    kernels on every rank (``None``/``'auto'``/``'on'``/``'off'``) —
+    also bitwise invisible in fp64.
 
     ``eta_grid``/``stop_m`` mirror :func:`distributed_eta`: a positive
     ``eta_grid`` accumulates eta partials per fixed global block of that
@@ -931,6 +937,7 @@ def mp_eta(
         want_obs=want_obs, first_m=first_m,
         checkpoint_every=int(checkpoint_every), overlap=overlap,
         precision=prec.name, threads=resolved_threads,
+        simd=resolve_simd(simd),
         eta_grid=grid, stop_m=int(stop_m or 0),
     )
     errors: list[tuple[int, str, str]] = []

@@ -7,7 +7,8 @@ interconnect.  This module automates that search on the machine at
 hand: it measures short probe runs of the actual engines over a
 declared search space — backend, sparse format (CSR / SELL-C-sigma and
 its C/sigma geometry), block width R, rank count, per-rank weights,
-communication overlap, intra-rank threads, precision profile — and
+communication overlap, intra-rank threads, SIMD kernel selection,
+precision profile — and
 persists the best configuration as a *tuned profile* keyed by (matrix
 signature, machine signature).  ``repro dos --engine auto`` consults
 the profile store and runs the tuned configuration when one matches.
@@ -67,7 +68,9 @@ class TuneConfig:
     ``workers == 1`` means the serial stage-2 engine; ``workers > 1``
     selects the distributed engine named by ``engine`` ('mp' for real
     processes, 'sim' for the sequential simulator).  ``threads`` is the
-    intra-rank thread count (None = sequential kernels).  ``weights``
+    intra-rank thread count (None = sequential kernels).  ``simd``
+    selects the native backend's vectorized kernels ('auto'/'on'/'off';
+    bitwise-invisible in fp64, so purely a speed knob).  ``weights``
     is an optional per-rank partition weighting (None = equal split).
     """
 
@@ -81,6 +84,7 @@ class TuneConfig:
     weights: tuple | None = None   # per-rank weights (None = equal)
     overlap: str = "off"           # 'off' | 'on' task-mode overlap
     threads: int | None = None     # intra-rank kernel threads
+    simd: str = "auto"             # native vectorized-kernel selector
     precision: str = "fp64"        # storage profile
 
     def __post_init__(self) -> None:
@@ -93,6 +97,10 @@ class TuneConfig:
         if self.overlap not in ("off", "on"):
             raise ValueError(
                 f"overlap must be 'off' or 'on', got {self.overlap!r}"
+            )
+        if self.simd not in ("auto", "on", "off"):
+            raise ValueError(
+                f"simd must be 'auto', 'on' or 'off', got {self.simd!r}"
             )
         check_positive("workers", self.workers)
         check_positive("r", self.r)
@@ -145,6 +153,7 @@ class TuneSpace:
     weights: tuple = (None,)
     overlaps: tuple = ("off", "on")
     threads: tuple = (None, 2, 4)
+    simds: tuple = ("auto", "off")
     precisions: tuple = ("fp64",)
 
     def sample(self, rng: np.random.Generator) -> TuneConfig:
@@ -169,6 +178,7 @@ class TuneSpace:
             weights=weights,
             overlap=str(rng.choice(self.overlaps)),
             threads=None if threads is None else int(threads),
+            simd=str(rng.choice(self.simds)),
             precision=str(rng.choice(self.precisions)),
         )
 
@@ -215,6 +225,8 @@ class TuneSpace:
                     push(weights=wts)
         for t in self.threads:
             push(threads=None if t is None else int(t))
+        for sm in self.simds:
+            push(simd=sm)
         for p in self.precisions:
             push(precision=p)
         return out
@@ -408,7 +420,7 @@ def _run_probe(A, part, cfg, scale, n_moments, block) -> None:
         compute_eta(
             A, scale, n_moments, block, "aug_spmmv",
             backend=cfg.backend, precision=cfg.precision,
-            threads=cfg.threads,
+            threads=cfg.threads, simd=cfg.simd,
         )
         return
     from repro.dist.comm import SimWorld
@@ -420,7 +432,7 @@ def _run_probe(A, part, cfg, scale, n_moments, block) -> None:
     distributed_eta(
         A, part, scale, n_moments, block, world,
         backend=cfg.backend, overlap=(cfg.overlap == "on"),
-        precision=cfg.precision, threads=cfg.threads,
+        precision=cfg.precision, threads=cfg.threads, simd=cfg.simd,
     )
 
 

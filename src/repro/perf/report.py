@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from io import StringIO
 
+import numpy as np
+
 from repro.perf.arch import ARCHITECTURES, PIZ_DAINT_NODE, NodeConfig
 from repro.perf.balance import (
     bmin,
@@ -169,9 +171,17 @@ def cluster_section(domain: tuple[int, int, int], nodes: int, m: int, r: int) ->
 def _charge_naive_iteration(
     A, c: PerfCounters, prec: Precision = FP64
 ) -> None:
-    """Analytic charge of one naive inner iteration (Fig. 3 call chain)."""
+    """Analytic charge of one naive inner iteration (Fig. 3 call chain).
+
+    Under ``fp16v`` only the SpMV streams half storage; the BLAS-1 chain
+    runs on the decoded complex64 copies (the backends' decode pass), so
+    its streams price at the compute-dtype width.
+    """
     n = A.n_rows
-    s_x = prec.s_vector
+    s_x = (
+        np.dtype(prec.compute_dtype).itemsize
+        if prec.half_vectors else prec.s_vector
+    )
     _charge_spmv(A, 1, c, "spmv", prec)
     for _ in range(2):  # two axpy calls
         c.charge("axpy", loads=2 * n * s_x, stores=n * s_x,

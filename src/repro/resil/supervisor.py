@@ -265,6 +265,7 @@ class Supervisor:
         overlap: bool | str | None = False,
         precision=None,
         threads: int | str | None = None,
+        simd: str | None = None,
         progress=None,
         progress_every: int = 0,
     ) -> np.ndarray:
@@ -276,7 +277,9 @@ class Supervisor:
         ``threads`` rides the same rail: the intra-rank kernel thread
         count survives retries and engine fallbacks, and fp64 results are
         bitwise identical at every setting, so a mid-run degradation
-        never perturbs the moments.
+        never perturbs the moments.  ``simd`` (the native backend's
+        vectorized-kernel selector) rides the very same rail with the
+        very same bitwise guarantee.
 
         ``progress``/``progress_every`` stream partial eta prefixes as
         each engine exposes them (see :func:`checkpointed_eta` and
@@ -327,7 +330,8 @@ class Supervisor:
                                 eng, backend_cur, resume, attempt, ckpt_path,
                                 H, scale, n_moments, start_block,
                                 workers, weights, reduction, overlap,
-                                precision, threads, progress, progress_every,
+                                precision, threads, simd, progress,
+                                progress_every,
                             )
                     except Exception as exc:  # noqa: BLE001 - classified below
                         last_exc = exc
@@ -419,8 +423,8 @@ class Supervisor:
     def _run_once(
         self, eng: str, backend, resume, attempt: int, ckpt_path,
         H, scale, n_moments, start_block, workers, weights, reduction,
-        overlap=False, precision=None, threads=None, progress=None,
-        progress_every=0,
+        overlap=False, precision=None, threads=None, simd=None,
+        progress=None, progress_every=0,
     ) -> np.ndarray:
         every = self.checkpoint_every
         path = ckpt_path if every > 0 else None
@@ -428,7 +432,7 @@ class Supervisor:
             return self._run_elastic(
                 eng, backend, resume, attempt, path, H, scale, n_moments,
                 start_block, workers, weights, reduction, overlap,
-                precision, threads,
+                precision, threads, simd,
             )
         if eng == "serial":
             inj = None
@@ -444,7 +448,7 @@ class Supervisor:
                 checkpoint_every=every, checkpoint_path=path,
                 resume_from=resume, counters=self.counters,
                 backend=backend, metrics=self.metrics, fault=inj,
-                precision=precision, threads=threads,
+                precision=precision, threads=threads, simd=simd,
                 progress=progress, progress_every=progress_every,
             )
 
@@ -471,14 +475,14 @@ class Supervisor:
             metrics=self.metrics, overlap=overlap, checkpoint_every=every,
             checkpoint_path=path, resume_from=resume,
             fault_plan=self.fault_plan, attempt=attempt,
-            precision=precision, threads=threads,
+            precision=precision, threads=threads, simd=simd,
             progress=progress, progress_every=progress_every,
         )
 
     def _run_elastic(
         self, eng: str, backend, resume, attempt: int, path,
         H, scale, n_moments, start_block, workers, weights, reduction,
-        overlap, precision, threads,
+        overlap, precision, threads, simd,
     ) -> np.ndarray:
         """One attempt under a live :class:`RebalancePolicy`.
 
@@ -503,7 +507,7 @@ class Supervisor:
                 counters=self.counters, metrics=self.metrics,
                 overlap=overlap, fault_plan=self.fault_plan,
                 attempt=attempt, precision=precision, threads=threads,
-                checkpoint_path=path, resume_from=resume,
+                simd=simd, checkpoint_path=path, resume_from=resume,
             )
             self.last_elastic_report = rep
             self.report.elastic_segments += len(rep.segments)
@@ -525,5 +529,6 @@ class Supervisor:
             metrics=self.metrics, overlap=overlap, checkpoint_every=every,
             checkpoint_path=path, resume_from=resume,
             fault_plan=self.fault_plan, attempt=attempt,
-            precision=precision, threads=threads, eta_grid=pol.grid,
+            precision=precision, threads=threads, simd=simd,
+            eta_grid=pol.grid,
         )

@@ -145,9 +145,9 @@ def slice_moments(batch: Batch, eta_prefix: np.ndarray):
 
 
 def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
-             weights, overlap, precision, threads, resilience, counters,
-             metrics, seed, progress, progress_every, rebalance=None,
-             membership=None):
+             weights, overlap, precision, threads, simd, resilience,
+             counters, metrics, seed, progress, progress_every,
+             rebalance=None, membership=None):
     """One batch eta solve on the configured engine.
 
     Returns ``(eta, resilience_report, world, elastic_report)`` — the
@@ -170,7 +170,7 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
             H, scale, n_moments, block, engine=engine or "serial",
             workers=workers, weights=weights, backend=backend,
             overlap=overlap, precision=precision, threads=threads,
-            progress=progress, progress_every=progress_every,
+            simd=simd, progress=progress, progress_every=progress_every,
         )
         return eta, sup.report, sup.last_world, sup.last_elastic_report
     if engine == "mp" and rebalance is not None:
@@ -181,6 +181,7 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
             policy=rebalance, membership=membership, engine="mp",
             backend=backend, counters=counters, metrics=metrics,
             overlap=overlap, precision=precision, threads=threads,
+            simd=simd,
         )
         return eta, None, None, erep
     if engine in ("sim", "mp"):
@@ -202,7 +203,7 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
         eta = distributed_eta(
             H, part, scale, n_moments, block, world, backend=backend,
             counters=counters, metrics=metrics, overlap=overlap,
-            precision=precision, threads=threads,
+            precision=precision, threads=threads, simd=simd,
             progress=progress, progress_every=progress_every,
             eta_grid=0 if rebalance is None else rebalance.grid,
         )
@@ -213,7 +214,7 @@ def _run_eta(H, scale, n_moments, block, *, engine, backend, workers,
         threads = max(1, os.cpu_count() or 1)
     eta = checkpointed_eta(
         H, scale, n_moments, block, counters=counters, backend=backend,
-        metrics=metrics, precision=precision, threads=threads,
+        metrics=metrics, precision=precision, threads=threads, simd=simd,
         progress=progress, progress_every=progress_every,
     )
     return eta, None, None, None
@@ -231,6 +232,7 @@ def execute_batch(
     overlap: bool | str | None = "auto",
     precision=None,
     threads: int | str | None = None,
+    simd: str | None = None,
     resilience=None,
     metrics=NULL_METRICS,
     seed: int | None = None,
@@ -257,7 +259,9 @@ def execute_batch(
     ``threads`` is forwarded to every execution path unchanged; because
     the threaded fp64 kernels are bitwise invariant across thread
     counts, a threaded batch returns the exact bytes a sequential one
-    would — coalescing stays invisible at any thread count.
+    would — coalescing stays invisible at any thread count.  ``simd``
+    rides the same rail with the same guarantee: the vectorized fp64
+    kernels are bitwise equal to the scalar ones.
 
     ``rebalance`` (a resolved :class:`~repro.dist.elastic.RebalancePolicy`
     or None) turns mp batches into elastic solves and sim batches into
@@ -281,7 +285,8 @@ def execute_batch(
         eta, report, batch.world, batch.elastic_report = _run_eta(
             H, scale, n_moments, block, engine=engine, backend=backend,
             workers=workers, weights=weights, overlap=overlap,
-            precision=precision, threads=threads, resilience=resilience,
+            precision=precision, threads=threads, simd=simd,
+            resilience=resilience,
             counters=counters, metrics=metrics, seed=seed,
             progress=progress, progress_every=stream_every,
             rebalance=rebalance, membership=membership,

@@ -71,6 +71,11 @@ class KPMServer:
         fp64 kernels are bitwise invariant across thread counts, a
         threaded server returns byte-identical moments to a sequential
         one — determinism and cache keys are unaffected.
+    simd:
+        Native vectorized-kernel selector for every batch (``None``/
+        ``'auto'``/``'on'``/``'off'``).  The vectorized fp64 kernels
+        are bitwise equal to the scalar ones, so — like ``threads`` —
+        the knob never shows up in results or cache keys.
     resilience:
         Optional :class:`~repro.resil.Resilience`; each batch then runs
         under its own fresh Supervisor (batch-scoped retries,
@@ -117,6 +122,7 @@ class KPMServer:
         weights=None,
         overlap: bool | str | None = "auto",
         threads: int | str | None = None,
+        simd: str | None = None,
         resilience=None,
         scale_seed: int = 0,
         stream_every: int = 0,
@@ -141,6 +147,7 @@ class KPMServer:
         self.weights = list(weights) if weights is not None else None
         self.overlap = overlap
         self.threads = threads
+        self.simd = simd
         self.resilience = resilience
         self.scale_seed = int(scale_seed)
         self.stream_every = int(stream_every)
@@ -251,7 +258,7 @@ class KPMServer:
                 engine=self.engine, backend=self.backend,
                 workers=self.workers, weights=self.weights,
                 overlap=self.overlap, precision=req0.precision,
-                threads=self.threads,
+                threads=self.threads, simd=self.simd,
                 resilience=self.resilience, metrics=self.metrics,
                 seed=self.scale_seed, stream_every=self.stream_every,
                 on_partial=on_partial,

@@ -44,6 +44,29 @@ from repro.util.errors import BackendError
 #: Valid values of the user-facing ``backend=`` knob.
 BACKEND_CHOICES = ("auto", "numpy", "native")
 
+#: Valid values of the user-facing ``simd=`` knob (``None`` ≡ ``auto``).
+SIMD_CHOICES = ("auto", "on", "off")
+
+
+def resolve_simd(simd: str | None) -> str:
+    """Normalize and validate the ``simd`` knob value.
+
+    ``None`` means ``"auto"`` (use the vectorized kernels whenever the
+    host has them).  The tri-state mirrors how ``threads`` rides the
+    plans: the knob is resolved here once, carried on the plan, and the
+    backends consult it at dispatch.  The choice never changes results —
+    fp64 moments are bitwise identical either way — only which of the
+    two bitwise-equal kernel families runs.
+    """
+    if simd is None:
+        return "auto"
+    if isinstance(simd, str) and simd.lower() in SIMD_CHOICES:
+        return simd.lower()
+    raise BackendError(
+        f"invalid simd selector {simd!r}; choose from "
+        f"{[None, *SIMD_CHOICES]}"
+    )
+
 
 class KernelPlan:
     """Preallocated workspaces for repeated kernel steps on one (A, R).
@@ -71,15 +94,24 @@ class KernelPlan:
     block-order Kahan combine depend only on the problem).  The NumPy
     backend accepts the knob and ignores it — its vectorized reduction
     is trivially thread-count invariant.
+
+    ``simd`` (``None``/``"auto"``/``"on"``/``"off"``) selects the
+    explicitly vectorized AVX2/F16C kernel family in the native backend;
+    like ``threads`` it is carried on the plan and never changes fp64
+    results bitwise.  ``"on"`` falls back to scalar cleanly (with an obs
+    counter) when the host lacks the vectorized build; the NumPy backend
+    accepts the knob and ignores it.
     """
 
-    def __init__(self, A, r: int = 1, precision=None, threads=None) -> None:
+    def __init__(self, A, r: int = 1, precision=None, threads=None,
+                 simd=None) -> None:
         from repro.util.precision import get_precision
 
         self.matrix = A
         self.precision = prec = get_precision(precision)
         self.r = int(r)
         self.threads = None if threads is None else max(1, int(threads))
+        self.simd = resolve_simd(simd)
         n = A.n_rows
         shape = (n,) if self.r == 1 else (n, self.r)
         cdt = prec.compute_dtype
@@ -96,6 +128,14 @@ class KernelPlan:
             # vc spans the full column range (local + halo), wc the rows
             self.vc = np.empty((A.n_cols, self.r), dtype=cdt)
             self.wc = np.empty((n, self.r), dtype=cdt)
+            # half-storage SpM(M)V output scratch for the decode-pass
+            # engines (naive, ldos): the matrix apply streams the half
+            # layout, the BLAS-1 work happens on the decoded fp32 copies
+            self.uh = (
+                prec.vec_empty(n) if self.r == 1
+                else prec.vec_empty(n, self.r)
+            )
+            self.uh_block = self.uh.reshape(n, self.r, 2)
 
 
 class SplitKernelPlan:
@@ -118,7 +158,7 @@ class SplitKernelPlan:
     """
 
     def __init__(self, A, split, r: int = 1, precision=None,
-                 threads=None) -> None:
+                 threads=None, simd=None) -> None:
         from repro.sparse.csr import CSRMatrix
         from repro.util.precision import get_precision
 
@@ -133,6 +173,7 @@ class SplitKernelPlan:
         self.precision = prec = get_precision(precision)
         self.r = int(r)
         self.threads = None if threads is None else max(1, int(threads))
+        self.simd = resolve_simd(simd)
         self.row0 = int(split.row0)
         self.row1 = int(split.row1)
         self.rows = np.ascontiguousarray(split.boundary, dtype=np.int64)
@@ -220,13 +261,15 @@ class KernelBackend(ABC):
     def available(self) -> bool:
         """Whether this backend can run on the current host."""
 
-    def plan(self, A, r: int = 1, precision=None, threads=None) -> KernelPlan:
+    def plan(self, A, r: int = 1, precision=None, threads=None,
+             simd=None) -> KernelPlan:
         """Allocate the workspaces for repeated steps on ``(A, r)``.
 
         ``threads`` (None = sequential kernels) selects the intra-rank
-        threaded kernel variants; see :class:`KernelPlan`.
+        threaded kernel variants; ``simd`` the vectorized kernel family.
+        See :class:`KernelPlan` for both knobs.
         """
-        return KernelPlan(A, r, precision, threads)
+        return KernelPlan(A, r, precision, threads, simd)
 
     @abstractmethod
     def spmv(self, A, x, out=None, counters: PerfCounters = NULL_COUNTERS,
@@ -245,6 +288,48 @@ class KernelBackend(ABC):
         metrics: MetricsRegistry = NULL_METRICS,
     ):
         """Paper Fig. 3: SpMV + separate BLAS-1 calls."""
+
+    def _naive_step_half(
+        self, A, v, w, a, b, plan: KernelPlan | None,
+        counters: PerfCounters, metrics: MetricsRegistry,
+    ):
+        """Decode-pass naive iteration for fp16v half storage.
+
+        Shared by both backends (each supplies its own ``spmv``): the
+        matrix apply streams the half layout — charged half-width, like
+        every fp16v kernel — then the BLAS-1 chain of paper Fig. 3 runs
+        on fp32 decodes (charged at their complex64 element size) and
+        the new w is rounded back to storage.  Identical call structure
+        and charges on either backend, and the same one-rounding-per-
+        iteration accuracy contract as the fused fp16v kernels.
+        """
+        from repro.sparse.blas1 import axpy, dot, nrm2_sq, scal
+        from repro.util.precision import FP16V
+
+        n = A.n_rows
+        if plan is not None and getattr(plan, "uh", None) is not None \
+                and plan.r == 1:
+            u16 = plan.uh
+            vc, wc = plan.vc[:n, 0], plan.wc[:, 0]
+            uc, work = plan.u, plan.work
+        else:
+            u16 = FP16V.vec_empty(n)
+            vc = np.empty(n, dtype=np.complex64)
+            wc = np.empty(n, dtype=np.complex64)
+            uc = np.empty(n, dtype=np.complex64)
+            work = np.empty(n, dtype=np.complex64)
+        with metrics.span("naive_step", counters=counters):
+            self.spmv(A, v, out=u16, counters=counters)
+            FP16V.decode(v, out=vc)
+            FP16V.decode(w, out=wc)
+            FP16V.decode(u16, out=uc)
+            axpy(uc, -b, vc, counters=counters, work=work)
+            scal(-1.0, wc, counters=counters)
+            axpy(wc, 2.0 * a, uc, counters=counters, work=work)
+            eta_even = nrm2_sq(vc, counters=counters)
+            eta_odd = dot(wc, vc, counters=counters)
+            FP16V.encode(wc, out=w)
+        return eta_even, eta_odd
 
     @abstractmethod
     def aug_spmv_step(
@@ -273,9 +358,9 @@ class KernelBackend(ABC):
     # row-local, hence bitwise identical to the plain kernel.
 
     def split_plan(self, A, split, r: int = 1, precision=None,
-                   threads=None) -> SplitKernelPlan:
+                   threads=None, simd=None) -> SplitKernelPlan:
         """Allocate the split-kernel workspaces for ``(A, split, r)``."""
-        return SplitKernelPlan(A, split, r, precision, threads)
+        return SplitKernelPlan(A, split, r, precision, threads, simd)
 
     def aug_spmv_interior(
         self, A, v, w, a, b, plan: SplitKernelPlan,
@@ -465,6 +550,8 @@ register_backend(NativeBackend.name, NativeBackend)
 
 __all__ = [
     "BACKEND_CHOICES",
+    "SIMD_CHOICES",
+    "resolve_simd",
     "KernelBackend",
     "KernelPlan",
     "SplitKernelPlan",

@@ -25,14 +25,35 @@ import numpy as np
 
 _SOURCE = Path(__file__).with_name("_kernels.c")
 
-#: Compiler flags: -O3 auto-vectorizes the lane/k loops; -march=native
-#: unlocks FMA where the host has it; -funroll-loops measurably helps the
-#: short fixed-trip k loops over the block width. No -ffast-math — the
-#: kernels use plain real arithmetic, so fp semantics match NumPy's.
+#: Compiler flags: -march=native lets the preprocessor see AVX2/F16C so
+#: the explicitly vectorized ``_simd`` kernels are compiled in;
+#: -funroll-loops measurably helps the short fixed-trip k loops over the
+#: block width.  No -ffast-math — fp semantics must match NumPy's.
+#:
+#: ``-ffp-contract=off -fno-tree-vectorize`` pin the *scalar* kernels to
+#: the literal source DAG.  This is what makes ``simd=on|off`` bitwise
+#: reproducible: the hand-written intrinsic kernels replay exactly that
+#: DAG lane-by-lane, but GCC's autovectorizer does not — e.g. GCC 12's
+#: SLP pass contracts the interleaved complex multiply pattern into
+#: ``vfmaddsub231pd`` even under ``-ffp-contract=off``, silently fusing
+#: the rounding the flag was supposed to forbid.  With autovectorization
+#: off the scalar build computes what the C says, the SIMD build matches
+#: it bitwise by construction, and the old shape-dependent ``novector``
+#: pragmas become redundant belt-and-suspenders.
+#:
 #: ``-fopenmp`` is appended by :func:`_cflags` when the compiler accepts
 #: it (probed once, cached); without it the ``_mt`` kernels run their
 #: block loop serially with bitwise-identical results.
-_CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-std=c11", "-fPIC", "-shared"]
+_CFLAGS = [
+    "-O3",
+    "-march=native",
+    "-funroll-loops",
+    "-std=c11",
+    "-ffp-contract=off",
+    "-fno-tree-vectorize",
+    "-fPIC",
+    "-shared",
+]
 
 _openmp_supported: bool | None = None
 
@@ -83,6 +104,114 @@ def _cflags(cc: str | None = None) -> list[str]:
     if cc is not None and _probe_openmp(cc):
         return [*_CFLAGS, "-fopenmp"]
     return list(_CFLAGS)
+
+
+# ---------------------------------------------------------------------
+# CPU-feature detection and the SIMD compile probe
+# ---------------------------------------------------------------------
+
+#: Feature flags that change which kernels end up in the ``.so`` (and
+#: whether a cached one is safe to execute here); everything else the
+#: CPU advertises is irrelevant to the cache key.
+_SIMD_FEATURES = ("avx2", "f16c", "fma")
+
+_HW_FEATURES: frozenset[str] | None = None
+_SIMD_PROBE: dict[str, int] = {}
+
+
+def cpu_features() -> frozenset[str]:
+    """The host CPU's feature flags (cpuid, via ``/proc/cpuinfo``).
+
+    Lower-cased; empty on platforms without ``/proc`` — the compile
+    probe then stands in, since ``-march=native`` only enables what the
+    compiler itself detected on this machine.
+    """
+    global _HW_FEATURES
+    if _HW_FEATURES is None:
+        feats: set[str] = set()
+        try:
+            with open("/proc/cpuinfo", encoding="utf-8", errors="replace") as fh:
+                for line in fh:
+                    if line.lower().startswith(("flags", "features")):
+                        feats.update(line.split(":", 1)[1].lower().split())
+                        break
+        except OSError:
+            pass
+        _HW_FEATURES = frozenset(feats)
+    return _HW_FEATURES
+
+
+def _probe_simd_mask(cc: str) -> int:
+    """What ``cc -march=native`` will vectorize: bit0 AVX2, bit1 F16C.
+
+    A preprocessor-only probe (``-dM -E``) — fast, no binary, and it
+    answers the exact question the ``#if`` gates in ``_kernels.c`` ask,
+    so its verdict always matches what :func:`compile_library` builds.
+    """
+    cached = _SIMD_PROBE.get(cc)
+    if cached is not None:
+        return cached
+    mask = 0
+    try:
+        proc = subprocess.run(
+            [cc, *(f for f in _CFLAGS if f.startswith("-march")), "-dM", "-E", "-"],
+            input="", capture_output=True, text=True, timeout=30,
+        )
+        if proc.returncode == 0:
+            macros = proc.stdout
+            if "__AVX2__" in macros:
+                mask |= 1
+                if "__F16C__" in macros:
+                    mask |= 2
+    except (OSError, subprocess.TimeoutExpired):
+        mask = 0
+    _SIMD_PROBE[cc] = mask
+    return mask
+
+
+def _feature_fingerprint(cc: str | None) -> str:
+    """Cache-key component tying a built ``.so`` to this host's ISA.
+
+    ``-march=native`` bakes host-specific instruction selection into the
+    binary while leaving the source+flags hash unchanged, so a container
+    migrated from an AVX2 host to one without it would happily dlopen a
+    library it cannot execute.  Folding the cpuid flags and the compile
+    probe's verdict into the key forces a rebuild the moment either
+    changes.
+    """
+    hw = ",".join(f for f in _SIMD_FEATURES if f in cpu_features())
+    probe = _probe_simd_mask(cc) if cc is not None else 0
+    return f"hw={hw};probe={probe}"
+
+
+def simd_compiled_mask() -> int:
+    """SIMD kernel families present in the loaded library.
+
+    Bit 0: AVX2/FMA-lane kernels; bit 1: F16C half-precision kernels.
+    0 when the native library is unavailable or was built scalar-only.
+    """
+    lib = load_library()
+    if lib is None:
+        return 0
+    return int(lib.repro_simd_compiled())
+
+
+def simd_available() -> bool:
+    """True when the ``_simd`` kernels exist and are not disabled.
+
+    ``REPRO_SIMD_DISABLE`` is consulted per call so the forced-scalar
+    drill can flip it without reloading the library.
+    """
+    if os.environ.get("REPRO_SIMD_DISABLE"):
+        return False
+    return bool(simd_compiled_mask() & 1)
+
+
+def simd_f16c_available() -> bool:
+    """True when the F16C half-precision SIMD kernels are usable."""
+    if os.environ.get("REPRO_SIMD_DISABLE"):
+        return False
+    return bool(simd_compiled_mask() & 2)
 
 
 def _compile_timeout() -> float:
@@ -180,7 +309,14 @@ def _find_compiler() -> str | None:
 def _lib_path() -> Path:
     # Key on the flags too: a flag change alters codegen (and can alter
     # rounding), so it must miss the cache just like a source change.
-    recipe = _SOURCE.read_bytes() + "\0".join(_cflags()).encode()
+    # The feature fingerprint keys the host ISA in as well — see
+    # _feature_fingerprint for why -march=native makes that mandatory.
+    cc = _find_compiler()
+    recipe = (
+        _SOURCE.read_bytes()
+        + "\0".join(_cflags(cc)).encode()
+        + b"\0" + _feature_fingerprint(cc).encode()
+    )
     tag = hashlib.sha256(recipe).hexdigest()[:16]
     suffix = sysconfig.get_config_var("SHLIB_SUFFIX") or ".so"
     return _cache_dir() / f"repro_kernels-{tag}{suffix}"
@@ -201,6 +337,17 @@ def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
             fn = getattr(lib, base + suffix)
             fn.argtypes = [codes[ch] for ch in sig]
             fn.restype = None
+            # The vectorized twins share the scalar signature; they only
+            # exist when the build host's compiler saw AVX2 (F16C for the
+            # half-precision profiles), so probe instead of assuming.
+            try:
+                simd_fn = getattr(lib, base + suffix + "_simd")
+            except AttributeError:
+                continue
+            simd_fn.argtypes = [codes[ch] for ch in sig]
+            simd_fn.restype = None
+    lib.repro_simd_compiled.argtypes = []
+    lib.repro_simd_compiled.restype = ctypes.c_int32
     return lib
 
 

@@ -34,6 +34,8 @@ from repro.sparse.backend.native import (
     _pidx,
     _pvec,
     load_library,
+    simd_available,
+    simd_f16c_available,
 )
 from repro.sparse.compress import kernel_pack
 from repro.sparse.csr import CSRMatrix
@@ -66,6 +68,29 @@ def _kernel_suffix(prec: Precision, indices: np.ndarray) -> str:
     if indices.dtype == np.uint16:
         base += "u16"
     return base
+
+
+def _simd_suffix(simd: str | None, prec: Precision) -> str:
+    """``"_simd"`` when the vectorized kernel family should run.
+
+    ``simd`` is the plan's normalized knob (``None`` for plan-less calls
+    ≡ ``"auto"``).  The scalar and ``_simd`` expansions are bitwise
+    identical in fp64 results, so ``"auto"`` simply takes the fast family
+    whenever the build has it; the half-storage profiles additionally
+    need the F16C converters compiled in.  An explicit ``"on"`` on a host
+    without the vectorized build falls back to scalar *cleanly* — same
+    numbers, plus a ``backend.native.simd_fallbacks`` health counter so
+    the degradation is observable instead of silent.
+    """
+    if simd == "off":
+        return ""
+    if simd_f16c_available() if prec.half_vectors else simd_available():
+        return "_simd"
+    if simd == "on":
+        from repro.obs import GLOBAL_METRICS
+
+        GLOBAL_METRICS.count("backend.native.simd_fallbacks")
+    return ""
 
 
 def _as_kernel_block(name: str, X: np.ndarray, n: int) -> np.ndarray:
@@ -193,15 +218,16 @@ class NativeBackend(KernelBackend):
                 f"out must have shape {shape} and dtype {x.dtype}, got "
                 f"{out.shape} / {out.dtype}"
             )
+        vs = _simd_suffix(None, prec)
         with metrics.span("spmv", counters=counters):
             if isinstance(A, CSRMatrix):
                 suf, args = self._csr_args(A, prec)
-                getattr(lib, "repro_csr_spmv" + suf)(
+                getattr(lib, "repro_csr_spmv" + suf + vs)(
                     A.n_rows, *args, _pvec(x), _pvec(out)
                 )
             elif isinstance(A, SellMatrix):
                 suf, args = self._sell_args(A, prec)
-                getattr(lib, "repro_sell_spmv" + suf)(
+                getattr(lib, "repro_sell_spmv" + suf + vs)(
                     A.n_rows, *args, _pvec(x), _pvec(out)
                 )
             else:
@@ -223,15 +249,16 @@ class NativeBackend(KernelBackend):
                 f"out must have shape {shape} and dtype {X.dtype}, got "
                 f"{out.shape} / {out.dtype}"
             )
+        vs = _simd_suffix(None, prec)
         with metrics.span("spmmv", counters=counters):
             if isinstance(A, CSRMatrix):
                 suf, args = self._csr_args(A, prec)
-                getattr(lib, "repro_csr_spmmv" + suf)(
+                getattr(lib, "repro_csr_spmmv" + suf + vs)(
                     A.n_rows, r, *args, _pvec(X), _pvec(out)
                 )
             elif isinstance(A, SellMatrix):
                 suf, (nc, c, *rest) = self._sell_args(A, prec)
-                getattr(lib, "repro_sell_spmmv" + suf)(
+                getattr(lib, "repro_sell_spmmv" + suf + vs)(
                     A.n_rows, nc, c, r, *rest, _pvec(X), _pvec(out)
                 )
             else:
@@ -254,9 +281,10 @@ class NativeBackend(KernelBackend):
         w = _as_kernel_vector("w", w, n)
         _check_same_storage(v, w)
         if v.dtype == np.float16:
-            raise TypeError(
-                "the naive engine does not support fp16v half storage; "
-                "use the fused engines"
+            # decode pass: half-storage SpMV + fp32 BLAS-1 (shared base
+            # implementation; the spmv below streams the native kernels)
+            return self._naive_step_half(
+                A, v, w, a, b, plan, counters, metrics
             )
         if plan is not None and plan.u.dtype == v.dtype:
             u, work = plan.u, plan.work
@@ -289,6 +317,7 @@ class NativeBackend(KernelBackend):
             ee = np.empty(1, dtype=np.float64)
             eo = np.empty(1, dtype=DTYPE)
         threads = plan.threads if plan is not None else None
+        vs = _simd_suffix(plan.simd if plan is not None else None, prec)
         meta = {} if threads is None else {"threads": threads}
         with metrics.span("aug_spmv", counters=counters, **meta):
             if isinstance(A, CSRMatrix):
@@ -297,25 +326,25 @@ class NativeBackend(KernelBackend):
                     # an (n,) interleaved complex vector is memory-
                     # identical to an (n, 1) row-major block, so the
                     # threaded path reuses the blocked mt kernel at r=1
-                    getattr(lib, "repro_csr_aug_spmmv_mt" + suf)(
+                    getattr(lib, "repro_csr_aug_spmmv_mt" + suf + vs)(
                         A.n_rows, 1, threads, *args, _pvec(v), _pvec(w),
                         a, b, _pc(ee), _pc(eo),
                     )
                 else:
-                    getattr(lib, "repro_csr_aug_spmv" + suf)(
+                    getattr(lib, "repro_csr_aug_spmv" + suf + vs)(
                         A.n_rows, *args, _pvec(v), _pvec(w), a, b,
                         _pc(ee), _pc(eo),
                     )
             elif isinstance(A, SellMatrix):
                 if threads is not None:
                     suf, (nc, c, *rest) = self._sell_args(A, prec)
-                    getattr(lib, "repro_sell_aug_spmmv_mt" + suf)(
+                    getattr(lib, "repro_sell_aug_spmmv_mt" + suf + vs)(
                         A.n_rows, nc, c, 1, threads, *rest,
                         _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
                     )
                 else:
                     suf, args = self._sell_args(A, prec)
-                    getattr(lib, "repro_sell_aug_spmv" + suf)(
+                    getattr(lib, "repro_sell_aug_spmv" + suf + vs)(
                         A.n_rows, *args, _pvec(v), _pvec(w), a, b,
                         _pc(ee), _pc(eo),
                     )
@@ -345,29 +374,30 @@ class NativeBackend(KernelBackend):
             ee = np.empty(r, dtype=np.float64)
             eo = np.empty(r, dtype=DTYPE)
         threads = plan.threads if plan is not None else None
+        vs = _simd_suffix(plan.simd if plan is not None else None, prec)
         meta = {} if threads is None else {"threads": threads}
         with metrics.span("aug_spmmv", counters=counters, **meta):
             if isinstance(A, CSRMatrix):
                 suf, args = self._csr_args(A, prec)
                 if threads is not None:
-                    getattr(lib, "repro_csr_aug_spmmv_mt" + suf)(
+                    getattr(lib, "repro_csr_aug_spmmv_mt" + suf + vs)(
                         A.n_rows, r, threads, *args, _pvec(V), _pvec(W),
                         a, b, _pc(ee), _pc(eo),
                     )
                 else:
-                    getattr(lib, "repro_csr_aug_spmmv" + suf)(
+                    getattr(lib, "repro_csr_aug_spmmv" + suf + vs)(
                         A.n_rows, r, *args, _pvec(V), _pvec(W), a, b,
                         _pc(ee), _pc(eo),
                     )
             elif isinstance(A, SellMatrix):
                 suf, (nc, c, *rest) = self._sell_args(A, prec)
                 if threads is not None:
-                    getattr(lib, "repro_sell_aug_spmmv_mt" + suf)(
+                    getattr(lib, "repro_sell_aug_spmmv_mt" + suf + vs)(
                         A.n_rows, nc, c, r, threads, *rest,
                         _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
                     )
                 else:
-                    getattr(lib, "repro_sell_aug_spmmv" + suf)(
+                    getattr(lib, "repro_sell_aug_spmmv" + suf + vs)(
                         A.n_rows, nc, c, r, *rest, _pvec(V), _pvec(W), a, b,
                         _pc(ee), _pc(eo),
                     )
@@ -405,16 +435,17 @@ class NativeBackend(KernelBackend):
         prec = precision_of(v)
         ee, eo = plan.ee_interior[:1], plan.eo_interior[:1]
         threads = plan.threads
+        vs = _simd_suffix(plan.simd, prec)
         meta = {} if threads is None else {"threads": threads}
         with metrics.span("aug_spmv_int", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
             if threads is not None:
-                getattr(lib, "repro_csr_aug_spmmv_range_mt" + suf)(
+                getattr(lib, "repro_csr_aug_spmmv_range_mt" + suf + vs)(
                     plan.row0, plan.row1, 1, threads, *args,
                     _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
                 )
             else:
-                getattr(lib, "repro_csr_aug_spmv_range" + suf)(
+                getattr(lib, "repro_csr_aug_spmv_range" + suf + vs)(
                     plan.row0, plan.row1, *args, _pvec(v), _pvec(w),
                     a, b, _pc(ee), _pc(eo),
                 )
@@ -437,16 +468,17 @@ class NativeBackend(KernelBackend):
         prec = precision_of(v)
         ee, eo = plan.ee_boundary[:1], plan.eo_boundary[:1]
         threads = plan.threads
+        vs = _simd_suffix(plan.simd, prec)
         meta = {} if threads is None else {"threads": threads}
         with metrics.span("aug_spmv_bnd", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
             if threads is not None:
-                getattr(lib, "repro_csr_aug_spmmv_rows_mt" + suf)(
+                getattr(lib, "repro_csr_aug_spmmv_rows_mt" + suf + vs)(
                     plan.n_boundary, _pi64(plan.rows), 1, threads, *args,
                     _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
                 )
             else:
-                getattr(lib, "repro_csr_aug_spmv_rows" + suf)(
+                getattr(lib, "repro_csr_aug_spmv_rows" + suf + vs)(
                     plan.n_boundary, _pi64(plan.rows), *args,
                     _pvec(v), _pvec(w), a, b, _pc(ee), _pc(eo),
                 )
@@ -470,16 +502,17 @@ class NativeBackend(KernelBackend):
         r = V.shape[1]
         ee, eo = plan.ee_interior, plan.eo_interior
         threads = plan.threads
+        vs = _simd_suffix(plan.simd, prec)
         meta = {} if threads is None else {"threads": threads}
         with metrics.span("aug_spmmv_int", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
             if threads is not None:
-                getattr(lib, "repro_csr_aug_spmmv_range_mt" + suf)(
+                getattr(lib, "repro_csr_aug_spmmv_range_mt" + suf + vs)(
                     plan.row0, plan.row1, r, threads, *args,
                     _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
                 )
             else:
-                getattr(lib, "repro_csr_aug_spmmv_range" + suf)(
+                getattr(lib, "repro_csr_aug_spmmv_range" + suf + vs)(
                     plan.row0, plan.row1, r, *args, _pvec(V), _pvec(W),
                     a, b, _pc(ee), _pc(eo),
                 )
@@ -503,16 +536,17 @@ class NativeBackend(KernelBackend):
         r = V.shape[1]
         ee, eo = plan.ee_boundary, plan.eo_boundary
         threads = plan.threads
+        vs = _simd_suffix(plan.simd, prec)
         meta = {} if threads is None else {"threads": threads}
         with metrics.span("aug_spmmv_bnd", counters=counters, **meta):
             suf, args = self._csr_args(A, prec)
             if threads is not None:
-                getattr(lib, "repro_csr_aug_spmmv_rows_mt" + suf)(
+                getattr(lib, "repro_csr_aug_spmmv_rows_mt" + suf + vs)(
                     plan.n_boundary, _pi64(plan.rows), r, threads, *args,
                     _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
                 )
             else:
-                getattr(lib, "repro_csr_aug_spmmv_rows" + suf)(
+                getattr(lib, "repro_csr_aug_spmmv_rows" + suf + vs)(
                     plan.n_boundary, _pi64(plan.rows), r, *args,
                     _pvec(V), _pvec(W), a, b, _pc(ee), _pc(eo),
                 )

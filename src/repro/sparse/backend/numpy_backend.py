@@ -69,6 +69,12 @@ class NumpyBackend(KernelBackend):
         counters: PerfCounters = NULL_COUNTERS,
         metrics: MetricsRegistry = NULL_METRICS,
     ):
+        if v.dtype == np.float16:
+            # decode pass: half-storage SpMV + fp32 BLAS-1 (shared base
+            # implementation, charge-identical to the native backend)
+            return self._naive_step_half(
+                A, v, w, a, b, plan, counters, metrics
+            )
         scratch, work = _plan_scratch(plan, v)
         return fused.naive_kpm_step(
             A, v, w, a, b, scratch=scratch, counters=counters, scratch2=work,

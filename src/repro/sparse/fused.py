@@ -272,14 +272,13 @@ def naive_kpm_step(
         eta_odd  <- <w|v>   (dot)
 
     Works for complex128 and complex64 storage (the BLAS-1 charges track
-    the element size automatically); half storage is rejected — the
-    naive engine is the paper's unblocked ablation baseline and is not
-    part of the fp16v tier.
+    the element size automatically); half storage is handled by the
+    kernel backends' decode pass (half SpMV + fp32 BLAS-1), not here.
     """
     if v.dtype == np.float16:
         raise TypeError(
-            "the naive engine does not support fp16v half storage; use "
-            "the fused engines (aug_spmv / aug_spmmv)"
+            "half-storage (fp16v) vectors are decoded by the kernel "
+            "backends; call through repro.sparse.backend instead"
         )
     n = A.n_rows
     v = check_vector("v", v, n)

@@ -53,11 +53,6 @@ class TestEngineAccuracy:
     def test_reduced_profiles_track_fp64(self, system, backend, engine,
                                          precision):
         h, scale, blk, ref = system
-        if engine == "naive" and precision == "fp16v":
-            with pytest.raises(ValueError, match="fp16v"):
-                compute_eta(h, scale, 32, blk, engine, backend=backend,
-                            precision=precision)
-            return
         eta = compute_eta(h, scale, 32, blk, engine, backend=backend,
                           precision=precision)
         assert eta.dtype == np.complex128  # moments always accumulate wide
@@ -104,11 +99,18 @@ class TestEngineAccuracy:
         with pytest.raises(TypeError, match="fp16v"):
             compute_eta(h, scale, 32, half, "aug_spmmv", precision="fp32")
 
-    def test_ldos_fp16v_excluded(self, system):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ldos_fp16v_decode_pass(self, system, backend):
+        """The decode pass lifts the old fp16v exclusion from LDOS."""
         h, scale, blk, _ = system
-        with pytest.raises(ValueError, match="fp16v"):
-            ldos_moments(h, scale, 16, blk, np.array([0]),
-                         precision="fp16v")
+        rows = np.array([0, 7, 31])
+        ref = ldos_moments(h, scale, 16, blk, rows, backend=backend,
+                           precision="fp32")
+        out = ldos_moments(h, scale, 16, blk, rows, backend=backend,
+                           precision="fp16v")
+        assert out.shape == ref.shape
+        err = np.max(np.abs(out - ref)) / max(np.max(np.abs(ref)), 1e-30)
+        assert err < ETA_BUDGET["fp16v"]
 
 
 class TestCheckpointPrecision:

@@ -94,10 +94,6 @@ def main(argv: list[str] | None = None) -> int:
         ref = dos(engine, "fp64")
         ref_peak = float(np.max(np.abs(ref)))
         for prec, budget in BUDGETS.items():
-            if engine == "naive" and prec == "fp16v":
-                print(f"  --: {engine:10s} {prec:6s} excluded by design "
-                      "(no per-step decode pass)")
-                continue
             err = float(np.max(np.abs(dos(engine, prec) - ref))) / ref_peak
             ok = err <= budget
             status = "ok" if ok else "FAIL"

@@ -9,8 +9,8 @@ lattice with live :class:`~repro.util.counters.PerfCounters` and a
    :func:`repro.perf.report.expected_counters` (the Table-I
    ``charge_*`` minima re-charged analytically) **exactly** — for both
    sparse formats (CSR, SELL-C-sigma), every engine, every precision
-   profile (fp64 / fp32 / fp16v; the naive engine is fp64/fp32 only),
-   and R in {1, 8};
+   profile (fp64 / fp32 / fp16v — including the naive engine's fp16v
+   decode pass), and R in {1, 8};
 2. the per-kernel achieved code balance from the metrics layer equals
    the per-call model balance;
 3. a JSONL trace written during one run parses back and its aggregated
@@ -23,7 +23,12 @@ lattice with live :class:`~repro.util.counters.PerfCounters` and a
 5. (native backend only) the threaded kernels change neither story:
    measured traffic equals the same Eq. 5-7 analytic charge at every
    thread count, and the fp64 moments are bitwise identical across
-   thread counts, for both formats.
+   thread counts, for both formats;
+6. (native backend only) the vectorized (``_simd``) kernels change
+   neither story either: traffic stays exactly equal to the analytic
+   charge under ``simd='on'``/``'off'`` for every engine, format and
+   precision, and the fp64 moments are bitwise identical across the
+   two kernel families.
 
 Exit status 0 means the measurement layer and the models tell the same
 story; 1 pinpoints the first divergence.  Intended for CI (fast: a few
@@ -90,8 +95,6 @@ def main(argv: list[str] | None = None) -> int:
             block = make_block_vector(A.n_rows, r, seed=2)
             for engine in ("naive", "aug_spmv", "aug_spmmv"):
                 for prec in ("fp64", "fp32", "fp16v"):
-                    if engine == "naive" and prec == "fp16v":
-                        continue  # three live blocks, no decode pass
                     counters = PerfCounters()
                     compute_eta(A, scale, m, block, engine, counters,
                                 backend=backend, precision=prec)
@@ -234,6 +237,42 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print("\n(threaded-kernel checks skipped: "
               f"backend {backend.name!r} has no threaded path)")
+
+    # -- 6. simd kernels: same exact traffic, bitwise fp64 moments -----
+    if backend.name == "native":
+        print()
+        r = 8
+        block = make_block_vector(H.n_rows, r, seed=2)
+        for fmt, A in matrices:
+            for engine in ("naive", "aug_spmv", "aug_spmmv"):
+                for prec in ("fp64", "fp32", "fp16v"):
+                    etas = []
+                    for simd in ("off", "on"):
+                        counters = PerfCounters()
+                        etas.append(compute_eta(A, scale, m, block, engine,
+                                                counters, backend=backend,
+                                                precision=prec, simd=simd))
+                        exp = expected_counters(A, m, r, engine,
+                                                precision=prec)
+                        label = f"simd={simd} {fmt} {engine} {prec}"
+                        if (counters.bytes_loaded, counters.bytes_stored,
+                                counters.flops) != (exp.bytes_loaded,
+                                                    exp.bytes_stored,
+                                                    exp.flops):
+                            return _fail(
+                                f"{label}: measured {counters.summary()} "
+                                f"!= analytic {exp.summary()}"
+                            )
+                    if prec == "fp64" and not np.array_equal(*etas):
+                        return _fail(
+                            f"{fmt} {engine}: fp64 moments differ between "
+                            "simd=off and simd=on (bitwise contract broken)"
+                        )
+                print(f"  ok: {fmt:5s} {engine:10s} traffic exact under "
+                      "simd on/off x fp64/fp32/fp16v, fp64 bitwise")
+    else:
+        print("\n(simd-kernel checks skipped: "
+              f"backend {backend.name!r} has no vectorized path)")
 
     print("\nall metric/model cross-checks passed")
     return 0

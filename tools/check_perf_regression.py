@@ -31,6 +31,9 @@ from pathlib import Path
 BASELINE = Path(__file__).resolve().parents[1] / (
     "benchmarks/results/BENCH_kernels.json"
 )
+SIMD_BASELINE = Path(__file__).resolve().parents[1] / (
+    "benchmarks/results/BENCH_simd.json"
+)
 
 
 def _vectors(n, r, seed=1):
@@ -48,7 +51,8 @@ def _vectors(n, r, seed=1):
     return v, w
 
 
-def _time_backend_step(bk, A, scale, stage, r, reps=5, precision="fp64"):
+def _time_backend_step(bk, A, scale, stage, r, reps=5, precision="fp64",
+                       simd=None):
     """Best-of-reps seconds + minimum-traffic bytes (bench protocol)."""
     import numpy as np
 
@@ -57,7 +61,7 @@ def _time_backend_step(bk, A, scale, stage, r, reps=5, precision="fp64"):
 
     prec = get_precision(precision)
     n = A.n_rows
-    plan = bk.plan(A, r, precision=prec)
+    plan = bk.plan(A, r, precision=prec, simd=simd)
     step = {
         "naive": bk.naive_step,
         "aug_spmv": bk.aug_spmv_step,
@@ -164,6 +168,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"(allowed >= {1.0 - args.max_regress:.2f}x)"
             )
 
+    failures += _gate_simd(args, native, mats, scale)
+
     if failures:
         for f in failures:
             print(f"FAIL: {f}")
@@ -171,6 +177,58 @@ def main(argv: list[str] | None = None) -> int:
     print(f"native kernel throughput within {args.max_regress:.0%} "
           "of the committed baseline")
     return 0
+
+
+def _gate_simd(args, native, mats, scale) -> list[str]:
+    """Gate the vectorized kernels' speedup against BENCH_simd.json.
+
+    The simd speedup is scalar-vs-vector measured on the *same* host in
+    the same run, so host speed cancels by construction and the gate is
+    meaningful on any CI runner — no numpy normalization needed.  Hosts
+    whose compiler cannot target AVX2 recorded (and re-measure) ~1.0x
+    fallback rows; the gate skips them via the compiled mask.
+    """
+    if not SIMD_BASELINE.exists():
+        print("no BENCH_simd.json baseline; skipping the simd gate")
+        return []
+    from repro.sparse.backend.native import simd_compiled_mask
+
+    baseline = json.loads(SIMD_BASELINE.read_text())
+    if not simd_compiled_mask() & 1:
+        print("simd kernels not compiled on this host; skipping the "
+              "simd gate (scalar fallback is covered by the kernel gate)")
+        return []
+
+    failures = []
+    print(f"\n{'simd speedup':>26} {'base':>8} {'now':>8} {'ratio':>7}   "
+          f"(scalar vs vector, same host)")
+    for row in baseline["series"]:
+        stage, fmt, r = row["stage"], row["format"], row["r"]
+        precision = row.get("precision", "fp64")
+        base = row["simd_speedup"]
+        if base < 1.05:
+            continue  # fallback or noise-level row, nothing to protect
+        now = 0.0
+        for _ in range(args.trials):
+            t_off, _ = _time_backend_step(
+                native, mats[fmt], scale, stage, r, precision=precision,
+                simd="off")
+            t_on, _ = _time_backend_step(
+                native, mats[fmt], scale, stage, r, precision=precision,
+                simd="on")
+            now = max(now, t_off / t_on)
+            if now / base >= 1.0 - args.max_regress:
+                break
+        ratio = now / base
+        label = f"{stage}/{fmt}/r{r}/{precision}"
+        print(f"{label:>26} {base:8.3f} {now:8.3f} {ratio:7.3f}")
+        if ratio < 1.0 - args.max_regress:
+            failures.append(
+                f"{label}: simd speedup {now:.2f}x vs baseline "
+                f"{base:.2f}x (allowed >= "
+                f"{base * (1.0 - args.max_regress):.2f}x)"
+            )
+    return failures
 
 
 if __name__ == "__main__":
